@@ -1,0 +1,97 @@
+"""Shared harness for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The expensive
+part -- fitting KiNETGAN and the five baselines on each dataset -- is done
+once per session in :mod:`benchmarks.conftest` and shared across benches.
+
+Scale knobs (environment variables, so CI can dial them up or down):
+
+* ``REPRO_BENCH_ROWS``   -- rows per dataset (default 1500)
+* ``REPRO_BENCH_EPOCHS`` -- GAN training epochs (default 20; KiNETGAN gets
+  1.5x this so the knowledge discriminator converges)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import CTGAN, OCTGAN, PATEGAN, TVAE, IndependentSampler, TableGAN
+from repro.core import KiNETGAN, KiNETGANConfig
+from repro.datasets.base import DatasetBundle
+from repro.tabular.split import train_test_split
+from repro.tabular.table import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "1500"))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "20"))
+
+#: Order in which models are reported (matches Table I of the paper, plus the
+#: independent-marginal sanity floor).
+MODEL_ORDER = ["CTGAN", "OCTGAN", "PATEGAN", "TABLEGAN", "TVAE", "KiNETGAN", "INDEPENDENT"]
+
+
+def bench_config(seed: int = 0, epochs: int | None = None) -> KiNETGANConfig:
+    """The GAN configuration used by every benchmark model."""
+    return KiNETGANConfig(
+        embedding_dim=32,
+        generator_dims=(64, 64),
+        discriminator_dims=(64, 64),
+        epochs=epochs if epochs is not None else BENCH_EPOCHS,
+        batch_size=128,
+        lambda_knowledge=2.0,
+        knowledge_negatives_per_batch=32,
+        seed=seed,
+    )
+
+
+def fit_model_suite(bundle: DatasetBundle, train: Table, seed: int = 0) -> dict[str, object]:
+    """Fit KiNETGAN plus every baseline on ``train`` and return them by name."""
+    config = bench_config(seed)
+    kinetgan = KiNETGAN(bench_config(seed, epochs=int(BENCH_EPOCHS * 1.5)))
+    kinetgan.fit(train, catalog=bundle.catalog, condition_columns=bundle.condition_columns)
+
+    models: dict[str, object] = {"KiNETGAN": kinetgan}
+    models["CTGAN"] = CTGAN(config).fit(train, condition_columns=bundle.condition_columns)
+    models["OCTGAN"] = OCTGAN(config).fit(train, condition_columns=bundle.condition_columns)
+    models["TVAE"] = TVAE(config).fit(train)
+    models["TABLEGAN"] = TableGAN(config, label_column=bundle.label_column).fit(train)
+    models["PATEGAN"] = PATEGAN(config, num_teachers=3).fit(train)
+    models["INDEPENDENT"] = IndependentSampler(seed=seed).fit(train)
+    return models
+
+
+def sample_all(models: dict[str, object], n: int, seed: int = 1) -> dict[str, Table]:
+    """Draw ``n`` synthetic rows from every fitted model."""
+    synthetic: dict[str, Table] = {}
+    for name, model in models.items():
+        synthetic[name] = model.sample(n, rng=np.random.default_rng(seed))
+    return synthetic
+
+
+def split_bundle(bundle: DatasetBundle, seed: int = 0) -> tuple[Table, Table]:
+    """Stratified train/test split used by every experiment."""
+    return train_test_split(
+        bundle.table,
+        test_fraction=0.25,
+        rng=np.random.default_rng(seed),
+        stratify_column=bundle.label_column,
+    )
+
+
+def write_table(name: str, header: list[str], rows: list[list], caption: str) -> str:
+    """Format a result table, print it, and persist it under results/."""
+    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows)) for i in range(len(header))]
+    lines = [caption, ""]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text + "\n")
+    return text

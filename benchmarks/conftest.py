@@ -1,0 +1,49 @@
+"""Session-scoped fixtures shared by all benchmarks.
+
+Fitting the seven synthesizers on each dataset dominates the cost of the
+benchmark suite, so it happens exactly once per dataset here; individual
+benchmarks only compute and print their table / figure.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_lab_iot, load_unsw_nb15
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import BENCH_ROWS, fit_model_suite, sample_all, split_bundle  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def lab_bundle():
+    return load_lab_iot(n_records=BENCH_ROWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def unsw_bundle():
+    return load_unsw_nb15(n_records=BENCH_ROWS, seed=11)
+
+
+@pytest.fixture(scope="session")
+def lab_experiment(lab_bundle):
+    """(train, test, fitted models, synthetic tables) for the lab dataset."""
+    train, test = split_bundle(lab_bundle, seed=0)
+    models = fit_model_suite(lab_bundle, train, seed=0)
+    synthetic = sample_all(models, n=train.n_rows, seed=1)
+    return {"bundle": lab_bundle, "train": train, "test": test,
+            "models": models, "synthetic": synthetic}
+
+
+@pytest.fixture(scope="session")
+def unsw_experiment(unsw_bundle):
+    """(train, test, fitted models, synthetic tables) for UNSW-NB15."""
+    train, test = split_bundle(unsw_bundle, seed=0)
+    models = fit_model_suite(unsw_bundle, train, seed=0)
+    synthetic = sample_all(models, n=train.n_rows, seed=1)
+    return {"bundle": unsw_bundle, "train": train, "test": test,
+            "models": models, "synthetic": synthetic}

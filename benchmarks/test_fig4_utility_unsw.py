@@ -1,0 +1,46 @@
+"""Figure 4 -- NIDS accuracy on UNSW-NB15 (train-on-synthetic / test-on-real)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nids import evaluate_utility
+
+from _harness import MODEL_ORDER, write_table
+
+_CLASSIFIERS = ("decision_tree", "random_forest", "logistic_regression", "naive_bayes")
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_nids_accuracy_unsw(benchmark, unsw_experiment):
+    def run():
+        return evaluate_utility(
+            unsw_experiment["train"],
+            unsw_experiment["test"],
+            {name: unsw_experiment["synthetic"][name] for name in MODEL_ORDER},
+            unsw_experiment["bundle"].label_column,
+            classifiers=_CLASSIFIERS,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_source = {result.source: result for result in results}
+
+    rows = []
+    for source in ["REAL"] + MODEL_ORDER:
+        result = by_source[source]
+        rows.append(
+            [source]
+            + [f"{result.per_classifier[c]['accuracy']:.3f}" for c in _CLASSIFIERS]
+            + [f"{result.mean_accuracy:.3f}"]
+        )
+    write_table(
+        "fig4_utility_unsw",
+        ["training source", *_CLASSIFIERS, "mean"],
+        rows,
+        "Figure 4: NIDS accuracy on UNSW-NB15 (trained on synthetic, tested on real)",
+    )
+
+    real = by_source["REAL"].mean_accuracy
+    kinetgan = by_source["KiNETGAN"].mean_accuracy
+    assert real >= kinetgan - 0.05
+    assert kinetgan >= min(by_source[m].mean_accuracy for m in MODEL_ORDER if m != "KiNETGAN")

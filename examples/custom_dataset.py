@@ -1,0 +1,235 @@
+"""Bring your own network: custom schema, catalog and knowledge graph.
+
+Run with::
+
+    python examples/custom_dataset.py [--records 2000] [--epochs 30]
+
+This example shows the workflow a downstream user follows to apply KiNETGAN
+to their *own* monitored environment rather than one of the bundled datasets:
+
+1. describe the environment as a :class:`DomainCatalog` (devices, benign
+   event types, attacks, and the attribute rules each event imposes),
+2. define the matching table schema and produce (or load) flow records,
+3. train KiNETGAN with the catalog so the knowledge-guided discriminator
+   enforces the environment's rules,
+4. check fidelity, knowledge-graph validity and the extended diagnostics
+   (coverage, propensity) of the synthetic output.
+
+The toy environment here is a small smart-office network: a door controller,
+an IP phone and a printer, plus a brute-force attack against the door
+controller's admin interface.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import KiNETGAN, KiNETGANConfig
+from repro.fidelity import coverage_report, emd_distance, jensen_shannon_distance, propensity_score
+from repro.knowledge import BatchValidator, KGReasoner, build_network_kg
+from repro.knowledge.catalog import AttackSpec, DeviceSpec, DomainCatalog, EventSpec
+from repro.tabular.schema import ColumnSpec, TableSchema
+from repro.tabular.table import Table
+
+OFFICE_DEVICES = [
+    DeviceSpec("door_controller", "10.0.0.20", kind="access-control"),
+    DeviceSpec("ip_phone", "10.0.0.21", kind="voip"),
+    DeviceSpec("printer", "10.0.0.22", kind="printer"),
+    DeviceSpec("office_gateway", "10.0.0.1", kind="router"),
+    DeviceSpec("intruder_laptop", "10.0.0.99", kind="attacker"),
+]
+
+OFFICE_DOMAINS = {
+    "door.vendor-cloud.example": "203.0.113.10",
+    "voip.sip-provider.example": "203.0.113.20",
+    "fw-updates.printer.example": "203.0.113.30",
+}
+
+BENIGN_EVENTS = [
+    EventSpec(
+        name="badge_swipe",
+        kind="benign",
+        protocols=("TCP",),
+        source_devices=("door_controller",),
+        destination_domains=("door.vendor-cloud.example",),
+        destination_ports=(443,),
+        source_port_range=(49152, 65535),
+        description="Door controller reports a badge swipe to its cloud",
+    ),
+    EventSpec(
+        name="sip_register",
+        kind="benign",
+        protocols=("UDP",),
+        source_devices=("ip_phone",),
+        destination_domains=("voip.sip-provider.example",),
+        destination_ports=(5060,),
+        source_port_range=(49152, 65535),
+        description="IP phone keeps its SIP registration alive",
+    ),
+    EventSpec(
+        name="print_job",
+        kind="benign",
+        protocols=("TCP",),
+        source_devices=("office_gateway",),
+        destination_ips=("10.0.0.22",),
+        destination_ports=(9100, 631),
+        source_port_range=(49152, 65535),
+        description="Workstations submit print jobs through the gateway",
+    ),
+    EventSpec(
+        name="printer_fw_check",
+        kind="benign",
+        protocols=("TCP",),
+        source_devices=("printer",),
+        destination_domains=("fw-updates.printer.example",),
+        destination_ports=(443,),
+        source_port_range=(49152, 65535),
+        description="Printer polls for firmware updates",
+    ),
+]
+
+ATTACKS = [
+    AttackSpec(
+        name="door_admin_bruteforce",
+        cve="CVE-2023-0001",
+        event=EventSpec(
+            name="door_admin_bruteforce",
+            kind="attack",
+            protocols=("TCP",),
+            source_devices=("intruder_laptop",),
+            destination_ips=("10.0.0.20",),
+            destination_ports=(8443,),
+            source_port_range=(1024, 65535),
+            description="Password brute force against the door controller's admin UI",
+        ),
+        description="Credential brute-force attack on the access controller",
+    ),
+]
+
+EVENT_WEIGHTS = {
+    "badge_swipe": 0.30,
+    "sip_register": 0.34,
+    "print_job": 0.22,
+    "printer_fw_check": 0.10,
+    "door_admin_bruteforce": 0.04,
+}
+
+EVENT_PROFILES = {
+    # (packet-count mean, bytes-per-packet mean)
+    "badge_swipe": (10.0, 300.0),
+    "sip_register": (4.0, 450.0),
+    "print_job": (180.0, 900.0),
+    "printer_fw_check": (25.0, 600.0),
+    "door_admin_bruteforce": (800.0, 120.0),
+}
+
+
+def office_catalog() -> DomainCatalog:
+    return DomainCatalog(
+        name="smart_office",
+        devices=OFFICE_DEVICES,
+        events=BENIGN_EVENTS,
+        attacks=ATTACKS,
+        domains=OFFICE_DOMAINS,
+    )
+
+
+def office_schema(catalog: DomainCatalog) -> TableSchema:
+    destination_ips = sorted(
+        {ip for event in catalog.all_events() for ip in catalog.destination_ips_for(event.name)}
+    )
+    destination_ports = sorted(
+        {port for event in catalog.all_events() for port in event.destination_ports}
+    )
+    labels = ("normal", "bruteforce")
+    return TableSchema(
+        [
+            ColumnSpec("event_type", "categorical", categories=tuple(EVENT_WEIGHTS)),
+            ColumnSpec("protocol", "categorical", categories=("TCP", "UDP")),
+            ColumnSpec("src_ip", "categorical", categories=tuple(d.ip for d in OFFICE_DEVICES)),
+            ColumnSpec("dst_ip", "categorical", categories=tuple(destination_ips)),
+            ColumnSpec("dst_port", "categorical", categories=tuple(destination_ports)),
+            ColumnSpec("src_port", "continuous", minimum=1024, maximum=65535),
+            ColumnSpec("packet_count", "continuous", minimum=1, maximum=50_000),
+            ColumnSpec("byte_count", "continuous", minimum=40, maximum=5.0e7),
+            ColumnSpec("label", "categorical", categories=labels, sensitive=True),
+        ]
+    )
+
+
+def simulate_capture(catalog: DomainCatalog, schema: TableSchema, n: int, seed: int) -> Table:
+    """Generate flow records that respect the catalog's rules exactly."""
+    rng = np.random.default_rng(seed)
+    device_ip = {device.name: device.ip for device in OFFICE_DEVICES}
+    names = list(EVENT_WEIGHTS)
+    weights = np.asarray([EVENT_WEIGHTS[name] for name in names])
+    records = []
+    for _ in range(n):
+        event_name = names[rng.choice(len(names), p=weights / weights.sum())]
+        spec = catalog.event(event_name)
+        destination_ips = catalog.destination_ips_for(event_name)
+        packets_mean, bytes_per_packet = EVENT_PROFILES[event_name]
+        packet_count = float(np.clip(rng.lognormal(np.log(packets_mean), 0.5), 1, 50_000))
+        low, high = spec.source_port_range
+        records.append(
+            {
+                "event_type": event_name,
+                "protocol": spec.protocols[rng.integers(0, len(spec.protocols))],
+                "src_ip": device_ip[spec.source_devices[rng.integers(0, len(spec.source_devices))]],
+                "dst_ip": destination_ips[rng.integers(0, len(destination_ips))],
+                "dst_port": int(spec.destination_ports[rng.integers(0, len(spec.destination_ports))]),
+                "src_port": float(rng.integers(low, high + 1)),
+                "packet_count": packet_count,
+                "byte_count": float(
+                    np.clip(packet_count * rng.lognormal(np.log(bytes_per_packet), 0.3), 40, 5.0e7)
+                ),
+                "label": "bruteforce" if spec.kind == "attack" else "normal",
+            }
+        )
+    return Table.from_records(schema, records)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=2000)
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("Describing the smart-office environment as a DomainCatalog ...")
+    catalog = office_catalog()
+    schema = office_schema(catalog)
+    capture = simulate_capture(catalog, schema, args.records, args.seed)
+    print(f"simulated capture: {capture.n_rows} rows, "
+          f"{capture.class_distribution('label')}")
+
+    print("\nTraining KiNETGAN with the custom knowledge graph ...")
+    config = KiNETGANConfig(
+        epochs=args.epochs, generator_dims=(64, 64), discriminator_dims=(64,), seed=args.seed
+    )
+    model = KiNETGAN(config)
+    model.fit(capture, catalog=catalog, condition_columns=["event_type", "protocol", "label"])
+
+    rng = np.random.default_rng(args.seed + 1)
+    synthetic = model.sample(capture.n_rows, rng=rng)
+
+    print("\n=== Evaluation of the synthetic capture ===")
+    reasoner = KGReasoner(build_network_kg(catalog), field_map=catalog.field_map)
+    validity = BatchValidator(reasoner).report(synthetic)
+    print(f"knowledge-graph validity : {validity.validity_rate:.3f}")
+    if validity.violations_by_rule:
+        print(f"  violations by rule     : {validity.violations_by_rule}")
+    print(f"EMD distance             : {emd_distance(capture, synthetic):.4f}")
+    print(f"Jensen-Shannon distance  : {jensen_shannon_distance(capture, synthetic):.4f}")
+    coverage = coverage_report(capture, synthetic)
+    print(f"coverage                 : {coverage}")
+    propensity = propensity_score(capture, synthetic, seed=args.seed)
+    print(f"propensity test          : {propensity}")
+    print("\nSynthetic label distribution:",
+          {k: round(v, 3) for k, v in synthetic.class_distribution("label").items()})
+
+
+if __name__ == "__main__":
+    main()

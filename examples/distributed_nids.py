@@ -1,0 +1,62 @@
+"""Distributed NIDS via synthetic-data sharing (the paper's motivating scenario).
+
+Run with::
+
+    python examples/distributed_nids.py [--nodes 3] [--epochs 20]
+
+Three IoT sites observe non-IID slices of the lab traffic (each site mostly
+sees its "own" events and attacks).  No site may share raw flows.  Each site
+trains a local KiNETGAN against the shared NetworkKG, publishes synthetic
+traffic, and the coordinator trains the global intrusion detector on the
+pooled synthetic shares.  The script compares local-only, synthetic-sharing
+and centralised-raw detection quality.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import KiNETGANConfig
+from repro.datasets import load_lab_iot
+from repro.distributed import DistributedNIDSSimulation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=3000)
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--skew", type=float, default=0.7,
+                        help="non-IID label skew across nodes (0 = IID)")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    bundle = load_lab_iot(n_records=args.records, seed=args.seed)
+    print(bundle.summary())
+
+    simulation = DistributedNIDSSimulation(
+        bundle,
+        num_nodes=args.nodes,
+        non_iid_skew=args.skew,
+        classifier="decision_tree",
+        config=KiNETGANConfig(epochs=args.epochs, seed=args.seed),
+        seed=args.seed,
+    )
+    print(f"\nRunning the distributed scenario with {args.nodes} nodes "
+          f"(skew={args.skew}, {args.epochs} epochs per local generator) ...")
+    result = simulation.run(share_size=600)
+
+    print("\nPer-node local detector accuracy (no sharing):")
+    for node_id, accuracy in result.per_node_local.items():
+        validity = result.share_validity.get(node_id)
+        validity_text = f", share KG-validity {validity:.2f}" if validity is not None else ""
+        print(f"  {node_id}: accuracy {accuracy:.3f}{validity_text}")
+
+    print("\nDeployment comparison:")
+    print(f"  {result}")
+    print("\nSharing knowledge-infused synthetic traffic recovers most of the macro-F1")
+    print("that non-IID local training loses, without any raw flow leaving a device.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Federated NIDS training: weight sharing instead of data sharing.
+
+Run with::
+
+    python examples/federated_nids.py [--records 3000] [--rounds 10] [--clients 4]
+
+The script demonstrates the paper's future-work agenda end to end:
+
+1. partition the simulated lab capture across several devices with a
+   non-IID label skew,
+2. jointly train one neural intrusion detector with FedAvg (only weights are
+   exchanged), comparing local-only, federated, federated+DP and centralised
+   training,
+3. federate the KiNETGAN generator itself across two sites and sample a
+   pooled synthetic table from the jointly trained weights.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import KiNETGANConfig
+from repro.datasets import load_lab_iot
+from repro.federated import (
+    DPFedAvgConfig,
+    FederatedKiNETGAN,
+    FederatedNIDSSimulation,
+    label_skew_partition,
+)
+from repro.knowledge import BatchValidator, KGReasoner, build_network_kg
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=3000, help="size of the simulated capture")
+    parser.add_argument("--clients", type=int, default=4, help="number of federated devices")
+    parser.add_argument("--rounds", type=int, default=10, help="federated rounds")
+    parser.add_argument("--gan-rounds", type=int, default=4, help="federated KiNETGAN rounds")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("Loading the simulated lab IoT capture ...")
+    bundle = load_lab_iot(n_records=args.records, seed=args.seed)
+    print(bundle.summary())
+
+    # ------------------------------------------------------------------ #
+    print("\n=== Federated detector training (FedAvg vs local-only vs centralised) ===")
+    simulation = FederatedNIDSSimulation(
+        bundle,
+        num_clients=args.clients,
+        skew=0.6,
+        hidden_dims=(32,),
+        num_rounds=args.rounds,
+        local_epochs=2,
+        dp_config=DPFedAvgConfig(clip_norm=2.0, noise_multiplier=0.6, delta=1e-5),
+        seed=args.seed,
+    )
+    result = simulation.run()
+    print(f"local-only accuracy      : {result.local_only:.3f} (macro-F1 {result.local_only_f1:.3f})")
+    print(f"federated accuracy       : {result.federated:.3f} (macro-F1 {result.federated_f1:.3f})")
+    print(
+        f"federated + DP accuracy  : {result.federated_dp:.3f} "
+        f"(epsilon = {result.epsilon:.2f}, delta = 1e-5)"
+    )
+    print(f"centralised accuracy     : {result.centralised:.3f} (macro-F1 {result.centralised_f1:.3f})")
+    print("per-device local accuracy:", {k: round(v, 3) for k, v in result.per_client_local.items()})
+
+    # ------------------------------------------------------------------ #
+    print("\n=== Federated KiNETGAN (weight averaging across two sites) ===")
+    rng = np.random.default_rng(args.seed)
+    parts = label_skew_partition(bundle.table, bundle.label_column, 2, rng, skew=0.5)
+    config = KiNETGANConfig(
+        embedding_dim=32,
+        generator_dims=(64, 64),
+        discriminator_dims=(64,),
+        epochs=1,  # per-round local epochs are passed to run()
+        batch_size=128,
+        seed=args.seed,
+    )
+    federated_gan = FederatedKiNETGAN(
+        reference_table=bundle.table.head(min(1000, bundle.table.n_rows)),
+        config=config,
+        catalog=bundle.catalog,
+        condition_columns=bundle.condition_columns,
+        seed=args.seed,
+    )
+    for i, part in enumerate(parts):
+        federated_gan.add_site(f"site-{i}", part)
+        print(f"  site-{i}: {part.n_rows} private records")
+    federated_gan.run(num_rounds=args.gan_rounds, local_epochs=3)
+    synthetic = federated_gan.sample(1000, rng=rng)
+
+    reasoner = KGReasoner(build_network_kg(bundle.catalog), field_map=bundle.catalog.field_map)
+    validity = BatchValidator(reasoner).report(synthetic)
+    print(f"pooled synthetic rows   : {synthetic.n_rows}")
+    print(f"knowledge-graph validity: {validity.validity_rate:.3f}")
+    print("label distribution      :", {
+        k: round(v, 3) for k, v in synthetic.class_distribution(bundle.label_column).items()
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Privacy evaluation: run the paper's attack battery against two releases.
+
+Run with::
+
+    python examples/privacy_evaluation.py [--epochs 30]
+
+Compares a KiNETGAN synthetic release of the lab capture against a naive
+"release the real data" strategy under the three attacks of section V-C:
+re-identification (30/60/90 % attacker overlap), attribute inference and
+membership inference (white-box and fully-black-box).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import KiNETGAN, KiNETGANConfig
+from repro.datasets import load_lab_iot
+from repro.privacy import (
+    AttributeInferenceAttack,
+    MembershipInferenceAttack,
+    ReidentificationAttack,
+)
+from repro.tabular import train_test_split
+
+QUASI_IDENTIFIERS = ["protocol", "src_ip", "dst_ip", "dst_port", "src_port", "byte_count"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=2500)
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    bundle = load_lab_iot(n_records=args.records, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    members, non_members = train_test_split(
+        bundle.table, 0.3, rng, stratify_column=bundle.label_column
+    )
+
+    print(f"Training KiNETGAN ({args.epochs} epochs) on {members.n_rows} member records ...")
+    model = KiNETGAN(KiNETGANConfig(epochs=args.epochs, seed=args.seed))
+    model.fit(members, catalog=bundle.catalog, condition_columns=bundle.condition_columns)
+    synthetic = model.sample(members.n_rows, rng=rng)
+
+    releases = {"KiNETGAN synthetic": synthetic, "raw data release": members}
+
+    print("\n== Re-identification attack (Figure 5) ==")
+    for name, release in releases.items():
+        attack = ReidentificationAttack("label", quasi_identifiers=QUASI_IDENTIFIERS,
+                                        seed=args.seed)
+        for result in attack.run_sweep(members, release):
+            print(f"  [{name}] {result}")
+
+    print("\n== Attribute-inference attack (Figure 6) ==")
+    for name, release in releases.items():
+        attack = AttributeInferenceAttack(
+            "label",
+            quasi_identifiers=["protocol", "src_ip", "dst_ip", "packet_count",
+                               "byte_count", "duration_ms"],
+            seed=args.seed,
+        )
+        print(f"  [{name}] {attack.run(non_members, release)}")
+
+    print("\n== Membership-inference attack (Figure 7) ==")
+    for name, release in releases.items():
+        attack = MembershipInferenceAttack(seed=args.seed)
+        fbb = attack.run(members, non_members, release, setting="fbb")
+        wb = attack.run(members, non_members, release, setting="wb")
+        print(f"  [{name}] {wb}")
+        print(f"  [{name}] {fbb}")
+
+    print("\nInterpretation: the synthetic release should keep attack accuracies close")
+    print("to their baselines (overlap fraction / majority class / 0.5) while the raw")
+    print("release is trivially vulnerable to membership and re-identification attacks.")
+
+
+if __name__ == "__main__":
+    main()

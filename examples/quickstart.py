@@ -1,0 +1,68 @@
+"""Quickstart: train KiNETGAN on the lab IoT capture and inspect the output.
+
+Run with::
+
+    python examples/quickstart.py [--records 3000] [--epochs 40]
+
+The script loads the simulated lab capture, builds the NetworkKG from its
+catalog, trains KiNETGAN, samples a synthetic table, and prints fidelity,
+knowledge-graph validity and downstream NIDS accuracy.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import KiNETGAN, KiNETGANConfig
+from repro.datasets import load_lab_iot
+from repro.fidelity import evaluate_fidelity
+from repro.nids import evaluate_utility
+from repro.tabular import train_test_split
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=3000, help="size of the simulated capture")
+    parser.add_argument("--epochs", type=int, default=40, help="KiNETGAN training epochs")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("Loading the simulated lab IoT capture ...")
+    bundle = load_lab_iot(n_records=args.records, seed=args.seed)
+    print(bundle.summary())
+
+    rng = np.random.default_rng(args.seed)
+    train, test = train_test_split(bundle.table, 0.25, rng, stratify_column=bundle.label_column)
+
+    config = KiNETGANConfig(epochs=args.epochs, verbose=True, log_every=10, seed=args.seed)
+    model = KiNETGAN(config)
+    print(f"\nTraining KiNETGAN for {args.epochs} epochs on {train.n_rows} flows ...")
+    model.fit(train, catalog=bundle.catalog, condition_columns=bundle.condition_columns)
+
+    synthetic = model.sample(train.n_rows, rng=rng)
+    print("\nSynthetic label distribution:", synthetic.class_distribution("label"))
+
+    print("\nFidelity:", evaluate_fidelity(train, synthetic, test, model="KiNETGAN"))
+    print("Knowledge-graph validity of synthetic data:")
+    print(model.validity_report(1000, rng=rng))
+
+    print("\nDownstream NIDS utility (train on synthetic, test on real):")
+    results = evaluate_utility(
+        train.drop_columns(["event_type"]),
+        test.drop_columns(["event_type"]),
+        {"KiNETGAN": synthetic.drop_columns(["event_type"])},
+        bundle.label_column,
+        classifiers=("decision_tree", "naive_bayes"),
+    )
+    for result in results:
+        print(f"  {result.as_row()}")
+
+    print("\nConditional generation of attack traffic only:")
+    attacks = model.sample(200, conditions={"event_type": "traffic_flooding"}, rng=rng)
+    print("  event types:", attacks.class_distribution("event_type"))
+
+
+if __name__ == "__main__":
+    main()

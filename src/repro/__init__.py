@@ -1,0 +1,25 @@
+"""KiNETGAN reproduction package.
+
+This package reproduces "KiNETGAN: Enabling Distributed Network Intrusion
+Detection through Knowledge-Infused Synthetic Data Generation" (ICDCS 2024)
+as a self-contained Python library built only on numpy / scipy / networkx.
+
+Top-level convenience re-exports cover the most common entry points:
+
+* :class:`repro.core.KiNETGAN` -- the paper's synthesizer.
+* :mod:`repro.baselines` -- CTGAN, TVAE, TableGAN, PATEGAN, OCTGAN.
+* :mod:`repro.datasets` -- simulators for the lab IoT capture, UNSW-NB15,
+  NSL-KDD and CIC-IDS-2017.
+* :mod:`repro.knowledge` -- the UCO-extended ontology, NetworkKG and reasoner.
+* :mod:`repro.fidelity`, :mod:`repro.nids`, :mod:`repro.privacy` -- the
+  evaluation battery (Table I, Figures 3-7) plus divergence / propensity /
+  coverage diagnostics and Renyi-DP accounting.
+* :mod:`repro.distributed` -- the synthetic-sharing distributed NIDS scenario.
+* :mod:`repro.federated` -- FedAvg / secure aggregation / DP-FedAvg and
+  federated KiNETGAN (the paper's future-work agenda).
+* :mod:`repro.cli` -- ``python -m repro {datasets, generate, evaluate}``.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

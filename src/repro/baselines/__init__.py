@@ -1,0 +1,43 @@
+"""Baseline tabular synthesizers the paper compares against (Table I, Figs 3-7).
+
+All five baselines from the paper are re-implemented from scratch on the
+same numpy neural framework, plus a trivial per-column sampler as a sanity
+floor:
+
+* :class:`CTGAN` -- conditional tabular GAN with mode-specific normalisation
+  and training-by-sampling (Xu et al., NeurIPS 2019).
+* :class:`OCTGAN` -- CTGAN with neural-ODE blocks in the generator and
+  discriminator (Kim et al., WWW 2021).
+* :class:`TVAE` -- variational autoencoder for tabular data (Xu et al. 2019).
+* :class:`TableGAN` -- unconditional GAN with information and classifier
+  losses (Park et al., VLDB 2018).
+* :class:`PATEGAN` -- GAN with PATE-style differentially private teacher
+  aggregation (Jordon et al., ICLR 2019).
+* :class:`IndependentSampler` -- samples each column independently from its
+  empirical marginal (no joint structure; sanity baseline).
+
+Every class implements the shared :class:`repro.core.base.Synthesizer`
+interface, so the fidelity / utility / privacy harness treats them and
+KiNETGAN identically.
+"""
+
+from repro.baselines.ctgan import CTGAN
+from repro.baselines.octgan import OCTGAN
+from repro.baselines.tvae import TVAE
+from repro.baselines.tablegan import TableGAN
+from repro.baselines.pategan import PATEGAN
+from repro.baselines.independent import IndependentSampler
+
+__all__ = ["CTGAN", "OCTGAN", "TVAE", "TableGAN", "PATEGAN", "IndependentSampler"]
+
+
+def baseline_classes() -> dict[str, type]:
+    """Name -> class mapping of every baseline (used by the benchmarks)."""
+    return {
+        "CTGAN": CTGAN,
+        "OCTGAN": OCTGAN,
+        "TVAE": TVAE,
+        "TABLEGAN": TableGAN,
+        "PATEGAN": PATEGAN,
+        "INDEPENDENT": IndependentSampler,
+    }

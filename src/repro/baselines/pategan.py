@@ -1,0 +1,189 @@
+"""PATE-GAN baseline (Jordon et al., ICLR 2019).
+
+PATE-GAN trains ``k`` teacher discriminators on disjoint partitions of the
+real data; the student discriminator never touches real data -- it is
+trained on generated samples labelled by a *noisy majority vote* over the
+teachers (the PATE mechanism, which is what provides the differential-privacy
+guarantee); the generator plays against the student.  Every noisy vote
+consumes privacy budget, which we track with simple (eps, 0)-composition of
+the Laplace mechanism so the model can report a conservative epsilon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Synthesizer
+from repro.core.config import KiNETGANConfig
+from repro.core.discriminator import DataDiscriminator
+from repro.core.generator import ConditionalGenerator
+from repro.neural.losses import BinaryCrossEntropy
+from repro.neural.optimizers import Adam
+from repro.tabular.table import Table
+from repro.tabular.transformer import DataTransformer
+
+__all__ = ["PATEGAN"]
+
+
+class PATEGAN(Synthesizer):
+    """GAN with PATE-style differentially private teacher aggregation."""
+
+    name = "PATEGAN"
+
+    def __init__(
+        self,
+        config: KiNETGANConfig | None = None,
+        num_teachers: int = 5,
+        laplace_scale: float = 1.0,
+    ) -> None:
+        if num_teachers < 2:
+            raise ValueError("num_teachers must be at least 2")
+        if laplace_scale <= 0:
+            raise ValueError("laplace_scale must be positive")
+        self.config = config if config is not None else KiNETGANConfig()
+        self.num_teachers = num_teachers
+        self.laplace_scale = laplace_scale
+        self.transformer: DataTransformer | None = None
+        self.generator: ConditionalGenerator | None = None
+        self.student: DataDiscriminator | None = None
+        self.teachers: list[DataDiscriminator] = []
+        self.epsilon_spent = 0.0
+        self.loss_history: list[float] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self, table: Table, **kwargs) -> "PATEGAN":
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        self._rng = rng
+        self.transformer = DataTransformer(
+            max_modes=config.max_modes,
+            continuous_encoding=config.continuous_encoding,
+            seed=config.seed,
+        ).fit(table)
+        data = self.transformer.transform(table, rng=rng)
+        data_dim = self.transformer.output_dim
+
+        # Disjoint teacher partitions.
+        permutation = rng.permutation(len(data))
+        partitions = np.array_split(permutation, self.num_teachers)
+
+        self.generator = ConditionalGenerator(
+            noise_dim=config.embedding_dim,
+            condition_dim=0,
+            transformer=self.transformer,
+            hidden_dims=config.generator_dims,
+            gumbel_tau=config.gumbel_tau,
+            rng=rng,
+        )
+        self.teachers = [
+            DataDiscriminator(
+                data_dim=data_dim,
+                condition_dim=0,
+                hidden_dims=(64,),
+                dropout=config.dropout,
+                rng=rng,
+            )
+            for _ in range(self.num_teachers)
+        ]
+        self.student = DataDiscriminator(
+            data_dim=data_dim,
+            condition_dim=0,
+            hidden_dims=config.discriminator_dims,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        opt_g = Adam(self.generator.parameters(), lr=config.generator_lr, betas=(0.5, 0.9))
+        opt_s = Adam(self.student.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9))
+        opt_teachers = [
+            Adam(teacher.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9))
+            for teacher in self.teachers
+        ]
+        bce = BinaryCrossEntropy(from_logits=True)
+
+        teacher_batch = max(8, config.batch_size // self.num_teachers)
+        steps_per_epoch = max(1, len(data) // config.batch_size)
+        for _epoch in range(config.epochs):
+            epoch_loss = 0.0
+            for _ in range(steps_per_epoch):
+                # --- teachers: real (own partition) vs generated ----------
+                noise = rng.normal(size=(teacher_batch, config.embedding_dim))
+                fake = self.generator.forward(noise, None, training=True)
+                for teacher, optimizer, part in zip(self.teachers, opt_teachers, partitions):
+                    real = data[rng.choice(part, size=min(teacher_batch, len(part)))]
+                    teacher.zero_grad()
+                    logits_real = teacher.forward(real, None, training=True)
+                    loss = bce.forward(logits_real, np.ones_like(logits_real))
+                    teacher.backward(bce.backward())
+                    logits_fake = teacher.forward(fake, None, training=True)
+                    loss += bce.forward(logits_fake, np.zeros_like(logits_fake))
+                    teacher.backward(bce.backward())
+                    optimizer.step()
+                    epoch_loss += loss / self.num_teachers
+
+                # --- student: generated samples with noisy teacher labels --
+                noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+                fake = self.generator.forward(noise, None, training=True)
+                labels = self._noisy_vote(fake, rng)
+                self.student.zero_grad()
+                logits = self.student.forward(fake, None, training=True)
+                student_loss = bce.forward(logits, labels)
+                self.student.backward(bce.backward())
+                opt_s.step()
+
+                # --- generator: fool the student ---------------------------
+                noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+                fake = self.generator.forward(noise, None, training=True)
+                logits = self.student.forward(fake, None, training=True)
+                gen_loss = bce.forward(logits, np.ones_like(logits))
+                grad_fake = self.student.backward(bce.backward())
+                self.student.zero_grad()
+                self.generator.zero_grad()
+                self.generator.backward(grad_fake)
+                opt_g.step()
+
+                epoch_loss += student_loss + gen_loss
+            self.loss_history.append(epoch_loss / steps_per_epoch)
+        self._fitted = True
+        return self
+
+    def _noisy_vote(self, fake: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """PATE noisy-majority labels for a generated batch.
+
+        Each teacher votes "looks real" when its logit is positive; Laplace
+        noise of scale ``laplace_scale`` is added to the count before the
+        majority threshold.  Each aggregation step costs
+        ``2 / laplace_scale`` epsilon under naive composition.
+        """
+        votes = np.zeros((fake.shape[0], 1))
+        for teacher in self.teachers:
+            votes += (teacher.forward(fake, None, training=False) > 0).astype(np.float64)
+        noisy = votes + rng.laplace(0.0, self.laplace_scale, size=votes.shape)
+        self.epsilon_spent += 2.0 / self.laplace_scale
+        return (noisy > self.num_teachers / 2.0).astype(np.float64)
+
+    # ------------------------------------------------------------------ #
+    def sample(
+        self, n: int, conditions: dict | None = None, rng: np.random.Generator | None = None
+    ) -> Table:
+        self._require_fitted(self._fitted)
+        if conditions:
+            raise ValueError("PATEGAN is unconditional and does not support conditions")
+        if n <= 0:
+            raise ValueError("n must be positive")
+        assert self.generator is not None and self.transformer is not None
+        rng = rng if rng is not None else np.random.default_rng(self.config.seed + 1)
+        outputs: list[np.ndarray] = []
+        for start in range(0, n, self.config.batch_size):
+            end = min(start + self.config.batch_size, n)
+            noise = rng.normal(size=(end - start, self.config.embedding_dim))
+            outputs.append(self.generator.forward(noise, None, training=False))
+        matrix = np.concatenate(outputs, axis=0)
+        for start, end, activation in self.transformer.activation_spans():
+            if activation != "softmax":
+                continue
+            block = matrix[:, start:end]
+            one_hot = np.zeros_like(block)
+            one_hot[np.arange(len(block)), block.argmax(axis=1)] = 1.0
+            matrix[:, start:end] = one_hot
+        return self.transformer.inverse_transform(matrix)

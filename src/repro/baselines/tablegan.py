@@ -1,0 +1,241 @@
+"""TableGAN baseline (Park et al., VLDB 2018).
+
+TableGAN is an *unconditional* GAN over min-max scaled features with two
+auxiliary losses on top of the adversarial game:
+
+* an **information loss** matching the first and second moments of the
+  generated batch to those of the real batch, and
+* a **classification loss**: an auxiliary classifier is trained on real data
+  to predict the label column from the remaining features, and the generator
+  is penalised when the classifier disagrees with the label its own sample
+  carries (semantic-integrity constraint).
+
+We keep the convolution-free MLP formulation appropriate for flow records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Synthesizer
+from repro.core.config import KiNETGANConfig
+from repro.core.discriminator import DataDiscriminator
+from repro.core.generator import ConditionalGenerator
+from repro.neural.losses import BinaryCrossEntropy
+from repro.neural.optimizers import Adam
+from repro.tabular.table import Table
+from repro.tabular.transformer import DataTransformer
+
+__all__ = ["TableGAN"]
+
+_EPS = 1e-6
+
+
+class TableGAN(Synthesizer):
+    """Unconditional GAN with information and classification losses."""
+
+    name = "TABLEGAN"
+
+    def __init__(
+        self,
+        config: KiNETGANConfig | None = None,
+        label_column: str | None = None,
+        info_weight: float = 1.0,
+        class_weight: float = 1.0,
+    ) -> None:
+        base = config if config is not None else KiNETGANConfig()
+        # TableGAN scales continuous features to [-1, 1] rather than using
+        # mode-specific normalisation.
+        self.config = base.with_overrides(continuous_encoding="minmax")
+        self.label_column = label_column
+        self.info_weight = info_weight
+        self.class_weight = class_weight
+        self.transformer: DataTransformer | None = None
+        self.generator: ConditionalGenerator | None = None
+        self.discriminator: DataDiscriminator | None = None
+        self.classifier: DataDiscriminator | None = None
+        self._label_slice: slice | None = None
+        self.loss_history: list[float] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self, table: Table, label_column: str | None = None, **kwargs) -> "TableGAN":
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        self._rng = rng
+        if label_column is not None:
+            self.label_column = label_column
+        if self.label_column is None:
+            # Fall back to the last categorical column, which is the label in
+            # both bundled datasets.
+            categorical = table.schema.categorical_names
+            self.label_column = categorical[-1] if categorical else None
+
+        self.transformer = DataTransformer(
+            max_modes=config.max_modes,
+            continuous_encoding="minmax",
+            seed=config.seed,
+        ).fit(table)
+        data = self.transformer.transform(table, rng=rng)
+        data_dim = self.transformer.output_dim
+
+        self.generator = ConditionalGenerator(
+            noise_dim=config.embedding_dim,
+            condition_dim=0,
+            transformer=self.transformer,
+            hidden_dims=config.generator_dims,
+            gumbel_tau=config.gumbel_tau,
+            rng=rng,
+        )
+        self.discriminator = DataDiscriminator(
+            data_dim=data_dim,
+            condition_dim=0,
+            hidden_dims=config.discriminator_dims,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        opt_g = Adam(self.generator.parameters(), lr=config.generator_lr, betas=(0.5, 0.9))
+        opt_d = Adam(self.discriminator.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9))
+        bce = BinaryCrossEntropy(from_logits=True)
+
+        # Auxiliary classifier over the non-label features.
+        opt_c = None
+        feature_dim = data_dim
+        if self.label_column is not None and self.label_column in table.schema.names:
+            info = self.transformer.column_info(self.label_column)
+            self._label_slice = slice(info.start, info.end)
+            feature_dim = data_dim - (info.end - info.start)
+            self.classifier = DataDiscriminator(
+                data_dim=feature_dim,
+                condition_dim=0,
+                hidden_dims=(64,),
+                dropout=0.0,
+                rng=rng,
+            )
+            opt_c = Adam(self.classifier.parameters(), lr=config.discriminator_lr)
+
+        steps_per_epoch = max(1, len(data) // config.batch_size)
+        for _epoch in range(config.epochs):
+            epoch_loss = 0.0
+            for _ in range(steps_per_epoch):
+                real = data[rng.integers(0, len(data), size=config.batch_size)]
+                noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+                fake = self.generator.forward(noise, None, training=True)
+
+                # Discriminator update.
+                self.discriminator.zero_grad()
+                logits_real = self.discriminator.forward(real, None, training=True)
+                loss_d = bce.forward(logits_real, np.ones_like(logits_real))
+                self.discriminator.backward(bce.backward())
+                logits_fake = self.discriminator.forward(fake, None, training=True)
+                loss_d += bce.forward(logits_fake, np.zeros_like(logits_fake))
+                self.discriminator.backward(bce.backward())
+                opt_d.step()
+
+                # Classifier update (real data only).
+                if self.classifier is not None and opt_c is not None:
+                    features, label_target = self._split_label(real)
+                    self.classifier.zero_grad()
+                    logits = self.classifier.forward(features, None, training=True)
+                    target = self._binary_label_target(real)
+                    class_loss = bce.forward(logits, target)
+                    self.classifier.backward(bce.backward())
+                    opt_c.step()
+                else:
+                    class_loss = 0.0
+
+                # Generator update: adversarial + information + classification.
+                noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+                fake = self.generator.forward(noise, None, training=True)
+                logits_fake = self.discriminator.forward(fake, None, training=True)
+                loss_g = bce.forward(logits_fake, np.ones_like(logits_fake))
+                grad_fake = self.discriminator.backward(bce.backward())
+                self.discriminator.zero_grad()
+
+                info_loss, grad_info = self._information_loss(real, fake)
+                grad_total = grad_fake + self.info_weight * grad_info
+
+                if self.classifier is not None:
+                    class_g_loss, grad_class = self._classification_loss(fake, bce)
+                    grad_total = grad_total + self.class_weight * grad_class
+                else:
+                    class_g_loss = 0.0
+
+                self.generator.zero_grad()
+                self.generator.backward(grad_total)
+                opt_g.step()
+                epoch_loss += loss_d + loss_g + info_loss + class_loss + class_g_loss
+            self.loss_history.append(epoch_loss / steps_per_epoch)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _split_label(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        assert self._label_slice is not None
+        label = matrix[:, self._label_slice]
+        features = np.concatenate(
+            [matrix[:, : self._label_slice.start], matrix[:, self._label_slice.stop :]], axis=1
+        )
+        return features, label
+
+    def _binary_label_target(self, matrix: np.ndarray) -> np.ndarray:
+        """Binary target: is the row's label the majority (first) category?"""
+        assert self._label_slice is not None
+        label_block = matrix[:, self._label_slice]
+        return (label_block.argmax(axis=1) == 0).astype(np.float64)[:, None]
+
+    def _information_loss(
+        self, real: np.ndarray, fake: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Moment-matching loss and its gradient with respect to ``fake``."""
+        batch = fake.shape[0]
+        mean_diff = fake.mean(axis=0) - real.mean(axis=0)
+        std_diff = fake.std(axis=0) - real.std(axis=0)
+        loss = float((mean_diff**2).sum() + (std_diff**2).sum())
+        fake_std = fake.std(axis=0) + _EPS
+        grad_mean = 2.0 * mean_diff / batch
+        grad_std = 2.0 * std_diff * (fake - fake.mean(axis=0)) / (batch * fake_std)
+        return loss, grad_mean[None, :] + grad_std
+
+    def _classification_loss(
+        self, fake: np.ndarray, bce: BinaryCrossEntropy
+    ) -> tuple[float, np.ndarray]:
+        """Semantic-integrity loss: classifier(features) should match the label."""
+        assert self.classifier is not None and self._label_slice is not None
+        features, _ = self._split_label(fake)
+        target = self._binary_label_target(fake)
+        logits = self.classifier.forward(features, None, training=True)
+        loss = bce.forward(logits, target)
+        grad_features = self.classifier.backward(bce.backward())
+        self.classifier.zero_grad()
+        grad = np.zeros_like(fake)
+        grad[:, : self._label_slice.start] = grad_features[:, : self._label_slice.start]
+        grad[:, self._label_slice.stop :] = grad_features[:, self._label_slice.start :]
+        return loss, grad
+
+    # ------------------------------------------------------------------ #
+    def sample(
+        self, n: int, conditions: dict | None = None, rng: np.random.Generator | None = None
+    ) -> Table:
+        self._require_fitted(self._fitted)
+        if conditions:
+            raise ValueError("TableGAN is unconditional and does not support conditions")
+        if n <= 0:
+            raise ValueError("n must be positive")
+        assert self.generator is not None and self.transformer is not None
+        rng = rng if rng is not None else np.random.default_rng(self.config.seed + 1)
+        outputs: list[np.ndarray] = []
+        for start in range(0, n, self.config.batch_size):
+            end = min(start + self.config.batch_size, n)
+            noise = rng.normal(size=(end - start, self.config.embedding_dim))
+            outputs.append(self.generator.forward(noise, None, training=False))
+        matrix = np.concatenate(outputs, axis=0)
+        hardened = matrix.copy()
+        for start, end, activation in self.transformer.activation_spans():
+            if activation != "softmax":
+                continue
+            block = hardened[:, start:end]
+            one_hot = np.zeros_like(block)
+            one_hot[np.arange(len(block)), block.argmax(axis=1)] = 1.0
+            hardened[:, start:end] = one_hot
+        return self.transformer.inverse_transform(hardened)

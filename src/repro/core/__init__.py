@@ -1,0 +1,44 @@
+"""KiNETGAN: the paper's primary contribution.
+
+The public entry point is :class:`repro.core.KiNETGAN`, a tabular
+synthesizer that combines
+
+* a **conditional generator** driven by a one-hot condition vector over the
+  discrete attributes (paper section III-A, equations 1-2),
+* **training-by-sampling** with uniform minority boosting so imbalanced
+  attribute values are seen during training (section III-A-3),
+* a **dual discriminator**: the standard real/fake discriminator ``D_M``
+  plus the knowledge-guided discriminator ``D_KG`` that scores whether a
+  generated attribute combination is valid according to the NetworkKG
+  (section III-B, equation 3), and
+* a generator loss combining the adversarial signal from both
+  discriminators with a cross-entropy penalty tying the generated discrete
+  attributes to the requested condition (equation 4).
+
+Supporting pieces (generator / discriminator networks, the trainer and the
+configuration dataclass) are exported for ablation studies and tests.
+"""
+
+from repro.core.base import Synthesizer
+from repro.core.config import KiNETGANConfig
+from repro.core.condition import build_condition_matrix
+from repro.core.generator import ConditionalGenerator, TabularOutputActivation
+from repro.core.discriminator import DataDiscriminator
+from repro.core.kg_discriminator import KnowledgeGuidedDiscriminator
+from repro.core.losses import condition_penalty
+from repro.core.trainer import KiNETGANTrainer, TrainingHistory
+from repro.core.synthesizer import KiNETGAN
+
+__all__ = [
+    "Synthesizer",
+    "KiNETGANConfig",
+    "build_condition_matrix",
+    "ConditionalGenerator",
+    "TabularOutputActivation",
+    "DataDiscriminator",
+    "KnowledgeGuidedDiscriminator",
+    "condition_penalty",
+    "KiNETGANTrainer",
+    "TrainingHistory",
+    "KiNETGAN",
+]

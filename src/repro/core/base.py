@@ -1,0 +1,42 @@
+"""The synthesizer interface shared by KiNETGAN and every baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular.table import Table
+
+__all__ = ["Synthesizer"]
+
+
+class Synthesizer:
+    """Base class for tabular synthesizers.
+
+    Subclasses implement :meth:`fit` and :meth:`sample`.  The evaluation
+    harness (fidelity, utility, privacy) only depends on this interface, so
+    KiNETGAN and the five baselines are interchangeable there.
+    """
+
+    #: Human-readable model name used in result tables.
+    name: str = "synthesizer"
+
+    def fit(self, table: Table, **kwargs) -> "Synthesizer":
+        """Fit the synthesizer on a real table and return ``self``."""
+        raise NotImplementedError
+
+    def sample(self, n: int, conditions: dict | None = None,
+               rng: np.random.Generator | None = None) -> Table:
+        """Draw ``n`` synthetic rows.
+
+        ``conditions`` optionally fixes values of conditional attributes
+        (only supported by conditional models; unconditional baselines raise
+        ``ValueError`` when conditions are passed).
+        """
+        raise NotImplementedError
+
+    def _require_fitted(self, flag: bool) -> None:
+        if not flag:
+            raise RuntimeError(f"{type(self).__name__}.sample() called before fit()")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

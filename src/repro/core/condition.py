@@ -1,0 +1,30 @@
+"""Condition-vector helpers (paper equations 1 and 2).
+
+The heavy lifting lives in :class:`repro.tabular.sampler.ConditionSampler`,
+which owns the one-hot layout of the conditional attributes and the
+training-by-sampling logic.  This module adds the small conveniences the
+trainer and the examples use on top of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular.sampler import ConditionSampler
+
+__all__ = ["build_condition_matrix"]
+
+
+def build_condition_matrix(
+    sampler: ConditionSampler, values_list: list[dict]
+) -> np.ndarray:
+    """Stack condition vectors for a list of ``{attribute: value}`` dicts.
+
+    Each dict may constrain any subset of the conditional attributes;
+    unconstrained attributes get an all-zero block (equation 1 with no value
+    chosen).  The result has shape ``(len(values_list), condition_dim)``.
+    """
+    matrix = np.zeros((len(values_list), sampler.condition_dim), dtype=np.float64)
+    for i, values in enumerate(values_list):
+        matrix[i] = sampler.vector_from_values(values)
+    return matrix

@@ -1,0 +1,80 @@
+"""The regular discriminator ``D_M`` (paper section III-B-2).
+
+A standard MLP critic distinguishing real transformed rows from generated
+ones, conditioned on the same condition vector the generator received.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.layers import Dense, Dropout, Layer, LeakyReLU
+from repro.neural.network import Sequential
+
+__all__ = ["DataDiscriminator"]
+
+
+class DataDiscriminator:
+    """Conditional real/fake discriminator over transformed rows."""
+
+    def __init__(
+        self,
+        data_dim: int,
+        condition_dim: int,
+        hidden_dims: tuple[int, ...] = (128, 128),
+        dropout: float = 0.25,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if data_dim <= 0:
+            raise ValueError("data_dim must be positive")
+        if condition_dim < 0:
+            raise ValueError("condition_dim must be non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.data_dim = data_dim
+        self.condition_dim = condition_dim
+
+        layers: list[Layer] = []
+        width = data_dim + condition_dim
+        for hidden in hidden_dims:
+            layers.append(Dense(width, hidden, rng=rng, init="he"))
+            layers.append(LeakyReLU(0.2))
+            if dropout > 0:
+                layers.append(Dropout(dropout, rng=rng))
+            width = hidden
+        layers.append(Dense(width, 1, rng=rng, init="glorot"))
+        self.network = Sequential(layers)
+
+    def forward(
+        self, data: np.ndarray, condition: np.ndarray | None, training: bool = True
+    ) -> np.ndarray:
+        """Return real/fake logits of shape ``(batch, 1)``."""
+        if condition is None:
+            condition = np.zeros((data.shape[0], self.condition_dim))
+        if data.shape[1] != self.data_dim:
+            raise ValueError(f"expected data of width {self.data_dim}, got {data.shape[1]}")
+        if condition.shape[1] != self.condition_dim:
+            raise ValueError(
+                f"expected condition of width {self.condition_dim}, got {condition.shape[1]}"
+            )
+        return self.network.forward(np.concatenate([data, condition], axis=1), training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate; returns the gradient w.r.t. the data block only.
+
+        The condition block is an input, not something the generator
+        produced, so its gradient is discarded by the caller.
+        """
+        grad_input = self.network.backward(grad_output)
+        return grad_input[:, : self.data_dim]
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return self.network.parameters()
+
+    def zero_grad(self) -> None:
+        self.network.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.network.load_state_dict(state)

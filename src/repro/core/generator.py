@@ -1,0 +1,147 @@
+"""The conditional generator ``G_C`` (paper section III-A).
+
+The generator consumes a Gaussian noise vector ``z`` concatenated with the
+one-hot condition vector ``C`` and produces one transformed table row.  Its
+architecture follows the CTGAN family: a stack of concatenating residual
+blocks followed by a linear projection to the transformed width, with a
+per-block output activation (tanh for continuous scalars, Gumbel-softmax for
+one-hot blocks) supplied by :class:`TabularOutputActivation` so that
+discrete outputs stay differentiable during training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.layers import BatchNorm, Dense, Layer, ReLU, Residual
+from repro.neural.network import Sequential
+from repro.tabular.transformer import DataTransformer
+
+__all__ = ["TabularOutputActivation", "ConditionalGenerator"]
+
+
+class TabularOutputActivation(Layer):
+    """Applies per-span output activations to the generator's raw scores.
+
+    ``spans`` is the ``(start, end, activation)`` list produced by
+    :meth:`repro.tabular.transformer.DataTransformer.activation_spans`.
+    ``tanh`` spans get a plain tanh; ``softmax`` spans get a Gumbel-softmax
+    with temperature ``tau`` during training (noise-free softmax at
+    evaluation time), matching how CTGAN-style generators emit one-hot
+    blocks while remaining differentiable.
+    """
+
+    def __init__(
+        self,
+        spans: list[tuple[int, int, str]],
+        tau: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.spans = list(spans)
+        self.tau = tau
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = np.empty_like(x)
+        for start, end, activation in self.spans:
+            block = x[:, start:end]
+            if activation == "tanh":
+                out[:, start:end] = np.tanh(block)
+            else:
+                if training:
+                    uniform = self.rng.uniform(1e-12, 1 - 1e-12, size=block.shape)
+                    block = block - np.log(-np.log(uniform)) * self.tau
+                shifted = (block - block.max(axis=1, keepdims=True)) / self.tau
+                exp = np.exp(shifted)
+                out[:, start:end] = exp / exp.sum(axis=1, keepdims=True)
+        self._cache = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        out = self._cache
+        grad_input = np.empty_like(grad_output)
+        for start, end, activation in self.spans:
+            grad_block = grad_output[:, start:end]
+            out_block = out[:, start:end]
+            if activation == "tanh":
+                grad_input[:, start:end] = grad_block * (1.0 - out_block**2)
+            else:
+                dot = (grad_block * out_block).sum(axis=1, keepdims=True)
+                grad_input[:, start:end] = out_block * (grad_block - dot) / self.tau
+        return grad_input
+
+
+class ConditionalGenerator:
+    """Residual MLP generator conditioned on the one-hot condition vector."""
+
+    def __init__(
+        self,
+        noise_dim: int,
+        condition_dim: int,
+        transformer: DataTransformer,
+        hidden_dims: tuple[int, ...] = (128, 128),
+        gumbel_tau: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if noise_dim <= 0:
+            raise ValueError("noise_dim must be positive")
+        if condition_dim < 0:
+            raise ValueError("condition_dim must be non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.noise_dim = noise_dim
+        self.condition_dim = condition_dim
+        self.output_dim = transformer.output_dim
+        self.transformer = transformer
+
+        layers: list[Layer] = []
+        width = noise_dim + condition_dim
+        for hidden in hidden_dims:
+            layers.append(
+                Residual([Dense(width, hidden, rng=rng, init="he"), BatchNorm(hidden), ReLU()])
+            )
+            width += hidden  # residual blocks concatenate
+        layers.append(Dense(width, self.output_dim, rng=rng, init="glorot"))
+        self.activation = TabularOutputActivation(
+            transformer.activation_spans(), tau=gumbel_tau, rng=rng
+        )
+        layers.append(self.activation)
+        self.network = Sequential(layers)
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self, noise: np.ndarray, condition: np.ndarray | None, training: bool = True
+    ) -> np.ndarray:
+        """Generate a batch of transformed rows from noise and conditions."""
+        if condition is None:
+            condition = np.zeros((noise.shape[0], self.condition_dim))
+        if noise.shape[1] != self.noise_dim:
+            raise ValueError(f"expected noise of width {self.noise_dim}, got {noise.shape[1]}")
+        if condition.shape[1] != self.condition_dim:
+            raise ValueError(
+                f"expected condition of width {self.condition_dim}, got {condition.shape[1]}"
+            )
+        return self.network.forward(np.concatenate([noise, condition], axis=1), training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate into the generator; returns grad w.r.t. [z, C]."""
+        return self.network.backward(grad_output)
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return self.network.parameters()
+
+    def zero_grad(self) -> None:
+        self.network.zero_grad()
+
+    def num_parameters(self) -> int:
+        return self.network.num_parameters()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.network.load_state_dict(state)

@@ -1,0 +1,79 @@
+"""Loss terms specific to KiNETGAN training.
+
+The generator loss (paper equation 4) combines three signals; the
+adversarial and knowledge terms are produced by ``D_M`` and ``D_KG``
+respectively, and the condition penalty implemented here ties the generated
+discrete attributes to the requested condition vector (section III-A-2):
+``BCE(C, C_hat)`` averaged over the batch, where ``C_hat`` is the softmax
+block the generator produced for each conditional attribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular.sampler import ConditionSampler
+from repro.tabular.transformer import DataTransformer
+
+__all__ = ["condition_penalty"]
+
+_EPS = 1e-6
+
+
+def condition_penalty(
+    fake: np.ndarray,
+    condition: np.ndarray,
+    sampler: ConditionSampler,
+    transformer: DataTransformer,
+) -> tuple[float, np.ndarray]:
+    """Binary cross entropy between the condition vector and generated attributes.
+
+    Parameters
+    ----------
+    fake:
+        Activated generator output, shape ``(batch, output_dim)``.
+    condition:
+        The condition matrix ``C`` of shape ``(batch, condition_dim)``.
+    sampler:
+        The condition sampler that owns the layout of ``C``.
+    transformer:
+        The data transformer that owns the layout of ``fake``.
+
+    Returns
+    -------
+    (loss, grad):
+        The scalar penalty and its gradient with respect to ``fake``
+        (non-zero only in the one-hot blocks of conditional attributes whose
+        condition block is active).
+    """
+    if fake.shape[0] != condition.shape[0]:
+        raise ValueError("fake and condition batches differ in size")
+    grad = np.zeros_like(fake)
+    total_loss = 0.0
+    total_terms = 0
+
+    for column in sampler.conditional_columns:
+        cond_slice = sampler.condition_slice(column)
+        target = condition[:, cond_slice]
+        # Rows whose condition constrains this column (non-zero block).
+        active = target.sum(axis=1) > 0
+        if not active.any():
+            continue
+        info = transformer.column_info(column)
+        data_slice = info.onehot_slice
+        prediction = np.clip(fake[:, data_slice], _EPS, 1.0 - _EPS)
+        t = target[active]
+        p = prediction[active]
+        loss = -(t * np.log(p) + (1.0 - t) * np.log(1.0 - p))
+        count = p.size
+        total_loss += float(loss.sum())
+        total_terms += count
+        grad_block = (p - t) / (p * (1.0 - p))
+        block = np.zeros_like(prediction)
+        block[active] = grad_block
+        grad[:, data_slice] += block
+
+    if total_terms == 0:
+        return 0.0, grad
+    grad /= total_terms
+    return total_loss / total_terms, grad

@@ -1,0 +1,271 @@
+"""The KiNETGAN training loop.
+
+One training step follows the paper's framework (figure 1):
+
+1. **Discriminator step(s)** -- sample a condition batch (training-by-
+   sampling), fetch matching real rows, generate fakes under the same
+   conditions, and update the real/fake discriminator ``D_M`` with binary
+   cross entropy.
+2. **Knowledge head step** -- update the learned head of ``D_KG`` on valid
+   combinations (real rows, KG-enumerated combinations) versus invalid ones
+   (corrupted rows, generated rows the exact KG query rejects).
+3. **Generator step** -- generate a fresh fake batch and descend the sum of
+   (a) the non-saturating adversarial loss through ``D_M``, (b) the
+   knowledge loss through ``D_KG``'s head weighted by ``lambda_knowledge``
+   (equation 3/4), and (c) the condition cross-entropy penalty weighted by
+   ``lambda_condition`` (section III-A-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import KiNETGANConfig
+from repro.core.discriminator import DataDiscriminator
+from repro.core.generator import ConditionalGenerator
+from repro.core.kg_discriminator import KnowledgeGuidedDiscriminator
+from repro.core.losses import condition_penalty
+from repro.knowledge.reasoner import KGReasoner
+from repro.neural.losses import BinaryCrossEntropy
+from repro.neural.optimizers import Adam
+from repro.tabular.sampler import ConditionSampler
+from repro.tabular.table import Table
+from repro.tabular.transformer import DataTransformer
+
+__all__ = ["TrainingHistory", "KiNETGANTrainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss traces recorded during training."""
+
+    generator_loss: list[float] = field(default_factory=list)
+    discriminator_loss: list[float] = field(default_factory=list)
+    condition_loss: list[float] = field(default_factory=list)
+    knowledge_loss: list[float] = field(default_factory=list)
+    validity_rate: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.generator_loss)
+
+    def last(self) -> dict[str, float]:
+        """The most recent epoch's losses as a dict (empty if untrained)."""
+        if not self.generator_loss:
+            return {}
+        return {
+            "generator_loss": self.generator_loss[-1],
+            "discriminator_loss": self.discriminator_loss[-1],
+            "condition_loss": self.condition_loss[-1],
+            "knowledge_loss": self.knowledge_loss[-1],
+            "validity_rate": self.validity_rate[-1] if self.validity_rate else float("nan"),
+        }
+
+
+class KiNETGANTrainer:
+    """Orchestrates KiNETGAN training over a fitted transformer and sampler."""
+
+    def __init__(
+        self,
+        config: KiNETGANConfig,
+        transformer: DataTransformer,
+        sampler: ConditionSampler,
+        reasoner: KGReasoner | None = None,
+        generator: ConditionalGenerator | None = None,
+        discriminator: DataDiscriminator | None = None,
+    ) -> None:
+        """``generator`` / ``discriminator`` may be supplied pre-built (the
+        OCTGAN baseline injects ODE-augmented networks this way); by default
+        the standard residual generator and MLP discriminator are created."""
+        self.config = config
+        self.transformer = transformer
+        self.sampler = sampler
+        self.rng = np.random.default_rng(config.seed)
+
+        self.generator = generator if generator is not None else ConditionalGenerator(
+            noise_dim=config.embedding_dim,
+            condition_dim=sampler.condition_dim,
+            transformer=transformer,
+            hidden_dims=config.generator_dims,
+            gumbel_tau=config.gumbel_tau,
+            rng=self.rng,
+        )
+        self.discriminator = discriminator if discriminator is not None else DataDiscriminator(
+            data_dim=transformer.output_dim,
+            condition_dim=sampler.condition_dim,
+            hidden_dims=config.discriminator_dims,
+            dropout=config.dropout,
+            rng=self.rng,
+        )
+        self.kg_discriminator: KnowledgeGuidedDiscriminator | None = None
+        if reasoner is not None and config.use_knowledge_discriminator:
+            self.kg_discriminator = KnowledgeGuidedDiscriminator(
+                reasoner=reasoner,
+                transformer=transformer,
+                hidden_dims=config.knowledge_head_dims,
+                learning_rate=config.discriminator_lr,
+                learned_head=True,
+                rng=self.rng,
+            )
+
+        self._opt_g = Adam(self.generator.parameters(), lr=config.generator_lr, betas=(0.5, 0.9))
+        self._opt_d = Adam(
+            self.discriminator.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9)
+        )
+        self._bce = BinaryCrossEntropy(from_logits=True)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    def fit(self, table: Table) -> TrainingHistory:
+        """Train on ``table`` (already the table the sampler was built from)."""
+        config = self.config
+        real_matrix = self.transformer.transform(table, rng=self.rng)
+        steps_per_epoch = max(1, table.n_rows // config.batch_size)
+
+        for epoch in range(config.epochs):
+            epoch_d, epoch_g, epoch_c, epoch_k = 0.0, 0.0, 0.0, 0.0
+            for _ in range(steps_per_epoch):
+                d_loss = 0.0
+                fake_for_kg = None
+                cond = None
+                for _ in range(config.discriminator_steps):
+                    cond = self.sampler.sample(config.batch_size, self.rng)
+                    real = real_matrix[cond.row_indices]
+                    noise = self.rng.normal(size=(config.batch_size, config.embedding_dim))
+                    fake = self.generator.forward(noise, cond.vector, training=True)
+                    d_loss += self._discriminator_step(real, fake, cond.vector)
+                    fake_for_kg = fake
+                d_loss /= config.discriminator_steps
+
+                k_loss = 0.0
+                if self.kg_discriminator is not None and cond is not None:
+                    real_rows = self.sampler.real_batch(cond)
+                    k_loss = self.kg_discriminator.train_step(
+                        real_table=real_rows,
+                        real_matrix=real_matrix[cond.row_indices],
+                        fake_matrix=fake_for_kg,
+                        negatives=config.knowledge_negatives_per_batch,
+                    )
+
+                g_loss, c_loss, kg_gen_loss = self._generator_step(config)
+                epoch_d += d_loss
+                epoch_g += g_loss
+                epoch_c += c_loss
+                epoch_k += k_loss + kg_gen_loss
+
+            self.history.discriminator_loss.append(epoch_d / steps_per_epoch)
+            self.history.generator_loss.append(epoch_g / steps_per_epoch)
+            self.history.condition_loss.append(epoch_c / steps_per_epoch)
+            self.history.knowledge_loss.append(epoch_k / steps_per_epoch)
+
+            if config.verbose and (epoch + 1) % config.log_every == 0:
+                validity = self._estimate_validity()
+                self.history.validity_rate.append(validity)
+                print(
+                    f"[KiNETGAN] epoch {epoch + 1}/{config.epochs} "
+                    f"D={self.history.discriminator_loss[-1]:.3f} "
+                    f"G={self.history.generator_loss[-1]:.3f} "
+                    f"cond={self.history.condition_loss[-1]:.3f} "
+                    f"KG={self.history.knowledge_loss[-1]:.3f} "
+                    f"validity={validity:.3f}"
+                )
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    def _discriminator_step(
+        self, real: np.ndarray, fake: np.ndarray, condition: np.ndarray
+    ) -> float:
+        self.discriminator.zero_grad()
+        logits_real = self.discriminator.forward(real, condition, training=True)
+        loss_real = self._bce.forward(logits_real, np.ones_like(logits_real))
+        self.discriminator.backward(self._bce.backward())
+        logits_fake = self.discriminator.forward(fake, condition, training=True)
+        loss_fake = self._bce.forward(logits_fake, np.zeros_like(logits_fake))
+        self.discriminator.backward(self._bce.backward())
+        self._opt_d.step()
+        return loss_real + loss_fake
+
+    def _generator_step(self, config: KiNETGANConfig) -> tuple[float, float, float]:
+        cond = self.sampler.sample(config.batch_size, self.rng)
+        noise = self.rng.normal(size=(config.batch_size, config.embedding_dim))
+        fake = self.generator.forward(noise, cond.vector, training=True)
+
+        # Adversarial (non-saturating) term through D_M.
+        logits_fake = self.discriminator.forward(fake, cond.vector, training=True)
+        adv_loss = self._bce.forward(logits_fake, np.ones_like(logits_fake))
+        grad_fake = self.discriminator.backward(self._bce.backward())
+        self.discriminator.zero_grad()
+
+        # Condition penalty (section III-A-2).
+        cond_loss, grad_cond = condition_penalty(fake, cond.vector, self.sampler, self.transformer)
+
+        # Knowledge term through the learned head of D_KG (equation 3), plus
+        # the exact valid-set penalty obtained by querying the KG with the
+        # sampled condition values (section III-B-1).
+        kg_loss = 0.0
+        grad_kg = 0.0
+        if self.kg_discriminator is not None and config.lambda_knowledge > 0:
+            kg_loss, grad_kg = self.kg_discriminator.generator_loss_and_grad(fake)
+            if config.use_valid_set_loss:
+                vs_loss, grad_vs = self.kg_discriminator.valid_set_loss_and_grad(
+                    fake, cond.values
+                )
+                kg_loss += vs_loss
+                grad_kg = grad_kg + grad_vs
+
+        total_grad = (
+            grad_fake
+            + config.lambda_condition * grad_cond
+            + config.lambda_knowledge * grad_kg
+        )
+        self.generator.zero_grad()
+        self.generator.backward(total_grad)
+        self._opt_g.step()
+        return adv_loss, cond_loss, kg_loss
+
+    # ------------------------------------------------------------------ #
+    def _estimate_validity(self, n: int = 256) -> float:
+        """Fraction of freshly generated rows that satisfy the knowledge graph."""
+        if self.kg_discriminator is None:
+            return float("nan")
+        matrix = self.generate_matrix(n)
+        return float(self.kg_discriminator.hard_scores_matrix(matrix).mean())
+
+    def generate_matrix(
+        self,
+        n: int,
+        conditions: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        hard: bool = True,
+    ) -> np.ndarray:
+        """Generate ``n`` transformed rows (one-hot blocks hardened by default)."""
+        rng = rng if rng is not None else self.rng
+        if conditions is None:
+            conditions = self.sampler.empirical_conditions(n, rng)
+        if conditions.shape[0] != n:
+            raise ValueError("conditions batch size does not match n")
+        outputs: list[np.ndarray] = []
+        batch_size = self.config.batch_size
+        for start in range(0, n, batch_size):
+            end = min(start + batch_size, n)
+            noise = rng.normal(size=(end - start, self.config.embedding_dim))
+            fake = self.generator.forward(noise, conditions[start:end], training=False)
+            outputs.append(fake)
+        matrix = np.concatenate(outputs, axis=0)
+        if hard:
+            matrix = self._harden(matrix)
+        return matrix
+
+    def _harden(self, matrix: np.ndarray) -> np.ndarray:
+        """Convert soft one-hot blocks to exact one-hot by argmax."""
+        hardened = matrix.copy()
+        for start, end, activation in self.transformer.activation_spans():
+            if activation != "softmax":
+                continue
+            block = hardened[:, start:end]
+            one_hot = np.zeros_like(block)
+            one_hot[np.arange(len(block)), block.argmax(axis=1)] = 1.0
+            hardened[:, start:end] = one_hot
+        return hardened

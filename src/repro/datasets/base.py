@@ -1,0 +1,63 @@
+"""Common dataset bundle returned by every loader."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.knowledge.catalog import DomainCatalog
+from repro.tabular.schema import TableSchema
+from repro.tabular.table import Table
+
+__all__ = ["DatasetBundle"]
+
+
+@dataclass
+class DatasetBundle:
+    """A dataset plus everything the pipeline needs to use it.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the dataset.
+    table:
+        The generated records.
+    schema:
+        Column schema of ``table``.
+    catalog:
+        Domain catalog describing devices, events and attacks; the
+        knowledge-graph builder consumes this.
+    label_column:
+        The column downstream NIDS classifiers predict.
+    condition_columns:
+        Discrete attributes used for the KiNETGAN condition vector.
+    description:
+        Human-readable provenance note (including the simulation caveat).
+    """
+
+    name: str
+    table: Table
+    schema: TableSchema
+    catalog: DomainCatalog
+    label_column: str
+    condition_columns: list[str] = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def n_records(self) -> int:
+        return self.table.n_rows
+
+    def summary(self) -> str:
+        """One-paragraph description used by the examples."""
+        label_dist = self.table.class_distribution(self.label_column)
+        parts = [
+            f"Dataset {self.name!r}: {self.n_records} records, "
+            f"{len(self.schema)} columns "
+            f"({len(self.schema.categorical_names)} categorical, "
+            f"{len(self.schema.continuous_names)} continuous).",
+            "Label distribution: "
+            + ", ".join(f"{value}={share:.3f}" for value, share in label_dist.items())
+            + ".",
+        ]
+        if self.description:
+            parts.append(self.description)
+        return "\n".join(parts)

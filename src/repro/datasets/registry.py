@@ -1,0 +1,34 @@
+"""Named dataset registry."""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetBundle
+from repro.datasets.cicids2017 import load_cicids2017
+from repro.datasets.lab_iot import load_lab_iot
+from repro.datasets.nsl_kdd import load_nsl_kdd
+from repro.datasets.unsw_nb15 import load_unsw_nb15
+
+__all__ = ["available_datasets", "load_dataset"]
+
+_LOADERS = {
+    "lab_iot": load_lab_iot,
+    "unsw_nb15": load_unsw_nb15,
+    "nsl_kdd": load_nsl_kdd,
+    "cicids2017": load_cicids2017,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_LOADERS)
+
+
+def load_dataset(name: str, **kwargs) -> DatasetBundle:
+    """Load a dataset by registry name.
+
+    Parameters are forwarded to the underlying loader (``n_records``,
+    ``seed`` and, for UNSW-NB15, ``reduced``).
+    """
+    if name not in _LOADERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return _LOADERS[name](**kwargs)

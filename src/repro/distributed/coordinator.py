@@ -1,0 +1,72 @@
+"""The coordinator of the distributed NIDS deployment."""
+
+from __future__ import annotations
+
+from repro.distributed.protocol import EvaluationSummary, SyntheticShare
+from repro.nids.features import TabularFeaturizer
+from repro.nids.metrics import accuracy_score, f1_score
+from repro.nids.pipeline import make_classifier
+from repro.tabular.table import Table
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator:
+    """Collects synthetic shares and trains the global intrusion detector.
+
+    The coordinator never sees raw device traffic -- only the synthetic
+    tables inside :class:`SyntheticShare` messages -- which is the privacy
+    property the paper's framework is built around.
+    """
+
+    def __init__(self, label_column: str, classifier: str = "random_forest", seed: int = 0) -> None:
+        self.label_column = label_column
+        self.classifier_name = classifier
+        self.seed = seed
+        self.shares: list[SyntheticShare] = []
+        self._classifier = None
+        self._featurizer: TabularFeaturizer | None = None
+
+    # ------------------------------------------------------------------ #
+    def receive(self, share: SyntheticShare) -> None:
+        """Accept a node's synthetic contribution."""
+        if share.synthetic.n_rows == 0:
+            raise ValueError(f"share from {share.node_id!r} is empty")
+        if self.label_column not in share.synthetic.schema:
+            raise ValueError(
+                f"share from {share.node_id!r} lacks label column {self.label_column!r}"
+            )
+        self.shares.append(share)
+
+    @property
+    def pooled_training_data(self) -> Table:
+        """All received synthetic records, concatenated."""
+        if not self.shares:
+            raise RuntimeError("no shares received yet")
+        pooled = self.shares[0].synthetic
+        for share in self.shares[1:]:
+            pooled = pooled.concat(share.synthetic)
+        return pooled
+
+    def train_global_detector(self) -> "Coordinator":
+        """Train the global classifier on the pooled synthetic data."""
+        pooled = self.pooled_training_data
+        self._featurizer = TabularFeaturizer(self.label_column).fit(pooled)
+        X, y = self._featurizer.transform(pooled)
+        self._classifier = make_classifier(self.classifier_name, seed=self.seed)
+        self._classifier.fit(X, y)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, test: Table, per_node_accuracy: dict[str, float] | None = None
+                 ) -> EvaluationSummary:
+        """Score the global detector on real held-out traffic."""
+        if self._classifier is None or self._featurizer is None:
+            raise RuntimeError("train_global_detector() must be called first")
+        X, y = self._featurizer.transform(test)
+        predictions = self._classifier.predict(X)
+        return EvaluationSummary(
+            global_accuracy=accuracy_score(y, predictions),
+            global_f1=f1_score(y, predictions),
+            per_node_accuracy=per_node_accuracy or {},
+        )

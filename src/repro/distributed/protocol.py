@@ -1,0 +1,47 @@
+"""Messages exchanged between device nodes and the coordinator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tabular.table import Table
+
+__all__ = ["SyntheticShare", "EvaluationSummary"]
+
+
+@dataclass
+class SyntheticShare:
+    """A device's contribution to the global training pool.
+
+    Only synthetic records leave the device; ``n_real_records`` is shared as
+    metadata (it does not reveal record contents) so the coordinator can
+    weight contributions if desired.
+    """
+
+    node_id: str
+    synthetic: Table
+    n_real_records: int
+    generator_name: str
+    validity_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_real_records < 0:
+            raise ValueError("n_real_records must be non-negative")
+        if self.validity_rate is not None and not 0.0 <= self.validity_rate <= 1.0:
+            raise ValueError("validity_rate must be in [0, 1]")
+
+
+@dataclass
+class EvaluationSummary:
+    """Per-node and global detection metrics produced by the coordinator."""
+
+    global_accuracy: float
+    global_f1: float
+    per_node_accuracy: dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        nodes = ", ".join(f"{k}={v:.3f}" for k, v in self.per_node_accuracy.items())
+        return (
+            f"global accuracy={self.global_accuracy:.3f} f1={self.global_f1:.3f} "
+            f"(local: {nodes})"
+        )

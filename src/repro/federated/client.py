@@ -1,0 +1,158 @@
+"""The client side of federated detector training.
+
+A :class:`FederatedClient` owns a private feature matrix / label vector (its
+device's traffic, already featurised) and can run a local optimisation pass
+starting from the globally broadcast parameters.  It supports plain FedAvg
+local SGD and the FedProx proximal term, and reports the update
+(``local - global``) together with its example count so the server can
+weight contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.federated.parameters import StateDict, copy_state, state_subtract
+from repro.neural.losses import CrossEntropy
+from repro.neural.network import Sequential
+from repro.neural.optimizers import SGD
+
+__all__ = ["ClientUpdate", "FederatedClient"]
+
+
+@dataclass
+class ClientUpdate:
+    """What a client sends back to the server after local training."""
+
+    client_id: str
+    update: StateDict
+    n_examples: int
+    local_loss: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_examples <= 0:
+            raise ValueError("n_examples must be positive")
+
+
+class FederatedClient:
+    """A device holding private labelled traffic for detector training."""
+
+    def __init__(
+        self,
+        client_id: str,
+        features: np.ndarray,
+        labels: np.ndarray,
+        model_fn: Callable[[], Sequential],
+        learning_rate: float = 0.05,
+        batch_size: int = 64,
+        local_epochs: int = 1,
+        proximal_mu: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        """Parameters
+        ----------
+        model_fn:
+            Zero-argument factory producing the shared model architecture.
+            Every client and the server must use the same factory so state
+            dictionaries are exchangeable.
+        proximal_mu:
+            FedProx proximal coefficient; 0 recovers plain FedAvg local SGD.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=int)
+        if len(features) == 0:
+            raise ValueError(f"client {client_id!r} has no local examples")
+        if len(features) != len(labels):
+            raise ValueError("features and labels must have the same length")
+        if learning_rate <= 0 or batch_size <= 0 or local_epochs <= 0:
+            raise ValueError("learning_rate, batch_size and local_epochs must be positive")
+        if proximal_mu < 0:
+            raise ValueError("proximal_mu must be non-negative")
+        self.client_id = client_id
+        self.features = features
+        self.labels = labels
+        self.model_fn = model_fn
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.local_epochs = local_epochs
+        self.proximal_mu = proximal_mu
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_examples(self) -> int:
+        return len(self.features)
+
+    def label_distribution(self) -> dict[int, float]:
+        """Share of each class in the local data (useful to inspect skew)."""
+        values, counts = np.unique(self.labels, return_counts=True)
+        total = counts.sum()
+        return {int(v): float(c) / total for v, c in zip(values, counts)}
+
+    # ------------------------------------------------------------------ #
+    def local_update(self, global_state: StateDict) -> ClientUpdate:
+        """Run local training from ``global_state`` and return the delta."""
+        model = self.model_fn()
+        model.load_state_dict(copy_state(global_state))
+        reference_params: list[np.ndarray] | None = None
+        if self.proximal_mu > 0:
+            reference_model = self.model_fn()
+            reference_model.load_state_dict(copy_state(global_state))
+            reference_params = [param for param, _ in reference_model.parameters()]
+
+        optimizer = SGD(model.parameters(), lr=self.learning_rate)
+        loss_fn = CrossEntropy()
+        last_loss = 0.0
+        for _ in range(self.local_epochs):
+            order = self.rng.permutation(self.n_examples)
+            for start in range(0, self.n_examples, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                logits = model.forward(self.features[batch], training=True)
+                last_loss = float(loss_fn.forward(logits, self.labels[batch]))
+                model.zero_grad()
+                model.backward(loss_fn.backward())
+                if reference_params is not None:
+                    self._add_proximal_gradient(model, reference_params)
+                optimizer.step()
+
+        local_state = model.state_dict()
+        update = state_subtract(local_state, global_state)
+        accuracy = self._local_accuracy(model)
+        return ClientUpdate(
+            client_id=self.client_id,
+            update=update,
+            n_examples=self.n_examples,
+            local_loss=last_loss,
+            metrics={"local_accuracy": accuracy},
+        )
+
+    def evaluate(self, state: StateDict, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy of the given parameters on an arbitrary labelled set."""
+        model = self.model_fn()
+        model.load_state_dict(copy_state(state))
+        predictions = model.forward(np.asarray(features, dtype=np.float64), training=False)
+        return float((predictions.argmax(axis=1) == np.asarray(labels, dtype=int)).mean())
+
+    # ------------------------------------------------------------------ #
+    def _add_proximal_gradient(
+        self, model: Sequential, reference_params: list[np.ndarray]
+    ) -> None:
+        """Add the FedProx term ``mu * (w - w_global)`` to the parameter grads.
+
+        ``reference_params`` comes from a second model instance built by the
+        same factory and loaded with the global state, so the parameter lists
+        are aligned by construction.
+        """
+        pairs = model.parameters()
+        if len(pairs) != len(reference_params):
+            raise ValueError("model and reference parameter lists are misaligned")
+        for (param, grad), reference in zip(pairs, reference_params):
+            grad += self.proximal_mu * (param - reference)
+
+    def _local_accuracy(self, model: Sequential) -> float:
+        predictions = model.forward(self.features, training=False).argmax(axis=1)
+        return float((predictions == self.labels).mean())

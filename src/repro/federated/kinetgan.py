@@ -1,0 +1,315 @@
+"""Federated training of the KiNETGAN generator itself.
+
+The distributed scenario in :mod:`repro.distributed` shares *synthetic rows*;
+the paper's future-work section goes one step further and proposes federating
+the generative model so that not even synthetic rows need to flow until the
+jointly trained generator is ready.  :class:`FederatedKiNETGAN` implements
+that: every site trains KiNETGAN locally on its own traffic for a few epochs
+per round, only generator / discriminator *weights* are exchanged, and the
+coordinator federated-averages them (optionally clipping and noising the
+per-site weight updates with DP-FedAvg).
+
+All sites must agree on the transformed feature layout, so the coordinator
+fits a single :class:`~repro.tabular.transformer.DataTransformer` on a public
+reference table (for example a small schema-conformant calibration sample or
+an early synthetic share) and broadcasts it; each site then builds its own
+condition sampler over its private table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import KiNETGANConfig
+from repro.core.trainer import KiNETGANTrainer
+from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
+from repro.federated.parameters import (
+    StateDict,
+    copy_state,
+    state_add,
+    state_scale,
+    state_subtract,
+    weighted_average,
+)
+from repro.knowledge.builder import build_network_kg
+from repro.knowledge.catalog import DomainCatalog
+from repro.knowledge.reasoner import KGReasoner
+from repro.tabular.sampler import ConditionSampler
+from repro.tabular.table import Table
+from repro.tabular.transformer import DataTransformer
+
+__all__ = ["FederatedKiNETGANSite", "FederatedKiNETGANRound", "FederatedKiNETGAN"]
+
+
+class FederatedKiNETGANSite:
+    """One participating site: private traffic plus a local KiNETGAN trainer."""
+
+    def __init__(
+        self,
+        site_id: str,
+        table: Table,
+        transformer: DataTransformer,
+        config: KiNETGANConfig,
+        condition_columns: list[str] | None = None,
+        reasoner: KGReasoner | None = None,
+        seed: int = 0,
+    ) -> None:
+        if table.n_rows == 0:
+            raise ValueError(f"site {site_id!r} has no local data")
+        self.site_id = site_id
+        self.table = table
+        self.config = config.with_overrides(seed=seed)
+        self.sampler = ConditionSampler(
+            table=table,
+            transformer=transformer,
+            conditional_columns=condition_columns,
+            uniform_probability=config.uniform_probability,
+        )
+        self.trainer = KiNETGANTrainer(
+            config=self.config,
+            transformer=transformer,
+            sampler=self.sampler,
+            reasoner=reasoner,
+        )
+        self.transformer = transformer
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_records(self) -> int:
+        return self.table.n_rows
+
+    def get_state(self) -> tuple[StateDict, StateDict]:
+        """Current (generator, discriminator) network states."""
+        return (
+            self.trainer.generator.network.state_dict(),
+            self.trainer.discriminator.network.state_dict(),
+        )
+
+    def set_state(self, generator_state: StateDict, discriminator_state: StateDict) -> None:
+        """Load broadcast global states into the local networks."""
+        self.trainer.generator.network.load_state_dict(copy_state(generator_state))
+        self.trainer.discriminator.network.load_state_dict(copy_state(discriminator_state))
+
+    def train_local(self, epochs: int) -> dict[str, float]:
+        """Run ``epochs`` local KiNETGAN epochs on the private table."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        original_epochs = self.trainer.config.epochs
+        self.trainer.config = self.trainer.config.with_overrides(epochs=epochs)
+        try:
+            history = self.trainer.fit(self.table)
+        finally:
+            self.trainer.config = self.trainer.config.with_overrides(epochs=original_epochs)
+        return history.last()
+
+    def sample(self, n: int, rng: np.random.Generator) -> Table:
+        """Synthetic rows generated locally from the current weights."""
+        matrix = self.trainer.generate_matrix(n, rng=rng)
+        return self.transformer.inverse_transform(matrix)
+
+
+@dataclass
+class FederatedKiNETGANRound:
+    """Summary of one federated KiNETGAN round."""
+
+    round_index: int
+    participants: list[str]
+    mean_generator_loss: float
+    mean_discriminator_loss: float
+    epsilon: float | None = None
+
+
+class FederatedKiNETGAN:
+    """Coordinator for federated KiNETGAN weight averaging.
+
+    Typical use::
+
+        fed = FederatedKiNETGAN(
+            reference_table=calibration_sample,
+            catalog=bundle.catalog,
+            condition_columns=bundle.condition_columns,
+            config=KiNETGANConfig(epochs=1),     # epochs ignored, see local_epochs
+        )
+        fed.add_site("hospital-a", table_a)
+        fed.add_site("hospital-b", table_b)
+        fed.run(num_rounds=10, local_epochs=2)
+        synthetic = fed.sample(5000)
+    """
+
+    def __init__(
+        self,
+        reference_table: Table,
+        config: KiNETGANConfig | None = None,
+        catalog: DomainCatalog | None = None,
+        condition_columns: list[str] | None = None,
+        dp_config: DPFedAvgConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else KiNETGANConfig()
+        self.condition_columns = condition_columns
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.transformer = DataTransformer(
+            max_modes=self.config.max_modes,
+            continuous_encoding=self.config.continuous_encoding,
+            seed=self.config.seed,
+        ).fit(reference_table)
+        self.reasoner: KGReasoner | None = None
+        if catalog is not None and self.config.use_knowledge_discriminator:
+            self.reasoner = KGReasoner(build_network_kg(catalog), field_map=catalog.field_map)
+        self.sites: list[FederatedKiNETGANSite] = []
+        self.dp_generator = DPFedAvgMechanism(dp_config, rng=self.rng) if dp_config else None
+        self.dp_discriminator = DPFedAvgMechanism(dp_config, rng=self.rng) if dp_config else None
+        self.rounds: list[FederatedKiNETGANRound] = []
+        self._global_generator: StateDict | None = None
+        self._global_discriminator: StateDict | None = None
+
+    # ------------------------------------------------------------------ #
+    def add_site(self, site_id: str, table: Table) -> FederatedKiNETGANSite:
+        """Register a participating site holding ``table`` privately."""
+        if any(site.site_id == site_id for site in self.sites):
+            raise ValueError(f"duplicate site id {site_id!r}")
+        site = FederatedKiNETGANSite(
+            site_id=site_id,
+            table=table,
+            transformer=self.transformer,
+            config=self.config,
+            condition_columns=self._usable_condition_columns(table),
+            reasoner=self.reasoner,
+            seed=self.seed + len(self.sites),
+        )
+        self.sites.append(site)
+        return site
+
+    def _usable_condition_columns(self, table: Table) -> list[str] | None:
+        if self.condition_columns is None:
+            return None
+        usable = [name for name in self.condition_columns if name in table.schema]
+        return usable or None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def _require_sites(self) -> None:
+        if len(self.sites) < 2:
+            raise RuntimeError("federated training needs at least two sites")
+
+    def _initialise_global(self) -> None:
+        if self._global_generator is None:
+            generator_state, discriminator_state = self.sites[0].get_state()
+            self._global_generator = copy_state(generator_state)
+            self._global_discriminator = copy_state(discriminator_state)
+
+    def run_round(self, local_epochs: int = 1) -> FederatedKiNETGANRound:
+        """One round: broadcast, local training, (DP) aggregation."""
+        self._require_sites()
+        self._initialise_global()
+        assert self._global_generator is not None and self._global_discriminator is not None
+
+        generator_states: list[StateDict] = []
+        discriminator_states: list[StateDict] = []
+        weights: list[float] = []
+        generator_losses: list[float] = []
+        discriminator_losses: list[float] = []
+
+        for site in self.sites:
+            site.set_state(self._global_generator, self._global_discriminator)
+            metrics = site.train_local(local_epochs)
+            generator_losses.append(metrics.get("generator_loss", float("nan")))
+            discriminator_losses.append(metrics.get("discriminator_loss", float("nan")))
+            generator_state, discriminator_state = site.get_state()
+            generator_states.append(generator_state)
+            discriminator_states.append(discriminator_state)
+            weights.append(float(site.n_records))
+
+        new_generator = self._aggregate(
+            generator_states, weights, self._global_generator, self.dp_generator
+        )
+        new_discriminator = self._aggregate(
+            discriminator_states, weights, self._global_discriminator, self.dp_discriminator
+        )
+        self._global_generator = new_generator
+        self._global_discriminator = new_discriminator
+
+        epsilon = None
+        if self.dp_generator is not None:
+            self.dp_generator.record_round(sample_rate=1.0)
+            self.dp_discriminator.record_round(sample_rate=1.0)
+            epsilon = self.dp_generator.epsilon() + self.dp_discriminator.epsilon()
+
+        round_info = FederatedKiNETGANRound(
+            round_index=len(self.rounds),
+            participants=[site.site_id for site in self.sites],
+            mean_generator_loss=float(np.nanmean(generator_losses)),
+            mean_discriminator_loss=float(np.nanmean(discriminator_losses)),
+            epsilon=epsilon,
+        )
+        self.rounds.append(round_info)
+        return round_info
+
+    def _aggregate(
+        self,
+        states: list[StateDict],
+        weights: list[float],
+        global_state: StateDict,
+        dp_mechanism: DPFedAvgMechanism | None,
+    ) -> StateDict:
+        if dp_mechanism is None:
+            return weighted_average(states, weights)
+        # DP path: clip each site's *delta* and noise the averaged delta.
+        deltas = [
+            dp_mechanism.clip_update(state_subtract(state, global_state)) for state in states
+        ]
+        averaged = weighted_average(deltas, weights)
+        averaged = dp_mechanism.noise_average(averaged, n_clients=len(deltas))
+        return state_add(global_state, averaged)
+
+    def run(self, num_rounds: int, local_epochs: int = 1) -> list[FederatedKiNETGANRound]:
+        """Run several rounds; returns the per-round summaries."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        for _ in range(num_rounds):
+            self.run_round(local_epochs=local_epochs)
+        return self.rounds
+
+    # ------------------------------------------------------------------ #
+    def global_states(self) -> tuple[StateDict, StateDict]:
+        """The current global (generator, discriminator) states."""
+        if self._global_generator is None or self._global_discriminator is None:
+            raise RuntimeError("run at least one round first")
+        return copy_state(self._global_generator), copy_state(self._global_discriminator)
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> Table:
+        """Pooled synthetic rows generated at the sites with the global weights.
+
+        Each site generates a share proportional to its data size using its
+        *local* condition distribution, which is exactly how deployment would
+        look: the coordinator never needs a condition distribution of its own.
+        """
+        self._require_sites()
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if self._global_generator is None:
+            raise RuntimeError("run at least one round before sampling")
+        rng = rng if rng is not None else np.random.default_rng(self.seed + 1)
+        total_records = sum(site.n_records for site in self.sites)
+        pooled: Table | None = None
+        remaining = n
+        for i, site in enumerate(self.sites):
+            if i == len(self.sites) - 1:
+                share = remaining
+            else:
+                share = int(round(n * site.n_records / total_records))
+                share = min(share, remaining)
+            if share <= 0:
+                continue
+            site.set_state(self._global_generator, self._global_discriminator)
+            local = site.sample(share, rng)
+            pooled = local if pooled is None else pooled.concat(local)
+            remaining -= share
+        assert pooled is not None
+        return pooled

@@ -1,0 +1,150 @@
+"""Parameter-vector utilities for federated training.
+
+Federated averaging operates on model *state dictionaries* (the
+``name -> ndarray`` mapping produced by
+:meth:`repro.neural.network.Sequential.state_dict`).  The helpers here treat
+such dictionaries as flat vectors: weighted averages, differences, norms and
+(de)flattening, all without mutating the inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "StateDict",
+    "copy_state",
+    "zeros_like_state",
+    "state_add",
+    "state_subtract",
+    "state_scale",
+    "state_l2_norm",
+    "clip_state_norm",
+    "weighted_average",
+    "flatten_state",
+    "unflatten_state",
+]
+
+#: A model state: parameter (and buffer) name to array.
+StateDict = dict[str, np.ndarray]
+
+
+def _check_compatible(a: StateDict, b: StateDict) -> None:
+    if set(a) != set(b):
+        raise ValueError("state dictionaries have different keys")
+    for key in a:
+        if a[key].shape != b[key].shape:
+            raise ValueError(f"shape mismatch for {key!r}: {a[key].shape} vs {b[key].shape}")
+
+
+def copy_state(state: StateDict) -> StateDict:
+    """A deep copy of a state dictionary."""
+    return {key: np.array(value, copy=True) for key, value in state.items()}
+
+
+def zeros_like_state(state: StateDict) -> StateDict:
+    """A state of zeros with the same keys and shapes."""
+    return {key: np.zeros_like(value) for key, value in state.items()}
+
+
+def state_add(a: StateDict, b: StateDict) -> StateDict:
+    """Element-wise ``a + b``."""
+    _check_compatible(a, b)
+    return {key: a[key] + b[key] for key in a}
+
+
+def state_subtract(a: StateDict, b: StateDict) -> StateDict:
+    """Element-wise ``a - b`` (e.g. the client update ``local - global``)."""
+    _check_compatible(a, b)
+    return {key: a[key] - b[key] for key in a}
+
+
+def state_scale(state: StateDict, factor: float) -> StateDict:
+    """Element-wise ``factor * state``."""
+    return {key: factor * value for key, value in state.items()}
+
+
+def state_l2_norm(state: StateDict) -> float:
+    """Global L2 norm over every entry of the state."""
+    total = 0.0
+    for value in state.values():
+        total += float((np.asarray(value, dtype=np.float64) ** 2).sum())
+    return float(np.sqrt(total))
+
+
+def clip_state_norm(state: StateDict, max_norm: float) -> tuple[StateDict, float]:
+    """Scale ``state`` so its global L2 norm is at most ``max_norm``.
+
+    Returns the (possibly scaled) copy and the pre-clipping norm; this is the
+    client-update clipping step of DP-FedAvg.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = state_l2_norm(state)
+    if norm <= max_norm or norm == 0.0:
+        return copy_state(state), norm
+    return state_scale(state, max_norm / norm), norm
+
+
+def weighted_average(states: list[StateDict], weights: list[float] | None = None) -> StateDict:
+    """Weighted element-wise average of several states (FedAvg).
+
+    ``weights`` defaults to uniform; they are normalised internally, so
+    passing per-client example counts gives the canonical FedAvg weighting.
+    """
+    if not states:
+        raise ValueError("need at least one state to average")
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise ValueError("weights and states must have the same length")
+    weight_array = np.asarray(weights, dtype=np.float64)
+    if np.any(weight_array < 0):
+        raise ValueError("weights must be non-negative")
+    total = float(weight_array.sum())
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    weight_array = weight_array / total
+
+    reference = states[0]
+    for state in states[1:]:
+        _check_compatible(reference, state)
+    average = zeros_like_state(reference)
+    for state, weight in zip(states, weight_array):
+        for key in average:
+            average[key] += weight * state[key]
+    return average
+
+
+def flatten_state(state: StateDict) -> tuple[np.ndarray, list[tuple[str, tuple[int, ...]]]]:
+    """Flatten a state into a single vector plus the layout needed to undo it.
+
+    Keys are sorted so that two states with the same keys always flatten to
+    the same layout (required by the secure-aggregation masking).
+    """
+    layout: list[tuple[str, tuple[int, ...]]] = []
+    chunks: list[np.ndarray] = []
+    for key in sorted(state):
+        value = np.asarray(state[key], dtype=np.float64)
+        layout.append((key, value.shape))
+        chunks.append(value.ravel())
+    if not chunks:
+        return np.zeros(0, dtype=np.float64), layout
+    return np.concatenate(chunks), layout
+
+
+def unflatten_state(vector: np.ndarray, layout: list[tuple[str, tuple[int, ...]]]) -> StateDict:
+    """Inverse of :func:`flatten_state`."""
+    vector = np.asarray(vector, dtype=np.float64)
+    state: StateDict = {}
+    cursor = 0
+    for key, shape in layout:
+        size = int(np.prod(shape)) if shape else 1
+        chunk = vector[cursor : cursor + size]
+        if chunk.size != size:
+            raise ValueError("vector is too short for the given layout")
+        state[key] = chunk.reshape(shape)
+        cursor += size
+    if cursor != vector.size:
+        raise ValueError("vector is longer than the given layout")
+    return state

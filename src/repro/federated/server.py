@@ -1,0 +1,229 @@
+"""The federated server: round orchestration, aggregation, evaluation.
+
+:class:`FederatedServer` drives the classic synchronous FL loop the paper's
+future-work section sketches for distributed NIDS: broadcast the global
+detector, let each selected device train locally on traffic it cannot share,
+aggregate the updates (optionally through simulated secure aggregation and a
+client-level DP mechanism) and repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.federated.aggregation import (
+    SecureAggregationSession,
+    fedavg_aggregate,
+    median_aggregate,
+    trimmed_mean_aggregate,
+)
+from repro.federated.client import ClientUpdate, FederatedClient
+from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
+from repro.federated.parameters import StateDict, copy_state, state_add, state_scale
+from repro.neural.network import Sequential
+
+__all__ = ["FederatedRound", "FederatedHistory", "FederatedServer"]
+
+#: Aggregation rules selectable by name.
+AGGREGATORS: dict[str, Callable[..., StateDict]] = {
+    "fedavg": fedavg_aggregate,
+    "trimmed_mean": trimmed_mean_aggregate,
+    "median": median_aggregate,
+}
+
+
+@dataclass
+class FederatedRound:
+    """Summary of one federated round."""
+
+    round_index: int
+    participants: list[str]
+    mean_client_loss: float
+    mean_client_accuracy: float
+    global_accuracy: float | None = None
+    epsilon: float | None = None
+
+
+@dataclass
+class FederatedHistory:
+    """Per-round traces of a federated run."""
+
+    rounds: list[FederatedRound] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def final_accuracy(self) -> float | None:
+        for round_info in reversed(self.rounds):
+            if round_info.global_accuracy is not None:
+                return round_info.global_accuracy
+        return None
+
+    def accuracies(self) -> list[float]:
+        return [r.global_accuracy for r in self.rounds if r.global_accuracy is not None]
+
+
+class FederatedServer:
+    """Synchronous federated-averaging server over :class:`FederatedClient` s."""
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Sequential],
+        clients: list[FederatedClient],
+        aggregator: str = "fedavg",
+        client_fraction: float = 1.0,
+        server_lr: float = 1.0,
+        dp_config: DPFedAvgConfig | None = None,
+        secure_aggregation: bool = False,
+        seed: int = 0,
+    ) -> None:
+        """Parameters
+        ----------
+        model_fn:
+            The shared architecture factory (same one the clients use).
+        aggregator:
+            ``"fedavg"`` (example-weighted), ``"trimmed_mean"`` or ``"median"``.
+        client_fraction:
+            Fraction of clients selected per round (at least one is always
+            selected).
+        server_lr:
+            Scale applied to the aggregated update before it is added to the
+            global model (1.0 = plain FedAvg).
+        dp_config:
+            When given, client updates are clipped and the averaged update is
+            noised per DP-FedAvg; the spent epsilon is reported per round.
+        secure_aggregation:
+            Route updates through the simulated pairwise-masking protocol.
+            Only meaningful with the unweighted aggregators; with FedAvg the
+            weighting is applied before masking.
+        """
+        if not clients:
+            raise ValueError("need at least one client")
+        if aggregator not in AGGREGATORS:
+            raise ValueError(f"unknown aggregator {aggregator!r}; options: {sorted(AGGREGATORS)}")
+        if not 0.0 < client_fraction <= 1.0:
+            raise ValueError("client_fraction must be in (0, 1]")
+        if server_lr <= 0:
+            raise ValueError("server_lr must be positive")
+        self.model_fn = model_fn
+        self.clients = list(clients)
+        self.aggregator = aggregator
+        self.client_fraction = client_fraction
+        self.server_lr = server_lr
+        self.secure_aggregation = secure_aggregation
+        self.rng = np.random.default_rng(seed)
+
+        self.global_model = model_fn()
+        self.global_state: StateDict = self.global_model.state_dict()
+        self.dp_mechanism = DPFedAvgMechanism(dp_config, rng=self.rng) if dp_config else None
+        self.history = FederatedHistory()
+
+    # ------------------------------------------------------------------ #
+    def select_clients(self) -> list[FederatedClient]:
+        """Sample the participants of one round."""
+        count = max(1, int(round(self.client_fraction * len(self.clients))))
+        indices = self.rng.choice(len(self.clients), size=count, replace=False)
+        return [self.clients[i] for i in sorted(indices)]
+
+    def run_round(
+        self,
+        eval_features: np.ndarray | None = None,
+        eval_labels: np.ndarray | None = None,
+    ) -> FederatedRound:
+        """One synchronous round: select, train locally, aggregate, update."""
+        participants = self.select_clients()
+        updates: list[ClientUpdate] = [
+            client.local_update(copy_state(self.global_state)) for client in participants
+        ]
+
+        if self.dp_mechanism is not None:
+            for update in updates:
+                update.update = self.dp_mechanism.clip_update(update.update)
+
+        aggregated = self._aggregate(updates)
+
+        if self.dp_mechanism is not None:
+            aggregated = self.dp_mechanism.noise_average(aggregated, n_clients=len(updates))
+            self.dp_mechanism.record_round(sample_rate=len(updates) / len(self.clients))
+
+        self.global_state = state_add(
+            self.global_state, state_scale(aggregated, self.server_lr)
+        )
+        self.global_model.load_state_dict(copy_state(self.global_state))
+
+        global_accuracy = None
+        if eval_features is not None and eval_labels is not None:
+            global_accuracy = self.evaluate(eval_features, eval_labels)
+
+        round_info = FederatedRound(
+            round_index=self.history.n_rounds,
+            participants=[u.client_id for u in updates],
+            mean_client_loss=float(np.mean([u.local_loss for u in updates])),
+            mean_client_accuracy=float(
+                np.mean([u.metrics.get("local_accuracy", np.nan) for u in updates])
+            ),
+            global_accuracy=global_accuracy,
+            epsilon=self.dp_mechanism.epsilon() if self.dp_mechanism else None,
+        )
+        self.history.rounds.append(round_info)
+        return round_info
+
+    def run(
+        self,
+        num_rounds: int,
+        eval_features: np.ndarray | None = None,
+        eval_labels: np.ndarray | None = None,
+    ) -> FederatedHistory:
+        """Run ``num_rounds`` rounds and return the history."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        for _ in range(num_rounds):
+            self.run_round(eval_features, eval_labels)
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    def _aggregate(self, updates: list[ClientUpdate]) -> StateDict:
+        states = [update.update for update in updates]
+        if self.secure_aggregation:
+            # Weight before masking so the masked sum already reflects FedAvg
+            # weights, then divide by the total weight after unmasking.
+            weights = (
+                [float(update.n_examples) for update in updates]
+                if self.aggregator == "fedavg"
+                else [1.0] * len(updates)
+            )
+            total_weight = sum(weights)
+            session = SecureAggregationSession(
+                client_ids=[update.client_id for update in updates],
+                template=states[0],
+                seed=int(self.rng.integers(0, 2**31 - 1)),
+            )
+            for update, weight in zip(updates, weights):
+                session.submit(update.client_id, state_scale(update.update, weight))
+            return state_scale(session.aggregate(), 1.0 / total_weight)
+
+        if self.aggregator == "fedavg":
+            return AGGREGATORS["fedavg"](states, [float(u.n_examples) for u in updates])
+        return AGGREGATORS[self.aggregator](states)
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy of the current global model on a labelled set."""
+        predictions = self.global_model.forward(
+            np.asarray(features, dtype=np.float64), training=False
+        ).argmax(axis=1)
+        return float((predictions == np.asarray(labels, dtype=int)).mean())
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Class predictions of the current global model."""
+        logits = self.global_model.forward(np.asarray(features, dtype=np.float64), training=False)
+        return logits.argmax(axis=1)
+
+    def epsilon(self) -> float | None:
+        """Total DP budget spent so far (None when DP is disabled)."""
+        return self.dp_mechanism.epsilon() if self.dp_mechanism else None

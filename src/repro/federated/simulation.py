@@ -1,0 +1,234 @@
+"""End-to-end federated NIDS simulation.
+
+Complements :class:`repro.distributed.simulation.DistributedNIDSSimulation`
+(which shares synthetic *rows*) with the weight-sharing alternative the paper
+lists as future work: the devices jointly train a single neural detector by
+federated averaging, never exchanging traffic at all.  The simulation reports
+four strategies on the same real test split:
+
+* ``local_only`` -- mean accuracy of per-device detectors,
+* ``federated`` -- FedAvg-trained global detector,
+* ``federated_dp`` -- the same with client-level DP-FedAvg (optional),
+* ``centralised`` -- the pool-all-raw-data upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import DatasetBundle
+from repro.federated.client import FederatedClient
+from repro.federated.dp import DPFedAvgConfig
+from repro.federated.partition import label_skew_partition
+from repro.federated.server import FederatedServer
+from repro.neural.layers import Dense, ReLU
+from repro.neural.network import Sequential
+from repro.nids.features import TabularFeaturizer
+from repro.nids.metrics import accuracy_score, f1_score
+from repro.tabular.split import train_test_split
+
+__all__ = ["FederatedNIDSResult", "FederatedNIDSSimulation"]
+
+
+@dataclass
+class FederatedNIDSResult:
+    """Accuracy / macro-F1 of each strategy plus the DP budget if applicable."""
+
+    local_only: float
+    federated: float
+    centralised: float
+    local_only_f1: float
+    federated_f1: float
+    centralised_f1: float
+    federated_dp: float | None = None
+    federated_dp_f1: float | None = None
+    epsilon: float | None = None
+    per_client_local: dict[str, float] = field(default_factory=dict)
+    round_accuracies: list[float] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            f"local-only={self.local_only:.3f}",
+            f"federated={self.federated:.3f}",
+            f"centralised={self.centralised:.3f}",
+        ]
+        if self.federated_dp is not None:
+            parts.append(f"federated-DP={self.federated_dp:.3f} (eps={self.epsilon:.2f})")
+        return "accuracy: " + "  ".join(parts)
+
+
+class FederatedNIDSSimulation:
+    """Compares local-only, federated and centralised detector training."""
+
+    def __init__(
+        self,
+        bundle: DatasetBundle,
+        num_clients: int = 4,
+        skew: float = 0.6,
+        hidden_dims: tuple[int, ...] = (64, 32),
+        num_rounds: int = 15,
+        local_epochs: int = 2,
+        learning_rate: float = 0.1,
+        batch_size: int = 64,
+        client_fraction: float = 1.0,
+        dp_config: DPFedAvgConfig | None = None,
+        test_fraction: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if num_rounds <= 0 or local_epochs <= 0:
+            raise ValueError("num_rounds and local_epochs must be positive")
+        self.bundle = bundle
+        self.num_clients = num_clients
+        self.skew = skew
+        self.hidden_dims = hidden_dims
+        self.num_rounds = num_rounds
+        self.local_epochs = local_epochs
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.client_fraction = client_fraction
+        self.dp_config = dp_config
+        self.test_fraction = test_fraction
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def _model_fn(self, n_features: int, n_classes: int):
+        hidden_dims = self.hidden_dims
+        seed = self.seed
+
+        def factory() -> Sequential:
+            rng = np.random.default_rng(seed)
+            layers = []
+            width = n_features
+            for hidden in hidden_dims:
+                layers.append(Dense(width, hidden, rng=rng, init="he"))
+                layers.append(ReLU())
+                width = hidden
+            layers.append(Dense(width, n_classes, rng=rng, init="glorot"))
+            return Sequential(layers)
+
+        return factory
+
+    def _make_clients(
+        self,
+        partitions,
+        featurizer: TabularFeaturizer,
+        model_fn,
+        proximal_mu: float = 0.0,
+    ) -> list[FederatedClient]:
+        clients = []
+        for i, part in enumerate(partitions):
+            X, y = featurizer.transform(part)
+            clients.append(
+                FederatedClient(
+                    client_id=f"device-{i}",
+                    features=X,
+                    labels=y,
+                    model_fn=model_fn,
+                    learning_rate=self.learning_rate,
+                    batch_size=self.batch_size,
+                    local_epochs=self.local_epochs,
+                    proximal_mu=proximal_mu,
+                    seed=self.seed + i,
+                )
+            )
+        return clients
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> FederatedNIDSResult:
+        """Run the full comparison and return the result summary."""
+        rng = np.random.default_rng(self.seed)
+        train, test = train_test_split(
+            self.bundle.table,
+            test_fraction=self.test_fraction,
+            rng=rng,
+            stratify_column=self.bundle.label_column,
+        )
+        partitions = label_skew_partition(
+            train,
+            label_column=self.bundle.label_column,
+            num_clients=self.num_clients,
+            rng=rng,
+            skew=self.skew,
+        )
+
+        # The featurizer only needs the schema's category lists plus scaling
+        # statistics; fitting it on the training split is the usual
+        # "public calibration data" simplification and leaks nothing but
+        # per-column means and standard deviations.
+        featurizer = TabularFeaturizer(self.bundle.label_column).fit(train)
+        X_test, y_test = featurizer.transform(test)
+        X_train, y_train = featurizer.transform(train)
+        model_fn = self._model_fn(X_train.shape[1], featurizer.n_classes)
+
+        # Local-only baseline: every client trains alone from scratch.
+        clients = self._make_clients(partitions, featurizer, model_fn)
+        per_client_local: dict[str, float] = {}
+        local_f1: list[float] = []
+        for client in clients:
+            solo_server = FederatedServer(model_fn, [client], seed=self.seed)
+            solo_server.run(self.num_rounds)
+            predictions = solo_server.predict(X_test)
+            per_client_local[client.client_id] = accuracy_score(y_test, predictions)
+            local_f1.append(f1_score(y_test, predictions))
+        local_only = float(np.mean(list(per_client_local.values())))
+
+        # Federated training (FedAvg).
+        clients = self._make_clients(partitions, featurizer, model_fn)
+        server = FederatedServer(
+            model_fn,
+            clients,
+            client_fraction=self.client_fraction,
+            seed=self.seed,
+        )
+        history = server.run(self.num_rounds, eval_features=X_test, eval_labels=y_test)
+        federated_predictions = server.predict(X_test)
+
+        # Federated training with DP (optional).
+        federated_dp = None
+        federated_dp_f1 = None
+        epsilon = None
+        if self.dp_config is not None:
+            dp_clients = self._make_clients(partitions, featurizer, model_fn)
+            dp_server = FederatedServer(
+                model_fn,
+                dp_clients,
+                client_fraction=self.client_fraction,
+                dp_config=self.dp_config,
+                seed=self.seed,
+            )
+            dp_server.run(self.num_rounds)
+            dp_predictions = dp_server.predict(X_test)
+            federated_dp = accuracy_score(y_test, dp_predictions)
+            federated_dp_f1 = f1_score(y_test, dp_predictions)
+            epsilon = dp_server.epsilon()
+
+        # Centralised upper bound: one model trained on the pooled raw data.
+        central_client = FederatedClient(
+            client_id="central",
+            features=X_train,
+            labels=y_train,
+            model_fn=model_fn,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            local_epochs=self.local_epochs,
+            seed=self.seed,
+        )
+        central_server = FederatedServer(model_fn, [central_client], seed=self.seed)
+        central_server.run(self.num_rounds)
+        central_predictions = central_server.predict(X_test)
+
+        return FederatedNIDSResult(
+            local_only=local_only,
+            federated=accuracy_score(y_test, federated_predictions),
+            centralised=accuracy_score(y_test, central_predictions),
+            local_only_f1=float(np.mean(local_f1)),
+            federated_f1=f1_score(y_test, federated_predictions),
+            centralised_f1=f1_score(y_test, central_predictions),
+            federated_dp=federated_dp,
+            federated_dp_f1=federated_dp_f1,
+            epsilon=epsilon,
+            per_client_local=per_client_local,
+            round_accuracies=history.accuracies(),
+        )

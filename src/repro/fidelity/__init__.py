@@ -1,0 +1,62 @@
+"""Fidelity metrics: how close is synthetic data to the original?
+
+Implements the two distance measures of Table I (Earth Mover's Distance and
+the mixed L1/L2 distance for categorical/continuous columns), the likelihood
+fitness used to validate the models, pairwise-association similarity, and the
+wider battery most synthetic-data papers additionally report:
+
+* :mod:`repro.fidelity.divergence` -- Jensen-Shannon distance and the
+  Kolmogorov-Smirnov / total-variation statistic per column,
+* :mod:`repro.fidelity.propensity` -- the pMSE real-vs-synthetic
+  distinguishability test,
+* :mod:`repro.fidelity.coverage` -- category / range coverage (mode-collapse
+  detection) and the exact-duplicate rate (memorisation smell).
+"""
+
+from repro.fidelity.correlation import association_similarity
+from repro.fidelity.coverage import (
+    CoverageReport,
+    category_coverage,
+    coverage_report,
+    duplicate_rate,
+    range_coverage,
+)
+from repro.fidelity.distance import (
+    column_emd,
+    emd_distance,
+    mixed_distance,
+    per_column_distances,
+)
+from repro.fidelity.divergence import (
+    column_jsd,
+    column_ks,
+    jensen_shannon_distance,
+    ks_statistic,
+    per_column_divergences,
+)
+from repro.fidelity.likelihood import likelihood_fitness
+from repro.fidelity.propensity import PropensityResult, propensity_score
+from repro.fidelity.report import FidelityReport, evaluate_fidelity
+
+__all__ = [
+    "column_emd",
+    "emd_distance",
+    "mixed_distance",
+    "per_column_distances",
+    "likelihood_fitness",
+    "association_similarity",
+    "column_jsd",
+    "column_ks",
+    "jensen_shannon_distance",
+    "ks_statistic",
+    "per_column_divergences",
+    "PropensityResult",
+    "propensity_score",
+    "CoverageReport",
+    "category_coverage",
+    "range_coverage",
+    "duplicate_rate",
+    "coverage_report",
+    "FidelityReport",
+    "evaluate_fidelity",
+]

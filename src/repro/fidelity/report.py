@@ -1,0 +1,65 @@
+"""Aggregated fidelity report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fidelity.correlation import association_similarity
+from repro.fidelity.distance import emd_distance, mixed_distance
+from repro.fidelity.likelihood import likelihood_fitness
+from repro.tabular.table import Table
+
+__all__ = ["FidelityReport", "evaluate_fidelity"]
+
+
+@dataclass
+class FidelityReport:
+    """All fidelity metrics for one (real, synthetic) pair."""
+
+    model: str
+    emd: float
+    mixed: float
+    association: float
+    l_syn: float
+    l_test: float
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flat dict used by the benchmark table printers."""
+        return {
+            "model": self.model,
+            "emd": round(self.emd, 4),
+            "mixed": round(self.mixed, 4),
+            "association": round(self.association, 4),
+            "l_syn": round(self.l_syn, 3),
+            "l_test": round(self.l_test, 3),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.model}: EMD={self.emd:.4f} mixed={self.mixed:.4f} "
+            f"assoc={self.association:.3f} Lsyn={self.l_syn:.2f} Ltest={self.l_test:.2f}"
+        )
+
+
+def evaluate_fidelity(
+    real_train: Table,
+    synthetic: Table,
+    real_test: Table | None = None,
+    model: str = "model",
+    max_modes: int = 10,
+) -> FidelityReport:
+    """Compute the full fidelity battery for a synthetic table.
+
+    ``real_test`` defaults to ``real_train`` when no held-out split is
+    available (the likelihood ``l_test`` is then an optimistic estimate).
+    """
+    real_test = real_test if real_test is not None else real_train
+    likelihood = likelihood_fitness(real_train, real_test, synthetic, max_modes=max_modes)
+    return FidelityReport(
+        model=model,
+        emd=emd_distance(real_train, synthetic),
+        mixed=mixed_distance(real_train, synthetic),
+        association=association_similarity(real_train, synthetic),
+        l_syn=likelihood["l_syn"],
+        l_test=likelihood["l_test"],
+    )

@@ -1,0 +1,356 @@
+"""Reasoning over the NetworkKG.
+
+:class:`KGReasoner` answers the queries the paper's knowledge-guided
+discriminator needs (section III-B): given a (partial) record, is the
+attribute combination valid, and which values of a given attribute are
+admissible?  The reasoner works purely from the knowledge-graph triples the
+builder produced -- it never sees the original catalog -- and compiles them
+into per-event constraint tables the first time it is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.knowledge.builder import (
+    DEVICE_NS,
+    DOMAIN_NS,
+    EVENT_NS,
+    IP_NS,
+    PORT_NS,
+    PROTOCOL_NS,
+)
+from repro.knowledge.catalog import DEFAULT_FIELD_MAP
+from repro.knowledge.graph import KnowledgeGraph
+from repro.knowledge.rules import ImplicationRule, MembershipRule, RuleSet, RuleViolation
+
+__all__ = ["EventConstraints", "KGReasoner"]
+
+
+def _strip(uri: object, namespace: str) -> str:
+    text = str(uri)
+    if text.startswith(namespace):
+        return text[len(namespace):]
+    return text
+
+
+@dataclass
+class EventConstraints:
+    """Compiled constraints for one event type."""
+
+    name: str
+    kind: str = "benign"
+    protocols: set[str] = field(default_factory=set)
+    source_ips: set[str] = field(default_factory=set)
+    destination_ips: set[str] = field(default_factory=set)
+    destination_ports: set[int] = field(default_factory=set)
+    destination_port_range: tuple[int, int] | None = None
+    source_port_range: tuple[int, int] | None = None
+
+    def destination_port_valid(self, port: int) -> bool:
+        """A destination port is valid if it matches the explicit set or range."""
+        if not self.destination_ports and self.destination_port_range is None:
+            return True
+        if port in self.destination_ports:
+            return True
+        if self.destination_port_range is not None:
+            low, high = self.destination_port_range
+            return low <= port <= high
+        return False
+
+    def source_port_valid(self, port: int) -> bool:
+        if self.source_port_range is None:
+            return True
+        low, high = self.source_port_range
+        return low <= port <= high
+
+
+class KGReasoner:
+    """Validity queries over a NetworkKG."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        field_map: dict[str, str] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.field_map = dict(field_map) if field_map is not None else dict(DEFAULT_FIELD_MAP)
+        self._constraints: dict[str, EventConstraints] = {}
+        self._compile()
+
+    # ------------------------------------------------------------------ #
+    # Compilation from triples
+    # ------------------------------------------------------------------ #
+    def _compile(self) -> None:
+        for event_uri in self.graph.entities_of_type("EventType"):
+            name = _strip(event_uri, EVENT_NS)
+            constraints = EventConstraints(name=name)
+            kinds = self.graph.objects(event_uri, "hasEventKind")
+            if kinds:
+                constraints.kind = str(kinds[0])
+            constraints.protocols = {
+                _strip(obj, PROTOCOL_NS) for obj in self.graph.objects(event_uri, "allowsProtocol")
+            }
+            # Source IPs come from the devices allowed to originate the event.
+            for device_uri in self.graph.objects(event_uri, "allowsSourceDevice"):
+                for ip_uri in self.graph.objects(str(device_uri), "hasIPAddress"):
+                    constraints.source_ips.add(_strip(ip_uri, IP_NS))
+            # Destination IPs: explicit IPs plus resolved domains.
+            for ip_uri in self.graph.objects(event_uri, "allowsDestinationIP"):
+                constraints.destination_ips.add(_strip(ip_uri, IP_NS))
+            for domain_uri in self.graph.objects(event_uri, "allowsDestinationDomain"):
+                for ip_uri in self.graph.objects(str(domain_uri), "resolvesTo"):
+                    constraints.destination_ips.add(_strip(ip_uri, IP_NS))
+            # Destination ports: explicit ports plus an optional range.
+            for port_uri in self.graph.objects(event_uri, "allowsDestinationPort"):
+                numbers = self.graph.objects(str(port_uri), "portNumber")
+                if numbers:
+                    constraints.destination_ports.add(int(numbers[0]))
+                else:
+                    constraints.destination_ports.add(int(_strip(port_uri, PORT_NS)))
+            constraints.destination_port_range = self._read_range(
+                event_uri, "allowsDestinationPortRange"
+            )
+            constraints.source_port_range = self._read_range(event_uri, "allowsSourcePortRange")
+            self._constraints[name] = constraints
+
+    def _read_range(self, event_uri: str, predicate: str) -> tuple[int, int] | None:
+        ranges = self.graph.objects(event_uri, predicate)
+        if not ranges:
+            return None
+        range_uri = str(ranges[0])
+        lows = self.graph.objects(range_uri, "rangeLow")
+        highs = self.graph.objects(range_uri, "rangeHigh")
+        if not lows or not highs:
+            return None
+        return int(lows[0]), int(highs[0])
+
+    # ------------------------------------------------------------------ #
+    # Basic lookups
+    # ------------------------------------------------------------------ #
+    def event_names(self) -> list[str]:
+        return sorted(self._constraints)
+
+    def has_event(self, event_name: str) -> bool:
+        return event_name in self._constraints
+
+    def constraints(self, event_name: str) -> EventConstraints:
+        if event_name not in self._constraints:
+            raise KeyError(f"unknown event type {event_name!r}")
+        return self._constraints[event_name]
+
+    def event_kind(self, event_name: str) -> str:
+        return self.constraints(event_name).kind
+
+    def attack_events(self) -> list[str]:
+        return [name for name, c in self._constraints.items() if c.kind == "attack"]
+
+    def benign_events(self) -> list[str]:
+        return [name for name, c in self._constraints.items() if c.kind == "benign"]
+
+    def valid_protocols(self, event_name: str) -> set[str]:
+        return set(self.constraints(event_name).protocols)
+
+    def valid_source_ips(self, event_name: str) -> set[str]:
+        return set(self.constraints(event_name).source_ips)
+
+    def valid_destination_ips(self, event_name: str) -> set[str]:
+        return set(self.constraints(event_name).destination_ips)
+
+    def valid_destination_ports(self, event_name: str) -> set[int]:
+        return set(self.constraints(event_name).destination_ports)
+
+    def destination_port_range(self, event_name: str) -> tuple[int, int] | None:
+        return self.constraints(event_name).destination_port_range
+
+    def source_port_range(self, event_name: str) -> tuple[int, int] | None:
+        return self.constraints(event_name).source_port_range
+
+    # ------------------------------------------------------------------ #
+    # Validity queries (the paper's "Q" query)
+    # ------------------------------------------------------------------ #
+    def violations(self, record: dict) -> list[RuleViolation]:
+        """All constraint violations of a record, using the field map."""
+        fm = self.field_map
+        event_column = fm["event_type"]
+        violations: list[RuleViolation] = []
+        event_name = record.get(event_column)
+        if event_name is None:
+            return violations
+        if event_name not in self._constraints:
+            return [
+                RuleViolation(
+                    rule_name="known-event",
+                    attribute=event_column,
+                    value=event_name,
+                    reason="event type is not described in the knowledge graph",
+                )
+            ]
+        constraints = self._constraints[event_name]
+
+        def _check_membership(role: str, allowed: set, rule_name: str) -> None:
+            column = fm[role]
+            if not allowed or column not in record:
+                return
+            value = record[column]
+            if value not in allowed:
+                violations.append(
+                    RuleViolation(
+                        rule_name=rule_name,
+                        attribute=column,
+                        value=value,
+                        reason=f"invalid for event {event_name!r}",
+                    )
+                )
+
+        _check_membership("protocol", constraints.protocols, "protocol")
+        _check_membership("source_ip", constraints.source_ips, "source-ip")
+        _check_membership("destination_ip", constraints.destination_ips, "destination-ip")
+
+        dst_port_column = fm["destination_port"]
+        if dst_port_column in record:
+            try:
+                port = int(float(record[dst_port_column]))
+                if not constraints.destination_port_valid(port):
+                    violations.append(
+                        RuleViolation(
+                            rule_name="destination-port",
+                            attribute=dst_port_column,
+                            value=port,
+                            reason=f"port invalid for event {event_name!r}",
+                        )
+                    )
+            except (TypeError, ValueError):
+                violations.append(
+                    RuleViolation(
+                        rule_name="destination-port",
+                        attribute=dst_port_column,
+                        value=record[dst_port_column],
+                        reason="port is not numeric",
+                    )
+                )
+        src_port_column = fm["source_port"]
+        if src_port_column in record and constraints.source_port_range is not None:
+            try:
+                port = int(float(record[src_port_column]))
+                if not constraints.source_port_valid(port):
+                    violations.append(
+                        RuleViolation(
+                            rule_name="source-port",
+                            attribute=src_port_column,
+                            value=port,
+                            reason=f"port invalid for event {event_name!r}",
+                        )
+                    )
+            except (TypeError, ValueError):
+                violations.append(
+                    RuleViolation(
+                        rule_name="source-port",
+                        attribute=src_port_column,
+                        value=record[src_port_column],
+                        reason="port is not numeric",
+                    )
+                )
+        return violations
+
+    def is_valid(self, record: dict) -> bool:
+        """True when the record violates no knowledge-graph constraint."""
+        return not self.violations(record)
+
+    def valid_values(self, role: str, event_name: str) -> set:
+        """Admissible values of a semantic role for a given event type.
+
+        Roles are the keys of the field map (``protocol``, ``source_ip``,
+        ``destination_ip``, ``destination_port``).  An empty set means the
+        knowledge graph does not constrain that role for this event.
+        """
+        constraints = self.constraints(event_name)
+        if role == "protocol":
+            return set(constraints.protocols)
+        if role == "source_ip":
+            return set(constraints.source_ips)
+        if role == "destination_ip":
+            return set(constraints.destination_ips)
+        if role == "destination_port":
+            ports = set(constraints.destination_ports)
+            if constraints.destination_port_range is not None:
+                low, high = constraints.destination_port_range
+                ports.update(range(low, high + 1))
+            return ports
+        raise ValueError(f"unknown role {role!r}")
+
+    def sample_valid_record(self, event_name: str, rng) -> dict:
+        """Draw one attribute combination the knowledge graph deems valid.
+
+        Used by the knowledge-guided discriminator to provide positive
+        (valid) examples for condition vectors, per section III-B-1.
+        """
+        constraints = self.constraints(event_name)
+        fm = self.field_map
+        record: dict = {fm["event_type"]: event_name}
+        if constraints.protocols:
+            record[fm["protocol"]] = sorted(constraints.protocols)[
+                rng.integers(0, len(constraints.protocols))
+            ]
+        if constraints.source_ips:
+            record[fm["source_ip"]] = sorted(constraints.source_ips)[
+                rng.integers(0, len(constraints.source_ips))
+            ]
+        if constraints.destination_ips:
+            record[fm["destination_ip"]] = sorted(constraints.destination_ips)[
+                rng.integers(0, len(constraints.destination_ips))
+            ]
+        if constraints.destination_ports or constraints.destination_port_range is not None:
+            if constraints.destination_ports and (
+                constraints.destination_port_range is None or rng.uniform() < 0.5
+            ):
+                ports = sorted(constraints.destination_ports)
+                record[fm["destination_port"]] = ports[rng.integers(0, len(ports))]
+            else:
+                low, high = constraints.destination_port_range
+                record[fm["destination_port"]] = int(rng.integers(low, high + 1))
+        if constraints.source_port_range is not None:
+            low, high = constraints.source_port_range
+            record[fm["source_port"]] = int(rng.integers(low, high + 1))
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Rule-set compilation
+    # ------------------------------------------------------------------ #
+    def to_rule_set(self) -> RuleSet:
+        """Compile the per-event constraints into a declarative rule set."""
+        fm = self.field_map
+        event_column = fm["event_type"]
+        rules = RuleSet(name=f"rules[{self.graph.name}]")
+        rules.add(
+            MembershipRule(
+                attribute=event_column,
+                allowed=frozenset(self._constraints),
+                name="known-event",
+            )
+        )
+        for name, constraints in self._constraints.items():
+            memberships: dict[str, frozenset] = {}
+            ranges: dict[str, tuple[float, float]] = {}
+            if constraints.protocols:
+                memberships[fm["protocol"]] = frozenset(constraints.protocols)
+            if constraints.source_ips:
+                memberships[fm["source_ip"]] = frozenset(constraints.source_ips)
+            if constraints.destination_ips:
+                memberships[fm["destination_ip"]] = frozenset(constraints.destination_ips)
+            if constraints.destination_port_range is not None and not constraints.destination_ports:
+                ranges[fm["destination_port"]] = constraints.destination_port_range
+            elif constraints.destination_ports and constraints.destination_port_range is None:
+                memberships[fm["destination_port"]] = frozenset(constraints.destination_ports)
+            if constraints.source_port_range is not None:
+                ranges[fm["source_port"]] = constraints.source_port_range
+            if memberships or ranges:
+                rules.add(
+                    ImplicationRule(
+                        when={event_column: name},
+                        memberships=memberships,
+                        ranges=ranges,
+                        name=f"event[{name}]",
+                    )
+                )
+        return rules

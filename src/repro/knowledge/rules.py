@@ -1,0 +1,244 @@
+"""Declarative attribute-constraint rules.
+
+Rules capture the "strict domain rules" the paper says observed data alone
+cannot teach a GAN: which protocols an event type may use, which destination
+ports an attack targets, which devices may originate a given event.  The
+reasoner compiles the NetworkKG into a :class:`RuleSet`; the knowledge-guided
+discriminator and the evaluation harness both consume rule sets.
+
+Every rule has an optional ``when`` guard (a ``{column: value}`` pattern);
+the rule only constrains records matching the guard.  A record is a plain
+``{column: value}`` dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RuleViolation",
+    "Rule",
+    "MembershipRule",
+    "RangeRule",
+    "ImplicationRule",
+    "RuleSet",
+]
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """A single rule violation for a single record."""
+
+    rule_name: str
+    attribute: str
+    value: object
+    reason: str
+
+
+def _matches(record: dict, when: dict | None) -> bool:
+    if not when:
+        return True
+    for column, expected in when.items():
+        if column not in record:
+            return False
+        actual = record[column]
+        if isinstance(expected, (set, frozenset, tuple, list)):
+            if actual not in expected:
+                return False
+        elif actual != expected:
+            return False
+    return True
+
+
+class Rule:
+    """Base class for rules."""
+
+    name: str = "rule"
+    when: dict | None = None
+
+    def applies_to(self, record: dict) -> bool:
+        return _matches(record, self.when)
+
+    def check(self, record: dict) -> list[RuleViolation]:
+        raise NotImplementedError
+
+
+@dataclass
+class MembershipRule(Rule):
+    """``attribute`` must take a value from ``allowed`` when the guard matches."""
+
+    attribute: str
+    allowed: frozenset
+    when: dict | None = None
+    name: str = "membership"
+
+    def __post_init__(self) -> None:
+        self.allowed = frozenset(self.allowed)
+        if not self.allowed:
+            raise ValueError(f"rule {self.name!r}: allowed set must not be empty")
+
+    def check(self, record: dict) -> list[RuleViolation]:
+        if not self.applies_to(record) or self.attribute not in record:
+            return []
+        value = record[self.attribute]
+        if value in self.allowed:
+            return []
+        return [
+            RuleViolation(
+                rule_name=self.name,
+                attribute=self.attribute,
+                value=value,
+                reason=f"{value!r} not in allowed set of {len(self.allowed)} values",
+            )
+        ]
+
+
+@dataclass
+class RangeRule(Rule):
+    """``attribute`` must lie in ``[low, high]`` when the guard matches."""
+
+    attribute: str
+    low: float
+    high: float
+    when: dict | None = None
+    name: str = "range"
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"rule {self.name!r}: low > high")
+
+    def check(self, record: dict) -> list[RuleViolation]:
+        if not self.applies_to(record) or self.attribute not in record:
+            return []
+        try:
+            value = float(record[self.attribute])
+        except (TypeError, ValueError):
+            return [
+                RuleViolation(
+                    rule_name=self.name,
+                    attribute=self.attribute,
+                    value=record[self.attribute],
+                    reason="value is not numeric",
+                )
+            ]
+        if self.low <= value <= self.high:
+            return []
+        return [
+            RuleViolation(
+                rule_name=self.name,
+                attribute=self.attribute,
+                value=value,
+                reason=f"{value} outside [{self.low}, {self.high}]",
+            )
+        ]
+
+
+@dataclass
+class ImplicationRule(Rule):
+    """A guard implying several membership and/or range constraints at once.
+
+    ``memberships`` maps attribute -> allowed value set; ``ranges`` maps
+    attribute -> (low, high).  This is the general form the KG compiler
+    emits: "IF event_type == X THEN protocol in {...} AND dst_port in [a, b]".
+    """
+
+    when: dict
+    memberships: dict[str, frozenset] = field(default_factory=dict)
+    ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+    name: str = "implication"
+
+    def __post_init__(self) -> None:
+        if not self.when:
+            raise ValueError("ImplicationRule requires a non-empty guard")
+        self.memberships = {k: frozenset(v) for k, v in self.memberships.items()}
+        for attribute, (low, high) in self.ranges.items():
+            if low > high:
+                raise ValueError(f"rule {self.name!r}: range for {attribute!r} has low > high")
+
+    def check(self, record: dict) -> list[RuleViolation]:
+        if not self.applies_to(record):
+            return []
+        violations: list[RuleViolation] = []
+        for attribute, allowed in self.memberships.items():
+            if attribute not in record:
+                continue
+            value = record[attribute]
+            if value not in allowed:
+                violations.append(
+                    RuleViolation(
+                        rule_name=self.name,
+                        attribute=attribute,
+                        value=value,
+                        reason=f"{value!r} not allowed given {self.when}",
+                    )
+                )
+        for attribute, (low, high) in self.ranges.items():
+            if attribute not in record:
+                continue
+            try:
+                value = float(record[attribute])
+            except (TypeError, ValueError):
+                violations.append(
+                    RuleViolation(
+                        rule_name=self.name,
+                        attribute=attribute,
+                        value=record[attribute],
+                        reason="value is not numeric",
+                    )
+                )
+                continue
+            if not low <= value <= high:
+                violations.append(
+                    RuleViolation(
+                        rule_name=self.name,
+                        attribute=attribute,
+                        value=value,
+                        reason=f"{value} outside [{low}, {high}] given {self.when}",
+                    )
+                )
+        return violations
+
+
+class RuleSet:
+    """An ordered collection of rules evaluated together."""
+
+    def __init__(self, rules: list[Rule] | None = None, name: str = "ruleset") -> None:
+        self.rules: list[Rule] = list(rules) if rules else []
+        self.name = name
+
+    def add(self, rule: Rule) -> "RuleSet":
+        self.rules.append(rule)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def validate(self, record: dict) -> list[RuleViolation]:
+        """All violations of ``record`` across every rule."""
+        violations: list[RuleViolation] = []
+        for rule in self.rules:
+            violations.extend(rule.check(record))
+        return violations
+
+    def is_valid(self, record: dict) -> bool:
+        for rule in self.rules:
+            if rule.check(record):
+                return False
+        return True
+
+    def validity_mask(self, records: list[dict]) -> list[bool]:
+        """Per-record validity flags for a batch."""
+        return [self.is_valid(record) for record in records]
+
+    def violation_rate(self, records: list[dict]) -> float:
+        """Fraction of records violating at least one rule."""
+        if not records:
+            return 0.0
+        invalid = sum(1 for record in records if not self.is_valid(record))
+        return invalid / len(records)
+
+    def merge(self, other: "RuleSet") -> "RuleSet":
+        return RuleSet(self.rules + other.rules, name=f"{self.name}+{other.name}")

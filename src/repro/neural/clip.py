@@ -1,0 +1,64 @@
+"""Gradient clipping and noising utilities.
+
+These helpers support the differentially-private baselines (PATEGAN-style
+noisy aggregation and DP-SGD-style clipping) as well as ordinary training
+stabilisation for the Wasserstein critics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["clip_gradient_norm", "clip_gradient_value", "add_gaussian_noise"]
+
+
+def clip_gradient_norm(
+    parameters: list[tuple[np.ndarray, np.ndarray]], max_norm: float
+) -> float:
+    """Clip the global L2 norm of all gradients in place.
+
+    Returns the pre-clipping global norm, mirroring
+    ``torch.nn.utils.clip_grad_norm_``.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for _param, grad in parameters:
+        total += float((grad**2).sum())
+    total_norm = float(np.sqrt(total))
+    if total_norm > max_norm and total_norm > 0:
+        scale = max_norm / total_norm
+        for _param, grad in parameters:
+            grad *= scale
+    return total_norm
+
+
+def clip_gradient_value(
+    parameters: list[tuple[np.ndarray, np.ndarray]], clip_value: float
+) -> None:
+    """Clip every gradient element to ``[-clip_value, clip_value]`` in place."""
+    if clip_value <= 0:
+        raise ValueError("clip_value must be positive")
+    for _param, grad in parameters:
+        np.clip(grad, -clip_value, clip_value, out=grad)
+
+
+def add_gaussian_noise(
+    parameters: list[tuple[np.ndarray, np.ndarray]],
+    noise_multiplier: float,
+    sensitivity: float,
+    rng: np.random.Generator,
+) -> None:
+    """Add calibrated Gaussian noise to every gradient in place.
+
+    ``noise_multiplier * sensitivity`` is the standard deviation, which is
+    the standard DP-SGD calibration when gradients have been clipped to an
+    L2 norm of ``sensitivity``.
+    """
+    if noise_multiplier < 0 or sensitivity < 0:
+        raise ValueError("noise_multiplier and sensitivity must be non-negative")
+    std = noise_multiplier * sensitivity
+    if std == 0:
+        return
+    for _param, grad in parameters:
+        grad += rng.normal(0.0, std, size=grad.shape)

@@ -1,0 +1,456 @@
+"""Neural-network layers with hand-written forward and backward passes.
+
+Every layer follows the same contract:
+
+* ``forward(x, training=True)`` consumes a ``(batch, features)`` array and
+  returns the layer output, caching whatever is needed for the backward pass.
+* ``backward(grad_output)`` consumes the gradient of the loss with respect to
+  the layer output, accumulates parameter gradients into ``layer.grads`` and
+  returns the gradient with respect to the layer input.
+* ``params`` / ``grads`` expose aligned lists of parameter and gradient
+  arrays so optimizers can update them in place.
+
+Gradients *accumulate* across backward calls until :meth:`Layer.zero_grad`
+is invoked; this mirrors the PyTorch convention and makes multi-term GAN
+losses (e.g. the KiNETGAN condition penalty) straightforward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.initializers import glorot_uniform, he_normal, normal_init, zeros_init
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "GumbelSoftmax",
+    "Dropout",
+    "BatchNorm",
+    "Residual",
+]
+
+_INITIALIZERS = {
+    "glorot": glorot_uniform,
+    "he": he_normal,
+    "normal": normal_init,
+}
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (possibly empty)."""
+        return []
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        """Gradient arrays aligned with :attr:`params`."""
+        return []
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g.fill(0.0)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable layer state (parameters plus buffers)."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        for key, value in self.state_dict().items():
+            if key not in state:
+                raise KeyError(f"missing key {key!r} in state dict")
+            value[...] = state[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        init: str = "glorot",
+        bias: bool = True,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        if init not in _INITIALIZERS:
+            raise ValueError(f"unknown init {init!r}; choose from {sorted(_INITIALIZERS)}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = bias
+        self.weight = _INITIALIZERS[init](in_features, out_features, rng)
+        self.bias = zeros_init((out_features,)) if bias else None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias) if bias else None
+        self._cache_input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._cache_input = x
+        out = x @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_input
+        self.grad_weight += x.T @ grad_output
+        if self.use_bias:
+            self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        if self.use_bias:
+            return [self.weight, self.bias]
+        return [self.weight]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        if self.use_bias:
+            return [self.grad_weight, self.grad_bias]
+        return [self.grad_weight]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {"weight": self.weight}
+        if self.use_bias:
+            state["bias"] = self.bias
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}, {self.out_features}, bias={self.use_bias})"
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope (GAN discriminator default)."""
+
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        if negative_slope < 0:
+            raise ValueError("negative_slope must be non-negative")
+        self.negative_slope = negative_slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * np.where(self._mask, 1.0, self.negative_slope)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LeakyReLU({self.negative_slope})"
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._out * (1.0 - self._out)
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class Softmax(Layer):
+    """Row-wise softmax with an exact Jacobian-vector-product backward pass."""
+
+    def __init__(self, temperature: float = 1.0) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._out = _softmax(x / self.temperature, axis=-1)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        s = self._out
+        dot = (grad_output * s).sum(axis=-1, keepdims=True)
+        return s * (grad_output - dot) / self.temperature
+
+
+class GumbelSoftmax(Layer):
+    """Gumbel-softmax relaxation for discrete outputs.
+
+    During training the layer adds Gumbel noise and applies a temperature
+    softmax, which is what CTGAN-style tabular generators use for one-hot
+    column blocks.  The backward pass differentiates through the softmax
+    (noise is treated as constant, as in the original straight-through
+    estimator's soft variant).  At inference time (``training=False``) noise
+    is omitted so sampling is controlled solely by downstream ``argmax`` /
+    categorical sampling over the probabilities.
+    """
+
+    def __init__(self, temperature: float = 0.2, rng: np.random.Generator | None = None) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            uniform = self.rng.uniform(1e-12, 1.0 - 1e-12, size=x.shape)
+            gumbel = -np.log(-np.log(uniform))
+            logits = (x + gumbel) / self.temperature
+        else:
+            logits = x / self.temperature
+        self._out = _softmax(logits, axis=-1)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        s = self._out
+        dot = (grad_output * s).sum(axis=-1, keepdims=True)
+        return s * (grad_output - dot) / self.temperature
+
+
+class Dropout(Layer):
+    """Inverted dropout; a no-op at evaluation time."""
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.uniform(size=x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dropout({self.rate})"
+
+
+class BatchNorm(Layer):
+    """Batch normalisation over the feature dimension.
+
+    Keeps running statistics for inference, exactly like the standard
+    formulation; the backward pass implements the full batch-norm gradient.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(num_features, dtype=np.float64)
+        self.beta = np.zeros(num_features, dtype=np.float64)
+        self.grad_gamma = np.zeros_like(self.gamma)
+        self.grad_beta = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm expected {self.num_features} features, got {x.shape[1]}"
+            )
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std, x - mean)
+        return self.gamma * x_hat + self.beta
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, _centered = self._cache
+        batch = grad_output.shape[0]
+        self.grad_gamma += (grad_output * x_hat).sum(axis=0)
+        self.grad_beta += grad_output.sum(axis=0)
+        dx_hat = grad_output * self.gamma
+        # Full batch-norm gradient with respect to the input.
+        grad_input = (
+            inv_std
+            / batch
+            * (
+                batch * dx_hat
+                - dx_hat.sum(axis=0)
+                - x_hat * (dx_hat * x_hat).sum(axis=0)
+            )
+        )
+        return grad_input
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_gamma, self.grad_beta]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {
+            "gamma": self.gamma,
+            "beta": self.beta,
+            "running_mean": self.running_mean,
+            "running_var": self.running_var,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchNorm({self.num_features})"
+
+
+class Residual(Layer):
+    """Residual block ``y = concat(x, f(x))`` in the CTGAN style.
+
+    CTGAN's generator uses residual blocks that *concatenate* rather than add,
+    growing the representation; the same block is reused by the KiNETGAN
+    generator.  ``inner`` is a list of layers applied in order.
+    """
+
+    def __init__(self, inner: list[Layer]) -> None:
+        if not inner:
+            raise ValueError("Residual block needs at least one inner layer")
+        self.inner = inner
+        self._input_dim: int | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._input_dim = x.shape[1]
+        h = x
+        for layer in self.inner:
+            h = layer.forward(h, training=training)
+        return np.concatenate([x, h], axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_dim is None:
+            raise RuntimeError("backward called before forward")
+        grad_x = grad_output[:, : self._input_dim]
+        grad_h = grad_output[:, self._input_dim :]
+        for layer in reversed(self.inner):
+            grad_h = layer.backward(grad_h)
+        return grad_x + grad_h
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for layer in self.inner:
+            out.extend(layer.params)
+        return out
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for layer in self.inner:
+            out.extend(layer.grads)
+        return out
+
+    def zero_grad(self) -> None:
+        for layer in self.inner:
+            layer.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.inner):
+            for key, value in layer.state_dict().items():
+                state[f"inner.{i}.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.inner):
+            prefix = f"inner.{i}."
+            sub = {
+                key[len(prefix) :]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            }
+            layer.load_state_dict(sub)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Residual({self.inner!r})"

@@ -1,0 +1,95 @@
+"""The :class:`Sequential` network container."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.neural.layers import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A plain feed-forward stack of layers with manual backprop.
+
+    The container exposes the same forward / backward / parameters contract
+    as individual layers so that sub-networks (e.g. the inner function of an
+    ODE block) can be nested.
+    """
+
+    def __init__(self, layers: list[Layer] | None = None) -> None:
+        self.layers: list[Layer] = list(layers) if layers else []
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer and return ``self`` for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate through all layers, accumulating parameter grads."""
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Aligned (parameter, gradient) pairs for optimizer binding."""
+        pairs: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            pairs.extend(zip(layer.params, layer.grads))
+        return pairs
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p, _ in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for key, value in layer.state_dict().items():
+                state[f"layers.{i}.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.layers):
+            prefix = f"layers.{i}."
+            sub = {
+                key[len(prefix) :]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            }
+            layer.load_state_dict(sub)
+
+    def save(self, path: str | Path) -> None:
+        """Serialise parameters and buffers to a ``.npz`` file."""
+        np.savez(Path(path), **self.state_dict())
+
+    def load(self, path: str | Path) -> None:
+        """Restore parameters and buffers from a ``.npz`` file."""
+        with np.load(Path(path)) as data:
+            self.load_state_dict({key: data[key] for key in data.files})
+
+    def summary(self) -> str:
+        """Human-readable layer listing with the total parameter count."""
+        lines = [f"Sequential with {len(self.layers)} layers:"]
+        for i, layer in enumerate(self.layers):
+            count = sum(p.size for p in layer.params)
+            lines.append(f"  [{i}] {layer!r} ({count} params)")
+        lines.append(f"Total parameters: {self.num_parameters()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sequential({self.layers!r})"

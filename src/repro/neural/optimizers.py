@@ -1,0 +1,131 @@
+"""Gradient-descent optimizers.
+
+An optimizer is bound to a list of ``(param, grad)`` array pairs (typically
+``Sequential.parameters()``) and updates the parameter arrays *in place* on
+every :meth:`Optimizer.step`.  State (momentum buffers, Adam moments) is
+keyed by position, so the bound parameter list must not change between steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "RMSprop", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer bound to parameter/gradient pairs."""
+
+    def __init__(self, parameters: list[tuple[np.ndarray, np.ndarray]], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+        for param, grad in self.parameters:
+            if param.shape != grad.shape:
+                raise ValueError("parameter and gradient shapes must match")
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset all bound gradient buffers to zero."""
+        for _param, grad in self.parameters:
+            grad.fill(0.0)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        parameters: list[tuple[np.ndarray, np.ndarray]],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p) for p, _ in self.parameters]
+
+    def step(self) -> None:
+        for (param, grad), vel in zip(self.parameters, self._velocity):
+            update = grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param
+            if self.momentum:
+                vel *= self.momentum
+                vel += update
+                update = vel
+            param -= self.lr * update
+
+
+class RMSprop(Optimizer):
+    """RMSprop with an exponentially decayed squared-gradient average."""
+
+    def __init__(
+        self,
+        parameters: list[tuple[np.ndarray, np.ndarray]],
+        lr: float = 0.001,
+        rho: float = 0.9,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 < rho < 1.0:
+            raise ValueError("rho must be in (0, 1)")
+        self.rho = rho
+        self.eps = eps
+        self._square_avg = [np.zeros_like(p) for p, _ in self.parameters]
+
+    def step(self) -> None:
+        for (param, grad), avg in zip(self.parameters, self._square_avg):
+            avg *= self.rho
+            avg += (1.0 - self.rho) * grad**2
+            param -= self.lr * grad / (np.sqrt(avg) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moments.
+
+    The GAN-standard betas ``(0.5, 0.9)`` are used by the synthesizers in
+    this package; the defaults here follow the original Adam paper.
+    """
+
+    def __init__(
+        self,
+        parameters: list[tuple[np.ndarray, np.ndarray]],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p) for p, _ in self.parameters]
+        self._v = [np.zeros_like(p) for p, _ in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for (param, grad), m, v in zip(self.parameters, self._m, self._v):
+            g = grad
+            if self.weight_decay:
+                g = g + self.weight_decay * param
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,71 @@
+"""ML-based network intrusion detection (the downstream utility task).
+
+The paper evaluates synthetic data by training NIDS classifiers on it and
+testing on held-out real traffic (train-on-synthetic / test-on-real, Figures
+3 and 4).  Since scikit-learn is unavailable, the standard classifiers are
+implemented from scratch:
+
+* :class:`DecisionTreeClassifier` (CART, Gini impurity)
+* :class:`RandomForestClassifier` (bagged trees with feature subsampling)
+* :class:`LogisticRegressionClassifier` (multinomial softmax regression)
+* :class:`GaussianNaiveBayes`
+* :class:`KNearestNeighbors`
+* :class:`MLPClassifier` (on :mod:`repro.neural`)
+* :class:`GradientBoostingClassifier` / :class:`AdaBoostClassifier`
+* :class:`LinearSVMClassifier` (one-vs-rest hinge loss, Pegasos updates)
+
+plus :class:`TabularFeaturizer` (table -> numeric matrix), the usual
+classification metrics, and :func:`evaluate_utility`, the TSTR harness used
+by the figure benchmarks.
+"""
+
+from repro.nids.boosting import AdaBoostClassifier, GradientBoostingClassifier
+from repro.nids.features import TabularFeaturizer
+from repro.nids.svm import LinearSVMClassifier
+from repro.nids.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    macro_f1,
+    precision_score,
+    recall_score,
+)
+from repro.nids.decision_tree import DecisionTreeClassifier
+from repro.nids.random_forest import RandomForestClassifier
+from repro.nids.logistic_regression import LogisticRegressionClassifier
+from repro.nids.naive_bayes import GaussianNaiveBayes
+from repro.nids.knn import KNearestNeighbors
+from repro.nids.mlp import MLPClassifier
+from repro.nids.pipeline import (
+    DEFAULT_CLASSIFIERS,
+    UtilityResult,
+    evaluate_utility,
+    make_classifier,
+    train_and_score,
+)
+
+__all__ = [
+    "TabularFeaturizer",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "macro_f1",
+    "confusion_matrix",
+    "classification_report",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "LogisticRegressionClassifier",
+    "GaussianNaiveBayes",
+    "KNearestNeighbors",
+    "MLPClassifier",
+    "GradientBoostingClassifier",
+    "AdaBoostClassifier",
+    "LinearSVMClassifier",
+    "DEFAULT_CLASSIFIERS",
+    "UtilityResult",
+    "evaluate_utility",
+    "make_classifier",
+    "train_and_score",
+]

@@ -1,0 +1,151 @@
+"""CART decision tree classifier (Gini impurity, binary splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a class distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    distribution: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeClassifier:
+    """Greedy CART tree with Gini impurity and threshold splits.
+
+    Features are expected to be numeric (use
+    :class:`repro.nids.features.TabularFeaturizer`); one-hot encoded
+    categoricals split naturally at 0.5.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 8,
+        min_samples_leaf: int = 2,
+        max_thresholds: int = 16,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self.n_classes = 0
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        if len(X) != len(y):
+            raise ValueError("X and y lengths differ")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        # Never shrink a pre-set class count: ensembles (random forest) fix
+        # the class space up front and bootstrap samples may miss rare classes.
+        self.n_classes = max(self.n_classes, int(y.max()) + 1)
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def _class_distribution(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=self.n_classes).astype(np.float64)
+        return counts / counts.sum()
+
+    @staticmethod
+    def _gini(counts: np.ndarray) -> float:
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        p = counts / total
+        return float(1.0 - (p**2).sum())
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        distribution = self._class_distribution(y)
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or len(np.unique(y)) == 1
+        ):
+            return _Node(distribution=distribution)
+
+        best = self._best_split(X, y)
+        if best is None:
+            return _Node(distribution=distribution)
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        left = self._grow(X[mask], y[mask], depth + 1)
+        right = self._grow(X[~mask], y[~mask], depth + 1)
+        return _Node(feature=feature, threshold=threshold, left=left, right=right,
+                     distribution=distribution)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float] | None:
+        n_features = X.shape[1]
+        feature_indices = np.arange(n_features)
+        if self.max_features is not None and self.max_features < n_features:
+            feature_indices = self._rng.choice(n_features, size=self.max_features, replace=False)
+        parent_counts = np.bincount(y, minlength=self.n_classes)
+        parent_gini = self._gini(parent_counts)
+        best_gain = 1e-9
+        best: tuple[int, float] | None = None
+        for feature in feature_indices:
+            values = X[:, feature]
+            unique = np.unique(values)
+            if len(unique) < 2:
+                continue
+            if len(unique) > self.max_thresholds:
+                quantiles = np.linspace(0, 1, self.max_thresholds + 2)[1:-1]
+                thresholds = np.unique(np.quantile(values, quantiles))
+            else:
+                thresholds = (unique[:-1] + unique[1:]) / 2.0
+            for threshold in thresholds:
+                mask = values <= threshold
+                n_left = int(mask.sum())
+                n_right = len(y) - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = np.bincount(y[mask], minlength=self.n_classes)
+                right_counts = parent_counts - left_counts
+                gini = (
+                    n_left * self._gini(left_counts) + n_right * self._gini(right_counts)
+                ) / len(y)
+                gain = parent_gini - gini
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold))
+        return best
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("classifier used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.zeros((len(X), self.n_classes))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.distribution
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,93 @@
+"""Feature extraction: tables to numeric matrices for the NIDS classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular.encoders import OneHotEncoder, StandardScaler
+from repro.tabular.schema import TableSchema
+from repro.tabular.table import Table
+
+__all__ = ["TabularFeaturizer"]
+
+
+class TabularFeaturizer:
+    """Encodes a table into a dense float matrix plus an integer label vector.
+
+    Categorical feature columns are one-hot encoded against the schema's
+    category list (so train/test/synthetic tables map to identical layouts);
+    continuous columns are standardised with statistics from the fitting
+    table.  The label column is encoded to integer class ids.
+    """
+
+    def __init__(self, label_column: str) -> None:
+        self.label_column = label_column
+        self.schema: TableSchema | None = None
+        self._encoders: dict[str, object] = {}
+        self.classes_: list = []
+        self._fitted = False
+
+    def fit(self, table: Table) -> "TabularFeaturizer":
+        if self.label_column not in table.schema:
+            raise KeyError(f"label column {self.label_column!r} not in table")
+        self.schema = table.schema
+        self._encoders = {}
+        for spec in table.schema:
+            if spec.name == self.label_column:
+                continue
+            if spec.is_categorical:
+                encoder = OneHotEncoder(
+                    categories=list(spec.categories) if spec.categories else None,
+                    handle_unknown="ignore",
+                )
+                encoder.fit(table.column(spec.name))
+            else:
+                encoder = StandardScaler().fit(table.column(spec.name).astype(np.float64))
+            self._encoders[spec.name] = encoder
+        label_spec = table.schema.column(self.label_column)
+        self.classes_ = list(label_spec.categories) if label_spec.categories else list(
+            dict.fromkeys(table.column(self.label_column))
+        )
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("TabularFeaturizer used before fit()")
+
+    @property
+    def n_classes(self) -> int:
+        self._require_fitted()
+        return len(self.classes_)
+
+    def transform_features(self, table: Table) -> np.ndarray:
+        """Numeric feature matrix (label column excluded)."""
+        self._require_fitted()
+        blocks: list[np.ndarray] = []
+        for spec in self.schema:
+            if spec.name == self.label_column:
+                continue
+            encoder = self._encoders[spec.name]
+            values = table.column(spec.name)
+            if isinstance(encoder, OneHotEncoder):
+                blocks.append(encoder.transform(values))
+            else:
+                blocks.append(encoder.transform(values.astype(np.float64))[:, None])
+        return np.concatenate(blocks, axis=1) if blocks else np.zeros((table.n_rows, 0))
+
+    def transform_labels(self, table: Table) -> np.ndarray:
+        """Integer class ids; unseen labels map to class 0."""
+        self._require_fitted()
+        index = {value: i for i, value in enumerate(self.classes_)}
+        return np.asarray(
+            [index.get(value, 0) for value in table.column(self.label_column)], dtype=int
+        )
+
+    def transform(self, table: Table) -> tuple[np.ndarray, np.ndarray]:
+        """Feature matrix and label vector together."""
+        return self.transform_features(table), self.transform_labels(table)
+
+    def label_of(self, class_id: int):
+        """Original label value for an integer class id."""
+        self._require_fitted()
+        return self.classes_[int(class_id)]

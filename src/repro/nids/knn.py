@@ -1,0 +1,59 @@
+"""k-nearest-neighbours classifier with chunked distance computation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors:
+    """Euclidean k-NN with majority voting.
+
+    A reference-set cap keeps prediction tractable on large training tables
+    (the reference subset is sampled uniformly at fit time).
+    """
+
+    def __init__(self, k: int = 5, max_reference: int = 4000, chunk_size: int = 256,
+                 seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.max_reference = max_reference
+        self.chunk_size = chunk_size
+        self.seed = seed
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self.n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNearestNeighbors":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.n_classes = int(y.max()) + 1
+        if len(X) > self.max_reference:
+            rng = np.random.default_rng(self.seed)
+            indices = rng.choice(len(X), size=self.max_reference, replace=False)
+            X, y = X[indices], y[indices]
+        self._X = X
+        self._y = y
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("classifier used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        k = min(self.k, len(self._X))
+        out = np.zeros((len(X), self.n_classes))
+        for start in range(0, len(X), self.chunk_size):
+            chunk = X[start : start + self.chunk_size]
+            distances = ((chunk[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+            neighbours = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            for i, row in enumerate(neighbours):
+                counts = np.bincount(self._y[row], minlength=self.n_classes)
+                out[start + i] = counts / counts.sum()
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,69 @@
+"""Multinomial logistic regression trained with mini-batch gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogisticRegressionClassifier"]
+
+
+class LogisticRegressionClassifier:
+    """Softmax regression with L2 regularisation."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 200,
+        batch_size: int = 128,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0 or epochs <= 0 or batch_size <= 0:
+            raise ValueError("learning_rate, epochs and batch_size must be positive")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+        self.n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        rng = np.random.default_rng(self.seed)
+        self.n_classes = int(y.max()) + 1
+        n_features = X.shape[1]
+        self.weights = rng.normal(0, 0.01, size=(n_features, self.n_classes))
+        self.bias = np.zeros(self.n_classes)
+        one_hot = np.zeros((len(y), self.n_classes))
+        one_hot[np.arange(len(y)), y] = 1.0
+
+        for _ in range(self.epochs):
+            indices = rng.permutation(len(X))
+            for start in range(0, len(X), self.batch_size):
+                batch = indices[start : start + self.batch_size]
+                logits = X[batch] @ self.weights + self.bias
+                logits -= logits.max(axis=1, keepdims=True)
+                probs = np.exp(logits)
+                probs /= probs.sum(axis=1, keepdims=True)
+                grad_logits = (probs - one_hot[batch]) / len(batch)
+                grad_w = X[batch].T @ grad_logits + self.l2 * self.weights
+                grad_b = grad_logits.sum(axis=0)
+                self.weights -= self.learning_rate * grad_w
+                self.bias -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None or self.bias is None:
+            raise RuntimeError("classifier used before fit()")
+        logits = np.asarray(X, dtype=np.float64) @ self.weights + self.bias
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

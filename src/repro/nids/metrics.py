@@ -1,0 +1,95 @@
+"""Classification metrics for the NIDS evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "macro_f1",
+    "classification_report",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if len(y_true) == 0:
+        raise ValueError("cannot compute metrics on empty arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """Confusion matrix with true classes as rows and predictions as columns."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    for t, p in zip(y_true.astype(int), y_pred.astype(int)):
+        matrix[t, p] += 1
+    return matrix
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """Macro- or micro-averaged precision."""
+    return _prf(y_true, y_pred, average)[0]
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """Macro- or micro-averaged recall."""
+    return _prf(y_true, y_pred, average)[1]
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """Macro- or micro-averaged F1."""
+    return _prf(y_true, y_pred, average)[2]
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Convenience alias for macro-averaged F1."""
+    return f1_score(y_true, y_pred, average="macro")
+
+
+def _prf(y_true: np.ndarray, y_pred: np.ndarray, average: str) -> tuple[float, float, float]:
+    if average not in ("macro", "micro"):
+        raise ValueError("average must be 'macro' or 'micro'")
+    matrix = confusion_matrix(y_true, y_pred)
+    tp = np.diag(matrix).astype(np.float64)
+    fp = matrix.sum(axis=0) - tp
+    fn = matrix.sum(axis=1) - tp
+    if average == "micro":
+        precision = tp.sum() / max(tp.sum() + fp.sum(), 1e-12)
+        recall = tp.sum() / max(tp.sum() + fn.sum(), 1e-12)
+    else:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_class_precision = np.where(tp + fp > 0, tp / (tp + fp), 0.0)
+            per_class_recall = np.where(tp + fn > 0, tp / (tp + fn), 0.0)
+        # Only average over classes present in the ground truth.
+        present = matrix.sum(axis=1) > 0
+        precision = float(per_class_precision[present].mean()) if present.any() else 0.0
+        recall = float(per_class_recall[present].mean()) if present.any() else 0.0
+    f1 = 2 * precision * recall / max(precision + recall, 1e-12)
+    return float(precision), float(recall), float(f1)
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, float]:
+    """Accuracy plus macro precision / recall / F1 in one dict."""
+    precision, recall, f1 = _prf(y_true, y_pred, "macro")
+    return {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+    }

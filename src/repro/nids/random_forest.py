@@ -1,0 +1,77 @@
+"""Random forest: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nids.decision_tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 15,
+        max_depth: int = 10,
+        min_samples_split: int = 8,
+        max_features: str | int = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: list[DecisionTreeClassifier] = []
+        self.n_classes = 0
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"unsupported max_features {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        rng = np.random.default_rng(self.seed)
+        self.n_classes = int(y.max()) + 1
+        max_features = self._resolve_max_features(X.shape[1])
+        self.trees = []
+        for i in range(self.n_estimators):
+            indices = rng.integers(0, len(X), size=len(X))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                seed=self.seed + i + 1,
+            )
+            tree.n_classes = self.n_classes
+            tree.fit(X[indices], y[indices])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("classifier used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        votes = np.zeros((len(X), self.n_classes))
+        for tree in self.trees:
+            proba = tree.predict_proba(X)
+            if proba.shape[1] < self.n_classes:
+                padded = np.zeros((len(X), self.n_classes))
+                padded[:, : proba.shape[1]] = proba
+                proba = padded
+            votes += proba
+        return votes / len(self.trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,92 @@
+"""Linear support-vector classifier trained with the Pegasos sub-gradient method.
+
+Multi-class classification uses the one-vs-rest reduction: one hinge-loss
+linear classifier per class, the predicted class being the one with the
+largest margin.  The primal objective per binary problem is
+
+    lambda/2 * ||w||^2 + mean(max(0, 1 - y * (w.x + b)))
+
+optimised with the Pegasos step size ``1 / (lambda * t)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearSVMClassifier"]
+
+
+class LinearSVMClassifier:
+    """One-vs-rest linear SVM with hinge loss (Pegasos sub-gradient descent)."""
+
+    def __init__(
+        self,
+        regularization: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if regularization <= 0:
+            raise ValueError("regularization must be positive")
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        self.regularization = regularization
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.weights: np.ndarray | None = None  # (n_classes, n_features)
+        self.biases: np.ndarray | None = None
+        self.n_classes = 0
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVMClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=int)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        if len(X) != len(y):
+            raise ValueError("X and y lengths differ")
+        rng = np.random.default_rng(self.seed)
+        self.n_classes = int(y.max()) + 1
+        n_features = X.shape[1]
+        self.weights = np.zeros((self.n_classes, n_features))
+        self.biases = np.zeros(self.n_classes)
+
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(len(X))
+            for start in range(0, len(X), self.batch_size):
+                step += 1
+                batch = order[start : start + self.batch_size]
+                eta = 1.0 / (self.regularization * step)
+                Xb = X[batch]
+                for k in range(self.n_classes):
+                    targets = np.where(y[batch] == k, 1.0, -1.0)
+                    margins = targets * (Xb @ self.weights[k] + self.biases[k])
+                    violating = margins < 1.0
+                    grad_w = self.regularization * self.weights[k]
+                    grad_b = 0.0
+                    if violating.any():
+                        grad_w = grad_w - (targets[violating, None] * Xb[violating]).mean(axis=0)
+                        grad_b = -float(targets[violating].mean())
+                    self.weights[k] -= eta * grad_w
+                    self.biases[k] -= eta * grad_b
+        return self
+
+    # ------------------------------------------------------------------ #
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class margins, shape (n_samples, n_classes)."""
+        if self.weights is None or self.biases is None:
+            raise RuntimeError("classifier used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.weights.T + self.biases
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.decision_function(X).argmax(axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax over margins -- a calibration convenience, not true SVM output."""
+        margins = self.decision_function(X)
+        shifted = margins - margins.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

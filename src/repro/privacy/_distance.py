@@ -1,0 +1,55 @@
+"""Mixed-type record distances shared by the privacy attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular.table import Table
+
+__all__ = ["record_distance_matrix", "nearest_neighbor_distances"]
+
+
+def record_distance_matrix(
+    queries: Table, references: Table, columns: list[str] | None = None
+) -> np.ndarray:
+    """Pairwise distances between query rows and reference rows.
+
+    Categorical columns contribute 0/1 mismatch; continuous columns
+    contribute the absolute difference normalised by the reference column's
+    range.  The result is the mean over the used columns, i.e. a value in
+    ``[0, 1]``-ish space that is comparable across schemas.
+    """
+    schema = queries.schema
+    if columns is None:
+        columns = schema.names
+    if not columns:
+        raise ValueError("need at least one column to compare")
+    total = np.zeros((queries.n_rows, references.n_rows), dtype=np.float64)
+    for name in columns:
+        spec = schema.column(name)
+        q = queries.column(name)
+        r = references.column(name)
+        if spec.is_categorical:
+            total += (q[:, None] != r[None, :]).astype(np.float64)
+        else:
+            q_num = q.astype(np.float64)
+            r_num = r.astype(np.float64)
+            span = max(float(r_num.max() - r_num.min()), 1e-9)
+            total += np.abs(q_num[:, None] - r_num[None, :]) / span
+    return total / len(columns)
+
+
+def nearest_neighbor_distances(
+    queries: Table, references: Table, columns: list[str] | None = None,
+    chunk_size: int = 256,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distance to, and index of, each query's nearest reference row."""
+    distances = np.empty(queries.n_rows, dtype=np.float64)
+    indices = np.empty(queries.n_rows, dtype=int)
+    for start in range(0, queries.n_rows, chunk_size):
+        end = min(start + chunk_size, queries.n_rows)
+        chunk = queries.select_rows(np.arange(start, end))
+        matrix = record_distance_matrix(chunk, references, columns)
+        indices[start:end] = matrix.argmin(axis=1)
+        distances[start:end] = matrix[np.arange(end - start), indices[start:end]]
+    return distances, indices

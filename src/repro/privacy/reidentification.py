@@ -1,0 +1,122 @@
+"""Re-identification (linkage) attack -- Figure 5.
+
+The attacker holds prior knowledge about a fraction of the original dataset
+(30 %, 60 % or 90 % in the paper) and, given the released synthetic table,
+tries to uniquely identify data points of the original dataset:
+
+* targets that fall inside the attacker's background knowledge are
+  identified by direct lookup (the attacker already holds them -- this is
+  why attack accuracy grows with the overlap fraction for *every* model);
+* targets outside the background knowledge can only be identified through
+  the synthetic release: the attack links the target to its nearest
+  synthetic record over the quasi-identifiers and succeeds when the link is
+  tight (below a threshold calibrated on the known records) and the linked
+  record reveals the target's sensitive attribute.
+
+Attack accuracy is the fraction of targets identified -- the synthesizer's
+contribution is the second term, so for a fixed overlap a lower accuracy
+means the synthetic data leaks less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.privacy._distance import nearest_neighbor_distances
+from repro.tabular.table import Table
+
+__all__ = ["ReidentificationResult", "ReidentificationAttack"]
+
+
+@dataclass
+class ReidentificationResult:
+    """Outcome of one re-identification attack run."""
+
+    overlap: float
+    attack_accuracy: float
+    linkage_rate: float
+    n_targets: int
+    threshold: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Re-identification @ {int(self.overlap * 100)}% overlap: "
+            f"accuracy={self.attack_accuracy:.3f} "
+            f"(synthetic linkage rate {self.linkage_rate:.3f}, {self.n_targets} targets)"
+        )
+
+
+class ReidentificationAttack:
+    """Linkage attack with configurable attacker background knowledge."""
+
+    def __init__(
+        self,
+        sensitive_column: str,
+        quasi_identifiers: list[str] | None = None,
+        threshold_quantile: float = 0.25,
+        max_targets: int = 400,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < threshold_quantile <= 1.0:
+            raise ValueError("threshold_quantile must be in (0, 1]")
+        self.sensitive_column = sensitive_column
+        self.quasi_identifiers = quasi_identifiers
+        self.threshold_quantile = threshold_quantile
+        self.max_targets = max_targets
+        self.seed = seed
+
+    def run(self, real: Table, synthetic: Table, overlap: float) -> ReidentificationResult:
+        """Run the attack assuming the attacker knows ``overlap`` of ``real``."""
+        if not 0.0 < overlap < 1.0:
+            raise ValueError("overlap must be in (0, 1)")
+        if self.sensitive_column not in real.schema:
+            raise KeyError(f"sensitive column {self.sensitive_column!r} not in table")
+        rng = np.random.default_rng(self.seed)
+        quasi = self.quasi_identifiers or [
+            name for name in real.schema.names if name != self.sensitive_column
+        ]
+
+        permutation = rng.permutation(real.n_rows)
+        n_known = max(1, int(round(real.n_rows * overlap)))
+        known_mask = np.zeros(real.n_rows, dtype=bool)
+        known_mask[permutation[:n_known]] = True
+
+        # Targets are drawn from the whole dataset, as in the paper: the
+        # attacker is asked to uniquely identify data points of the original
+        # data, some of which they already hold.
+        target_indices = rng.permutation(real.n_rows)[: self.max_targets]
+        targets = real.select_rows(target_indices)
+        target_known = known_mask[target_indices]
+
+        # Calibrate the synthetic-linkage threshold on known records.
+        known_table = real.select_rows(np.nonzero(known_mask)[0])
+        calibration = known_table
+        if calibration.n_rows > self.max_targets:
+            calibration = calibration.sample(self.max_targets, rng)
+        known_distances, _ = nearest_neighbor_distances(calibration, synthetic, quasi)
+        threshold = float(np.quantile(known_distances, self.threshold_quantile))
+
+        # Synthetic-linkage success for every target.
+        distances, matched = nearest_neighbor_distances(targets, synthetic, quasi)
+        sensitive_real = targets.column(self.sensitive_column)
+        sensitive_matched = synthetic.column(self.sensitive_column)[matched]
+        linked = np.logical_and(distances <= threshold, sensitive_matched == sensitive_real)
+
+        # A target is identified if the attacker already knows it, or if the
+        # synthetic release links it.
+        identified = np.logical_or(target_known, linked)
+        return ReidentificationResult(
+            overlap=overlap,
+            attack_accuracy=float(identified.mean()),
+            linkage_rate=float(linked[~target_known].mean()) if (~target_known).any() else 1.0,
+            n_targets=targets.n_rows,
+            threshold=threshold,
+        )
+
+    def run_sweep(
+        self, real: Table, synthetic: Table, overlaps: tuple[float, ...] = (0.3, 0.6, 0.9)
+    ) -> list[ReidentificationResult]:
+        """The 30/60/90 % sweep reported in Figure 5."""
+        return [self.run(real, synthetic, overlap) for overlap in overlaps]

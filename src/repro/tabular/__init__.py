@@ -1,0 +1,51 @@
+"""Tabular data handling.
+
+The environment provides no pandas, so this subpackage supplies the pieces
+of a tabular ML stack that the synthesizers and evaluators need:
+
+* :class:`~repro.tabular.schema.TableSchema` / :class:`~repro.tabular.schema.ColumnSpec`
+  describe a mixed categorical / continuous table.
+* :class:`~repro.tabular.table.Table` is a light column-store with the
+  handful of dataframe operations the rest of the package uses.
+* :mod:`repro.tabular.encoders` hosts one-hot / ordinal / min-max / standard
+  encoders plus the CTGAN-style mode-specific normaliser backed by an EM
+  Gaussian mixture.
+* :class:`~repro.tabular.transformer.DataTransformer` maps a table to a
+  single float matrix (and back) suitable for GAN / VAE training.
+* :class:`~repro.tabular.sampler.ConditionSampler` implements
+  training-by-sampling: picking condition columns/values with
+  log-frequency re-weighting and fetching matching real rows.
+* :mod:`repro.tabular.split` offers train/test splitting and k-fold indices.
+"""
+
+from repro.tabular.schema import ColumnSpec, TableSchema
+from repro.tabular.table import Table
+from repro.tabular.encoders import (
+    GaussianMixtureModel,
+    MinMaxScaler,
+    ModeSpecificNormalizer,
+    OneHotEncoder,
+    OrdinalEncoder,
+    StandardScaler,
+)
+from repro.tabular.transformer import ColumnOutputInfo, DataTransformer, OutputSpan
+from repro.tabular.sampler import ConditionSampler
+from repro.tabular.split import kfold_indices, train_test_split
+
+__all__ = [
+    "ColumnSpec",
+    "TableSchema",
+    "Table",
+    "OneHotEncoder",
+    "OrdinalEncoder",
+    "MinMaxScaler",
+    "StandardScaler",
+    "GaussianMixtureModel",
+    "ModeSpecificNormalizer",
+    "DataTransformer",
+    "ColumnOutputInfo",
+    "OutputSpan",
+    "ConditionSampler",
+    "train_test_split",
+    "kfold_indices",
+]

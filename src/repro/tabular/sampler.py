@@ -1,0 +1,241 @@
+"""Condition vectors and training-by-sampling.
+
+The KiNETGAN conditional generator (paper section III-A) conditions on the
+one-hot concatenation of the discrete *conditional attributes*.  During
+training, conditions are drawn so that minority values appear far more often
+than their empirical frequency would allow (training-by-sampling), either by
+log-frequency re-weighting (as in CTGAN) or by the paper's uniform draw over
+the attribute's range.  The :class:`ConditionSampler` owns that logic and can
+also find real rows that match a drawn condition so the discriminator sees
+consistent (data, condition) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tabular.table import Table
+from repro.tabular.transformer import DataTransformer
+
+__all__ = ["ConditionBatch", "ConditionSampler"]
+
+
+@dataclass
+class ConditionBatch:
+    """A batch of sampled conditions.
+
+    Attributes
+    ----------
+    vector:
+        ``(batch, condition_dim)`` one-hot concatenation over the conditional
+        attributes (equation 2 of the paper).
+    values:
+        List of ``{attribute: value}`` dictionaries, one per row.
+    pivot_columns:
+        The attribute whose value was explicitly (re)sampled per row; used by
+        the CTGAN-style generator penalty.
+    row_indices:
+        Indices of real rows matching the condition (used by the
+        discriminator's real batch).
+    """
+
+    vector: np.ndarray
+    values: list[dict]
+    pivot_columns: list[str]
+    row_indices: np.ndarray
+
+
+class ConditionSampler:
+    """Draws condition vectors and matching real rows for GAN training."""
+
+    def __init__(
+        self,
+        table: Table,
+        transformer: DataTransformer,
+        conditional_columns: list[str] | None = None,
+        uniform_probability: float = 0.3,
+        log_frequency: bool = True,
+    ) -> None:
+        """Parameters
+        ----------
+        table:
+            The real training table.
+        transformer:
+            A :class:`DataTransformer` already fitted on ``table``; its
+            one-hot encoders define the condition-vector layout.
+        conditional_columns:
+            The discrete attributes that form the condition vector.  Defaults
+            to every categorical column in the schema.
+        uniform_probability:
+            Probability of replacing the pivot attribute's value with a
+            uniform draw over its range (the paper's imbalance handling,
+            section III-A-3).
+        log_frequency:
+            When not drawing uniformly, sample the pivot value from the
+            log-frequency-smoothed empirical distribution (CTGAN) rather than
+            the raw empirical distribution.
+        """
+        if not 0.0 <= uniform_probability <= 1.0:
+            raise ValueError("uniform_probability must be in [0, 1]")
+        self.table = table
+        self.transformer = transformer
+        self.uniform_probability = uniform_probability
+        self.log_frequency = log_frequency
+        all_categorical = table.schema.categorical_names
+        self.conditional_columns = (
+            list(conditional_columns) if conditional_columns is not None else all_categorical
+        )
+        if not self.conditional_columns:
+            raise ValueError("at least one conditional (categorical) column is required")
+        for name in self.conditional_columns:
+            if name not in all_categorical:
+                raise ValueError(f"conditional column {name!r} is not categorical")
+
+        # Per-column category bookkeeping.
+        self._categories: dict[str, list] = {}
+        self._category_probs: dict[str, np.ndarray] = {}
+        self._rows_by_value: dict[str, dict] = {}
+        for name in self.conditional_columns:
+            encoder = transformer.encoder(name)
+            categories = list(encoder.categories)
+            self._categories[name] = categories
+            counts = np.zeros(len(categories), dtype=np.float64)
+            rows_by_value: dict = {value: [] for value in categories}
+            column = table.column(name)
+            for row_index, value in enumerate(column):
+                if value in rows_by_value:
+                    rows_by_value[value].append(row_index)
+            for i, value in enumerate(categories):
+                counts[i] = len(rows_by_value[value])
+            if self.log_frequency:
+                weights = np.log1p(counts)
+            else:
+                weights = counts.copy()
+            if weights.sum() <= 0:
+                weights = np.ones_like(weights)
+            self._category_probs[name] = weights / weights.sum()
+            self._rows_by_value[name] = {
+                value: np.asarray(rows, dtype=int) for value, rows in rows_by_value.items()
+            }
+
+        self._offsets: dict[str, int] = {}
+        cursor = 0
+        for name in self.conditional_columns:
+            self._offsets[name] = cursor
+            cursor += len(self._categories[name])
+        self._condition_dim = cursor
+
+    # ------------------------------------------------------------------ #
+    @property
+    def condition_dim(self) -> int:
+        """Width of the condition vector C (equation 2)."""
+        return self._condition_dim
+
+    def categories(self, column: str) -> list:
+        """Admissible values of a conditional attribute."""
+        return list(self._categories[column])
+
+    def condition_offset(self, column: str) -> int:
+        """Start index of ``column``'s one-hot block inside C."""
+        return self._offsets[column]
+
+    def condition_slice(self, column: str) -> slice:
+        start = self._offsets[column]
+        return slice(start, start + len(self._categories[column]))
+
+    # ------------------------------------------------------------------ #
+    def vector_from_values(self, values: dict) -> np.ndarray:
+        """Build a single condition vector from ``{attribute: value}``.
+
+        Attributes missing from ``values`` get an all-zero block (meaning
+        "unconstrained"), which is how generation-time conditioning on a
+        subset of attributes is expressed.
+        """
+        vector = np.zeros(self._condition_dim, dtype=np.float64)
+        for name, value in values.items():
+            if name not in self._categories:
+                raise KeyError(f"{name!r} is not a conditional column")
+            categories = self._categories[name]
+            if value not in categories:
+                raise ValueError(f"value {value!r} not in categories of {name!r}")
+            vector[self._offsets[name] + categories.index(value)] = 1.0
+        return vector
+
+    def values_from_vector(self, vector: np.ndarray) -> dict:
+        """Decode a condition vector back into ``{attribute: value}``."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape[-1] != self._condition_dim:
+            raise ValueError("condition vector has the wrong width")
+        values: dict = {}
+        for name in self.conditional_columns:
+            block = vector[self.condition_slice(name)]
+            if block.max() > 0:
+                values[name] = self._categories[name][int(block.argmax())]
+        return values
+
+    # ------------------------------------------------------------------ #
+    def sample(self, batch_size: int, rng: np.random.Generator) -> ConditionBatch:
+        """Draw a training batch of conditions plus matching real rows."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        vectors = np.zeros((batch_size, self._condition_dim), dtype=np.float64)
+        values_list: list[dict] = []
+        pivots: list[str] = []
+        row_indices = np.empty(batch_size, dtype=int)
+
+        pivot_choices = rng.integers(0, len(self.conditional_columns), size=batch_size)
+        for i in range(batch_size):
+            pivot = self.conditional_columns[pivot_choices[i]]
+            categories = self._categories[pivot]
+            if rng.uniform() < self.uniform_probability:
+                pivot_value = categories[rng.integers(0, len(categories))]
+            else:
+                pivot_value = categories[
+                    rng.choice(len(categories), p=self._category_probs[pivot])
+                ]
+            matching = self._rows_by_value[pivot][pivot_value]
+            if len(matching) > 0:
+                row_index = int(matching[rng.integers(0, len(matching))])
+            else:
+                row_index = int(rng.integers(0, self.table.n_rows))
+            row = self.table.row(row_index)
+            condition_values = {
+                name: row[name] for name in self.conditional_columns
+            }
+            condition_values[pivot] = pivot_value
+            vectors[i] = self.vector_from_values(condition_values)
+            values_list.append(condition_values)
+            pivots.append(pivot)
+            row_indices[i] = row_index
+
+        return ConditionBatch(
+            vector=vectors,
+            values=values_list,
+            pivot_columns=pivots,
+            row_indices=row_indices,
+        )
+
+    def empirical_conditions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Condition vectors drawn from the *empirical* joint distribution.
+
+        Used at generation time: rows are sampled uniformly from the real
+        table and their conditional-attribute values become conditions, so
+        the synthetic data reproduces the original attribute distribution
+        (section III-A: fidelity is preserved "during testing").
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        indices = rng.integers(0, self.table.n_rows, size=n)
+        vectors = np.zeros((n, self._condition_dim), dtype=np.float64)
+        for i, row_index in enumerate(indices):
+            row = self.table.row(int(row_index))
+            vectors[i] = self.vector_from_values(
+                {name: row[name] for name in self.conditional_columns}
+            )
+        return vectors
+
+    def real_batch(self, batch: ConditionBatch) -> Table:
+        """Real rows aligned with the sampled conditions."""
+        return self.table.select_rows(batch.row_indices)

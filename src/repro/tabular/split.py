@@ -1,0 +1,74 @@
+"""Dataset splitting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tabular.table import Table
+
+__all__ = ["train_test_split", "kfold_indices"]
+
+
+def train_test_split(
+    table: Table,
+    test_fraction: float = 0.25,
+    rng: np.random.Generator | None = None,
+    stratify_column: str | None = None,
+) -> tuple[Table, Table]:
+    """Split a table into train and test partitions.
+
+    With ``stratify_column`` given, every category keeps (approximately) the
+    same proportion in both partitions, which matters for the heavily
+    imbalanced attack labels in the NIDS datasets.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+    n = table.n_rows
+    if n < 2:
+        raise ValueError("need at least two rows to split")
+
+    if stratify_column is None:
+        permutation = rng.permutation(n)
+        n_test = max(1, int(round(n * test_fraction)))
+        test_idx = permutation[:n_test]
+        train_idx = permutation[n_test:]
+    else:
+        labels = table.column(stratify_column)
+        train_parts: list[np.ndarray] = []
+        test_parts: list[np.ndarray] = []
+        for value in dict.fromkeys(labels):
+            indices = np.nonzero(labels == value)[0]
+            indices = rng.permutation(indices)
+            n_test = int(round(len(indices) * test_fraction))
+            if len(indices) > 1:
+                n_test = min(max(n_test, 1), len(indices) - 1)
+            else:
+                n_test = 0
+            test_parts.append(indices[:n_test])
+            train_parts.append(indices[n_test:])
+        train_idx = np.concatenate(train_parts) if train_parts else np.asarray([], dtype=int)
+        test_idx = np.concatenate(test_parts) if test_parts else np.asarray([], dtype=int)
+        train_idx = rng.permutation(train_idx)
+        test_idx = rng.permutation(test_idx)
+
+    return table.select_rows(train_idx), table.select_rows(test_idx)
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``k`` (train_indices, test_indices) pairs over ``range(n)``."""
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if n < k:
+        raise ValueError("cannot make more folds than rows")
+    rng = rng if rng is not None else np.random.default_rng()
+    permutation = rng.permutation(n)
+    folds = np.array_split(permutation, k)
+    splits: list[tuple[np.ndarray, np.ndarray]] = []
+    for i in range(k):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(k) if j != i])
+        splits.append((train_idx, test_idx))
+    return splits

@@ -1,0 +1,235 @@
+"""Table-to-matrix transformation for the generative models.
+
+:class:`DataTransformer` turns a mixed categorical / continuous
+:class:`~repro.tabular.table.Table` into a single float matrix and back:
+
+* categorical columns become one-hot blocks (activation ``softmax``),
+* continuous columns become either a CTGAN-style mode-specific pair
+  ``(alpha, one-hot mode)`` (activations ``tanh`` + ``softmax``) or a single
+  min-max scaled scalar (activation ``tanh``).
+
+The per-column layout is exposed via :class:`ColumnOutputInfo` /
+:class:`OutputSpan`, which the generators use to apply the right output
+activation to each block and which the condition-vector machinery uses to
+locate the one-hot block of a conditional attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tabular.encoders import MinMaxScaler, ModeSpecificNormalizer, OneHotEncoder
+from repro.tabular.schema import TableSchema
+from repro.tabular.table import Table
+
+__all__ = ["OutputSpan", "ColumnOutputInfo", "DataTransformer"]
+
+
+@dataclass(frozen=True)
+class OutputSpan:
+    """A contiguous block of transformed features sharing one activation."""
+
+    dim: int
+    activation: str  # "tanh" or "softmax"
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ValueError("span dim must be positive")
+        if self.activation not in ("tanh", "softmax"):
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+
+@dataclass(frozen=True)
+class ColumnOutputInfo:
+    """Transformed layout of one source column."""
+
+    name: str
+    kind: str  # "categorical" or "continuous"
+    spans: tuple[OutputSpan, ...]
+    start: int
+
+    @property
+    def dim(self) -> int:
+        return sum(span.dim for span in self.spans)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.dim
+
+    @property
+    def onehot_slice(self) -> slice:
+        """Slice of the categorical one-hot block within the full matrix.
+
+        For categorical columns this is the whole block; for mode-normalised
+        continuous columns it is the mode-indicator block (used only
+        internally).  Raises for min-max encoded continuous columns.
+        """
+        if self.kind == "categorical":
+            return slice(self.start, self.end)
+        if len(self.spans) == 2:
+            return slice(self.start + 1, self.end)
+        raise ValueError(f"column {self.name!r} has no one-hot block")
+
+
+class DataTransformer:
+    """Fit/transform/inverse-transform a table into GAN-ready float matrices."""
+
+    def __init__(
+        self,
+        max_modes: int = 10,
+        continuous_encoding: str = "mode",
+        seed: int = 0,
+    ) -> None:
+        if continuous_encoding not in ("mode", "minmax"):
+            raise ValueError("continuous_encoding must be 'mode' or 'minmax'")
+        self.max_modes = max_modes
+        self.continuous_encoding = continuous_encoding
+        self.seed = seed
+        self.schema: TableSchema | None = None
+        self.output_info: list[ColumnOutputInfo] = []
+        self._encoders: dict[str, object] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self, table: Table) -> "DataTransformer":
+        """Learn per-column encoders from ``table``."""
+        self.schema = table.schema
+        self.output_info = []
+        self._encoders = {}
+        cursor = 0
+        for spec in table.schema:
+            values = table.column(spec.name)
+            if spec.is_categorical:
+                categories = list(spec.categories) if spec.categories else None
+                encoder = OneHotEncoder(categories=categories, handle_unknown="ignore")
+                encoder.fit(values)
+                spans = (OutputSpan(encoder.dim, "softmax"),)
+            elif self.continuous_encoding == "mode":
+                encoder = ModeSpecificNormalizer(max_modes=self.max_modes, seed=self.seed)
+                encoder.fit(values)
+                spans = (OutputSpan(1, "tanh"), OutputSpan(encoder.n_modes, "softmax"))
+            else:
+                encoder = MinMaxScaler()
+                encoder.fit(values)
+                spans = (OutputSpan(1, "tanh"),)
+            info = ColumnOutputInfo(name=spec.name, kind=spec.kind, spans=spans, start=cursor)
+            cursor += info.dim
+            self.output_info.append(info)
+            self._encoders[spec.name] = encoder
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("DataTransformer used before fit()")
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the transformed matrix."""
+        self._require_fitted()
+        return sum(info.dim for info in self.output_info)
+
+    def column_info(self, name: str) -> ColumnOutputInfo:
+        self._require_fitted()
+        for info in self.output_info:
+            if info.name == name:
+                return info
+        raise KeyError(f"no column named {name!r}")
+
+    def encoder(self, name: str):
+        """The fitted encoder for ``name`` (used by the condition machinery)."""
+        self._require_fitted()
+        return self._encoders[name]
+
+    def activation_spans(self) -> list[tuple[int, int, str]]:
+        """Flat ``(start, end, activation)`` list covering the whole output."""
+        self._require_fitted()
+        spans: list[tuple[int, int, str]] = []
+        for info in self.output_info:
+            cursor = info.start
+            for span in info.spans:
+                spans.append((cursor, cursor + span.dim, span.activation))
+                cursor += span.dim
+        return spans
+
+    # ------------------------------------------------------------------ #
+    def transform(self, table: Table, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Encode ``table`` into a float matrix of shape (rows, output_dim)."""
+        self._require_fitted()
+        if table.schema.names != self.schema.names:
+            raise ValueError("table schema does not match the fitted schema")
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        blocks: list[np.ndarray] = []
+        for info in self.output_info:
+            encoder = self._encoders[info.name]
+            values = table.column(info.name)
+            if isinstance(encoder, ModeSpecificNormalizer):
+                blocks.append(encoder.transform(values.astype(np.float64), rng=rng))
+            elif isinstance(encoder, MinMaxScaler):
+                blocks.append(encoder.transform(values.astype(np.float64))[:, None])
+            else:
+                blocks.append(encoder.transform(values))
+        return np.concatenate(blocks, axis=1) if blocks else np.zeros((table.n_rows, 0))
+
+    def inverse_transform(self, matrix: np.ndarray) -> Table:
+        """Decode a (possibly soft) matrix back into a typed table."""
+        self._require_fitted()
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.output_dim:
+            raise ValueError(
+                f"expected matrix of width {self.output_dim}, got shape {matrix.shape}"
+            )
+        columns: dict[str, np.ndarray] = {}
+        for info in self.output_info:
+            encoder = self._encoders[info.name]
+            block = matrix[:, info.start : info.end]
+            if isinstance(encoder, ModeSpecificNormalizer):
+                columns[info.name] = encoder.inverse_transform(block)
+            elif isinstance(encoder, MinMaxScaler):
+                columns[info.name] = encoder.inverse_transform(block[:, 0])
+            else:
+                columns[info.name] = encoder.inverse_transform(block)
+        # Clamp continuous columns to schema bounds when provided.
+        for spec in self.schema:
+            if spec.is_continuous:
+                values = np.asarray(columns[spec.name], dtype=np.float64)
+                if spec.minimum is not None:
+                    values = np.maximum(values, spec.minimum)
+                if spec.maximum is not None:
+                    values = np.minimum(values, spec.maximum)
+                columns[spec.name] = values
+        return Table(self.schema, columns)
+
+    # ------------------------------------------------------------------ #
+    def apply_output_activations(self, raw: np.ndarray, gumbel_tau: float = 0.2,
+                                 rng: np.random.Generator | None = None,
+                                 hard: bool = False) -> np.ndarray:
+        """Apply per-block output activations to raw generator scores.
+
+        ``tanh`` blocks get a tanh; ``softmax`` blocks get a (Gumbel) softmax.
+        With ``hard=True`` the softmax blocks are converted to exact one-hot
+        vectors by argmax, which is what sampling-time decoding uses.
+        """
+        self._require_fitted()
+        raw = np.asarray(raw, dtype=np.float64)
+        out = np.empty_like(raw)
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        for start, end, activation in self.activation_spans():
+            block = raw[:, start:end]
+            if activation == "tanh":
+                out[:, start:end] = np.tanh(block)
+            else:
+                if rng is not None and not hard:
+                    uniform = rng.uniform(1e-12, 1 - 1e-12, size=block.shape)
+                    block = block - np.log(-np.log(uniform)) * gumbel_tau
+                shifted = block - block.max(axis=1, keepdims=True)
+                soft = np.exp(shifted / gumbel_tau)
+                soft /= soft.sum(axis=1, keepdims=True)
+                if hard:
+                    hard_block = np.zeros_like(soft)
+                    hard_block[np.arange(len(soft)), soft.argmax(axis=1)] = 1.0
+                    soft = hard_block
+                out[:, start:end] = soft
+        return out

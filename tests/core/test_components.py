@@ -1,0 +1,235 @@
+"""Unit tests for KiNETGAN components: generator, discriminators, losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.condition import build_condition_matrix
+from repro.core.config import KiNETGANConfig
+from repro.core.discriminator import DataDiscriminator
+from repro.core.generator import ConditionalGenerator, TabularOutputActivation
+from repro.core.kg_discriminator import KnowledgeGuidedDiscriminator
+from repro.core.losses import condition_penalty
+from repro.knowledge.builder import build_network_kg
+from repro.knowledge.reasoner import KGReasoner
+from repro.tabular.sampler import ConditionSampler
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        config = KiNETGANConfig()
+        assert config.use_knowledge_discriminator
+
+    def test_with_overrides_returns_copy(self):
+        base = KiNETGANConfig()
+        other = base.with_overrides(epochs=5, lambda_knowledge=0.0)
+        assert other.epochs == 5 and base.epochs != 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"embedding_dim": 0},
+            {"epochs": 0},
+            {"uniform_probability": 1.5},
+            {"lambda_condition": -1.0},
+            {"continuous_encoding": "zscore"},
+            {"discriminator_steps": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            KiNETGANConfig(**kwargs)
+
+
+class TestTabularOutputActivation:
+    def test_applies_tanh_and_softmax_per_span(self, fitted_transformer, rng):
+        layer = TabularOutputActivation(fitted_transformer.activation_spans(), rng=rng)
+        raw = rng.normal(size=(8, fitted_transformer.output_dim)) * 3
+        out = layer.forward(raw, training=False)
+        for start, end, activation in fitted_transformer.activation_spans():
+            block = out[:, start:end]
+            if activation == "tanh":
+                assert np.all(np.abs(block) <= 1.0)
+            else:
+                np.testing.assert_allclose(block.sum(axis=1), 1.0)
+
+    def test_backward_shape(self, fitted_transformer, rng):
+        layer = TabularOutputActivation(fitted_transformer.activation_spans(), rng=rng)
+        raw = rng.normal(size=(4, fitted_transformer.output_dim))
+        layer.forward(raw)
+        grad = layer.backward(np.ones_like(raw))
+        assert grad.shape == raw.shape
+
+    def test_invalid_tau_rejected(self, fitted_transformer):
+        with pytest.raises(ValueError):
+            TabularOutputActivation(fitted_transformer.activation_spans(), tau=0.0)
+
+
+class TestGeneratorAndDiscriminator:
+    def test_generator_output_shape(self, fitted_transformer, rng):
+        generator = ConditionalGenerator(8, 4, fitted_transformer, hidden_dims=(16,), rng=rng)
+        out = generator.forward(rng.normal(size=(6, 8)), rng.normal(size=(6, 4)))
+        assert out.shape == (6, fitted_transformer.output_dim)
+
+    def test_generator_none_condition_means_zeros(self, fitted_transformer, rng):
+        generator = ConditionalGenerator(8, 4, fitted_transformer, hidden_dims=(16,), rng=rng)
+        out = generator.forward(rng.normal(size=(3, 8)), None)
+        assert out.shape == (3, fitted_transformer.output_dim)
+
+    def test_generator_rejects_bad_widths(self, fitted_transformer, rng):
+        generator = ConditionalGenerator(8, 4, fitted_transformer, hidden_dims=(16,), rng=rng)
+        with pytest.raises(ValueError):
+            generator.forward(rng.normal(size=(3, 9)), rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            generator.forward(rng.normal(size=(3, 8)), rng.normal(size=(3, 5)))
+
+    def test_generator_backward_and_parameters(self, fitted_transformer, rng):
+        generator = ConditionalGenerator(8, 4, fitted_transformer, hidden_dims=(16,), rng=rng)
+        out = generator.forward(rng.normal(size=(5, 8)), rng.normal(size=(5, 4)))
+        grad_in = generator.backward(np.ones_like(out))
+        assert grad_in.shape == (5, 12)
+        assert generator.num_parameters() > 0
+
+    def test_discriminator_logit_shape(self, fitted_transformer, rng):
+        disc = DataDiscriminator(fitted_transformer.output_dim, 4, hidden_dims=(16,), rng=rng)
+        logits = disc.forward(
+            rng.normal(size=(7, fitted_transformer.output_dim)), rng.normal(size=(7, 4))
+        )
+        assert logits.shape == (7, 1)
+
+    def test_discriminator_backward_returns_data_grad_only(self, fitted_transformer, rng):
+        disc = DataDiscriminator(fitted_transformer.output_dim, 4, hidden_dims=(16,), rng=rng)
+        disc.forward(rng.normal(size=(7, fitted_transformer.output_dim)), rng.normal(size=(7, 4)))
+        grad = disc.backward(np.ones((7, 1)))
+        assert grad.shape == (7, fitted_transformer.output_dim)
+
+    def test_state_dict_round_trip(self, fitted_transformer, rng):
+        generator = ConditionalGenerator(8, 0, fitted_transformer, hidden_dims=(16,), rng=rng)
+        noise = rng.normal(size=(4, 8))
+        before = generator.forward(noise, None, training=False)
+        state = {k: v.copy() for k, v in generator.state_dict().items()}
+        for param, _ in generator.parameters():
+            param += 0.5
+        generator.load_state_dict(state)
+        np.testing.assert_allclose(generator.forward(noise, None, training=False), before)
+
+
+class TestConditionPenalty:
+    def test_zero_when_generator_matches_condition(self, tiny_table, fitted_transformer, rng):
+        sampler = ConditionSampler(tiny_table, fitted_transformer,
+                                   conditional_columns=["proto", "label"])
+        batch = sampler.sample(16, rng)
+        # Build a fake output that copies the condition into the one-hot blocks.
+        fake = np.full((16, fitted_transformer.output_dim), 0.5)
+        for column in sampler.conditional_columns:
+            info = fitted_transformer.column_info(column)
+            fake[:, info.onehot_slice] = np.clip(
+                batch.vector[:, sampler.condition_slice(column)], 1e-4, 1 - 1e-4
+            )
+        loss, grad = condition_penalty(fake, batch.vector, sampler, fitted_transformer)
+        assert loss < 0.01
+        # Gradient is zero outside the conditional one-hot blocks.
+        info_bytes = fitted_transformer.column_info("bytes")
+        assert np.all(grad[:, info_bytes.start : info_bytes.end] == 0)
+
+    def test_large_when_generator_contradicts_condition(
+        self, tiny_table, fitted_transformer, rng
+    ):
+        sampler = ConditionSampler(tiny_table, fitted_transformer, conditional_columns=["label"])
+        batch = sampler.sample(16, rng)
+        fake = np.full((16, fitted_transformer.output_dim), 0.5)
+        info = fitted_transformer.column_info("label")
+        # Put all probability mass on the wrong category.
+        fake[:, info.onehot_slice] = 1.0 - batch.vector[:, sampler.condition_slice("label")]
+        fake = np.clip(fake, 1e-4, 1 - 1e-4)
+        loss, grad = condition_penalty(fake, batch.vector, sampler, fitted_transformer)
+        assert loss > 1.0
+        assert np.abs(grad[:, info.onehot_slice]).sum() > 0
+
+    def test_batch_size_mismatch_rejected(self, tiny_table, fitted_transformer, rng):
+        sampler = ConditionSampler(tiny_table, fitted_transformer, conditional_columns=["label"])
+        batch = sampler.sample(4, rng)
+        with pytest.raises(ValueError):
+            condition_penalty(
+                np.zeros((3, fitted_transformer.output_dim)), batch.vector, sampler,
+                fitted_transformer,
+            )
+
+    def test_build_condition_matrix(self, tiny_table, fitted_transformer):
+        sampler = ConditionSampler(tiny_table, fitted_transformer,
+                                   conditional_columns=["proto", "label"])
+        matrix = build_condition_matrix(sampler, [{"proto": "tcp"}, {"label": "attack"}, {}])
+        assert matrix.shape == (3, sampler.condition_dim)
+        assert matrix[2].sum() == 0.0
+
+
+class TestKnowledgeGuidedDiscriminator:
+    @pytest.fixture
+    def lab_setup(self, lab_bundle_small):
+        from repro.tabular.transformer import DataTransformer
+
+        table = lab_bundle_small.table.head(300)
+        transformer = DataTransformer(max_modes=4, seed=0).fit(table)
+        reasoner = KGReasoner(
+            build_network_kg(lab_bundle_small.catalog),
+            field_map=lab_bundle_small.catalog.field_map,
+        )
+        return table, transformer, reasoner
+
+    def test_kg_columns_detected(self, lab_setup, rng):
+        table, transformer, reasoner = lab_setup
+        dkg = KnowledgeGuidedDiscriminator(reasoner, transformer, rng=rng)
+        assert "event_type" in dkg.kg_columns and "dst_port" in dkg.kg_columns
+
+    def test_hard_scores_flag_invalid_rows(self, lab_setup, rng):
+        table, transformer, reasoner = lab_setup
+        dkg = KnowledgeGuidedDiscriminator(reasoner, transformer, rng=rng)
+        scores = dkg.hard_scores(table.head(50))
+        np.testing.assert_allclose(scores, 1.0)
+        records = table.head(20).to_records()
+        for record in records:
+            record["protocol"] = "UDP" if record["protocol"] == "TCP" else "TCP"
+        from repro.tabular.table import Table
+
+        flipped = Table.from_records(table.schema, records)
+        assert dkg.hard_scores(flipped).mean() < 0.6
+
+    def test_head_learns_to_separate_valid_from_invalid(self, lab_setup, rng):
+        table, transformer, reasoner = lab_setup
+        dkg = KnowledgeGuidedDiscriminator(reasoner, transformer, hidden_dims=(32,), rng=rng)
+        real_matrix = transformer.transform(table, rng=rng)
+        for _ in range(30):
+            dkg.train_step(table, real_matrix, fake_matrix=None, negatives=64)
+        valid_scores = dkg.head_scores(real_matrix[:100])
+        # Corrupt the protocol column of the same rows.
+        records = table.head(100).to_records()
+        for record in records:
+            record["dst_port"] = 31337
+        from repro.tabular.table import Table
+
+        invalid = transformer.transform(Table.from_records(table.schema, records), rng=rng)
+        invalid_scores = dkg.head_scores(invalid)
+        assert valid_scores.mean() > invalid_scores.mean()
+
+    def test_generator_feedback_gradient_nonzero_only_on_kg_columns(self, lab_setup, rng):
+        table, transformer, reasoner = lab_setup
+        dkg = KnowledgeGuidedDiscriminator(reasoner, transformer, rng=rng)
+        fake = rng.uniform(0, 1, size=(16, transformer.output_dim))
+        loss, grad = dkg.generator_loss_and_grad(fake)
+        assert loss > 0
+        kg_slices = [transformer.column_info(name) for name in dkg.kg_columns]
+        mask = np.zeros(transformer.output_dim, dtype=bool)
+        for info in kg_slices:
+            mask[info.start : info.end] = True
+        assert np.abs(grad[:, ~mask]).sum() == 0.0
+        assert np.abs(grad[:, mask]).sum() > 0.0
+
+    def test_disabled_head_returns_zero_gradient(self, lab_setup, rng):
+        table, transformer, reasoner = lab_setup
+        dkg = KnowledgeGuidedDiscriminator(reasoner, transformer, learned_head=False, rng=rng)
+        fake = rng.uniform(0, 1, size=(4, transformer.output_dim))
+        loss, grad = dkg.generator_loss_and_grad(fake)
+        assert loss == 0.0
+        assert np.all(grad == 0.0)
+        np.testing.assert_allclose(dkg.combined_scores(transformer.transform(table.head(5))), 1.0)

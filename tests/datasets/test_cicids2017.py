@@ -1,0 +1,102 @@
+"""Tests for the CIC-IDS-2017 stand-in generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.cicids2017 import (
+    CICIDS_CLASSES,
+    CICIDS2017Generator,
+    cicids2017_catalog,
+    cicids2017_schema,
+    load_cicids2017,
+)
+from repro.knowledge import BatchValidator, KGReasoner, build_network_kg
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_cicids2017(n_records=1500, seed=3)
+
+
+class TestSchema:
+    def test_expected_columns(self):
+        schema = cicids2017_schema()
+        for name in ("dst_port", "protocol", "flow_duration", "traffic_class"):
+            assert name in schema
+        assert len(schema) == 18
+
+    def test_class_column_is_sensitive_and_categorical(self):
+        spec = cicids2017_schema().column("traffic_class")
+        assert spec.sensitive and spec.is_categorical
+        assert set(spec.categories) == set(CICIDS_CLASSES)
+
+
+class TestGenerator:
+    def test_record_count(self, bundle):
+        assert bundle.table.n_rows == 1500
+
+    def test_benign_dominates(self, bundle):
+        distribution = bundle.table.class_distribution("traffic_class")
+        assert distribution["BENIGN"] > 0.6
+
+    def test_every_attack_family_represented(self, bundle):
+        classes = set(bundle.table.column("traffic_class"))
+        assert classes == set(CICIDS_CLASSES)
+
+    def test_attack_port_rules_hold(self, bundle):
+        """FTP-Patator must hit 21, SSH-Patator 22, the web-DoS family 80."""
+        table = bundle.table
+        labels = table.column("traffic_class")
+        ports = table.column("dst_port").astype(int)
+        assert set(ports[labels == "FTP-Patator"]) <= {21}
+        assert set(ports[labels == "SSH-Patator"]) <= {22}
+        assert set(ports[labels == "DoS Hulk"]) <= {80}
+
+    def test_knowledge_graph_validates_generated_records(self, bundle):
+        reasoner = KGReasoner(
+            build_network_kg(bundle.catalog), field_map=bundle.catalog.field_map
+        )
+        report = BatchValidator(reasoner).report(bundle.table)
+        assert report.validity_rate == 1.0
+
+    def test_portscan_flows_are_tiny(self, bundle):
+        table = bundle.table
+        labels = table.column("traffic_class")
+        packets = table.column("total_fwd_packets").astype(float)
+        scan_mean = packets[labels == "PortScan"].mean()
+        benign_mean = packets[labels == "BENIGN"].mean()
+        assert scan_mean < benign_mean
+
+    def test_reproducibility(self):
+        first = CICIDS2017Generator(seed=11).generate(250)
+        second = CICIDS2017Generator(seed=11).generate(250)
+        np.testing.assert_array_equal(
+            first.column("traffic_class"), second.column("traffic_class")
+        )
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            CICIDS2017Generator(seed=0).generate(-5)
+
+
+class TestBundleAndCatalog:
+    def test_bundle_metadata(self, bundle):
+        assert bundle.name == "cicids2017"
+        assert bundle.label_column == "traffic_class"
+        assert bundle.condition_columns == ["traffic_class", "protocol"]
+
+    def test_catalog_attack_events_marked_as_attacks(self):
+        catalog = cicids2017_catalog()
+        attack_names = {attack.name for attack in catalog.attacks}
+        assert "DoS Hulk" in attack_names and "PortScan" in attack_names
+        for attack in catalog.attacks:
+            assert attack.event.kind == "attack"
+
+    def test_registry_loading(self):
+        from repro.datasets import available_datasets, load_dataset
+
+        assert "cicids2017" in available_datasets()
+        loaded = load_dataset("cicids2017", n_records=120, seed=1)
+        assert loaded.table.n_rows == 120

@@ -1,0 +1,147 @@
+"""Dataset generator tests (lab IoT simulator, UNSW-NB15 generator, registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    LabIoTSimulator,
+    UNSWNB15Generator,
+    available_datasets,
+    load_dataset,
+    load_lab_iot,
+    load_unsw_nb15,
+)
+from repro.datasets.lab_iot import EVENT_LABELS, lab_iot_schema
+from repro.datasets.unsw_nb15 import ATTACK_CATEGORIES, unsw_nb15_schema
+from repro.knowledge.builder import build_network_kg
+from repro.knowledge.reasoner import KGReasoner
+from repro.knowledge.validator import BatchValidator
+
+
+class TestLabIoT:
+    def test_default_size_matches_paper(self):
+        bundle = load_lab_iot()
+        assert bundle.n_records == 14_520
+
+    def test_schema_matches_table(self, lab_bundle_small):
+        assert lab_bundle_small.table.schema.names == lab_iot_schema().names
+        assert lab_bundle_small.label_column == "label"
+
+    def test_labels_follow_event_mapping(self, lab_bundle_small):
+        table = lab_bundle_small.table
+        for row in table.head(200).iter_rows():
+            assert row["label"] == EVENT_LABELS[row["event_type"]]
+
+    def test_class_imbalance_benign_dominates(self, lab_bundle_small):
+        distribution = lab_bundle_small.table.class_distribution("label")
+        assert distribution["normal"] > 0.75
+        assert 0 < distribution.get("exploit", 0) < 0.05
+
+    def test_generated_records_satisfy_knowledge_graph(self, lab_bundle_small):
+        reasoner = KGReasoner(
+            build_network_kg(lab_bundle_small.catalog),
+            field_map=lab_bundle_small.catalog.field_map,
+        )
+        report = BatchValidator(reasoner).report(lab_bundle_small.table)
+        assert report.validity_rate == 1.0
+
+    def test_reproducible_with_same_seed(self):
+        a = LabIoTSimulator(seed=5).generate(200)
+        b = LabIoTSimulator(seed=5).generate(200)
+        assert a.to_records() == b.to_records()
+
+    def test_different_seeds_differ(self):
+        a = LabIoTSimulator(seed=5).generate(200)
+        b = LabIoTSimulator(seed=6).generate(200)
+        assert a.to_records() != b.to_records()
+
+    def test_event_batch_generation(self):
+        simulator = LabIoTSimulator(seed=1)
+        batch = simulator.generate_event_batch("cve_1999_0003", 25)
+        assert batch.n_rows == 25
+        ports = batch.column("dst_port")
+        assert all(32771 <= int(p) <= 34000 for p in ports)
+        with pytest.raises(KeyError):
+            simulator.generate_event_batch("nope", 5)
+
+    def test_continuous_columns_within_bounds(self, lab_bundle_small):
+        table = lab_bundle_small.table
+        for name in ("src_port", "packet_count", "byte_count", "duration_ms"):
+            spec = table.schema.column(name)
+            values = table.column(name).astype(float)
+            assert values.min() >= spec.minimum
+            assert values.max() <= spec.maximum
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            LabIoTSimulator().generate(0)
+
+    def test_summary_mentions_distribution(self, lab_bundle_small):
+        text = lab_bundle_small.summary()
+        assert "lab_iot" in text and "normal" in text
+
+
+class TestUNSWNB15:
+    def test_reduced_schema_width(self):
+        assert len(unsw_nb15_schema(reduced=True)) == 14
+
+    def test_full_schema_has_49_columns(self):
+        assert len(unsw_nb15_schema(reduced=False)) == 49
+
+    def test_category_mix_roughly_matches_published(self, unsw_bundle_small):
+        distribution = unsw_bundle_small.table.class_distribution("attack_cat")
+        assert distribution["Normal"] > 0.7
+        assert distribution.get("Generic", 0) > distribution.get("Worms", 0)
+
+    def test_every_category_present(self, unsw_bundle_small):
+        observed = set(unsw_bundle_small.table.value_counts("attack_cat"))
+        assert observed == set(ATTACK_CATEGORIES)
+
+    def test_service_protocol_port_rules_hold(self, unsw_bundle_small):
+        reasoner = KGReasoner(
+            build_network_kg(unsw_bundle_small.catalog),
+            field_map=unsw_bundle_small.catalog.field_map,
+        )
+        report = BatchValidator(reasoner).report(unsw_bundle_small.table)
+        assert report.validity_rate == 1.0
+
+    def test_full_schema_generation(self):
+        generator = UNSWNB15Generator(seed=3, reduced=False)
+        table = generator.generate(300)
+        assert len(table.schema) == 49
+        # TCP-only fields are zero for pure UDP services such as snmp.
+        for row in table.head(100).iter_rows():
+            if row["proto"] != "tcp":
+                assert row["swin"] == 0.0
+
+    def test_reproducibility(self):
+        a = UNSWNB15Generator(seed=9).generate(150)
+        b = UNSWNB15Generator(seed=9).generate(150)
+        assert a.to_records() == b.to_records()
+
+    def test_field_map_roles_point_to_real_columns(self, unsw_bundle_small):
+        for column in unsw_bundle_small.catalog.field_map.values():
+            # The reduced schema drops srcip/dstip/sport, which is allowed;
+            # every mapped column that exists must be a declared column name.
+            if column in unsw_bundle_small.schema:
+                assert unsw_bundle_small.schema.column(column) is not None
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert available_datasets() == ["cicids2017", "lab_iot", "nsl_kdd", "unsw_nb15"]
+
+    def test_load_by_name(self):
+        bundle = load_dataset("lab_iot", n_records=120, seed=1)
+        assert bundle.n_records == 120
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("kdd99")
+
+    def test_kwargs_forwarded(self):
+        bundle = load_dataset("unsw_nb15", n_records=150, seed=2, reduced=True)
+        assert bundle.n_records <= 160  # minimum-per-class padding may add a few
+        assert len(bundle.schema) == 14

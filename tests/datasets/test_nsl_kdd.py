@@ -1,0 +1,111 @@
+"""Tests for the NSL-KDD stand-in generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.nsl_kdd import (
+    NSL_KDD_CLASSES,
+    NSLKDDGenerator,
+    load_nsl_kdd,
+    nsl_kdd_catalog,
+    nsl_kdd_schema,
+)
+from repro.knowledge import BatchValidator, KGReasoner, build_network_kg
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_nsl_kdd(n_records=1200, seed=5)
+
+
+class TestSchema:
+    def test_reduced_schema_has_expected_columns(self):
+        schema = nsl_kdd_schema(reduced=True)
+        assert "service" in schema and "protocol_type" in schema and "label" in schema
+        assert len(schema) == 18
+
+    def test_full_schema_has_42_columns(self):
+        schema = nsl_kdd_schema(reduced=False)
+        assert len(schema) == 42  # 41 features + label
+        assert "dst_host_srv_rerror_rate" in schema
+
+    def test_label_column_is_sensitive(self):
+        schema = nsl_kdd_schema()
+        assert schema.column("label").sensitive
+
+    def test_rate_columns_bounded_to_unit_interval(self):
+        schema = nsl_kdd_schema(reduced=False)
+        for name in ("serror_rate", "same_srv_rate", "dst_host_rerror_rate"):
+            spec = schema.column(name)
+            assert spec.minimum == 0.0 and spec.maximum == 1.0
+
+
+class TestGenerator:
+    def test_record_count_and_schema(self, bundle):
+        assert bundle.table.n_rows == 1200
+        assert bundle.table.schema.names == nsl_kdd_schema().names
+
+    def test_class_mix_dominated_by_normal_and_dos(self, bundle):
+        distribution = bundle.table.class_distribution("label")
+        assert distribution["normal"] > 0.4
+        assert distribution["dos"] > 0.2
+        assert distribution.get("u2r", 0.0) < 0.02
+
+    def test_all_classes_present(self, bundle):
+        labels = set(bundle.table.column("label"))
+        assert labels == set(NSL_KDD_CLASSES)
+
+    def test_service_protocol_rules_hold(self, bundle):
+        """Every generated record must respect the service -> protocol rule."""
+        reasoner = KGReasoner(
+            build_network_kg(bundle.catalog), field_map=bundle.catalog.field_map
+        )
+        report = BatchValidator(reasoner).report(bundle.table)
+        assert report.validity_rate == 1.0
+
+    def test_dos_records_have_high_connection_counts(self, bundle):
+        table = bundle.table
+        labels = table.column("label")
+        counts = table.column("count").astype(float)
+        dos_mean = counts[labels == "dos"].mean()
+        normal_mean = counts[labels == "normal"].mean()
+        assert dos_mean > 5 * normal_mean
+
+    def test_full_schema_generation(self):
+        generator = NSLKDDGenerator(seed=1, reduced=False)
+        table = generator.generate(300)
+        assert table.n_rows == 300
+        assert len(table.schema) == 42
+
+    def test_reproducible_with_same_seed(self):
+        first = NSLKDDGenerator(seed=9).generate(200)
+        second = NSLKDDGenerator(seed=9).generate(200)
+        np.testing.assert_array_equal(first.column("service"), second.column("service"))
+        np.testing.assert_allclose(
+            first.column("src_bytes").astype(float), second.column("src_bytes").astype(float)
+        )
+
+    def test_invalid_record_count_rejected(self):
+        with pytest.raises(ValueError):
+            NSLKDDGenerator(seed=0).generate(0)
+
+
+class TestBundle:
+    def test_bundle_metadata(self, bundle):
+        assert bundle.name == "nsl_kdd"
+        assert bundle.label_column == "label"
+        assert "service" in bundle.condition_columns
+        assert "stand-in" in bundle.description.lower() or "synthetic" in bundle.description.lower()
+
+    def test_catalog_events_match_services(self):
+        catalog = nsl_kdd_catalog()
+        schema = nsl_kdd_schema()
+        assert set(catalog.event_names) == set(schema.column("service").categories)
+
+    def test_registry_loading(self):
+        from repro.datasets import load_dataset
+
+        loaded = load_dataset("nsl_kdd", n_records=150, seed=2)
+        assert loaded.table.n_rows == 150

@@ -1,0 +1,175 @@
+"""Integration tests for the federated client / server loop.
+
+The toy problem is a linearly separable two-class Gaussian mixture so that a
+handful of FedAvg rounds is enough for the global model to become clearly
+better than chance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federated.client import FederatedClient
+from repro.federated.dp import DPFedAvgConfig
+from repro.federated.server import FederatedServer
+from repro.neural.layers import Dense, ReLU
+from repro.neural.network import Sequential
+
+
+def make_blobs(n: int, seed: int, shift: float = 2.5) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    class0 = rng.normal(loc=-shift, scale=1.0, size=(half, 4))
+    class1 = rng.normal(loc=+shift, scale=1.0, size=(n - half, 4))
+    X = np.concatenate([class0, class1])
+    y = np.concatenate([np.zeros(half, dtype=int), np.ones(n - half, dtype=int)])
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+def model_fn() -> Sequential:
+    rng = np.random.default_rng(0)
+    return Sequential(
+        [Dense(4, 16, rng=rng, init="he"), ReLU(), Dense(16, 2, rng=rng, init="glorot")]
+    )
+
+
+def make_clients(num_clients: int = 3, n_per_client: int = 120, **kwargs) -> list[FederatedClient]:
+    clients = []
+    for i in range(num_clients):
+        X, y = make_blobs(n_per_client, seed=10 + i)
+        clients.append(
+            FederatedClient(
+                client_id=f"c{i}",
+                features=X,
+                labels=y,
+                model_fn=model_fn,
+                learning_rate=0.05,
+                batch_size=32,
+                local_epochs=2,
+                seed=i,
+                **kwargs,
+            )
+        )
+    return clients
+
+
+class TestFederatedClient:
+    def test_client_validation(self):
+        X, y = make_blobs(20, seed=0)
+        with pytest.raises(ValueError):
+            FederatedClient("c", X[:0], y[:0], model_fn)
+        with pytest.raises(ValueError):
+            FederatedClient("c", X, y[:-1], model_fn)
+        with pytest.raises(ValueError):
+            FederatedClient("c", X, y, model_fn, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            FederatedClient("c", X, y, model_fn, proximal_mu=-1.0)
+
+    def test_local_update_reduces_loss_direction(self):
+        client = make_clients(1)[0]
+        global_state = model_fn().state_dict()
+        update = client.local_update(global_state)
+        assert update.n_examples == client.n_examples
+        assert update.client_id == client.client_id
+        assert set(update.update) == set(global_state)
+        assert update.metrics["local_accuracy"] > 0.5
+
+    def test_update_is_delta_not_absolute(self):
+        client = make_clients(1)[0]
+        global_state = model_fn().state_dict()
+        update = client.local_update(global_state)
+        # Applying the delta to the global state must differ from the global state.
+        assert any(np.abs(update.update[key]).sum() > 0 for key in update.update)
+
+    def test_label_distribution_sums_to_one(self):
+        client = make_clients(1)[0]
+        distribution = client.label_distribution()
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_fedprox_update_stays_closer_to_global(self):
+        X, y = make_blobs(200, seed=3)
+        plain = FederatedClient("p", X, y, model_fn, local_epochs=4, seed=0)
+        prox = FederatedClient("q", X, y, model_fn, local_epochs=4, proximal_mu=5.0, seed=0)
+        global_state = model_fn().state_dict()
+        from repro.federated.parameters import state_l2_norm
+
+        plain_norm = state_l2_norm(plain.local_update(global_state).update)
+        prox_norm = state_l2_norm(prox.local_update(global_state).update)
+        assert prox_norm < plain_norm
+
+
+class TestFederatedServer:
+    def test_validation(self):
+        clients = make_clients(2)
+        with pytest.raises(ValueError):
+            FederatedServer(model_fn, [])
+        with pytest.raises(ValueError):
+            FederatedServer(model_fn, clients, aggregator="mystery")
+        with pytest.raises(ValueError):
+            FederatedServer(model_fn, clients, client_fraction=0.0)
+        with pytest.raises(ValueError):
+            FederatedServer(model_fn, clients, server_lr=0.0)
+
+    def test_fedavg_learns_the_toy_problem(self):
+        clients = make_clients(3)
+        X_test, y_test = make_blobs(300, seed=99)
+        server = FederatedServer(model_fn, clients, seed=0)
+        history = server.run(6, eval_features=X_test, eval_labels=y_test)
+        assert history.n_rounds == 6
+        assert history.final_accuracy is not None
+        assert history.final_accuracy > 0.9
+
+    def test_client_sampling_selects_subset(self):
+        clients = make_clients(4)
+        server = FederatedServer(model_fn, clients, client_fraction=0.5, seed=1)
+        round_info = server.run_round()
+        assert len(round_info.participants) == 2
+
+    def test_robust_aggregators_run(self):
+        clients = make_clients(4)
+        for aggregator in ("median", "trimmed_mean"):
+            server = FederatedServer(model_fn, clients, aggregator=aggregator, seed=0)
+            server.run(2)
+            X_test, y_test = make_blobs(200, seed=42)
+            assert server.evaluate(X_test, y_test) > 0.6
+
+    def test_secure_aggregation_matches_plain_fedavg(self):
+        clients_a = make_clients(3)
+        clients_b = make_clients(3)
+        X_test, y_test = make_blobs(200, seed=7)
+        plain = FederatedServer(model_fn, clients_a, seed=0)
+        masked = FederatedServer(model_fn, clients_b, secure_aggregation=True, seed=0)
+        plain.run(3)
+        masked.run(3)
+        # The protocols compute the same average (up to mask-cancellation
+        # round-off), so the resulting detectors agree on almost all points.
+        agreement = (plain.predict(X_test) == masked.predict(X_test)).mean()
+        assert agreement > 0.95
+
+    def test_dp_training_runs_and_reports_epsilon(self):
+        clients = make_clients(3)
+        server = FederatedServer(
+            model_fn,
+            clients,
+            dp_config=DPFedAvgConfig(clip_norm=1.0, noise_multiplier=0.8, delta=1e-5),
+            seed=0,
+        )
+        server.run(3)
+        epsilon = server.epsilon()
+        assert epsilon is not None and epsilon > 0.0
+        assert server.history.rounds[-1].epsilon == pytest.approx(epsilon)
+
+    def test_history_records_losses_and_participants(self):
+        clients = make_clients(2)
+        server = FederatedServer(model_fn, clients, seed=0)
+        round_info = server.run_round()
+        assert round_info.participants == ["c0", "c1"]
+        assert np.isfinite(round_info.mean_client_loss)
+        assert 0.0 <= round_info.mean_client_accuracy <= 1.0
+
+    def test_run_rejects_nonpositive_rounds(self):
+        server = FederatedServer(model_fn, make_clients(2), seed=0)
+        with pytest.raises(ValueError):
+            server.run(0)

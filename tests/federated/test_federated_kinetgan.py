@@ -1,0 +1,124 @@
+"""Tests for federated KiNETGAN weight averaging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import KiNETGANConfig
+from repro.federated.dp import DPFedAvgConfig
+from repro.federated.kinetgan import FederatedKiNETGAN
+from repro.federated.partition import label_skew_partition
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> KiNETGANConfig:
+    return KiNETGANConfig(
+        embedding_dim=8,
+        generator_dims=(16,),
+        discriminator_dims=(16,),
+        epochs=1,
+        batch_size=32,
+        knowledge_negatives_per_batch=8,
+        max_modes=3,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def fed_setup(lab_bundle_small, tiny_config):
+    table = lab_bundle_small.table.head(400)
+    rng = np.random.default_rng(0)
+    parts = label_skew_partition(table, "label", 2, rng, skew=0.5, min_rows=20)
+    fed = FederatedKiNETGAN(
+        reference_table=table.head(200),
+        config=tiny_config,
+        catalog=lab_bundle_small.catalog,
+        condition_columns=lab_bundle_small.condition_columns,
+        seed=0,
+    )
+    for i, part in enumerate(parts):
+        fed.add_site(f"site-{i}", part)
+    return fed, table
+
+
+class TestSetup:
+    def test_sites_registered(self, fed_setup):
+        fed, _ = fed_setup
+        assert fed.n_sites == 2
+
+    def test_duplicate_site_rejected(self, fed_setup, lab_bundle_small):
+        fed, table = fed_setup
+        with pytest.raises(ValueError):
+            fed.add_site("site-0", table.head(30))
+
+    def test_needs_two_sites(self, lab_bundle_small, tiny_config):
+        fed = FederatedKiNETGAN(
+            reference_table=lab_bundle_small.table.head(100), config=tiny_config
+        )
+        fed.add_site("only", lab_bundle_small.table.head(50))
+        with pytest.raises(RuntimeError):
+            fed.run_round()
+
+    def test_sampling_before_training_rejected(self, lab_bundle_small, tiny_config):
+        fed = FederatedKiNETGAN(
+            reference_table=lab_bundle_small.table.head(100), config=tiny_config
+        )
+        fed.add_site("a", lab_bundle_small.table.head(50))
+        fed.add_site("b", lab_bundle_small.table.head(50))
+        with pytest.raises(RuntimeError):
+            fed.sample(10)
+
+
+class TestTraining:
+    def test_rounds_average_weights_and_record_history(self, fed_setup):
+        fed, _ = fed_setup
+        rounds = fed.run(num_rounds=2, local_epochs=1)
+        assert len(rounds) >= 2
+        generator_state, discriminator_state = fed.global_states()
+        assert all(np.isfinite(value).all() for value in generator_state.values())
+        assert all(np.isfinite(value).all() for value in discriminator_state.values())
+
+        # After a round, every site carries the same broadcast weights once
+        # set_state is applied (as sample() does).
+        fed.sites[0].set_state(generator_state, discriminator_state)
+        fed.sites[1].set_state(generator_state, discriminator_state)
+        state_a = fed.sites[0].get_state()[0]
+        state_b = fed.sites[1].get_state()[0]
+        for key in state_a:
+            np.testing.assert_allclose(state_a[key], state_b[key])
+
+    def test_sample_returns_schema_conformant_table(self, fed_setup):
+        fed, table = fed_setup
+        if not fed.rounds:
+            fed.run(num_rounds=1, local_epochs=1)
+        synthetic = fed.sample(120, rng=np.random.default_rng(1))
+        assert synthetic.n_rows == 120
+        assert synthetic.schema.names == table.schema.names
+        # Generated categories must come from the schema's category lists.
+        protocols = set(synthetic.column("protocol"))
+        assert protocols <= set(table.schema.column("protocol").categories)
+
+    def test_invalid_round_and_epoch_counts_rejected(self, fed_setup):
+        fed, _ = fed_setup
+        with pytest.raises(ValueError):
+            fed.run(num_rounds=0)
+        with pytest.raises(ValueError):
+            fed.sites[0].train_local(epochs=0)
+
+    def test_dp_variant_reports_epsilon(self, lab_bundle_small, tiny_config):
+        table = lab_bundle_small.table.head(300)
+        rng = np.random.default_rng(3)
+        parts = label_skew_partition(table, "label", 2, rng, skew=0.3, min_rows=20)
+        fed = FederatedKiNETGAN(
+            reference_table=table.head(150),
+            config=tiny_config,
+            catalog=lab_bundle_small.catalog,
+            condition_columns=lab_bundle_small.condition_columns,
+            dp_config=DPFedAvgConfig(clip_norm=5.0, noise_multiplier=0.5, delta=1e-5),
+            seed=1,
+        )
+        for i, part in enumerate(parts):
+            fed.add_site(f"s{i}", part)
+        round_info = fed.run_round(local_epochs=1)
+        assert round_info.epsilon is not None and round_info.epsilon > 0.0

@@ -1,0 +1,164 @@
+"""Tests for the state-dictionary arithmetic used by federated averaging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.parameters import (
+    clip_state_norm,
+    copy_state,
+    flatten_state,
+    state_add,
+    state_l2_norm,
+    state_scale,
+    state_subtract,
+    unflatten_state,
+    weighted_average,
+    zeros_like_state,
+)
+
+
+def make_state(seed: int = 0, scale: float = 1.0) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "layers.0.weight": scale * rng.normal(size=(4, 3)),
+        "layers.0.bias": scale * rng.normal(size=(3,)),
+        "layers.1.weight": scale * rng.normal(size=(3, 2)),
+    }
+
+
+class TestBasicArithmetic:
+    def test_copy_is_deep(self):
+        state = make_state()
+        cloned = copy_state(state)
+        cloned["layers.0.bias"][0] = 999.0
+        assert state["layers.0.bias"][0] != 999.0
+
+    def test_zeros_like_matches_shapes(self):
+        state = make_state()
+        zeros = zeros_like_state(state)
+        assert set(zeros) == set(state)
+        for key in state:
+            assert zeros[key].shape == state[key].shape
+            assert np.all(zeros[key] == 0.0)
+
+    def test_add_subtract_roundtrip(self):
+        a, b = make_state(1), make_state(2)
+        roundtrip = state_subtract(state_add(a, b), b)
+        for key in a:
+            np.testing.assert_allclose(roundtrip[key], a[key])
+
+    def test_scale(self):
+        state = make_state(3)
+        doubled = state_scale(state, 2.0)
+        for key in state:
+            np.testing.assert_allclose(doubled[key], 2.0 * state[key])
+
+    def test_incompatible_keys_rejected(self):
+        a = make_state()
+        b = {key: value for key, value in make_state().items() if "bias" not in key}
+        with pytest.raises(ValueError):
+            state_add(a, b)
+
+    def test_incompatible_shapes_rejected(self):
+        a = make_state()
+        b = copy_state(a)
+        b["layers.0.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            state_subtract(a, b)
+
+
+class TestNorms:
+    def test_l2_norm_matches_flat_vector(self):
+        state = make_state(4)
+        flat, _ = flatten_state(state)
+        assert state_l2_norm(state) == pytest.approx(float(np.linalg.norm(flat)))
+
+    def test_clip_noop_when_under_limit(self):
+        state = make_state(5, scale=1e-3)
+        clipped, norm = clip_state_norm(state, max_norm=100.0)
+        assert norm < 100.0
+        for key in state:
+            np.testing.assert_allclose(clipped[key], state[key])
+
+    def test_clip_scales_to_limit(self):
+        state = make_state(6, scale=10.0)
+        clipped, norm = clip_state_norm(state, max_norm=1.0)
+        assert norm > 1.0
+        assert state_l2_norm(clipped) == pytest.approx(1.0, rel=1e-9)
+
+    def test_clip_rejects_nonpositive_norm(self):
+        with pytest.raises(ValueError):
+            clip_state_norm(make_state(), max_norm=0.0)
+
+
+class TestWeightedAverage:
+    def test_uniform_average(self):
+        a, b = make_state(1), make_state(2)
+        average = weighted_average([a, b])
+        for key in a:
+            np.testing.assert_allclose(average[key], 0.5 * (a[key] + b[key]))
+
+    def test_weighting_by_examples(self):
+        a, b = make_state(1), make_state(2)
+        average = weighted_average([a, b], weights=[3.0, 1.0])
+        for key in a:
+            np.testing.assert_allclose(average[key], 0.75 * a[key] + 0.25 * b[key])
+
+    def test_rejects_empty_and_bad_weights(self):
+        with pytest.raises(ValueError):
+            weighted_average([])
+        with pytest.raises(ValueError):
+            weighted_average([make_state()], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_average([make_state(), make_state()], weights=[0.0, 0.0])
+        with pytest.raises(ValueError):
+            weighted_average([make_state(), make_state()], weights=[-1.0, 2.0])
+
+    def test_average_of_identical_states_is_identity(self):
+        state = make_state(7)
+        average = weighted_average([state, copy_state(state), copy_state(state)])
+        for key in state:
+            np.testing.assert_allclose(average[key], state[key])
+
+
+class TestFlattenUnflatten:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed):
+        state = make_state(seed)
+        flat, layout = flatten_state(state)
+        restored = unflatten_state(flat, layout)
+        assert set(restored) == set(state)
+        for key in state:
+            np.testing.assert_allclose(restored[key], state[key])
+
+    def test_layout_is_sorted_and_stable(self):
+        state = make_state()
+        _, layout = flatten_state(state)
+        keys = [key for key, _ in layout]
+        assert keys == sorted(keys)
+
+    def test_wrong_vector_length_rejected(self):
+        state = make_state()
+        flat, layout = flatten_state(state)
+        with pytest.raises(ValueError):
+            unflatten_state(flat[:-1], layout)
+        with pytest.raises(ValueError):
+            unflatten_state(np.concatenate([flat, [0.0]]), layout)
+
+    @given(
+        weights=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=5)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_average_is_convex_combination(self, weights):
+        """Every coordinate of the average lies within the per-state extremes."""
+        states = [make_state(seed) for seed in range(len(weights))]
+        average = weighted_average(states, weights)
+        for key in states[0]:
+            stacked = np.stack([state[key] for state in states])
+            assert np.all(average[key] <= stacked.max(axis=0) + 1e-12)
+            assert np.all(average[key] >= stacked.min(axis=0) - 1e-12)

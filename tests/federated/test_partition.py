@@ -1,0 +1,111 @@
+"""Tests for the federated data partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.partition import dirichlet_partition, iid_partition, label_skew_partition
+
+
+@pytest.fixture(scope="module")
+def lab_table(lab_bundle_small):
+    return lab_bundle_small.table
+
+
+def total_rows(partitions) -> int:
+    return sum(part.n_rows for part in partitions)
+
+
+class TestIIDPartition:
+    def test_preserves_all_rows(self, lab_table):
+        partitions = iid_partition(lab_table, 4, np.random.default_rng(0))
+        assert total_rows(partitions) == lab_table.n_rows
+
+    def test_every_client_meets_minimum(self, lab_table):
+        partitions = iid_partition(lab_table, 5, np.random.default_rng(1), min_rows=20)
+        assert all(part.n_rows >= 20 for part in partitions)
+
+    def test_roughly_balanced(self, lab_table):
+        partitions = iid_partition(lab_table, 3, np.random.default_rng(2))
+        sizes = np.array([part.n_rows for part in partitions])
+        assert sizes.max() < 2 * sizes.min()
+
+    def test_validation(self, lab_table):
+        with pytest.raises(ValueError):
+            iid_partition(lab_table, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            iid_partition(lab_table, 2, np.random.default_rng(0), min_rows=0)
+        with pytest.raises(ValueError):
+            iid_partition(lab_table.head(5), 4, np.random.default_rng(0), min_rows=10)
+
+
+class TestLabelSkewPartition:
+    def test_preserves_all_rows(self, lab_table):
+        partitions = label_skew_partition(
+            lab_table, "label", 3, np.random.default_rng(0), skew=0.7
+        )
+        assert total_rows(partitions) == lab_table.n_rows
+
+    def test_high_skew_concentrates_labels(self, lab_table):
+        partitions = label_skew_partition(
+            lab_table, "label", 4, np.random.default_rng(1), skew=0.9
+        )
+        # The "normal" label's home client should hold the clear majority of
+        # normal rows.
+        normal_counts = [
+            int((part.column("label") == "normal").sum()) for part in partitions
+        ]
+        assert max(normal_counts) > 0.6 * sum(normal_counts)
+
+    def test_zero_skew_close_to_iid(self, lab_table):
+        partitions = label_skew_partition(
+            lab_table, "label", 3, np.random.default_rng(3), skew=0.0
+        )
+        sizes = np.array([part.n_rows for part in partitions])
+        assert sizes.max() < 2 * sizes.min()
+
+    def test_skew_validation(self, lab_table):
+        with pytest.raises(ValueError):
+            label_skew_partition(lab_table, "label", 3, np.random.default_rng(0), skew=1.0)
+
+
+class TestDirichletPartition:
+    def test_preserves_all_rows(self, lab_table):
+        partitions = dirichlet_partition(
+            lab_table, "label", 3, np.random.default_rng(0), alpha=0.5
+        )
+        assert total_rows(partitions) == lab_table.n_rows
+
+    def test_minimum_rows_guaranteed(self, lab_table):
+        partitions = dirichlet_partition(
+            lab_table, "label", 4, np.random.default_rng(5), alpha=0.1, min_rows=10
+        )
+        assert all(part.n_rows >= 10 for part in partitions)
+
+    def test_small_alpha_is_more_skewed_than_large_alpha(self, lab_table):
+        rng = np.random.default_rng(7)
+        skewed = dirichlet_partition(lab_table, "label", 3, rng, alpha=0.05)
+        rng = np.random.default_rng(7)
+        balanced = dirichlet_partition(lab_table, "label", 3, rng, alpha=100.0)
+
+        def size_spread(partitions):
+            sizes = np.array([part.n_rows for part in partitions], dtype=float)
+            return sizes.std() / sizes.mean()
+
+        assert size_spread(skewed) > size_spread(balanced)
+
+    def test_alpha_validation(self, lab_table):
+        with pytest.raises(ValueError):
+            dirichlet_partition(lab_table, "label", 3, np.random.default_rng(0), alpha=0.0)
+
+    @given(num_clients=st.integers(min_value=2, max_value=6), seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_property_rows_conserved_and_schema_kept(self, lab_bundle_small, num_clients, seed):
+        table = lab_bundle_small.table
+        partitions = iid_partition(table, num_clients, np.random.default_rng(seed))
+        assert total_rows(partitions) == table.n_rows
+        for part in partitions:
+            assert part.schema.names == table.schema.names

@@ -1,0 +1,69 @@
+"""Tests for the end-to-end federated NIDS simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federated.dp import DPFedAvgConfig
+from repro.federated.simulation import FederatedNIDSSimulation
+
+
+@pytest.fixture(scope="module")
+def quick_result(lab_bundle_small):
+    simulation = FederatedNIDSSimulation(
+        lab_bundle_small,
+        num_clients=3,
+        skew=0.6,
+        hidden_dims=(16,),
+        num_rounds=4,
+        local_epochs=1,
+        learning_rate=0.1,
+        batch_size=64,
+        seed=0,
+    )
+    return simulation.run()
+
+
+class TestFederatedNIDSSimulation:
+    def test_accuracies_are_probabilities(self, quick_result):
+        for value in (
+            quick_result.local_only,
+            quick_result.federated,
+            quick_result.centralised,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_federated_not_worse_than_local_only_f1(self, quick_result):
+        """Sharing weights should close (part of) the non-IID macro-F1 gap."""
+        assert quick_result.federated_f1 >= quick_result.local_only_f1 - 0.05
+
+    def test_round_accuracies_recorded(self, quick_result):
+        assert len(quick_result.round_accuracies) == 4
+
+    def test_per_client_metrics_present(self, quick_result):
+        assert len(quick_result.per_client_local) == 3
+
+    def test_dp_variant_populates_epsilon(self, lab_bundle_small):
+        simulation = FederatedNIDSSimulation(
+            lab_bundle_small,
+            num_clients=2,
+            skew=0.4,
+            hidden_dims=(8,),
+            num_rounds=2,
+            local_epochs=1,
+            dp_config=DPFedAvgConfig(clip_norm=1.0, noise_multiplier=1.0, delta=1e-5),
+            seed=1,
+        )
+        result = simulation.run()
+        assert result.federated_dp is not None
+        assert result.epsilon is not None and result.epsilon > 0.0
+
+    def test_invalid_parameters_rejected(self, lab_bundle_small):
+        with pytest.raises(ValueError):
+            FederatedNIDSSimulation(lab_bundle_small, num_rounds=0)
+        with pytest.raises(ValueError):
+            FederatedNIDSSimulation(lab_bundle_small, local_epochs=0)
+
+    def test_str_summary_mentions_strategies(self, quick_result):
+        text = str(quick_result)
+        assert "federated" in text and "centralised" in text

@@ -1,0 +1,145 @@
+"""Tests for the extended fidelity battery (JSD / KS, pMSE, coverage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fidelity.coverage import (
+    category_coverage,
+    coverage_report,
+    duplicate_rate,
+    range_coverage,
+)
+from repro.fidelity.divergence import (
+    column_jsd,
+    column_ks,
+    jensen_shannon_distance,
+    ks_statistic,
+    per_column_divergences,
+)
+from repro.fidelity.propensity import propensity_score
+from repro.tabular.table import Table
+
+
+@pytest.fixture(scope="module")
+def real(lab_bundle_small):
+    return lab_bundle_small.table.head(500)
+
+
+@pytest.fixture(scope="module")
+def identical(real):
+    return real.select_rows(np.arange(real.n_rows))
+
+
+@pytest.fixture(scope="module")
+def shuffled_copy(real):
+    """Same marginals as the real table, different row order."""
+    rng = np.random.default_rng(0)
+    return real.shuffle(rng)
+
+
+@pytest.fixture(scope="module")
+def corrupted(real):
+    """A degenerate 'synthetic' table: one event type, constant continuous values."""
+    records = real.to_records()
+    for record in records:
+        record["event_type"] = "dns_lookup"
+        record["protocol"] = "UDP"
+        record["packet_count"] = 2.0
+        record["byte_count"] = 160.0
+    return Table.from_records(real.schema, records)
+
+
+class TestDivergences:
+    def test_identical_tables_have_zero_divergence(self, real, identical):
+        assert jensen_shannon_distance(real, identical) == pytest.approx(0.0, abs=1e-9)
+        assert ks_statistic(real, identical) == pytest.approx(0.0, abs=1e-9)
+
+    def test_corrupted_table_has_large_divergence(self, real, corrupted, identical):
+        # Only four of the ten columns are corrupted, so the column-averaged
+        # divergences land around 0.15-0.3 rather than near 1.
+        assert jensen_shannon_distance(real, corrupted) > 0.1
+        assert ks_statistic(real, corrupted) > 0.1
+        assert jensen_shannon_distance(real, corrupted) > jensen_shannon_distance(real, identical)
+
+    def test_jsd_bounded_by_one(self, real, corrupted):
+        divergences = per_column_divergences(real, corrupted)
+        for entry in divergences.values():
+            assert 0.0 <= entry["jsd"] <= 1.0
+            assert 0.0 <= entry["ks"] <= 1.0
+
+    def test_column_level_metrics_identify_the_broken_column(self, real, corrupted):
+        assert column_jsd(real, corrupted, "event_type") > column_jsd(real, corrupted, "dst_port")
+        assert column_ks(real, corrupted, "packet_count") > 0.5
+
+    def test_schema_mismatch_rejected(self, real):
+        smaller = real.select_columns(["event_type", "protocol"])
+        with pytest.raises(ValueError):
+            jensen_shannon_distance(real, smaller)
+
+    def test_empty_tables_rejected(self, real):
+        empty = Table.empty(real.schema)
+        with pytest.raises(ValueError):
+            column_jsd(real, empty, "event_type")
+        with pytest.raises(ValueError):
+            column_ks(real, empty, "packet_count")
+
+
+class TestPropensity:
+    def test_identical_distributions_near_null(self, real, shuffled_copy):
+        result = propensity_score(real, shuffled_copy, max_rows=400, epochs=40, seed=0)
+        assert result.pmse < 0.5 * result.null_pmse
+        assert result.distinguishing_accuracy < 0.75
+
+    def test_corrupted_synthetic_is_distinguishable(self, real, corrupted):
+        result = propensity_score(real, corrupted, max_rows=400, epochs=40, seed=0)
+        assert result.distinguishing_accuracy > 0.8
+        assert result.pmse_ratio > 0.5
+
+    def test_pmse_ratio_bounds(self, real, shuffled_copy):
+        result = propensity_score(real, shuffled_copy, max_rows=200, epochs=20, seed=1)
+        assert 0.0 <= result.pmse_ratio <= 1.0 + 1e-6
+
+    def test_schema_mismatch_and_empty_rejected(self, real):
+        with pytest.raises(ValueError):
+            propensity_score(real, real.select_columns(["event_type"]))
+        with pytest.raises(ValueError):
+            propensity_score(real, Table.empty(real.schema))
+
+
+class TestCoverage:
+    def test_identical_tables_have_full_coverage(self, real, identical):
+        report = coverage_report(real, identical)
+        assert report.category_coverage == pytest.approx(1.0)
+        assert report.range_coverage == pytest.approx(1.0)
+        assert report.duplicate_rate == pytest.approx(1.0)
+
+    def test_mode_collapsed_table_has_low_category_coverage(self, real, corrupted):
+        per_column = category_coverage(real, corrupted)
+        assert per_column["event_type"] < 0.2
+        assert per_column["protocol"] < 0.6
+
+    def test_constant_columns_shrink_range_coverage(self, real, corrupted):
+        per_column = range_coverage(real, corrupted)
+        assert per_column["packet_count"] < 0.1
+
+    def test_disjoint_rows_have_zero_duplicate_rate(self, real):
+        records = real.head(100).to_records()
+        for record in records:
+            record["src_port"] = 40000.0  # outside any real row's tolerance
+            record["packet_count"] = float(record["packet_count"]) + 5000.0
+        shifted = Table.from_records(real.schema, records)
+        assert duplicate_rate(real, shifted) < 0.05
+
+    def test_report_aggregates_per_column_values(self, real, corrupted):
+        report = coverage_report(real, corrupted)
+        assert set(report.per_column_category) == set(real.schema.categorical_names)
+        assert set(report.per_column_range) == set(real.schema.continuous_names)
+        assert report.category_coverage == pytest.approx(
+            float(np.mean(list(report.per_column_category.values())))
+        )
+
+    def test_schema_mismatch_rejected(self, real):
+        with pytest.raises(ValueError):
+            coverage_report(real, real.select_columns(["event_type"]))

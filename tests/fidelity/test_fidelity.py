@@ -1,0 +1,119 @@
+"""Fidelity metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fidelity import (
+    association_similarity,
+    column_emd,
+    emd_distance,
+    evaluate_fidelity,
+    likelihood_fitness,
+    mixed_distance,
+    per_column_distances,
+)
+from repro.tabular.schema import ColumnSpec, TableSchema
+from repro.tabular.table import Table
+
+
+class TestDistances:
+    def test_identical_tables_have_zero_distance(self, tiny_table):
+        assert emd_distance(tiny_table, tiny_table) == pytest.approx(0.0, abs=1e-12)
+        assert mixed_distance(tiny_table, tiny_table) == pytest.approx(0.0, abs=1e-12)
+
+    def test_same_process_tables_have_small_distance(self, tiny_table, tiny_table_alt):
+        assert emd_distance(tiny_table, tiny_table_alt) < 0.1
+        assert mixed_distance(tiny_table, tiny_table_alt) < 0.3
+
+    def test_shifted_distribution_increases_distance(self, tiny_table, tiny_table_alt):
+        # Shift the continuous column far away.
+        shifted_columns = {
+            name: tiny_table_alt.column(name).copy() for name in tiny_table_alt.schema.names
+        }
+        shifted_columns["bytes"] = shifted_columns["bytes"].astype(float) * 10.0
+        shifted = Table(tiny_table_alt.schema, shifted_columns)
+        assert emd_distance(tiny_table, shifted) > emd_distance(tiny_table, tiny_table_alt)
+
+    def test_categorical_distance_is_total_variation(self):
+        schema = TableSchema([ColumnSpec("c", "categorical", categories=("a", "b"))])
+        real = Table(schema, {"c": np.asarray(["a"] * 80 + ["b"] * 20, dtype=object)})
+        synth = Table(schema, {"c": np.asarray(["a"] * 20 + ["b"] * 80, dtype=object)})
+        assert column_emd(real, synth, "c") == pytest.approx(0.6)
+
+    def test_per_column_distances_cover_all_columns(self, tiny_table, tiny_table_alt):
+        table = per_column_distances(tiny_table, tiny_table_alt)
+        assert set(table) == set(tiny_table.schema.names)
+        for entry in table.values():
+            assert entry["emd"] >= 0 and entry["mixed"] >= 0
+
+    def test_schema_mismatch_rejected(self, tiny_table):
+        with pytest.raises(ValueError):
+            emd_distance(tiny_table, tiny_table.select_columns(["proto", "label"]))
+
+    def test_empty_table_rejected(self, tiny_table):
+        empty = Table.empty(tiny_table.schema)
+        with pytest.raises(ValueError):
+            column_emd(tiny_table, empty, "bytes")
+
+
+class TestLikelihood:
+    def test_in_distribution_data_scores_higher(self, tiny_table, tiny_table_alt):
+        shifted_columns = {
+            name: tiny_table_alt.column(name).copy() for name in tiny_table_alt.schema.names
+        }
+        shifted_columns["bytes"] = shifted_columns["bytes"].astype(float) + 1e5
+        shifted = Table(tiny_table_alt.schema, shifted_columns)
+        good = likelihood_fitness(tiny_table, tiny_table, tiny_table_alt)
+        bad = likelihood_fitness(tiny_table, tiny_table, shifted)
+        assert good["l_syn"] > bad["l_syn"]
+
+    def test_returns_finite_values(self, tiny_table, tiny_table_alt):
+        result = likelihood_fitness(tiny_table, tiny_table_alt, tiny_table_alt)
+        assert np.isfinite(result["l_syn"]) and np.isfinite(result["l_test"])
+
+
+class TestAssociation:
+    def test_identical_tables_have_similarity_one(self, tiny_table):
+        assert association_similarity(tiny_table, tiny_table) == pytest.approx(1.0)
+
+    def test_shuffled_columns_reduce_similarity(self, tiny_table, rng):
+        # Independently permuting a column destroys its associations.
+        shuffled_columns = {
+            name: tiny_table.column(name).copy() for name in tiny_table.schema.names
+        }
+        shuffled_columns["service"] = rng.permutation(shuffled_columns["service"])
+        shuffled_columns["bytes"] = rng.permutation(shuffled_columns["bytes"])
+        shuffled = Table(tiny_table.schema, shuffled_columns)
+        assert association_similarity(tiny_table, shuffled) < 1.0
+
+    def test_bounded_between_zero_and_one(self, tiny_table, tiny_table_alt):
+        value = association_similarity(tiny_table, tiny_table_alt)
+        assert 0.0 <= value <= 1.0
+
+
+class TestReport:
+    def test_report_fields_and_row(self, tiny_table, tiny_table_alt):
+        report = evaluate_fidelity(tiny_table, tiny_table_alt, model="SAME-PROCESS")
+        row = report.as_row()
+        assert row["model"] == "SAME-PROCESS"
+        assert row["emd"] < 0.1
+        assert 0 <= row["association"] <= 1
+        assert "Lsyn" in str(report) or "SAME-PROCESS" in str(report)
+
+    def test_report_ranks_better_model_lower(self, tiny_table, tiny_table_alt, rng):
+        # A "model" that outputs uniform noise over the schema should be worse.
+        noise_columns = {}
+        for spec in tiny_table.schema:
+            if spec.is_categorical:
+                noise_columns[spec.name] = rng.choice(
+                    np.asarray(spec.categories, dtype=object), size=300
+                )
+            else:
+                noise_columns[spec.name] = rng.uniform(0, 1e4, size=300)
+        noise_table = Table(tiny_table.schema, noise_columns)
+        good = evaluate_fidelity(tiny_table, tiny_table_alt, model="good")
+        bad = evaluate_fidelity(tiny_table, noise_table, model="bad")
+        assert good.emd < bad.emd
+        assert good.mixed < bad.mixed

@@ -1,0 +1,124 @@
+"""Ontology and knowledge-graph store tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knowledge.graph import KnowledgeGraph
+from repro.knowledge.ontology import Ontology, default_network_ontology
+
+
+class TestOntology:
+    def test_default_ontology_has_network_extension(self):
+        onto = default_network_ontology()
+        for cls in ("NetworkEvent", "DomainURL", "Device", "EventType", "Protocol"):
+            assert onto.has_class(cls)
+        for prop in ("hasProtocol", "hasSourceIP", "hasDestinationPort", "allowsProtocol"):
+            assert onto.has_property(prop)
+
+    def test_subsumption(self):
+        onto = default_network_ontology()
+        assert onto.is_subclass_of("AttackEvent", "NetworkEvent")
+        assert onto.is_subclass_of("AttackEvent", "Entity")
+        assert not onto.is_subclass_of("NetworkEvent", "AttackEvent")
+        assert "AttackEvent" in onto.subclasses("Indicator")
+
+    def test_ancestors_ordering(self):
+        onto = default_network_ontology()
+        ancestors = onto.ancestors("AttackEvent")
+        assert ancestors[0] == "NetworkEvent"
+        assert ancestors[-1] == "Entity"
+
+    def test_property_inheritance(self):
+        onto = default_network_ontology()
+        # AttackEvent inherits NetworkEvent's properties.
+        assert onto.validate_assertion("AttackEvent", "hasProtocol")
+        assert not onto.validate_assertion("Port", "hasProtocol")
+
+    def test_duplicate_class_rejected(self):
+        onto = Ontology()
+        onto.add_class("A")
+        with pytest.raises(ValueError):
+            onto.add_class("A")
+
+    def test_unknown_parent_rejected(self):
+        onto = Ontology()
+        with pytest.raises(ValueError):
+            onto.add_class("B", parent="missing")
+
+    def test_property_requires_known_domain(self):
+        onto = Ontology()
+        onto.add_class("A")
+        with pytest.raises(ValueError):
+            onto.add_property("p", "missing", "A")
+
+    def test_properties_of_class(self):
+        onto = default_network_ontology()
+        names = {p.name for p in onto.properties_of("NetworkEvent")}
+        assert "hasProtocol" in names and "hasSourceIP" in names
+
+
+class TestKnowledgeGraph:
+    def test_add_and_query_triples(self):
+        graph = KnowledgeGraph()
+        graph.add_triple("event:A", "allowsProtocol", "proto:TCP")
+        graph.add_triple("event:A", "allowsProtocol", "proto:UDP")
+        graph.add_triple("event:B", "allowsProtocol", "proto:TCP")
+        assert len(graph) == 3
+        assert set(graph.objects("event:A", "allowsProtocol")) == {"proto:TCP", "proto:UDP"}
+        assert set(graph.subjects("allowsProtocol", "proto:TCP")) == {"event:A", "event:B"}
+
+    def test_literal_objects_preserved(self):
+        graph = KnowledgeGraph()
+        graph.add_triple("range:x", "rangeLow", 32771)
+        values = graph.objects("range:x", "rangeLow")
+        assert values == [32771]
+        assert isinstance(values[0], int)
+
+    def test_types(self):
+        graph = KnowledgeGraph()
+        graph.add_type("device:cam", "Device")
+        graph.add_type("device:plug", "Device")
+        assert set(graph.entities_of_type("Device")) == {"device:cam", "device:plug"}
+        assert graph.types_of("device:cam") == ["Device"]
+
+    def test_pattern_wildcards(self):
+        graph = KnowledgeGraph()
+        graph.add_triple("a", "p", "x")
+        graph.add_triple("a", "q", "y")
+        assert len(list(graph.triples(subject="a"))) == 2
+        assert len(list(graph.triples(predicate="p"))) == 1
+        assert graph.has_triple("a", "q", "y")
+        assert not graph.has_triple("a", "q", "z")
+
+    def test_missing_subject_yields_nothing(self):
+        graph = KnowledgeGraph()
+        assert list(graph.triples(subject="nope")) == []
+        assert graph.neighbors("nope") == []
+        assert graph.degree("nope") == 0
+
+    def test_empty_subject_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph().add_triple("", "p", "o")
+
+    def test_serialisation_round_trip(self, tmp_path):
+        graph = KnowledgeGraph()
+        graph.add_type("event:A", "EventType")
+        graph.add_triple("event:A", "allowsDestinationPort", "port:443")
+        graph.add_triple("portrange:A-dst", "rangeLow", 32771)
+        path = tmp_path / "kg.tsv"
+        graph.save(path)
+        restored = KnowledgeGraph.load(path)
+        assert len(restored) == len(graph)
+        assert restored.objects("portrange:A-dst", "rangeLow") == [32771]
+        assert restored.has_triple("event:A", "allowsDestinationPort", "port:443")
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph.from_text("only two\tfields")
+
+    def test_predicates_listing(self):
+        graph = KnowledgeGraph()
+        graph.add_triple("a", "p", "x")
+        graph.add_triple("a", "q", "x")
+        assert graph.predicates() == {"p", "q"}

@@ -1,0 +1,135 @@
+"""Rule primitive tests, including hypothesis consistency properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knowledge.rules import ImplicationRule, MembershipRule, RangeRule, RuleSet
+
+
+class TestMembershipRule:
+    def test_allows_listed_values(self):
+        rule = MembershipRule(attribute="proto", allowed={"tcp", "udp"})
+        assert rule.check({"proto": "tcp"}) == []
+        assert len(rule.check({"proto": "icmp"})) == 1
+
+    def test_guard_limits_applicability(self):
+        rule = MembershipRule(
+            attribute="dst_port", allowed={443}, when={"event": "upload"}
+        )
+        assert rule.check({"event": "dns", "dst_port": 53}) == []
+        assert len(rule.check({"event": "upload", "dst_port": 53})) == 1
+
+    def test_missing_attribute_is_not_a_violation(self):
+        rule = MembershipRule(attribute="proto", allowed={"tcp"})
+        assert rule.check({"other": 1}) == []
+
+    def test_empty_allowed_set_rejected(self):
+        with pytest.raises(ValueError):
+            MembershipRule(attribute="proto", allowed=set())
+
+
+class TestRangeRule:
+    def test_inside_and_outside(self):
+        rule = RangeRule(attribute="port", low=32771, high=34000)
+        assert rule.check({"port": 33000}) == []
+        assert len(rule.check({"port": 80})) == 1
+
+    def test_boundaries_inclusive(self):
+        rule = RangeRule(attribute="port", low=10, high=20)
+        assert rule.check({"port": 10}) == []
+        assert rule.check({"port": 20}) == []
+
+    def test_non_numeric_value_is_violation(self):
+        rule = RangeRule(attribute="port", low=0, high=10)
+        assert len(rule.check({"port": "abc"})) == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RangeRule(attribute="port", low=10, high=5)
+
+
+class TestImplicationRule:
+    def test_combined_memberships_and_ranges(self):
+        rule = ImplicationRule(
+            when={"event_type": "cve_1999_0003"},
+            memberships={"protocol": {"TCP"}},
+            ranges={"dst_port": (32771, 34000)},
+        )
+        valid = {"event_type": "cve_1999_0003", "protocol": "TCP", "dst_port": 33000}
+        assert rule.check(valid) == []
+        invalid = {"event_type": "cve_1999_0003", "protocol": "UDP", "dst_port": 80}
+        assert len(rule.check(invalid)) == 2
+
+    def test_guard_with_value_set(self):
+        rule = ImplicationRule(
+            when={"protocol": ("TCP", "UDP")}, memberships={"state": {"CON", "FIN"}}
+        )
+        assert rule.check({"protocol": "ICMP", "state": "weird"}) == []
+        assert len(rule.check({"protocol": "TCP", "state": "weird"})) == 1
+
+    def test_empty_guard_rejected(self):
+        with pytest.raises(ValueError):
+            ImplicationRule(when={}, memberships={"a": {1}})
+
+
+class TestRuleSet:
+    def _ruleset(self) -> RuleSet:
+        return RuleSet(
+            [
+                MembershipRule(attribute="protocol", allowed={"TCP", "UDP"}),
+                ImplicationRule(
+                    when={"event_type": "exploit"},
+                    ranges={"dst_port": (32771, 34000)},
+                ),
+            ]
+        )
+
+    def test_validate_collects_all_violations(self):
+        rules = self._ruleset()
+        record = {"protocol": "ICMP", "event_type": "exploit", "dst_port": 80}
+        assert len(rules.validate(record)) == 2
+        assert not rules.is_valid(record)
+
+    def test_validity_mask_and_rate(self):
+        rules = self._ruleset()
+        records = [
+            {"protocol": "TCP", "event_type": "benign", "dst_port": 443},
+            {"protocol": "ICMP", "event_type": "benign", "dst_port": 443},
+        ]
+        assert rules.validity_mask(records) == [True, False]
+        assert rules.violation_rate(records) == pytest.approx(0.5)
+
+    def test_empty_records_violation_rate(self):
+        assert self._ruleset().violation_rate([]) == 0.0
+
+    def test_merge(self):
+        merged = self._ruleset().merge(RuleSet([RangeRule(attribute="x", low=0, high=1)]))
+        assert len(merged) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    port=st.integers(min_value=0, max_value=65535),
+    low=st.integers(min_value=0, max_value=60000),
+    width=st.integers(min_value=0, max_value=5000),
+)
+def test_range_rule_consistency_property(port, low, width):
+    """Property: RangeRule flags a value iff it is outside [low, high]."""
+    rule = RangeRule(attribute="p", low=low, high=low + width)
+    violations = rule.check({"p": port})
+    expected_violation = not (low <= port <= low + width)
+    assert bool(violations) == expected_violation
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    allowed=st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1),
+    value=st.sampled_from(["a", "b", "c", "d", "e"]),
+)
+def test_membership_rule_consistency_property(allowed, value):
+    """Property: MembershipRule flags a value iff it is not in the allowed set."""
+    rule = MembershipRule(attribute="x", allowed=allowed)
+    assert bool(rule.check({"x": value})) == (value not in allowed)

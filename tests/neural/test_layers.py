@@ -1,0 +1,244 @@
+"""Layer forward/backward tests, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.neural.layers import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    GumbelSoftmax,
+    LeakyReLU,
+    ReLU,
+    Residual,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+
+
+def numerical_gradient(forward_fn, x: np.ndarray, grad_output: np.ndarray, eps: float = 1e-6):
+    """Central-difference gradient of ``sum(forward(x) * grad_output)`` w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float((forward_fn(x) * grad_output).sum())
+        flat[i] = original - eps
+        minus = float((forward_fn(x) * grad_output).sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(4, 7, rng=rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 7)
+
+    def test_rejects_wrong_input_width(self, rng):
+        layer = Dense(4, 7, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(5, 3)))
+
+    def test_rejects_nonpositive_dims(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng=rng)
+
+    def test_backward_matches_numerical_gradient(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+        layer.forward(x)
+        grad_in = layer.backward(grad_out)
+        numeric = numerical_gradient(lambda v: v @ layer.weight + layer.bias, x, grad_out)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-5)
+
+    def test_weight_gradient_accumulates(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        first = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        np.testing.assert_allclose(layer.grad_weight, 2 * first)
+
+    def test_zero_grad_resets(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer.forward(rng.normal(size=(4, 3)))
+        layer.backward(np.ones((4, 2)))
+        layer.zero_grad()
+        assert np.all(layer.grad_weight == 0)
+        assert np.all(layer.grad_bias == 0)
+
+    def test_no_bias_variant(self, rng):
+        layer = Dense(3, 2, rng=rng, bias=False)
+        assert len(layer.params) == 1
+        out = layer.forward(np.zeros((2, 3)))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_state_dict_round_trip(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        state = {k: v.copy() for k, v in layer.state_dict().items()}
+        layer.weight += 1.0
+        layer.load_state_dict(state)
+        np.testing.assert_allclose(layer.weight, state["weight"])
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+
+@pytest.mark.parametrize(
+    "layer_factory",
+    [
+        lambda rng: ReLU(),
+        lambda rng: LeakyReLU(0.1),
+        lambda rng: Tanh(),
+        lambda rng: Sigmoid(),
+        lambda rng: Softmax(),
+    ],
+    ids=["relu", "leaky_relu", "tanh", "sigmoid", "softmax"],
+)
+def test_activation_gradients_match_numerical(layer_factory, rng):
+    layer = layer_factory(rng)
+    x = rng.normal(size=(5, 4))
+    grad_out = rng.normal(size=(5, 4))
+
+    def forward(v):
+        return layer.forward(v.copy())
+
+    layer.forward(x)
+    grad_in = layer.backward(grad_out)
+    numeric = numerical_gradient(forward, x.copy(), grad_out)
+    np.testing.assert_allclose(grad_in, numeric, atol=1e-4)
+
+
+class TestActivations:
+    def test_relu_clips_negatives(self, rng):
+        out = ReLU().forward(np.asarray([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+
+    def test_leaky_relu_keeps_scaled_negatives(self):
+        out = LeakyReLU(0.2).forward(np.asarray([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 2.0]])
+
+    def test_leaky_relu_rejects_negative_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid().forward(rng.normal(size=(10, 3)) * 100)
+        assert np.all(out >= 0) and np.all(out <= 1)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = Softmax().forward(rng.normal(size=(6, 5)))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_softmax_temperature_sharpens(self, rng):
+        x = rng.normal(size=(4, 5))
+        hot = Softmax(temperature=0.1).forward(x)
+        cold = Softmax(temperature=10.0).forward(x)
+        assert hot.max(axis=1).mean() > cold.max(axis=1).mean()
+
+    def test_gumbel_softmax_rows_sum_to_one(self, rng):
+        out = GumbelSoftmax(rng=rng).forward(rng.normal(size=(6, 4)))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_gumbel_softmax_eval_mode_deterministic(self, rng):
+        layer = GumbelSoftmax(rng=rng)
+        x = rng.normal(size=(3, 4))
+        a = layer.forward(x, training=False)
+        b = layer.forward(x, training=False)
+        np.testing.assert_allclose(a, b)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(5, 5))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_training_mode_zeroes_some_entries(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        out = layer.forward(np.ones((100, 10)), training=True)
+        assert (out == 0).sum() > 0
+
+    def test_preserves_expected_scale(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        out = layer.forward(np.ones((2000, 10)), training=True)
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_backward_applies_same_mask(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        out = layer.forward(np.ones((50, 4)), training=True)
+        grad = layer.backward(np.ones((50, 4)))
+        np.testing.assert_allclose(grad, out)
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self, rng):
+        layer = BatchNorm(4)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        layer = BatchNorm(3, momentum=0.0)
+        x = rng.normal(2.0, 1.0, size=(100, 3))
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        assert abs(out.mean()) < 0.2
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = BatchNorm(3)
+        x = rng.normal(size=(6, 3))
+        grad_out = rng.normal(size=(6, 3))
+
+        def forward(v):
+            fresh = BatchNorm(3)
+            fresh.gamma = layer.gamma
+            fresh.beta = layer.beta
+            return fresh.forward(v.copy(), training=True)
+
+        layer.forward(x, training=True)
+        grad_in = layer.backward(grad_out)
+        numeric = numerical_gradient(forward, x.copy(), grad_out)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-4)
+
+    def test_rejects_wrong_width(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm(3).forward(rng.normal(size=(5, 4)))
+
+
+class TestResidual:
+    def test_concatenates_input_and_inner_output(self, rng):
+        block = Residual([Dense(4, 6, rng=rng), ReLU()])
+        out = block.forward(rng.normal(size=(3, 4)))
+        assert out.shape == (3, 10)
+
+    def test_backward_shape(self, rng):
+        block = Residual([Dense(4, 6, rng=rng), ReLU()])
+        block.forward(rng.normal(size=(3, 4)))
+        grad = block.backward(np.ones((3, 10)))
+        assert grad.shape == (3, 4)
+
+    def test_params_include_inner_layers(self, rng):
+        block = Residual([Dense(4, 6, rng=rng)])
+        assert len(block.params) == 2  # weight + bias
+
+    def test_empty_inner_rejected(self):
+        with pytest.raises(ValueError):
+            Residual([])

@@ -1,0 +1,173 @@
+"""Loss value and gradient tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.neural.losses import (
+    BinaryCrossEntropy,
+    CrossEntropy,
+    GaussianKLDivergence,
+    HingeGANLoss,
+    MeanSquaredError,
+    WassersteinLoss,
+)
+
+
+def numerical_loss_gradient(loss, prediction, target, eps=1e-6):
+    grad = np.zeros_like(prediction)
+    flat = prediction.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = loss.forward(prediction, target)
+        flat[i] = original - eps
+        minus = loss.forward(prediction, target)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_logits_give_small_loss(self):
+        loss = BinaryCrossEntropy()
+        value = loss.forward(np.asarray([[20.0], [-20.0]]), np.asarray([[1.0], [0.0]]))
+        assert value < 1e-6
+
+    def test_wrong_logits_give_large_loss(self):
+        loss = BinaryCrossEntropy()
+        assert loss.forward(np.asarray([[-20.0]]), np.asarray([[1.0]])) > 10
+
+    def test_gradient_matches_numerical_logits(self, rng):
+        loss = BinaryCrossEntropy(from_logits=True)
+        prediction = rng.normal(size=(5, 2))
+        target = rng.integers(0, 2, size=(5, 2)).astype(float)
+        loss.forward(prediction, target)
+        np.testing.assert_allclose(
+            loss.backward(), numerical_loss_gradient(loss, prediction, target), atol=1e-5
+        )
+
+    def test_gradient_matches_numerical_probabilities(self, rng):
+        loss = BinaryCrossEntropy(from_logits=False)
+        prediction = rng.uniform(0.1, 0.9, size=(4, 3))
+        target = rng.integers(0, 2, size=(4, 3)).astype(float)
+        loss.forward(prediction, target)
+        np.testing.assert_allclose(
+            loss.backward(), numerical_loss_gradient(loss, prediction, target), atol=1e-4
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryCrossEntropy().forward(np.zeros((2, 1)), np.zeros((3, 1)))
+
+    def test_extreme_logits_do_not_overflow(self):
+        loss = BinaryCrossEntropy()
+        value = loss.forward(np.asarray([[1000.0], [-1000.0]]), np.asarray([[0.0], [1.0]]))
+        assert np.isfinite(value)
+
+
+class TestCrossEntropy:
+    def test_integer_and_one_hot_targets_agree(self, rng):
+        loss = CrossEntropy()
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        one_hot = np.zeros((6, 4))
+        one_hot[np.arange(6), labels] = 1.0
+        assert loss.forward(logits, labels) == pytest.approx(loss.forward(logits, one_hot))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.asarray([[10.0, -10.0], [-10.0, 10.0]])
+        assert CrossEntropy().forward(logits, np.asarray([0, 1])) < 1e-6
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = CrossEntropy()
+        logits = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 3, size=4)
+        loss.forward(logits, labels)
+        np.testing.assert_allclose(
+            loss.backward(), numerical_loss_gradient(loss, logits, labels), atol=1e-5
+        )
+
+    def test_rejects_1d_logits(self):
+        with pytest.raises(ValueError):
+            CrossEntropy().forward(np.zeros(3), np.zeros(3))
+
+
+class TestMeanSquaredError:
+    def test_zero_for_identical(self, rng):
+        x = rng.normal(size=(3, 3))
+        assert MeanSquaredError().forward(x, x.copy()) == 0.0
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = MeanSquaredError()
+        prediction = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        loss.forward(prediction, target)
+        np.testing.assert_allclose(
+            loss.backward(), numerical_loss_gradient(loss, prediction, target), atol=1e-6
+        )
+
+
+class TestGANLosses:
+    def test_wasserstein_sign_convention(self):
+        loss = WassersteinLoss()
+        score = np.asarray([[2.0]])
+        assert loss.forward(score, np.asarray([[1.0]])) == -2.0
+        assert loss.forward(score, np.asarray([[-1.0]])) == 2.0
+
+    def test_wasserstein_gradient(self, rng):
+        loss = WassersteinLoss()
+        prediction = rng.normal(size=(4, 1))
+        target = np.ones((4, 1))
+        loss.forward(prediction, target)
+        np.testing.assert_allclose(loss.backward(), -np.ones((4, 1)) / 4)
+
+    def test_hinge_zero_when_margin_satisfied(self):
+        loss = HingeGANLoss()
+        assert loss.forward(np.asarray([[2.0]]), np.asarray([[1.0]])) == 0.0
+
+    def test_hinge_gradient_matches_numerical(self, rng):
+        loss = HingeGANLoss()
+        prediction = rng.normal(size=(5, 1))
+        target = np.where(rng.uniform(size=(5, 1)) < 0.5, 1.0, -1.0)
+        loss.forward(prediction, target)
+        np.testing.assert_allclose(
+            loss.backward(), numerical_loss_gradient(loss, prediction, target), atol=1e-5
+        )
+
+
+class TestGaussianKL:
+    def test_standard_normal_has_zero_kl(self):
+        loss = GaussianKLDivergence()
+        mu_logvar = np.zeros((4, 6))
+        assert loss.forward(mu_logvar) == pytest.approx(0.0)
+
+    def test_positive_for_shifted_distribution(self):
+        loss = GaussianKLDivergence()
+        mu = np.ones((3, 2))
+        log_var = np.zeros((3, 2))
+        assert loss.forward(np.concatenate([mu, log_var], axis=1)) > 0
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = GaussianKLDivergence()
+        prediction = rng.normal(size=(3, 4)) * 0.5
+        loss.forward(prediction)
+
+        def wrapped_forward(p, _t):
+            return loss.forward(p)
+
+        class _Wrapper:
+            def forward(self, p, t):
+                return loss.forward(p)
+
+        np.testing.assert_allclose(
+            loss.backward(),
+            numerical_loss_gradient(_Wrapper(), prediction, None),
+            atol=1e-5,
+        )
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKLDivergence().forward(np.zeros((2, 3)))

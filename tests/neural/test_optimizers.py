@@ -1,0 +1,91 @@
+"""Optimizer behaviour tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.neural.optimizers import SGD, Adam, RMSprop
+
+
+def _quadratic_problem():
+    """Minimise ||w - 3||^2 starting from zero."""
+    w = np.zeros(4)
+    grad = np.zeros(4)
+    target = np.full(4, 3.0)
+
+    def compute_grad():
+        grad[...] = 2 * (w - target)
+
+    return w, grad, target, compute_grad
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda params: SGD(params, lr=0.05),
+        lambda params: SGD(params, lr=0.05, momentum=0.9),
+        lambda params: RMSprop(params, lr=0.05),
+        lambda params: Adam(params, lr=0.2),
+    ],
+    ids=["sgd", "sgd_momentum", "rmsprop", "adam"],
+)
+def test_optimizers_converge_on_quadratic(factory):
+    w, grad, target, compute_grad = _quadratic_problem()
+    optimizer = factory([(w, grad)])
+    for _ in range(300):
+        compute_grad()
+        optimizer.step()
+    np.testing.assert_allclose(w, target, atol=0.05)
+
+
+def test_sgd_step_is_plain_gradient_descent():
+    w = np.asarray([1.0])
+    grad = np.asarray([2.0])
+    SGD([(w, grad)], lr=0.1).step()
+    np.testing.assert_allclose(w, [0.8])
+
+
+def test_weight_decay_pulls_towards_zero():
+    w = np.asarray([10.0])
+    grad = np.asarray([0.0])
+    optimizer = SGD([(w, grad)], lr=0.1, weight_decay=0.5)
+    for _ in range(50):
+        optimizer.step()
+    assert abs(w[0]) < 1.0
+
+
+def test_zero_grad_clears_buffers():
+    w = np.asarray([1.0])
+    grad = np.asarray([5.0])
+    optimizer = Adam([(w, grad)], lr=0.1)
+    optimizer.zero_grad()
+    np.testing.assert_allclose(grad, [0.0])
+
+
+def test_adam_bias_correction_first_step():
+    w = np.asarray([0.0])
+    grad = np.asarray([1.0])
+    Adam([(w, grad)], lr=0.1).step()
+    # With bias correction the first step is ~lr regardless of beta values.
+    np.testing.assert_allclose(w, [-0.1], atol=1e-6)
+
+
+def test_invalid_learning_rate_rejected():
+    with pytest.raises(ValueError):
+        SGD([(np.zeros(1), np.zeros(1))], lr=0.0)
+
+
+def test_mismatched_shapes_rejected():
+    with pytest.raises(ValueError):
+        SGD([(np.zeros(2), np.zeros(3))], lr=0.1)
+
+
+def test_invalid_momentum_rejected():
+    with pytest.raises(ValueError):
+        SGD([(np.zeros(1), np.zeros(1))], lr=0.1, momentum=1.5)
+
+
+def test_invalid_betas_rejected():
+    with pytest.raises(ValueError):
+        Adam([(np.zeros(1), np.zeros(1))], lr=0.1, betas=(1.2, 0.9))

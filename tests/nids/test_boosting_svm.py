@@ -1,0 +1,168 @@
+"""Tests for the boosted ensembles and the linear SVM classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nids.boosting import AdaBoostClassifier, GradientBoostingClassifier
+from repro.nids.pipeline import make_classifier
+from repro.nids.svm import LinearSVMClassifier
+
+
+def make_blobs(n: int, seed: int, n_classes: int = 3, shift: float = 4.0):
+    rng = np.random.default_rng(seed)
+    per_class = n // n_classes
+    X_parts, y_parts = [], []
+    for k in range(n_classes):
+        centre = np.array([shift * k, -shift * k, shift * (k % 2), 0.0])
+        X_parts.append(rng.normal(loc=centre, scale=1.0, size=(per_class, 4)))
+        y_parts.append(np.full(per_class, k, dtype=int))
+    X = np.concatenate(X_parts)
+    y = np.concatenate(y_parts)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+def make_xor(n: int, seed: int):
+    """A problem a linear model cannot solve but trees can."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+CLASSIFIER_FACTORIES = {
+    "gradient_boosting": lambda: GradientBoostingClassifier(n_estimators=20, seed=0),
+    "adaboost": lambda: AdaBoostClassifier(n_estimators=15, max_depth=2, seed=0),
+    "svm": lambda: LinearSVMClassifier(epochs=25, seed=0),
+}
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_FACTORIES))
+    def test_learns_separable_blobs(self, name):
+        X_train, y_train = make_blobs(300, seed=1)
+        X_test, y_test = make_blobs(150, seed=2)
+        model = CLASSIFIER_FACTORIES[name]()
+        model.fit(X_train, y_train)
+        accuracy = (model.predict(X_test) == y_test).mean()
+        assert accuracy > 0.9
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_FACTORIES))
+    def test_predict_proba_is_a_distribution(self, name):
+        X_train, y_train = make_blobs(200, seed=3)
+        model = CLASSIFIER_FACTORIES[name]()
+        model.fit(X_train, y_train)
+        probabilities = model.predict_proba(X_train[:20])
+        assert probabilities.shape == (20, 3)
+        assert np.all(probabilities >= 0.0)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_FACTORIES))
+    def test_predict_before_fit_rejected(self, name):
+        model = CLASSIFIER_FACTORIES[name]()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((3, 4)))
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_FACTORIES))
+    def test_empty_fit_rejected(self, name):
+        model = CLASSIFIER_FACTORIES[name]()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((0, 4)), np.zeros(0, dtype=int))
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_FACTORIES))
+    def test_registered_in_pipeline(self, name):
+        model = make_classifier(name, seed=1)
+        assert model is not None
+
+
+class TestGradientBoosting:
+    def test_solves_xor_unlike_a_linear_model(self):
+        X_train, y_train = make_xor(400, seed=5)
+        X_test, y_test = make_xor(200, seed=6)
+        boosted = GradientBoostingClassifier(n_estimators=30, max_depth=3, seed=0)
+        boosted.fit(X_train, y_train)
+        linear = LinearSVMClassifier(epochs=40, seed=0)
+        linear.fit(X_train, y_train)
+        boosted_accuracy = (boosted.predict(X_test) == y_test).mean()
+        linear_accuracy = (linear.predict(X_test) == y_test).mean()
+        assert boosted_accuracy > 0.9
+        assert boosted_accuracy > linear_accuracy + 0.15
+
+    def test_more_estimators_do_not_hurt_training_fit(self):
+        X, y = make_blobs(250, seed=7)
+        small = GradientBoostingClassifier(n_estimators=2, seed=0).fit(X, y)
+        large = GradientBoostingClassifier(n_estimators=25, seed=0).fit(X, y)
+        assert (large.predict(X) == y).mean() >= (small.predict(X) == y).mean() - 1e-9
+
+    def test_subsampling_runs(self):
+        X, y = make_blobs(200, seed=8)
+        model = GradientBoostingClassifier(n_estimators=10, subsample=0.5, seed=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.8
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+
+class TestAdaBoost:
+    def test_boosting_beats_a_single_stump(self):
+        """A depth-1 stump can separate at most two of the three blobs; the
+        boosted committee of stumps should recover all three classes."""
+        X_train, y_train = make_blobs(300, seed=9)
+        X_test, y_test = make_blobs(150, seed=10)
+        from repro.nids.decision_tree import DecisionTreeClassifier
+
+        stump = DecisionTreeClassifier(max_depth=1, seed=0).fit(X_train, y_train)
+        boosted = AdaBoostClassifier(n_estimators=40, max_depth=1, seed=0).fit(X_train, y_train)
+        stump_accuracy = (stump.predict(X_test) == y_test).mean()
+        boosted_accuracy = (boosted.predict(X_test) == y_test).mean()
+        assert stump_accuracy < 0.75
+        assert boosted_accuracy > stump_accuracy + 0.1
+
+    def test_alphas_are_positive(self):
+        X, y = make_blobs(200, seed=11)
+        model = AdaBoostClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert len(model._alphas) >= 1
+        assert all(alpha > 0 for alpha in model._alphas)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(learning_rate=0.0)
+
+
+class TestLinearSVM:
+    def test_binary_margins_have_correct_sign(self):
+        X, y = make_blobs(200, seed=12, n_classes=2)
+        model = LinearSVMClassifier(epochs=40, seed=0).fit(X, y)
+        margins = model.decision_function(X)
+        predictions = margins.argmax(axis=1)
+        assert (predictions == y).mean() > 0.95
+
+    def test_mismatched_lengths_rejected(self):
+        X, y = make_blobs(50, seed=13)
+        with pytest.raises(ValueError):
+            LinearSVMClassifier().fit(X, y[:-1])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(regularization=0.0)
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(epochs=0)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_predictions_are_valid_class_ids(self, seed):
+        X, y = make_blobs(120, seed=seed)
+        model = LinearSVMClassifier(epochs=5, seed=seed).fit(X, y)
+        predictions = model.predict(X)
+        assert set(np.unique(predictions)) <= set(range(int(y.max()) + 1))

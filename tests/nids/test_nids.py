@@ -1,0 +1,201 @@
+"""NIDS classifier, metric and pipeline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nids import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KNearestNeighbors,
+    LogisticRegressionClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+    TabularFeaturizer,
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    evaluate_utility,
+    f1_score,
+    make_classifier,
+    precision_score,
+    recall_score,
+    train_and_score,
+)
+from repro.tabular.split import train_test_split
+
+
+def _blobs(rng, n=300, n_classes=3):
+    """Well-separated Gaussian blobs: every classifier should ace these."""
+    centers = rng.uniform(-10, 10, size=(n_classes, 4))
+    X = np.zeros((n, 4))
+    y = np.zeros(n, dtype=int)
+    for i in range(n):
+        label = i % n_classes
+        X[i] = centers[label] + rng.normal(0, 0.5, size=4)
+        y[i] = label
+    return X, y
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: DecisionTreeClassifier(seed=0),
+        lambda: RandomForestClassifier(n_estimators=5, seed=0),
+        lambda: LogisticRegressionClassifier(epochs=100, seed=0),
+        lambda: GaussianNaiveBayes(),
+        lambda: KNearestNeighbors(k=3, seed=0),
+        lambda: MLPClassifier(epochs=30, seed=0),
+    ],
+    ids=["tree", "forest", "logreg", "nb", "knn", "mlp"],
+)
+def test_classifiers_learn_separable_blobs(factory, rng):
+    X, y = _blobs(rng)
+    model = factory()
+    model.fit(X[:200], y[:200])
+    assert accuracy_score(y[200:], model.predict(X[200:])) > 0.9
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: DecisionTreeClassifier(seed=0),
+        lambda: RandomForestClassifier(n_estimators=5, seed=0),
+        lambda: GaussianNaiveBayes(),
+    ],
+    ids=["tree", "forest", "nb"],
+)
+def test_predict_proba_rows_sum_to_one(factory, rng):
+    X, y = _blobs(rng, n=150)
+    model = factory()
+    model.fit(X, y)
+    proba = model.predict_proba(X[:20])
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_classifier_empty_fit_rejected():
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier().fit(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+
+def test_predict_before_fit_rejected():
+    with pytest.raises(RuntimeError):
+        GaussianNaiveBayes().predict(np.zeros((2, 3)))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.asarray([0, 1, 1]), np.asarray([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix_layout(self):
+        matrix = confusion_matrix(np.asarray([0, 0, 1]), np.asarray([0, 1, 1]))
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_perfect_prediction_metrics(self):
+        y = np.asarray([0, 1, 2, 1])
+        report = classification_report(y, y)
+        assert report["accuracy"] == 1.0
+        assert report["precision"] == 1.0
+        assert report["recall"] == 1.0
+        assert report["f1"] == 1.0
+
+    def test_macro_vs_micro_differ_under_imbalance(self):
+        y_true = np.asarray([0] * 95 + [1] * 5)
+        y_pred = np.asarray([0] * 100)
+        micro = f1_score(y_true, y_pred, average="micro")
+        macro = f1_score(y_true, y_pred, average="macro")
+        assert micro > macro
+
+    def test_precision_recall_known_values(self):
+        y_true = np.asarray([0, 0, 1, 1])
+        y_pred = np.asarray([0, 1, 1, 1])
+        # class 0: P=1, R=0.5; class 1: P=2/3, R=1.
+        assert precision_score(y_true, y_pred) == pytest.approx((1 + 2 / 3) / 2)
+        assert recall_score(y_true, y_pred) == pytest.approx(0.75)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.asarray([]), np.asarray([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.asarray([1]), np.asarray([1, 2]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50))
+def test_accuracy_bounds_property(labels):
+    """Property: accuracy of self-prediction is 1; metrics stay in [0, 1]."""
+    y = np.asarray(labels)
+    assert accuracy_score(y, y) == 1.0
+    flipped = (y + 1) % 4
+    assert 0.0 <= accuracy_score(y, flipped) <= 1.0
+    assert 0.0 <= f1_score(y, flipped) <= 1.0
+
+
+class TestFeaturizer:
+    def test_feature_matrix_shape(self, tiny_table):
+        featurizer = TabularFeaturizer("label").fit(tiny_table)
+        X, y = featurizer.transform(tiny_table)
+        # proto(2) + service(3) + bytes(1) + duration(1) = 7 features.
+        assert X.shape == (300, 7)
+        assert y.shape == (300,)
+        assert featurizer.n_classes == 2
+
+    def test_labels_round_trip(self, tiny_table):
+        featurizer = TabularFeaturizer("label").fit(tiny_table)
+        _, y = featurizer.transform(tiny_table)
+        restored = [featurizer.label_of(code) for code in y[:10]]
+        assert restored == list(tiny_table.column("label")[:10])
+
+    def test_unknown_label_column_rejected(self, tiny_table):
+        with pytest.raises(KeyError):
+            TabularFeaturizer("missing").fit(tiny_table)
+
+    def test_same_layout_for_other_tables(self, tiny_table, tiny_table_alt):
+        featurizer = TabularFeaturizer("label").fit(tiny_table)
+        X_other = featurizer.transform_features(tiny_table_alt)
+        assert X_other.shape[1] == featurizer.transform_features(tiny_table).shape[1]
+
+
+class TestPipeline:
+    def test_make_classifier_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_classifier("quantum_forest")
+
+    def test_train_and_score_on_real_data(self, tiny_table, rng):
+        train, test = train_test_split(tiny_table, 0.3, rng, stratify_column="label")
+        report = train_and_score("decision_tree", train, test, "label")
+        assert report["accuracy"] > 0.7
+
+    def test_evaluate_utility_structure(self, tiny_table, tiny_table_alt, rng):
+        train, test = train_test_split(tiny_table, 0.3, rng, stratify_column="label")
+        results = evaluate_utility(
+            train, test, {"SAME-PROCESS": tiny_table_alt}, "label",
+            classifiers=("decision_tree", "naive_bayes"),
+        )
+        assert results[0].source == "REAL"
+        assert results[1].source == "SAME-PROCESS"
+        for result in results:
+            assert set(result.per_classifier) == {"decision_tree", "naive_bayes"}
+            assert 0.0 <= result.mean_accuracy <= 1.0
+        row = results[0].as_row()
+        assert "mean_accuracy" in row
+
+    def test_real_baseline_at_least_as_good_as_noise(self, tiny_table, rng):
+        train, test = train_test_split(tiny_table, 0.3, rng, stratify_column="label")
+        # Noise table: labels shuffled, destroying the feature-label link.
+        from repro.tabular.table import Table
+
+        columns = {name: train.column(name).copy() for name in train.schema.names}
+        columns["label"] = rng.permutation(columns["label"])
+        noise = Table(train.schema, columns)
+        results = evaluate_utility(
+            train, test, {"NOISE": noise}, "label", classifiers=("decision_tree",)
+        )
+        real_acc = results[0].mean_accuracy
+        noise_acc = results[1].mean_accuracy
+        assert real_acc >= noise_acc

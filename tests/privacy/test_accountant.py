@@ -1,0 +1,141 @@
+"""Tests for the Renyi-DP (moments) accountant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.accountant import (
+    DEFAULT_ORDERS,
+    MomentsAccountant,
+    RDPAccountant,
+    dp_sgd_epsilon,
+    rdp_gaussian,
+    rdp_subsampled_gaussian,
+    rdp_to_epsilon,
+)
+
+
+class TestRDPCurves:
+    def test_gaussian_rdp_is_linear_in_order(self):
+        curve = rdp_gaussian(noise_multiplier=2.0, orders=(2, 4, 8))
+        np.testing.assert_allclose(curve, np.array([2, 4, 8]) / (2 * 4.0))
+
+    def test_subsampled_matches_gaussian_at_full_sampling(self):
+        full = rdp_subsampled_gaussian(1.5, sample_rate=1.0, steps=1)
+        plain = rdp_gaussian(1.5)
+        np.testing.assert_allclose(full, plain, rtol=1e-9)
+
+    def test_zero_sampling_rate_costs_nothing(self):
+        curve = rdp_subsampled_gaussian(1.0, sample_rate=0.0, steps=10)
+        assert np.all(curve == 0.0)
+
+    def test_subsampling_never_hurts(self):
+        subsampled = rdp_subsampled_gaussian(1.2, sample_rate=0.05, steps=1)
+        full = rdp_gaussian(1.2)
+        assert np.all(subsampled <= full + 1e-12)
+
+    def test_composition_is_linear_in_steps(self):
+        one = rdp_subsampled_gaussian(1.1, 0.1, steps=1)
+        ten = rdp_subsampled_gaussian(1.1, 0.1, steps=10)
+        np.testing.assert_allclose(ten, 10 * one)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            rdp_gaussian(0.0)
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(1.0, sample_rate=1.5)
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(1.0, 0.1, steps=-1)
+
+
+class TestConversion:
+    def test_epsilon_decreases_with_larger_delta(self):
+        rdp = rdp_subsampled_gaussian(1.0, 0.05, steps=100)
+        eps_strict, _ = rdp_to_epsilon(rdp, delta=1e-7)
+        eps_loose, _ = rdp_to_epsilon(rdp, delta=1e-3)
+        assert eps_loose < eps_strict
+
+    def test_epsilon_increases_with_steps(self):
+        eps_few = dp_sgd_epsilon(1.1, 0.02, steps=100, delta=1e-5)
+        eps_many = dp_sgd_epsilon(1.1, 0.02, steps=10_000, delta=1e-5)
+        assert eps_few < eps_many
+
+    def test_epsilon_decreases_with_more_noise(self):
+        eps_low_noise = dp_sgd_epsilon(0.8, 0.02, steps=1000, delta=1e-5)
+        eps_high_noise = dp_sgd_epsilon(4.0, 0.02, steps=1000, delta=1e-5)
+        assert eps_high_noise < eps_low_noise
+
+    def test_known_regime_is_single_digit(self):
+        """The canonical MNIST-style DP-SGD setting lands in the usual range."""
+        epsilon = dp_sgd_epsilon(
+            noise_multiplier=1.1, sample_rate=256 / 60_000, steps=1_0000, delta=1e-5
+        )
+        assert 0.5 < epsilon < 10.0
+
+    def test_delta_validation(self):
+        rdp = rdp_gaussian(1.0)
+        with pytest.raises(ValueError):
+            rdp_to_epsilon(rdp, delta=0.0)
+        with pytest.raises(ValueError):
+            rdp_to_epsilon(rdp[:-1], delta=1e-5)
+
+    @given(
+        sigma=st.floats(min_value=0.5, max_value=5.0),
+        q=st.floats(min_value=0.001, max_value=0.2),
+        steps=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_epsilon_is_positive_and_finite(self, sigma, q, steps):
+        epsilon = dp_sgd_epsilon(sigma, q, steps, delta=1e-5)
+        assert np.isfinite(epsilon)
+        assert epsilon > 0.0
+
+
+class TestAccountant:
+    def test_empty_accountant_spends_nothing(self):
+        accountant = RDPAccountant()
+        assert accountant.get_epsilon(delta=1e-5) == 0.0
+        assert accountant.total_steps == 0
+
+    def test_step_merging(self):
+        accountant = RDPAccountant()
+        accountant.step(noise_multiplier=1.0, sample_rate=0.1, steps=3)
+        accountant.step(noise_multiplier=1.0, sample_rate=0.1, steps=2)
+        assert accountant.total_steps == 5
+        manual = dp_sgd_epsilon(1.0, 0.1, steps=5, delta=1e-5)
+        assert accountant.get_epsilon(1e-5) == pytest.approx(manual)
+
+    def test_heterogeneous_mechanisms_compose(self):
+        accountant = RDPAccountant()
+        accountant.step(noise_multiplier=1.0, sample_rate=0.1, steps=10)
+        accountant.step(noise_multiplier=2.0, sample_rate=0.5, steps=5)
+        eps_combined = accountant.get_epsilon(1e-5)
+        eps_first_only = dp_sgd_epsilon(1.0, 0.1, 10, 1e-5)
+        assert eps_combined > eps_first_only
+
+    def test_reset(self):
+        accountant = RDPAccountant()
+        accountant.step(noise_multiplier=1.0, sample_rate=0.1)
+        accountant.reset()
+        assert accountant.get_epsilon(1e-5) == 0.0
+
+    def test_best_order_is_one_of_the_evaluated_orders(self):
+        accountant = RDPAccountant()
+        accountant.step(noise_multiplier=1.1, sample_rate=0.01, steps=200)
+        _, order = accountant.get_epsilon_and_order(1e-5)
+        assert order in DEFAULT_ORDERS
+
+    def test_moments_accountant_alias(self):
+        assert MomentsAccountant is RDPAccountant
+
+    def test_invalid_steps_rejected(self):
+        accountant = RDPAccountant()
+        with pytest.raises(ValueError):
+            accountant.step(noise_multiplier=1.0, sample_rate=0.1, steps=0)
+        with pytest.raises(ValueError):
+            accountant.step(noise_multiplier=-1.0, sample_rate=0.1)
+        with pytest.raises(ValueError):
+            RDPAccountant(orders=(1, 2))

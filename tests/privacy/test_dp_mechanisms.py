@@ -1,0 +1,69 @@
+"""Tests for the discrete / local DP mechanisms added alongside the classics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.privacy.dp import exponential_mechanism, randomized_response
+
+
+class TestExponentialMechanism:
+    def test_prefers_high_utility_candidates(self):
+        rng = np.random.default_rng(0)
+        candidates = ["low", "medium", "high"]
+        scores = [0.0, 5.0, 10.0]
+        picks = [
+            exponential_mechanism(candidates, scores, sensitivity=1.0, epsilon=2.0, rng=rng)
+            for _ in range(300)
+        ]
+        assert picks.count("high") > picks.count("low")
+        assert picks.count("high") > 150
+
+    def test_small_epsilon_is_close_to_uniform(self):
+        rng = np.random.default_rng(1)
+        candidates = [0, 1]
+        scores = [0.0, 10.0]
+        picks = [
+            exponential_mechanism(candidates, scores, sensitivity=10.0, epsilon=0.01, rng=rng)
+            for _ in range(2000)
+        ]
+        share = picks.count(1) / len(picks)
+        assert 0.4 < share < 0.6
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            exponential_mechanism([], [], 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            exponential_mechanism(["a"], [1.0, 2.0], 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            exponential_mechanism(["a"], [1.0], 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            exponential_mechanism(["a"], [1.0], 1.0, 0.0, rng)
+
+
+class TestRandomizedResponse:
+    def test_high_epsilon_is_almost_always_truthful(self):
+        rng = np.random.default_rng(2)
+        answers = [randomized_response(True, epsilon=8.0, rng=rng) for _ in range(500)]
+        assert sum(answers) > 490
+
+    def test_truth_probability_matches_theory(self):
+        rng = np.random.default_rng(3)
+        epsilon = 1.0
+        expected = np.exp(epsilon) / (1.0 + np.exp(epsilon))
+        answers = [randomized_response(True, epsilon=epsilon, rng=rng) for _ in range(20_000)]
+        observed = np.mean(answers)
+        assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_false_inputs_flip_symmetrically(self):
+        rng = np.random.default_rng(4)
+        answers = [randomized_response(False, epsilon=1.0, rng=rng) for _ in range(20_000)]
+        observed_false = 1.0 - np.mean(answers)
+        expected = np.exp(1.0) / (1.0 + np.exp(1.0))
+        assert observed_false == pytest.approx(expected, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            randomized_response(True, epsilon=0.0, rng=np.random.default_rng(0))

@@ -1,0 +1,165 @@
+"""Privacy attack and DP mechanism tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    AttributeInferenceAttack,
+    CompositionAccountant,
+    MembershipInferenceAttack,
+    ReidentificationAttack,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+)
+from repro.privacy._distance import nearest_neighbor_distances, record_distance_matrix
+from repro.tabular.split import train_test_split
+
+
+class TestDP:
+    def test_laplace_noise_scale(self, rng):
+        values = np.zeros(5000)
+        noisy = laplace_mechanism(values, sensitivity=1.0, epsilon=0.5, rng=rng)
+        # Laplace(b) has std = sqrt(2) * b with b = 2.
+        assert abs(np.std(noisy) - np.sqrt(2) * 2.0) < 0.3
+
+    def test_laplace_scalar_input(self, rng):
+        noisy = laplace_mechanism(5.0, sensitivity=1.0, epsilon=1.0, rng=rng)
+        assert isinstance(float(noisy), float)
+
+    def test_higher_epsilon_means_less_noise(self, rng):
+        low_eps = laplace_mechanism(np.zeros(3000), 1.0, 0.1, rng)
+        high_eps = laplace_mechanism(np.zeros(3000), 1.0, 10.0, rng)
+        assert np.std(low_eps) > np.std(high_eps)
+
+    def test_gaussian_sigma_formula(self):
+        assert gaussian_sigma(1.0, 1.0, 1e-5) == pytest.approx(
+            np.sqrt(2 * np.log(1.25e5)), rel=1e-6
+        )
+
+    def test_gaussian_mechanism_adds_noise(self, rng):
+        noisy = gaussian_mechanism(np.zeros(2000), 1.0, 1.0, 1e-5, rng)
+        assert np.std(noisy) > 1.0
+
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            laplace_mechanism(0.0, 1.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            gaussian_sigma(1.0, 1.0, 1.5)
+
+    def test_accountant_composes(self):
+        accountant = CompositionAccountant()
+        accountant.spend(0.5)
+        accountant.spend(0.25, delta=1e-6)
+        assert accountant.epsilon == pytest.approx(0.75)
+        assert accountant.delta == pytest.approx(1e-6)
+        assert accountant.num_queries == 2
+        with pytest.raises(ValueError):
+            accountant.spend(-1.0)
+
+
+class TestRecordDistance:
+    def test_identical_rows_have_zero_distance(self, tiny_table):
+        matrix = record_distance_matrix(tiny_table.head(5), tiny_table.head(5))
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-12)
+
+    def test_distance_symmetric_in_structure(self, tiny_table, tiny_table_alt):
+        a = record_distance_matrix(tiny_table.head(10), tiny_table_alt.head(12))
+        assert a.shape == (10, 12)
+        assert np.all(a >= 0)
+
+    def test_nearest_neighbor_of_self_is_self(self, tiny_table):
+        distances, indices = nearest_neighbor_distances(tiny_table.head(20), tiny_table.head(20))
+        np.testing.assert_allclose(distances, 0.0, atol=1e-12)
+        np.testing.assert_array_equal(indices, np.arange(20))
+
+
+class TestReidentification:
+    def test_accuracy_increases_with_overlap(self, tiny_table, tiny_table_alt):
+        attack = ReidentificationAttack("label", seed=3)
+        results = attack.run_sweep(tiny_table, tiny_table_alt, overlaps=(0.3, 0.6, 0.9))
+        accuracies = [result.attack_accuracy for result in results]
+        assert accuracies[0] < accuracies[1] < accuracies[2]
+
+    def test_memorising_synthesizer_is_more_vulnerable(self, tiny_table, tiny_table_alt):
+        attack = ReidentificationAttack("label", seed=3)
+        # "Memorising" release: the real data itself; "generalising": fresh draw.
+        leaky = attack.run(tiny_table, tiny_table, overlap=0.3).attack_accuracy
+        safer = attack.run(tiny_table, tiny_table_alt, overlap=0.3).attack_accuracy
+        assert leaky >= safer
+
+    def test_accuracy_bounded(self, tiny_table, tiny_table_alt):
+        result = ReidentificationAttack("label", seed=1).run(tiny_table, tiny_table_alt, 0.5)
+        assert 0.0 <= result.attack_accuracy <= 1.0
+        assert 0.0 <= result.linkage_rate <= 1.0
+
+    def test_invalid_overlap_rejected(self, tiny_table, tiny_table_alt):
+        with pytest.raises(ValueError):
+            ReidentificationAttack("label").run(tiny_table, tiny_table_alt, 1.5)
+
+    def test_unknown_sensitive_column_rejected(self, tiny_table, tiny_table_alt):
+        with pytest.raises(KeyError):
+            ReidentificationAttack("missing").run(tiny_table, tiny_table_alt, 0.3)
+
+
+class TestAttributeInference:
+    def test_attack_runs_and_reports_baseline(self, tiny_table, tiny_table_alt):
+        attack = AttributeInferenceAttack("label", quasi_identifiers=["bytes", "duration"], seed=2)
+        result = attack.run(tiny_table, tiny_table_alt)
+        assert 0.0 <= result.attack_accuracy <= 1.0
+        assert 0.0 < result.majority_baseline <= 1.0
+        assert result.n_targets <= 1000
+
+    def test_uninformative_synthetic_data_gives_low_advantage(self, tiny_table, rng):
+        # Shuffle the sensitive column in the "synthetic" data: the attacker
+        # cannot learn a real mapping from it.
+        from repro.tabular.table import Table
+
+        columns = {name: tiny_table.column(name).copy() for name in tiny_table.schema.names}
+        columns["label"] = rng.permutation(columns["label"])
+        shuffled = Table(tiny_table.schema, columns)
+        informative = AttributeInferenceAttack(
+            "label", quasi_identifiers=["bytes", "service"], seed=2
+        ).run(tiny_table, tiny_table)
+        uninformative = AttributeInferenceAttack(
+            "label", quasi_identifiers=["bytes", "service"], seed=2
+        ).run(tiny_table, shuffled)
+        assert informative.attack_accuracy >= uninformative.attack_accuracy
+
+    def test_continuous_sensitive_column_rejected(self, tiny_table, tiny_table_alt):
+        with pytest.raises(ValueError):
+            AttributeInferenceAttack("bytes").run(tiny_table, tiny_table_alt)
+
+
+class TestMembershipInference:
+    def test_balanced_accuracy_near_half_for_fresh_draw(self, tiny_table, tiny_table_alt, rng):
+        members, non_members = train_test_split(tiny_table, 0.5, rng)
+        attack = MembershipInferenceAttack(seed=4)
+        result = attack.run(members, non_members, tiny_table_alt, setting="fbb")
+        assert 0.3 <= result.attack_accuracy <= 0.7
+
+    def test_memorising_release_is_detectable(self, tiny_table, tiny_table_alt, rng):
+        members, non_members = train_test_split(tiny_table, 0.5, rng)
+        attack = MembershipInferenceAttack(seed=4)
+        # Synthetic data == the member records themselves: attack should win.
+        leaky = attack.run(members, non_members, members, setting="fbb")
+        safe = attack.run(members, non_members, tiny_table_alt, setting="fbb")
+        assert leaky.attack_accuracy > safe.attack_accuracy
+        assert leaky.advantage > safe.advantage
+
+    def test_white_box_with_score_function(self, tiny_table, tiny_table_alt, rng):
+        members, non_members = train_test_split(tiny_table, 0.5, rng)
+        attack = MembershipInferenceAttack(seed=4)
+
+        def score_fn(table):
+            return np.asarray([1.0 if v == "attack" else 0.0 for v in table.column("label")])
+
+        result = attack.run(members, non_members, tiny_table_alt, setting="wb", score_fn=score_fn)
+        assert result.setting == "wb"
+        assert 0.0 <= result.attack_accuracy <= 1.0
+
+    def test_invalid_setting_rejected(self, tiny_table, tiny_table_alt):
+        with pytest.raises(ValueError):
+            MembershipInferenceAttack().run(tiny_table, tiny_table, tiny_table_alt, setting="grey")

@@ -1,0 +1,180 @@
+"""Encoder tests, including hypothesis round-trip properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tabular.encoders import (
+    GaussianMixtureModel,
+    MinMaxScaler,
+    ModeSpecificNormalizer,
+    OneHotEncoder,
+    OrdinalEncoder,
+    StandardScaler,
+)
+
+
+class TestOneHotEncoder:
+    def test_round_trip(self):
+        encoder = OneHotEncoder().fit(np.asarray(["a", "b", "a", "c"], dtype=object))
+        encoded = encoder.transform(np.asarray(["c", "a"], dtype=object))
+        assert encoded.shape == (2, 3)
+        decoded = encoder.inverse_transform(encoded)
+        assert list(decoded) == ["c", "a"]
+
+    def test_fixed_categories_define_layout(self):
+        encoder = OneHotEncoder(categories=["x", "y", "z"])
+        encoded = encoder.transform(np.asarray(["z"], dtype=object))
+        np.testing.assert_allclose(encoded, [[0, 0, 1]])
+
+    def test_unknown_value_error_mode(self):
+        encoder = OneHotEncoder(categories=["a"])
+        with pytest.raises(ValueError):
+            encoder.transform(np.asarray(["b"], dtype=object))
+
+    def test_unknown_value_ignore_mode(self):
+        encoder = OneHotEncoder(categories=["a"], handle_unknown="ignore")
+        encoded = encoder.transform(np.asarray(["b"], dtype=object))
+        np.testing.assert_allclose(encoded, [[0.0]])
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform(np.asarray(["a"], dtype=object))
+
+    def test_soft_vectors_decode_by_argmax(self):
+        encoder = OneHotEncoder(categories=["a", "b"])
+        decoded = encoder.inverse_transform(np.asarray([[0.4, 0.6]]))
+        assert list(decoded) == ["b"]
+
+
+class TestOrdinalEncoder:
+    def test_round_trip(self):
+        encoder = OrdinalEncoder().fit(np.asarray(["x", "y", "x"], dtype=object))
+        codes = encoder.transform(np.asarray(["y", "x"], dtype=object))
+        np.testing.assert_allclose(codes, [1.0, 0.0])
+        assert list(encoder.inverse_transform(codes)) == ["y", "x"]
+
+    def test_out_of_range_codes_clamped(self):
+        encoder = OrdinalEncoder(categories=["a", "b"])
+        assert list(encoder.inverse_transform(np.asarray([5.0, -2.0]))) == ["b", "a"]
+
+
+class TestScalers:
+    def test_minmax_range(self, rng):
+        values = rng.uniform(10, 50, size=200)
+        scaler = MinMaxScaler().fit(values)
+        scaled = scaler.transform(values)
+        assert scaled.min() >= -1.0 and scaled.max() <= 1.0
+        np.testing.assert_allclose(scaler.inverse_transform(scaled), values, rtol=1e-9)
+
+    def test_minmax_clips_out_of_range(self):
+        scaler = MinMaxScaler().fit(np.asarray([0.0, 10.0]))
+        restored = scaler.inverse_transform(np.asarray([2.0]))
+        assert restored[0] == pytest.approx(10.0)
+
+    def test_standard_scaler_round_trip(self, rng):
+        values = rng.normal(5, 2, size=300)
+        scaler = StandardScaler().fit(values)
+        scaled = scaler.transform(values)
+        assert abs(scaled.mean()) < 1e-9
+        np.testing.assert_allclose(scaler.inverse_transform(scaled), values, rtol=1e-9)
+
+    def test_constant_column_does_not_divide_by_zero(self):
+        scaler = StandardScaler().fit(np.full(10, 3.0))
+        assert np.isfinite(scaler.transform(np.asarray([3.0]))).all()
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.asarray([]))
+
+
+class TestGaussianMixture:
+    def test_recovers_two_modes(self, rng):
+        values = np.concatenate([rng.normal(-5, 0.5, 500), rng.normal(5, 0.5, 500)])
+        gmm = GaussianMixtureModel(max_components=5, seed=1).fit(values)
+        assert gmm.n_components >= 2
+        means = np.sort(gmm.means)
+        assert means[0] < -3 and means[-1] > 3
+
+    def test_likelihood_higher_for_in_distribution_data(self, rng):
+        values = rng.normal(0, 1, 500)
+        gmm = GaussianMixtureModel(max_components=3).fit(values)
+        inside = gmm.log_likelihood(rng.normal(0, 1, 200))
+        outside = gmm.log_likelihood(rng.normal(50, 1, 200))
+        assert inside > outside
+
+    def test_sampling_matches_support(self, rng):
+        values = rng.normal(10, 2, 400)
+        gmm = GaussianMixtureModel(max_components=3).fit(values)
+        samples = gmm.sample(500, rng)
+        assert 0 < samples.mean() < 20
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        gmm = GaussianMixtureModel(max_components=4).fit(rng.normal(size=300))
+        proba = gmm.predict_proba(rng.normal(size=50))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_single_unique_value(self):
+        gmm = GaussianMixtureModel(max_components=5).fit(np.full(100, 7.0))
+        assert gmm.n_components == 1
+        assert gmm.means[0] == pytest.approx(7.0, abs=1e-3)
+
+
+class TestModeSpecificNormalizer:
+    def test_encoding_width(self, rng):
+        values = np.concatenate([rng.normal(-3, 0.3, 300), rng.normal(3, 0.3, 300)])
+        normalizer = ModeSpecificNormalizer(max_modes=5, seed=2).fit(values)
+        encoded = normalizer.transform(values[:50], rng=rng)
+        assert encoded.shape == (50, normalizer.dim)
+        assert normalizer.dim == 1 + normalizer.n_modes
+
+    def test_round_trip_accuracy(self, rng):
+        values = np.concatenate([rng.normal(-3, 0.3, 400), rng.normal(3, 0.3, 400)])
+        normalizer = ModeSpecificNormalizer(max_modes=5, seed=2).fit(values)
+        encoded = normalizer.transform(values, rng=rng)
+        decoded = normalizer.inverse_transform(encoded)
+        assert np.abs(decoded - values).mean() < 0.5
+
+    def test_alpha_bounded(self, rng):
+        values = rng.lognormal(3, 1, 500)
+        normalizer = ModeSpecificNormalizer(max_modes=4, seed=0).fit(values)
+        encoded = normalizer.transform(values, rng=rng)
+        assert np.all(encoded[:, 0] >= -1.0) and np.all(encoded[:, 0] <= 1.0)
+
+    def test_wrong_width_rejected(self, rng):
+        normalizer = ModeSpecificNormalizer(max_modes=3).fit(rng.normal(size=100))
+        with pytest.raises(ValueError):
+            normalizer.inverse_transform(np.zeros((2, normalizer.dim + 1)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.sampled_from(["tcp", "udp", "icmp", "arp"]), min_size=1, max_size=50
+    )
+)
+def test_one_hot_round_trip_property(values):
+    """Property: one-hot encoding followed by decoding is the identity."""
+    array = np.asarray(values, dtype=object)
+    encoder = OneHotEncoder().fit(array)
+    decoded = encoder.inverse_transform(encoder.transform(array))
+    assert list(decoded) == values
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=2,
+        max_size=60,
+    )
+)
+def test_minmax_round_trip_property(values):
+    """Property: min-max scaling round-trips within numerical tolerance."""
+    array = np.asarray(values, dtype=np.float64)
+    scaler = MinMaxScaler().fit(array)
+    restored = scaler.inverse_transform(scaler.transform(array))
+    np.testing.assert_allclose(restored, array, rtol=1e-6, atol=1e-6)

@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import MODEL_CHOICES, build_parser, main
+from repro.datasets import available_datasets
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_choices_match_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "--dataset", "lab_iot"])
+        assert args.dataset in available_datasets()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["generate", "--dataset", "not_a_dataset"])
+
+    def test_model_choices_validated(self):
+        parser = build_parser()
+        for model in MODEL_CHOICES:
+            assert parser.parse_args(["evaluate", "--model", model]).model == model
+        with pytest.raises(SystemExit):
+            parser.parse_args(["evaluate", "--model", "diffusion"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.model == "kinetgan"
+        assert args.epochs > 0
+        assert args.output.endswith(".csv")
+
+
+class TestCommands:
+    def test_datasets_lists_every_registered_dataset(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in available_datasets():
+            assert name in out
+
+    def test_generate_writes_a_csv(self, tmp_path, capsys):
+        output = tmp_path / "synthetic.csv"
+        exit_code = main(
+            [
+                "generate",
+                "--dataset", "lab_iot",
+                "--model", "independent",
+                "--records", "400",
+                "--epochs", "1",
+                "--samples", "120",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        assert output.exists()
+        lines = output.read_text().strip().splitlines()
+        assert len(lines) == 121  # header + 120 rows
+        out = capsys.readouterr().out
+        assert "EMD distance" in out and "knowledge-graph validity" in out
+
+    def test_evaluate_reports_fidelity_validity_and_utility(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--dataset", "lab_iot",
+                "--model", "independent",
+                "--records", "400",
+                "--epochs", "1",
+                "--classifiers", "decision_tree",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Fidelity" in out
+        assert "validity rate" in out
+        assert "INDEPENDENT" in out and "REAL" in out

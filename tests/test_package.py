@@ -1,0 +1,25 @@
+"""Package-level smoke tests."""
+
+from __future__ import annotations
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_subpackages_import():
+    import repro.baselines
+    import repro.core
+    import repro.datasets
+    import repro.distributed
+    import repro.fidelity
+    import repro.knowledge
+    import repro.neural
+    import repro.nids
+    import repro.privacy
+    import repro.tabular
+
+    assert repro.core.KiNETGAN.name == "KiNETGAN"
+    assert len(repro.baselines.baseline_classes()) == 6

@@ -19,6 +19,15 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _harness import BENCH_ROWS, fit_model_suite, sample_all, split_bundle  # noqa: E402
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark ``slow`` so ``pytest -m "not slow"`` runs only the
+    fast unit/integration tier."""
+    root = str(Path(__file__).parent)
+    for item in items:
+        if str(item.fspath).startswith(root):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def lab_bundle():
     return load_lab_iot(n_records=BENCH_ROWS, seed=7)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import Synthesizer
+from repro.engine import sampling_rng
 from repro.tabular.table import Table
 
 __all__ = ["IndependentSampler"]
@@ -46,7 +47,7 @@ class IndependentSampler(Synthesizer):
         if n <= 0:
             raise ValueError("n must be positive")
         assert self._table is not None
-        rng = rng if rng is not None else np.random.default_rng(self.seed + 1)
+        rng = rng if rng is not None else sampling_rng(self.seed)
         columns: dict[str, np.ndarray] = {}
         for spec in self._table.schema:
             values = self._table.column(spec.name)

@@ -17,6 +17,7 @@ from repro.core.discriminator import DataDiscriminator
 from repro.core.generator import ConditionalGenerator, TabularOutputActivation
 from repro.core.synthesizer import KiNETGAN
 from repro.core.trainer import KiNETGANTrainer
+from repro.engine import seeded_rng
 from repro.neural.layers import BatchNorm, Dense, Dropout, LeakyReLU, ReLU
 from repro.neural.network import Sequential
 from repro.neural.ode import ODEBlock
@@ -87,7 +88,7 @@ class OCTGAN(KiNETGAN):
 
     def _build_trainer(self) -> KiNETGANTrainer:
         assert self.transformer is not None and self.sampler is not None
-        rng = np.random.default_rng(self.config.seed)
+        rng = seeded_rng(self.config.seed)
         generator = _ODEGenerator(
             noise_dim=self.config.embedding_dim,
             condition_dim=self.sampler.condition_dim,

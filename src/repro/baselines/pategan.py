@@ -7,6 +7,9 @@ teachers (the PATE mechanism, which is what provides the differential-privacy
 guarantee); the generator plays against the student.  Every noisy vote
 consumes privacy budget, which we track with simple (eps, 0)-composition of
 the Laplace mechanism so the model can report a conservative epsilon.
+
+The epoch/batch loop runs through :class:`repro.engine.TrainingEngine`;
+this module contributes only the teachers/student/generator step.
 """
 
 from __future__ import annotations
@@ -17,12 +20,82 @@ from repro.core.base import Synthesizer
 from repro.core.config import KiNETGANConfig
 from repro.core.discriminator import DataDiscriminator
 from repro.core.generator import ConditionalGenerator
+from repro.engine import RecordMetric, TrainingEngine, TrainStep, sampling_rng, seeded_rng
 from repro.neural.losses import BinaryCrossEntropy
+from repro.neural.network import Sequential
 from repro.neural.optimizers import Adam
 from repro.tabular.table import Table
 from repro.tabular.transformer import DataTransformer
 
 __all__ = ["PATEGAN"]
+
+
+class _PATEGANStep(TrainStep):
+    """One PATE round: teacher updates, noisy-vote student update, generator."""
+
+    def __init__(self, model: "PATEGAN", data: np.ndarray, partitions: list[np.ndarray]) -> None:
+        config = model.config
+        self.model = model
+        self.data = data
+        self.partitions = partitions
+        self.teacher_batch = max(8, config.batch_size // model.num_teachers)
+        self.bce = BinaryCrossEntropy(from_logits=True)
+        self.opt_g = Adam(model.generator.parameters(), lr=config.generator_lr, betas=(0.5, 0.9))
+        self.opt_s = Adam(model.student.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9))
+        self.opt_teachers = [
+            Adam(teacher.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9))
+            for teacher in model.teachers
+        ]
+
+    def step(self, rng: np.random.Generator, batch_index: int) -> dict[str, float]:
+        model = self.model
+        config = model.config
+        bce = self.bce
+        loss = 0.0
+
+        # --- teachers: real (own partition) vs generated ----------
+        noise = rng.normal(size=(self.teacher_batch, config.embedding_dim))
+        fake = model.generator.forward(noise, None, training=True)
+        for teacher, optimizer, part in zip(model.teachers, self.opt_teachers, self.partitions):
+            real = self.data[rng.choice(part, size=min(self.teacher_batch, len(part)))]
+            teacher.zero_grad()
+            logits_real = teacher.forward(real, None, training=True)
+            teacher_loss = bce.forward(logits_real, np.ones_like(logits_real))
+            teacher.backward(bce.backward())
+            logits_fake = teacher.forward(fake, None, training=True)
+            teacher_loss += bce.forward(logits_fake, np.zeros_like(logits_fake))
+            teacher.backward(bce.backward())
+            optimizer.step()
+            loss += teacher_loss / model.num_teachers
+
+        # --- student: generated samples with noisy teacher labels --
+        noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+        fake = model.generator.forward(noise, None, training=True)
+        labels = model._noisy_vote(fake, rng)
+        model.student.zero_grad()
+        logits = model.student.forward(fake, None, training=True)
+        student_loss = bce.forward(logits, labels)
+        model.student.backward(bce.backward())
+        self.opt_s.step()
+
+        # --- generator: fool the student ---------------------------
+        noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+        fake = model.generator.forward(noise, None, training=True)
+        logits = model.student.forward(fake, None, training=True)
+        gen_loss = bce.forward(logits, np.ones_like(logits))
+        grad_fake = model.student.backward(bce.backward())
+        model.student.zero_grad()
+        model.generator.zero_grad()
+        model.generator.backward(grad_fake)
+        self.opt_g.step()
+
+        return {"loss": loss + student_loss + gen_loss}
+
+    def checkpoint_targets(self) -> dict[str, Sequential]:
+        return {
+            "generator": self.model.generator.network,
+            "student": self.model.student.network,
+        }
 
 
 class PATEGAN(Synthesizer):
@@ -54,7 +127,7 @@ class PATEGAN(Synthesizer):
     # ------------------------------------------------------------------ #
     def fit(self, table: Table, **kwargs) -> "PATEGAN":
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        rng = seeded_rng(config.seed)
         self._rng = rng
         self.transformer = DataTransformer(
             max_modes=config.max_modes,
@@ -93,57 +166,18 @@ class PATEGAN(Synthesizer):
             dropout=config.dropout,
             rng=rng,
         )
-        opt_g = Adam(self.generator.parameters(), lr=config.generator_lr, betas=(0.5, 0.9))
-        opt_s = Adam(self.student.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9))
-        opt_teachers = [
-            Adam(teacher.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9))
-            for teacher in self.teachers
-        ]
-        bce = BinaryCrossEntropy(from_logits=True)
 
-        teacher_batch = max(8, config.batch_size // self.num_teachers)
-        steps_per_epoch = max(1, len(data) // config.batch_size)
-        for _epoch in range(config.epochs):
-            epoch_loss = 0.0
-            for _ in range(steps_per_epoch):
-                # --- teachers: real (own partition) vs generated ----------
-                noise = rng.normal(size=(teacher_batch, config.embedding_dim))
-                fake = self.generator.forward(noise, None, training=True)
-                for teacher, optimizer, part in zip(self.teachers, opt_teachers, partitions):
-                    real = data[rng.choice(part, size=min(teacher_batch, len(part)))]
-                    teacher.zero_grad()
-                    logits_real = teacher.forward(real, None, training=True)
-                    loss = bce.forward(logits_real, np.ones_like(logits_real))
-                    teacher.backward(bce.backward())
-                    logits_fake = teacher.forward(fake, None, training=True)
-                    loss += bce.forward(logits_fake, np.zeros_like(logits_fake))
-                    teacher.backward(bce.backward())
-                    optimizer.step()
-                    epoch_loss += loss / self.num_teachers
-
-                # --- student: generated samples with noisy teacher labels --
-                noise = rng.normal(size=(config.batch_size, config.embedding_dim))
-                fake = self.generator.forward(noise, None, training=True)
-                labels = self._noisy_vote(fake, rng)
-                self.student.zero_grad()
-                logits = self.student.forward(fake, None, training=True)
-                student_loss = bce.forward(logits, labels)
-                self.student.backward(bce.backward())
-                opt_s.step()
-
-                # --- generator: fool the student ---------------------------
-                noise = rng.normal(size=(config.batch_size, config.embedding_dim))
-                fake = self.generator.forward(noise, None, training=True)
-                logits = self.student.forward(fake, None, training=True)
-                gen_loss = bce.forward(logits, np.ones_like(logits))
-                grad_fake = self.student.backward(bce.backward())
-                self.student.zero_grad()
-                self.generator.zero_grad()
-                self.generator.backward(grad_fake)
-                opt_g.step()
-
-                epoch_loss += student_loss + gen_loss
-            self.loss_history.append(epoch_loss / steps_per_epoch)
+        step = _PATEGANStep(self, data, partitions)
+        engine = TrainingEngine(
+            step,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            n_rows=len(data),
+            rng=rng,
+            callbacks=[RecordMetric(self.loss_history, "loss")]
+            + config.engine_callbacks(prefix="[PATEGAN]"),
+        )
+        engine.run()
         self._fitted = True
         return self
 
@@ -172,18 +206,11 @@ class PATEGAN(Synthesizer):
         if n <= 0:
             raise ValueError("n must be positive")
         assert self.generator is not None and self.transformer is not None
-        rng = rng if rng is not None else np.random.default_rng(self.config.seed + 1)
+        rng = rng if rng is not None else sampling_rng(self.config.seed)
         outputs: list[np.ndarray] = []
         for start in range(0, n, self.config.batch_size):
             end = min(start + self.config.batch_size, n)
             noise = rng.normal(size=(end - start, self.config.embedding_dim))
             outputs.append(self.generator.forward(noise, None, training=False))
-        matrix = np.concatenate(outputs, axis=0)
-        for start, end, activation in self.transformer.activation_spans():
-            if activation != "softmax":
-                continue
-            block = matrix[:, start:end]
-            one_hot = np.zeros_like(block)
-            one_hot[np.arange(len(block)), block.argmax(axis=1)] = 1.0
-            matrix[:, start:end] = one_hot
+        matrix = self.transformer.harden(np.concatenate(outputs, axis=0), inplace=True)
         return self.transformer.inverse_transform(matrix)

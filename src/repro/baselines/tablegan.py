@@ -11,6 +11,8 @@ auxiliary losses on top of the adversarial game:
   carries (semantic-integrity constraint).
 
 We keep the convolution-free MLP formulation appropriate for flow records.
+The epoch/batch loop runs through :class:`repro.engine.TrainingEngine`;
+this module contributes only the adversarial + auxiliary-loss step.
 """
 
 from __future__ import annotations
@@ -21,7 +23,9 @@ from repro.core.base import Synthesizer
 from repro.core.config import KiNETGANConfig
 from repro.core.discriminator import DataDiscriminator
 from repro.core.generator import ConditionalGenerator
+from repro.engine import RecordMetric, TrainingEngine, TrainStep, sampling_rng, seeded_rng
 from repro.neural.losses import BinaryCrossEntropy
+from repro.neural.network import Sequential
 from repro.neural.optimizers import Adam
 from repro.tabular.table import Table
 from repro.tabular.transformer import DataTransformer
@@ -29,6 +33,82 @@ from repro.tabular.transformer import DataTransformer
 __all__ = ["TableGAN"]
 
 _EPS = 1e-6
+
+
+class _TableGANStep(TrainStep):
+    """One TableGAN round: discriminator, classifier, then generator."""
+
+    def __init__(self, model: "TableGAN", data: np.ndarray, opt_c: Adam | None) -> None:
+        config = model.config
+        self.model = model
+        self.data = data
+        self.bce = BinaryCrossEntropy(from_logits=True)
+        self.opt_g = Adam(model.generator.parameters(), lr=config.generator_lr, betas=(0.5, 0.9))
+        self.opt_d = Adam(
+            model.discriminator.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9)
+        )
+        self.opt_c = opt_c
+
+    def step(self, rng: np.random.Generator, batch_index: int) -> dict[str, float]:
+        model = self.model
+        config = model.config
+        bce = self.bce
+        real = self.data[rng.integers(0, len(self.data), size=config.batch_size)]
+        noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+        fake = model.generator.forward(noise, None, training=True)
+
+        # Discriminator update.
+        model.discriminator.zero_grad()
+        logits_real = model.discriminator.forward(real, None, training=True)
+        loss_d = bce.forward(logits_real, np.ones_like(logits_real))
+        model.discriminator.backward(bce.backward())
+        logits_fake = model.discriminator.forward(fake, None, training=True)
+        loss_d += bce.forward(logits_fake, np.zeros_like(logits_fake))
+        model.discriminator.backward(bce.backward())
+        self.opt_d.step()
+
+        # Classifier update (real data only).
+        if model.classifier is not None and self.opt_c is not None:
+            features, _label_target = model._split_label(real)
+            model.classifier.zero_grad()
+            logits = model.classifier.forward(features, None, training=True)
+            target = model._binary_label_target(real)
+            class_loss = bce.forward(logits, target)
+            model.classifier.backward(bce.backward())
+            self.opt_c.step()
+        else:
+            class_loss = 0.0
+
+        # Generator update: adversarial + information + classification.
+        noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+        fake = model.generator.forward(noise, None, training=True)
+        logits_fake = model.discriminator.forward(fake, None, training=True)
+        loss_g = bce.forward(logits_fake, np.ones_like(logits_fake))
+        grad_fake = model.discriminator.backward(bce.backward())
+        model.discriminator.zero_grad()
+
+        info_loss, grad_info = model._information_loss(real, fake)
+        grad_total = grad_fake + model.info_weight * grad_info
+
+        if model.classifier is not None:
+            class_g_loss, grad_class = model._classification_loss(fake, bce)
+            grad_total = grad_total + model.class_weight * grad_class
+        else:
+            class_g_loss = 0.0
+
+        model.generator.zero_grad()
+        model.generator.backward(grad_total)
+        self.opt_g.step()
+        return {"loss": loss_d + loss_g + info_loss + class_loss + class_g_loss}
+
+    def checkpoint_targets(self) -> dict[str, Sequential]:
+        targets = {
+            "generator": self.model.generator.network,
+            "discriminator": self.model.discriminator.network,
+        }
+        if self.model.classifier is not None:
+            targets["classifier"] = self.model.classifier.network
+        return targets
 
 
 class TableGAN(Synthesizer):
@@ -61,7 +141,7 @@ class TableGAN(Synthesizer):
     # ------------------------------------------------------------------ #
     def fit(self, table: Table, label_column: str | None = None, **kwargs) -> "TableGAN":
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        rng = seeded_rng(config.seed)
         self._rng = rng
         if label_column is not None:
             self.label_column = label_column
@@ -94,13 +174,9 @@ class TableGAN(Synthesizer):
             dropout=config.dropout,
             rng=rng,
         )
-        opt_g = Adam(self.generator.parameters(), lr=config.generator_lr, betas=(0.5, 0.9))
-        opt_d = Adam(self.discriminator.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9))
-        bce = BinaryCrossEntropy(from_logits=True)
 
         # Auxiliary classifier over the non-label features.
         opt_c = None
-        feature_dim = data_dim
         if self.label_column is not None and self.label_column in table.schema.names:
             info = self.transformer.column_info(self.label_column)
             self._label_slice = slice(info.start, info.end)
@@ -114,58 +190,17 @@ class TableGAN(Synthesizer):
             )
             opt_c = Adam(self.classifier.parameters(), lr=config.discriminator_lr)
 
-        steps_per_epoch = max(1, len(data) // config.batch_size)
-        for _epoch in range(config.epochs):
-            epoch_loss = 0.0
-            for _ in range(steps_per_epoch):
-                real = data[rng.integers(0, len(data), size=config.batch_size)]
-                noise = rng.normal(size=(config.batch_size, config.embedding_dim))
-                fake = self.generator.forward(noise, None, training=True)
-
-                # Discriminator update.
-                self.discriminator.zero_grad()
-                logits_real = self.discriminator.forward(real, None, training=True)
-                loss_d = bce.forward(logits_real, np.ones_like(logits_real))
-                self.discriminator.backward(bce.backward())
-                logits_fake = self.discriminator.forward(fake, None, training=True)
-                loss_d += bce.forward(logits_fake, np.zeros_like(logits_fake))
-                self.discriminator.backward(bce.backward())
-                opt_d.step()
-
-                # Classifier update (real data only).
-                if self.classifier is not None and opt_c is not None:
-                    features, label_target = self._split_label(real)
-                    self.classifier.zero_grad()
-                    logits = self.classifier.forward(features, None, training=True)
-                    target = self._binary_label_target(real)
-                    class_loss = bce.forward(logits, target)
-                    self.classifier.backward(bce.backward())
-                    opt_c.step()
-                else:
-                    class_loss = 0.0
-
-                # Generator update: adversarial + information + classification.
-                noise = rng.normal(size=(config.batch_size, config.embedding_dim))
-                fake = self.generator.forward(noise, None, training=True)
-                logits_fake = self.discriminator.forward(fake, None, training=True)
-                loss_g = bce.forward(logits_fake, np.ones_like(logits_fake))
-                grad_fake = self.discriminator.backward(bce.backward())
-                self.discriminator.zero_grad()
-
-                info_loss, grad_info = self._information_loss(real, fake)
-                grad_total = grad_fake + self.info_weight * grad_info
-
-                if self.classifier is not None:
-                    class_g_loss, grad_class = self._classification_loss(fake, bce)
-                    grad_total = grad_total + self.class_weight * grad_class
-                else:
-                    class_g_loss = 0.0
-
-                self.generator.zero_grad()
-                self.generator.backward(grad_total)
-                opt_g.step()
-                epoch_loss += loss_d + loss_g + info_loss + class_loss + class_g_loss
-            self.loss_history.append(epoch_loss / steps_per_epoch)
+        step = _TableGANStep(self, data, opt_c)
+        engine = TrainingEngine(
+            step,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            n_rows=len(data),
+            rng=rng,
+            callbacks=[RecordMetric(self.loss_history, "loss")]
+            + config.engine_callbacks(prefix="[TableGAN]"),
+        )
+        engine.run()
         self._fitted = True
         return self
 
@@ -223,19 +258,11 @@ class TableGAN(Synthesizer):
         if n <= 0:
             raise ValueError("n must be positive")
         assert self.generator is not None and self.transformer is not None
-        rng = rng if rng is not None else np.random.default_rng(self.config.seed + 1)
+        rng = rng if rng is not None else sampling_rng(self.config.seed)
         outputs: list[np.ndarray] = []
         for start in range(0, n, self.config.batch_size):
             end = min(start + self.config.batch_size, n)
             noise = rng.normal(size=(end - start, self.config.embedding_dim))
             outputs.append(self.generator.forward(noise, None, training=False))
-        matrix = np.concatenate(outputs, axis=0)
-        hardened = matrix.copy()
-        for start, end, activation in self.transformer.activation_spans():
-            if activation != "softmax":
-                continue
-            block = hardened[:, start:end]
-            one_hot = np.zeros_like(block)
-            one_hot[np.arange(len(block)), block.argmax(axis=1)] = 1.0
-            hardened[:, start:end] = one_hot
+        hardened = self.transformer.harden(np.concatenate(outputs, axis=0), inplace=True)
         return self.transformer.inverse_transform(hardened)

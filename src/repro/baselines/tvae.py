@@ -5,6 +5,9 @@ Gaussian latent; the decoder maps a latent sample back to the transformed
 representation (tanh scalars + softmax one-hot blocks).  Training minimises
 the usual ELBO: per-span reconstruction loss (MSE for continuous scalars,
 cross-entropy for one-hot blocks) plus the closed-form Gaussian KL.
+
+The epoch/batch loop runs through :class:`repro.engine.TrainingEngine`;
+this module contributes only the ELBO step.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import numpy as np
 from repro.core.base import Synthesizer
 from repro.core.config import KiNETGANConfig
 from repro.core.generator import TabularOutputActivation
+from repro.engine import RecordMetric, TrainingEngine, TrainStep, sampling_rng, seeded_rng
 from repro.neural.layers import Dense, ReLU
 from repro.neural.losses import GaussianKLDivergence
 from repro.neural.network import Sequential
@@ -47,6 +51,56 @@ def _reconstruction_loss_and_grad(
     return total / batch, grad / batch
 
 
+class _TVAEStep(TrainStep):
+    """One ELBO descent step over a random mini-batch."""
+
+    def __init__(self, model: "TVAE", data: np.ndarray) -> None:
+        self.model = model
+        self.data = data
+        self.spans = model.transformer.activation_spans()
+        self.kl_loss = GaussianKLDivergence()
+        self.optimizer = Adam(
+            model.encoder.parameters() + model.decoder.parameters(),
+            lr=model.config.generator_lr,
+        )
+
+    def step(self, rng: np.random.Generator, batch_index: int) -> dict[str, float]:
+        model = self.model
+        latent_dim = model.latent_dim
+        batch_idx = rng.integers(0, len(self.data), size=model.config.batch_size)
+        x = self.data[batch_idx]
+
+        stats = model.encoder.forward(x, training=True)
+        mu = stats[:, :latent_dim]
+        log_var = np.clip(stats[:, latent_dim:], -8.0, 8.0)
+        eps = rng.normal(size=mu.shape)
+        z = mu + eps * np.exp(0.5 * log_var)
+
+        x_hat = model.decoder.forward(z, training=True)
+        recon, grad_x_hat = _reconstruction_loss_and_grad(x_hat, x, self.spans)
+        kl = self.kl_loss.forward(np.concatenate([mu, log_var], axis=1))
+        grad_kl = self.kl_loss.backward()
+
+        model.encoder.zero_grad()
+        model.decoder.zero_grad()
+        grad_z = model.decoder.backward(grad_x_hat)
+        grad_mu = grad_z + model.kl_weight * grad_kl[:, :latent_dim]
+        grad_log_var = (
+            grad_z * eps * 0.5 * np.exp(0.5 * log_var)
+            + model.kl_weight * grad_kl[:, latent_dim:]
+        )
+        model.encoder.backward(np.concatenate([grad_mu, grad_log_var], axis=1))
+        self.optimizer.step()
+        return {
+            "loss": recon + model.kl_weight * kl,
+            "reconstruction_loss": recon,
+            "kl_loss": kl,
+        }
+
+    def checkpoint_targets(self) -> dict[str, Sequential]:
+        return {"encoder": self.model.encoder, "decoder": self.model.decoder}
+
+
 class TVAE(Synthesizer):
     """Tabular variational autoencoder."""
 
@@ -70,7 +124,7 @@ class TVAE(Synthesizer):
     # ------------------------------------------------------------------ #
     def fit(self, table: Table, **kwargs) -> "TVAE":
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        rng = seeded_rng(config.seed)
         self._rng = rng
         self.transformer = DataTransformer(
             max_modes=config.max_modes,
@@ -96,42 +150,18 @@ class TVAE(Synthesizer):
                 TabularOutputActivation(self.transformer.activation_spans(), tau=1.0, rng=rng),
             ]
         )
-        optimizer = Adam(
-            self.encoder.parameters() + self.decoder.parameters(), lr=config.generator_lr
+
+        step = _TVAEStep(self, data)
+        engine = TrainingEngine(
+            step,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            n_rows=len(data),
+            rng=rng,
+            callbacks=[RecordMetric(self.loss_history, "loss")]
+            + config.engine_callbacks(prefix="[TVAE]"),
         )
-        kl_loss = GaussianKLDivergence()
-        spans = self.transformer.activation_spans()
-
-        steps_per_epoch = max(1, len(data) // config.batch_size)
-        for epoch in range(config.epochs):
-            epoch_loss = 0.0
-            for _ in range(steps_per_epoch):
-                batch_idx = rng.integers(0, len(data), size=config.batch_size)
-                x = data[batch_idx]
-
-                stats = self.encoder.forward(x, training=True)
-                mu = stats[:, : self.latent_dim]
-                log_var = np.clip(stats[:, self.latent_dim :], -8.0, 8.0)
-                eps = rng.normal(size=mu.shape)
-                z = mu + eps * np.exp(0.5 * log_var)
-
-                x_hat = self.decoder.forward(z, training=True)
-                recon, grad_x_hat = _reconstruction_loss_and_grad(x_hat, x, spans)
-                kl = kl_loss.forward(np.concatenate([mu, log_var], axis=1))
-                grad_kl = kl_loss.backward()
-
-                self.encoder.zero_grad()
-                self.decoder.zero_grad()
-                grad_z = self.decoder.backward(grad_x_hat)
-                grad_mu = grad_z + self.kl_weight * grad_kl[:, : self.latent_dim]
-                grad_log_var = (
-                    grad_z * eps * 0.5 * np.exp(0.5 * log_var)
-                    + self.kl_weight * grad_kl[:, self.latent_dim :]
-                )
-                self.encoder.backward(np.concatenate([grad_mu, grad_log_var], axis=1))
-                optimizer.step()
-                epoch_loss += recon + self.kl_weight * kl
-            self.loss_history.append(epoch_loss / steps_per_epoch)
+        engine.run()
         self._fitted = True
         return self
 
@@ -145,24 +175,12 @@ class TVAE(Synthesizer):
         if n <= 0:
             raise ValueError("n must be positive")
         assert self.decoder is not None and self.transformer is not None
-        rng = rng if rng is not None else np.random.default_rng(self.config.seed + 1)
+        rng = rng if rng is not None else sampling_rng(self.config.seed)
         outputs: list[np.ndarray] = []
         batch_size = self.config.batch_size
         for start in range(0, n, batch_size):
             end = min(start + batch_size, n)
             z = rng.normal(size=(end - start, self.latent_dim))
             outputs.append(self.decoder.forward(z, training=False))
-        matrix = self._harden(np.concatenate(outputs, axis=0))
+        matrix = self.transformer.harden(np.concatenate(outputs, axis=0), inplace=True)
         return self.transformer.inverse_transform(matrix)
-
-    def _harden(self, matrix: np.ndarray) -> np.ndarray:
-        assert self.transformer is not None
-        hardened = matrix.copy()
-        for start, end, activation in self.transformer.activation_spans():
-            if activation != "softmax":
-                continue
-            block = hardened[:, start:end]
-            one_hot = np.zeros_like(block)
-            one_hot[np.arange(len(block)), block.argmax(axis=1)] = 1.0
-            hardened[:, start:end] = one_hot
-        return hardened

@@ -62,6 +62,22 @@ class KiNETGANConfig:
         Seed for all random draws (model init, sampling, noise).
     verbose:
         When true the trainer prints one line per ``log_every`` epochs.
+    log_every:
+        Epoch period of the engine's :class:`~repro.engine.PeriodicLogger`
+        (only active when ``verbose``).
+    patience:
+        Early-stopping patience in epochs for the engine's loss-plateau
+        monitor; 0 (the default) disables early stopping so training always
+        runs the full ``epochs``.
+    min_delta:
+        Minimum loss improvement that resets the early-stopping counter.
+    checkpoint_dir:
+        When set, the engine's :class:`~repro.engine.Checkpointer` persists
+        the model networks into this directory (always at the end of
+        training, plus every ``checkpoint_every`` epochs when positive).
+    checkpoint_every:
+        Epoch period of intermediate checkpoints; 0 writes only the final
+        checkpoint.
     """
 
     embedding_dim: int = 64
@@ -86,6 +102,10 @@ class KiNETGANConfig:
     seed: int = 0
     verbose: bool = False
     log_every: int = 20
+    patience: int = 0
+    min_delta: float = 0.0
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -101,6 +121,33 @@ class KiNETGANConfig:
             raise ValueError("loss weights must be non-negative")
         if self.continuous_encoding not in ("mode", "minmax"):
             raise ValueError("continuous_encoding must be 'mode' or 'minmax'")
+        if self.log_every < 1:
+            raise ValueError("log_every must be at least 1")
+        if self.patience < 0 or self.checkpoint_every < 0:
+            raise ValueError("patience and checkpoint_every must be non-negative")
+        if self.min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+
+    def engine_callbacks(self, **overrides) -> list:
+        """The standard engine callback stack implied by this config.
+
+        Thin wrapper over :func:`repro.engine.standard_callbacks` so every
+        synthesizer derives logging / early stopping / checkpointing from
+        the same knobs; ``overrides`` customises the display (prefix,
+        labels, extra metrics) or the monitored loss key.
+        """
+        from repro.engine.callbacks import standard_callbacks
+
+        options = dict(
+            verbose=self.verbose,
+            log_every=self.log_every,
+            patience=self.patience,
+            min_delta=self.min_delta,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every=self.checkpoint_every,
+        )
+        options.update(overrides)
+        return standard_callbacks(**options)
 
     def with_overrides(self, **kwargs) -> "KiNETGANConfig":
         """A copy of this config with the given fields replaced."""

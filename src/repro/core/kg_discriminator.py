@@ -103,9 +103,30 @@ class KnowledgeGuidedDiscriminator:
         """Exact 0/1 validity of decoded records (the KG query ``Q``)."""
         return self.validator.table_scores(table)
 
-    def hard_scores_matrix(self, matrix: np.ndarray) -> np.ndarray:
-        """Exact validity of transformed rows (decoded internally)."""
-        return self.hard_scores(self.transformer.inverse_transform(matrix))
+    def hard_scores_matrix(self, matrix: np.ndarray, batch_size: int = 0) -> np.ndarray:
+        """Exact validity of transformed rows (decoded internally).
+
+        With ``batch_size > 0`` the matrix is decoded and scored in chunks,
+        which bounds peak memory when callers estimate validity over large
+        generated samples.
+        """
+        if batch_size <= 0 or len(matrix) <= batch_size:
+            return self.hard_scores(self.transformer.inverse_transform(matrix))
+        chunks = [
+            self.hard_scores(self.transformer.inverse_transform(matrix[start : start + batch_size]))
+            for start in range(0, len(matrix), batch_size)
+        ]
+        return np.concatenate(chunks)
+
+    def validity_rate(self, matrix: np.ndarray, batch_size: int = 512) -> float:
+        """Mean exact validity of a transformed batch (scored in chunks).
+
+        This is the one code path shared by the trainer's
+        ``_estimate_validity`` and the engine's validity logging callback.
+        """
+        if len(matrix) == 0:
+            return float("nan")
+        return float(self.hard_scores_matrix(matrix, batch_size=batch_size).mean())
 
     # ------------------------------------------------------------------ #
     # Learned refinement head

@@ -9,6 +9,7 @@ import numpy as np
 from repro.core.base import Synthesizer
 from repro.core.config import KiNETGANConfig
 from repro.core.trainer import KiNETGANTrainer, TrainingHistory
+from repro.engine import sampling_rng
 from repro.knowledge.builder import build_network_kg
 from repro.knowledge.catalog import DomainCatalog
 from repro.knowledge.graph import KnowledgeGraph
@@ -134,7 +135,7 @@ class KiNETGAN(Synthesizer):
             raise ValueError("n must be positive")
         assert self.trainer is not None and self.sampler is not None
         assert self.transformer is not None
-        rng = rng if rng is not None else np.random.default_rng(self.config.seed + 1)
+        rng = rng if rng is not None else sampling_rng(self.config.seed)
         condition_matrix = None
         if conditions is not None:
             vector = self.sampler.vector_from_values(conditions)

@@ -1,4 +1,4 @@
-"""The KiNETGAN training loop.
+"""The KiNETGAN training loop, expressed as an engine train step.
 
 One training step follows the paper's framework (figure 1):
 
@@ -14,6 +14,11 @@ One training step follows the paper's framework (figure 1):
    knowledge loss through ``D_KG``'s head weighted by ``lambda_knowledge``
    (equation 3/4), and (c) the condition cross-entropy penalty weighted by
    ``lambda_condition`` (section III-A-2).
+
+The epoch/batch iteration, metric averaging, periodic logging, early
+stopping and checkpointing all live in :class:`repro.engine.TrainingEngine`;
+this module only contributes the model-specific :class:`KiNETGANStep` and
+keeps the public :class:`TrainingHistory` record format stable.
 """
 
 from __future__ import annotations
@@ -27,14 +32,16 @@ from repro.core.discriminator import DataDiscriminator
 from repro.core.generator import ConditionalGenerator
 from repro.core.kg_discriminator import KnowledgeGuidedDiscriminator
 from repro.core.losses import condition_penalty
+from repro.engine import Callback, TrainingEngine, TrainStep, seeded_rng
 from repro.knowledge.reasoner import KGReasoner
 from repro.neural.losses import BinaryCrossEntropy
+from repro.neural.network import Sequential
 from repro.neural.optimizers import Adam
 from repro.tabular.sampler import ConditionSampler
 from repro.tabular.table import Table
 from repro.tabular.transformer import DataTransformer
 
-__all__ = ["TrainingHistory", "KiNETGANTrainer"]
+__all__ = ["TrainingHistory", "KiNETGANStep", "KiNETGANTrainer"]
 
 
 @dataclass
@@ -64,6 +71,70 @@ class TrainingHistory:
         }
 
 
+class _HistoryAdapter(Callback):
+    """Mirrors the engine's epoch metrics into the public history lists."""
+
+    def __init__(self, history: TrainingHistory) -> None:
+        self.history = history
+
+    def on_epoch_end(self, engine: TrainingEngine, epoch: int, metrics: dict) -> None:
+        self.history.discriminator_loss.append(metrics["discriminator_loss"])
+        self.history.generator_loss.append(metrics["generator_loss"])
+        self.history.condition_loss.append(metrics["condition_loss"])
+        self.history.knowledge_loss.append(metrics["knowledge_loss"])
+
+
+class KiNETGANStep(TrainStep):
+    """One KiNETGAN mini-batch update (paper figure 1), engine-pluggable."""
+
+    def __init__(self, trainer: "KiNETGANTrainer", real_matrix: np.ndarray) -> None:
+        self.trainer = trainer
+        self.real_matrix = real_matrix
+
+    def step(self, rng: np.random.Generator, batch_index: int) -> dict[str, float]:
+        trainer = self.trainer
+        config = trainer.config
+        d_loss = 0.0
+        fake_for_kg = None
+        cond = None
+        for _ in range(config.discriminator_steps):
+            cond = trainer.sampler.sample(config.batch_size, rng)
+            real = self.real_matrix[cond.row_indices]
+            noise = rng.normal(size=(config.batch_size, config.embedding_dim))
+            fake = trainer.generator.forward(noise, cond.vector, training=True)
+            d_loss += trainer._discriminator_step(real, fake, cond.vector)
+            fake_for_kg = fake
+        d_loss /= config.discriminator_steps
+
+        k_loss = 0.0
+        if trainer.kg_discriminator is not None and cond is not None:
+            real_rows = trainer.sampler.real_batch(cond)
+            k_loss = trainer.kg_discriminator.train_step(
+                real_table=real_rows,
+                real_matrix=self.real_matrix[cond.row_indices],
+                fake_matrix=fake_for_kg,
+                negatives=config.knowledge_negatives_per_batch,
+            )
+
+        g_loss, c_loss, kg_gen_loss = trainer._generator_step(config)
+        return {
+            "discriminator_loss": d_loss,
+            "generator_loss": g_loss,
+            "condition_loss": c_loss,
+            "knowledge_loss": k_loss + kg_gen_loss,
+        }
+
+    def checkpoint_targets(self) -> dict[str, Sequential]:
+        targets = {
+            "generator": self.trainer.generator.network,
+            "discriminator": self.trainer.discriminator.network,
+        }
+        kg = self.trainer.kg_discriminator
+        if kg is not None and kg.head is not None:
+            targets["kg_head"] = kg.head
+        return targets
+
+
 class KiNETGANTrainer:
     """Orchestrates KiNETGAN training over a fitted transformer and sampler."""
 
@@ -82,7 +153,7 @@ class KiNETGANTrainer:
         self.config = config
         self.transformer = transformer
         self.sampler = sampler
-        self.rng = np.random.default_rng(config.seed)
+        self.rng = seeded_rng(config.seed)
 
         self.generator = generator if generator is not None else ConditionalGenerator(
             noise_dim=config.embedding_dim,
@@ -116,62 +187,42 @@ class KiNETGANTrainer:
         )
         self._bce = BinaryCrossEntropy(from_logits=True)
         self.history = TrainingHistory()
+        self.engine: TrainingEngine | None = None
 
     # ------------------------------------------------------------------ #
     def fit(self, table: Table) -> TrainingHistory:
         """Train on ``table`` (already the table the sampler was built from)."""
         config = self.config
         real_matrix = self.transformer.transform(table, rng=self.rng)
-        steps_per_epoch = max(1, table.n_rows // config.batch_size)
-
-        for epoch in range(config.epochs):
-            epoch_d, epoch_g, epoch_c, epoch_k = 0.0, 0.0, 0.0, 0.0
-            for _ in range(steps_per_epoch):
-                d_loss = 0.0
-                fake_for_kg = None
-                cond = None
-                for _ in range(config.discriminator_steps):
-                    cond = self.sampler.sample(config.batch_size, self.rng)
-                    real = real_matrix[cond.row_indices]
-                    noise = self.rng.normal(size=(config.batch_size, config.embedding_dim))
-                    fake = self.generator.forward(noise, cond.vector, training=True)
-                    d_loss += self._discriminator_step(real, fake, cond.vector)
-                    fake_for_kg = fake
-                d_loss /= config.discriminator_steps
-
-                k_loss = 0.0
-                if self.kg_discriminator is not None and cond is not None:
-                    real_rows = self.sampler.real_batch(cond)
-                    k_loss = self.kg_discriminator.train_step(
-                        real_table=real_rows,
-                        real_matrix=real_matrix[cond.row_indices],
-                        fake_matrix=fake_for_kg,
-                        negatives=config.knowledge_negatives_per_batch,
-                    )
-
-                g_loss, c_loss, kg_gen_loss = self._generator_step(config)
-                epoch_d += d_loss
-                epoch_g += g_loss
-                epoch_c += c_loss
-                epoch_k += k_loss + kg_gen_loss
-
-            self.history.discriminator_loss.append(epoch_d / steps_per_epoch)
-            self.history.generator_loss.append(epoch_g / steps_per_epoch)
-            self.history.condition_loss.append(epoch_c / steps_per_epoch)
-            self.history.knowledge_loss.append(epoch_k / steps_per_epoch)
-
-            if config.verbose and (epoch + 1) % config.log_every == 0:
-                validity = self._estimate_validity()
-                self.history.validity_rate.append(validity)
-                print(
-                    f"[KiNETGAN] epoch {epoch + 1}/{config.epochs} "
-                    f"D={self.history.discriminator_loss[-1]:.3f} "
-                    f"G={self.history.generator_loss[-1]:.3f} "
-                    f"cond={self.history.condition_loss[-1]:.3f} "
-                    f"KG={self.history.knowledge_loss[-1]:.3f} "
-                    f"validity={validity:.3f}"
-                )
+        step = KiNETGANStep(self, real_matrix)
+        callbacks: list[Callback] = [_HistoryAdapter(self.history)]
+        callbacks += config.engine_callbacks(
+            prefix="[KiNETGAN]",
+            labels={
+                "discriminator_loss": "D",
+                "generator_loss": "G",
+                "condition_loss": "cond",
+                "knowledge_loss": "KG",
+            },
+            extra=self._log_validity,
+            monitor="generator_loss",
+        )
+        self.engine = TrainingEngine(
+            step,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            n_rows=table.n_rows,
+            rng=self.rng,
+            callbacks=callbacks,
+        )
+        self.engine.run()
         return self.history
+
+    def _log_validity(self, engine: TrainingEngine, epoch: int, metrics: dict) -> dict:
+        """Extra metric hook for the engine logger: KG validity (recorded)."""
+        validity = self._estimate_validity()
+        self.history.validity_rate.append(validity)
+        return {"validity": validity}
 
     # ------------------------------------------------------------------ #
     def _discriminator_step(
@@ -231,7 +282,7 @@ class KiNETGANTrainer:
         if self.kg_discriminator is None:
             return float("nan")
         matrix = self.generate_matrix(n)
-        return float(self.kg_discriminator.hard_scores_matrix(matrix).mean())
+        return self.kg_discriminator.validity_rate(matrix)
 
     def generate_matrix(
         self,
@@ -255,17 +306,5 @@ class KiNETGANTrainer:
             outputs.append(fake)
         matrix = np.concatenate(outputs, axis=0)
         if hard:
-            matrix = self._harden(matrix)
+            matrix = self.transformer.harden(matrix, inplace=True)
         return matrix
-
-    def _harden(self, matrix: np.ndarray) -> np.ndarray:
-        """Convert soft one-hot blocks to exact one-hot by argmax."""
-        hardened = matrix.copy()
-        for start, end, activation in self.transformer.activation_spans():
-            if activation != "softmax":
-                continue
-            block = hardened[:, start:end]
-            one_hot = np.zeros_like(block)
-            one_hot[np.arange(len(block)), block.argmax(axis=1)] = 1.0
-            hardened[:, start:end] = one_hot
-        return hardened

@@ -1,0 +1,57 @@
+"""The shared training engine.
+
+Every synthesizer in this repository -- KiNETGAN itself, the GAN / VAE
+baselines and the federated detector clients -- used to hand-roll its own
+epoch/batch loop, RNG seeding, loss bookkeeping and logging.  This package
+centralises that machinery:
+
+* :class:`TrainingEngine` owns the epoch/step loop: it derives the number of
+  batches per epoch, drives a model-specific :class:`TrainStep`, averages the
+  per-step metrics into per-epoch metrics and dispatches them to callbacks.
+* :class:`TrainStep` is the small protocol a model implements to plug in:
+  ``step(rng, batch_index)`` runs one optimisation step and returns its loss
+  metrics; ``begin_epoch`` optionally reshuffles data and overrides the batch
+  count; ``checkpoint_targets`` exposes the networks to persist.
+* :mod:`repro.engine.callbacks` provides the :class:`Callback` protocol plus
+  the stock implementations: :class:`History` (dict-of-lists metric traces),
+  :class:`RecordMetric`, :class:`PeriodicLogger`, :class:`EarlyStopping` and
+  :class:`Checkpointer`.
+* :mod:`repro.engine.seeding` is the single place where seeds become
+  :class:`numpy.random.Generator` objects, so seeded re-runs of ``fit()``
+  are bit-reproducible across every synthesizer.
+* :mod:`repro.engine.checkpoint` saves / restores a step's networks through
+  the existing ``Sequential.save`` / ``Sequential.load`` npz format.
+"""
+
+from repro.engine.callbacks import (
+    Callback,
+    CallbackList,
+    Checkpointer,
+    EarlyStopping,
+    History,
+    PeriodicLogger,
+    RecordMetric,
+    standard_callbacks,
+)
+from repro.engine.checkpoint import load_checkpoint, save_checkpoint
+from repro.engine.engine import TrainingEngine
+from repro.engine.seeding import sampling_rng, seeded_rng
+from repro.engine.steps import SupervisedStep, TrainStep
+
+__all__ = [
+    "Callback",
+    "CallbackList",
+    "Checkpointer",
+    "EarlyStopping",
+    "History",
+    "PeriodicLogger",
+    "RecordMetric",
+    "standard_callbacks",
+    "SupervisedStep",
+    "TrainStep",
+    "TrainingEngine",
+    "load_checkpoint",
+    "save_checkpoint",
+    "sampling_rng",
+    "seeded_rng",
+]

@@ -1,0 +1,267 @@
+"""Callbacks dispatched by :class:`~repro.engine.engine.TrainingEngine`.
+
+Callbacks observe the loop at four points -- train begin/end and epoch
+begin/end -- and may ask the engine to stop early.  The stock callbacks
+cover the needs of every synthesizer in the repository: metric history,
+periodic logging, loss-plateau early stopping and checkpointing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.engine.checkpoint import save_checkpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import TrainingEngine
+
+__all__ = [
+    "Callback",
+    "CallbackList",
+    "History",
+    "RecordMetric",
+    "PeriodicLogger",
+    "EarlyStopping",
+    "Checkpointer",
+    "standard_callbacks",
+]
+
+
+class Callback:
+    """Observer of the training loop; all hooks default to no-ops."""
+
+    def on_train_begin(self, engine: "TrainingEngine") -> None: ...
+
+    def on_epoch_begin(self, engine: "TrainingEngine", epoch: int) -> None: ...
+
+    def on_epoch_end(
+        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
+    ) -> None: ...
+
+    def on_train_end(self, engine: "TrainingEngine") -> None: ...
+
+
+class CallbackList(Callback):
+    """Dispatches every hook to its children in registration order."""
+
+    def __init__(self, callbacks: Iterable[Callback] = ()) -> None:
+        self.callbacks: list[Callback] = list(callbacks)
+
+    def append(self, callback: Callback) -> None:
+        self.callbacks.append(callback)
+
+    def on_train_begin(self, engine: "TrainingEngine") -> None:
+        for callback in self.callbacks:
+            callback.on_train_begin(engine)
+
+    def on_epoch_begin(self, engine: "TrainingEngine", epoch: int) -> None:
+        for callback in self.callbacks:
+            callback.on_epoch_begin(engine, epoch)
+
+    def on_epoch_end(
+        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
+    ) -> None:
+        for callback in self.callbacks:
+            callback.on_epoch_end(engine, epoch, metrics)
+
+    def on_train_end(self, engine: "TrainingEngine") -> None:
+        for callback in self.callbacks:
+            callback.on_train_end(engine)
+
+
+class History(Callback):
+    """Records every epoch's metrics as a dict of per-metric traces."""
+
+    def __init__(self) -> None:
+        self.metrics: dict[str, list[float]] = {}
+
+    @property
+    def epochs(self) -> int:
+        return max((len(trace) for trace in self.metrics.values()), default=0)
+
+    def last(self) -> dict[str, float]:
+        """The most recent epoch's metrics (empty before the first epoch)."""
+        return {name: trace[-1] for name, trace in self.metrics.items() if trace}
+
+    def on_epoch_end(
+        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
+    ) -> None:
+        for name, value in metrics.items():
+            self.metrics.setdefault(name, []).append(value)
+
+
+class RecordMetric(Callback):
+    """Appends one metric's per-epoch value to an externally owned list.
+
+    The baselines keep their public ``loss_history`` lists alive through
+    this adapter instead of hand-rolling the bookkeeping in their loops.
+    """
+
+    def __init__(self, target: list[float], key: str = "loss") -> None:
+        self.target = target
+        self.key = key
+
+    def on_epoch_end(
+        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
+    ) -> None:
+        if self.key in metrics:
+            self.target.append(metrics[self.key])
+
+
+class PeriodicLogger(Callback):
+    """Prints one metrics line every ``log_every`` epochs.
+
+    ``labels`` selects and renames the metrics to display (insertion order
+    is respected); ``extra`` can supply additional values computed on demand
+    -- KiNETGAN uses it for the knowledge-graph validity rate, which is too
+    expensive to evaluate every epoch.
+    """
+
+    def __init__(
+        self,
+        log_every: int = 1,
+        prefix: str = "",
+        labels: dict[str, str] | None = None,
+        extra: Callable[["TrainingEngine", int, dict[str, float]], dict[str, float]]
+        | None = None,
+        printer: Callable[[str], None] = print,
+    ) -> None:
+        if log_every < 1:
+            raise ValueError("log_every must be at least 1")
+        self.log_every = log_every
+        self.prefix = prefix
+        self.labels = labels
+        self.extra = extra
+        self.printer = printer
+
+    def on_epoch_end(
+        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
+    ) -> None:
+        if (epoch + 1) % self.log_every != 0:
+            return
+        shown: dict[str, float] = {}
+        if self.labels is None:
+            shown.update(metrics)
+        else:
+            for key, label in self.labels.items():
+                if key in metrics:
+                    shown[label] = metrics[key]
+        if self.extra is not None:
+            shown.update(self.extra(engine, epoch, metrics))
+        parts = [f"{name}={value:.3f}" for name, value in shown.items()]
+        head = f"{self.prefix} " if self.prefix else ""
+        self.printer(f"{head}epoch {epoch + 1}/{engine.epochs} " + " ".join(parts))
+
+
+class EarlyStopping(Callback):
+    """Stops training when the monitored metric stops improving.
+
+    After ``patience`` consecutive epochs without an improvement of more
+    than ``min_delta`` the callback asks the engine to stop; the epoch at
+    which that happened is kept in ``stopped_epoch``.
+    """
+
+    def __init__(
+        self, monitor: str = "loss", patience: int = 3, min_delta: float = 0.0
+    ) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.monitor = monitor
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = np.inf
+        self.wait = 0
+        self.stopped_epoch: int | None = None
+
+    def on_train_begin(self, engine: "TrainingEngine") -> None:
+        self.best = np.inf
+        self.wait = 0
+        self.stopped_epoch = None
+
+    def on_epoch_end(
+        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
+    ) -> None:
+        value = metrics.get(self.monitor)
+        if value is None or not np.isfinite(value):
+            return
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience:
+            self.stopped_epoch = epoch
+            engine.request_stop(
+                f"no {self.monitor!r} improvement for {self.patience} epochs"
+            )
+
+
+class Checkpointer(Callback):
+    """Persists the step's networks to ``directory``.
+
+    With ``every > 0`` a checkpoint is written after every ``every``-th
+    epoch; a final checkpoint is always written when training ends, so the
+    directory reflects the finished model even when early stopping fired.
+    """
+
+    def __init__(self, directory: str | Path, every: int = 0) -> None:
+        if every < 0:
+            raise ValueError("every must be non-negative")
+        self.directory = Path(directory)
+        self.every = every
+        self._last_saved_epoch: int | None = None
+
+    def on_train_begin(self, engine: "TrainingEngine") -> None:
+        self._last_saved_epoch = None
+
+    def on_epoch_end(
+        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
+    ) -> None:
+        if self.every > 0 and (epoch + 1) % self.every == 0:
+            save_checkpoint(engine.step, self.directory)
+            self._last_saved_epoch = epoch
+
+    def on_train_end(self, engine: "TrainingEngine") -> None:
+        # Skip the final save when the last periodic save already captured
+        # the final epoch's weights.
+        if self._last_saved_epoch != engine.epochs_run - 1:
+            save_checkpoint(engine.step, self.directory)
+
+
+def standard_callbacks(
+    *,
+    verbose: bool = False,
+    log_every: int = 1,
+    prefix: str = "",
+    labels: dict[str, str] | None = None,
+    extra: Callable[["TrainingEngine", int, dict[str, float]], dict[str, float]]
+    | None = None,
+    patience: int = 0,
+    monitor: str = "loss",
+    min_delta: float = 0.0,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 0,
+) -> list[Callback]:
+    """The callback stack every synthesizer derives from its config knobs.
+
+    Logging is attached only when ``verbose``; early stopping only when
+    ``patience > 0``; checkpointing only when ``checkpoint_dir`` is set --
+    so the default configuration reproduces the historical loops exactly.
+    """
+    callbacks: list[Callback] = []
+    if verbose:
+        callbacks.append(
+            PeriodicLogger(log_every=log_every, prefix=prefix, labels=labels, extra=extra)
+        )
+    if patience > 0:
+        callbacks.append(
+            EarlyStopping(monitor=monitor, patience=patience, min_delta=min_delta)
+        )
+    if checkpoint_dir is not None:
+        callbacks.append(Checkpointer(checkpoint_dir, every=checkpoint_every))
+    return callbacks

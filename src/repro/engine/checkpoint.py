@@ -1,0 +1,43 @@
+"""Saving and restoring a train step's networks.
+
+Checkpoints reuse the existing :meth:`Sequential.save` / ``load`` npz
+format, one file per named network, so a checkpoint directory written by
+the engine for KiNETGAN (``generator.npz`` + ``discriminator.npz``) is
+directly loadable by :meth:`repro.core.synthesizer.KiNETGAN.load_weights`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.engine.steps import TrainStep
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(step: TrainStep, directory: str | Path) -> list[Path]:
+    """Persist every checkpoint target of ``step`` into ``directory``."""
+    targets = step.checkpoint_targets()
+    if not targets:
+        raise ValueError(f"{type(step).__name__} exposes no checkpoint targets")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, network in targets.items():
+        path = directory / f"{name}.npz"
+        network.save(path)
+        written.append(path)
+    return written
+
+
+def load_checkpoint(step: TrainStep, directory: str | Path) -> None:
+    """Restore every checkpoint target of ``step`` from ``directory``."""
+    targets = step.checkpoint_targets()
+    if not targets:
+        raise ValueError(f"{type(step).__name__} exposes no checkpoint targets")
+    directory = Path(directory)
+    for name, network in targets.items():
+        path = directory / f"{name}.npz"
+        if not path.exists():
+            raise FileNotFoundError(f"checkpoint file missing: {path}")
+        network.load(path)

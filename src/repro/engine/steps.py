@@ -1,0 +1,94 @@
+"""The :class:`TrainStep` protocol and reusable step implementations.
+
+A *train step* is the model-specific half of a training loop: everything
+that happens inside one mini-batch update.  The engine owns the rest (epoch
+iteration, batch counting, metric averaging, callbacks).  A step only needs
+``step``; ``begin_epoch`` and ``checkpoint_targets`` have sensible defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.neural.network import Sequential
+
+__all__ = ["TrainStep", "SupervisedStep"]
+
+
+class TrainStep:
+    """Base class for pluggable per-batch training logic.
+
+    Subclasses implement :meth:`step`, which must consume randomness only
+    from the ``rng`` handed in by the engine (or objects seeded from the
+    same stream) so seeded runs stay bit-reproducible.
+    """
+
+    def begin_epoch(self, rng: np.random.Generator, epoch: int) -> int | None:
+        """Hook called before each epoch's batches.
+
+        May reshuffle data and return the number of batches for this epoch;
+        returning ``None`` keeps the engine's default ``steps_per_epoch``.
+        """
+        return None
+
+    def step(self, rng: np.random.Generator, batch_index: int) -> dict[str, float]:
+        """Run one optimisation step and return its loss metrics."""
+        raise NotImplementedError
+
+    def checkpoint_targets(self) -> dict[str, Sequential]:
+        """Named networks to persist when checkpointing (empty = none)."""
+        return {}
+
+
+class SupervisedStep(TrainStep):
+    """Mini-batch SGD over a fixed ``(features, labels)`` design matrix.
+
+    Each epoch visits every example exactly once in a freshly shuffled
+    order.  ``grad_hook`` runs after the backward pass and before the
+    optimizer step -- the federated client uses it to add the FedProx
+    proximal term to the parameter gradients.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss_fn,
+        optimizer,
+        features: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        grad_hook: Callable[[Sequential], None] | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.features = features
+        self.labels = labels
+        self.batch_size = batch_size
+        self.grad_hook = grad_hook
+        self.last_loss = 0.0
+        self._order: np.ndarray | None = None
+
+    def begin_epoch(self, rng: np.random.Generator, epoch: int) -> int:
+        self._order = rng.permutation(len(self.features))
+        return max(1, -(-len(self.features) // self.batch_size))
+
+    def step(self, rng: np.random.Generator, batch_index: int) -> dict[str, float]:
+        assert self._order is not None, "begin_epoch() must run before step()"
+        start = batch_index * self.batch_size
+        batch = self._order[start : start + self.batch_size]
+        logits = self.model.forward(self.features[batch], training=True)
+        self.last_loss = float(self.loss_fn.forward(logits, self.labels[batch]))
+        self.model.zero_grad()
+        self.model.backward(self.loss_fn.backward())
+        if self.grad_hook is not None:
+            self.grad_hook(self.model)
+        self.optimizer.step()
+        return {"loss": self.last_loss}
+
+    def checkpoint_targets(self) -> dict[str, Sequential]:
+        return {"model": self.model}

@@ -6,6 +6,11 @@ starting from the globally broadcast parameters.  It supports plain FedAvg
 local SGD and the FedProx proximal term, and reports the update
 (``local - global``) together with its example count so the server can
 weight contributions.
+
+The local pass is a :class:`repro.engine.SupervisedStep` driven by the
+shared :class:`repro.engine.TrainingEngine` -- the same loop machinery the
+synthesizers train on -- with the FedProx term injected through the step's
+``grad_hook``.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.engine import SupervisedStep, TrainingEngine, seeded_rng
 from repro.federated.parameters import StateDict, copy_state, state_subtract
 from repro.neural.losses import CrossEntropy
 from repro.neural.network import Sequential
@@ -80,7 +86,7 @@ class FederatedClient:
         self.batch_size = batch_size
         self.local_epochs = local_epochs
         self.proximal_mu = proximal_mu
-        self.rng = np.random.default_rng(seed)
+        self.rng = seeded_rng(seed)
 
     # ------------------------------------------------------------------ #
     @property
@@ -104,20 +110,28 @@ class FederatedClient:
             reference_model.load_state_dict(copy_state(global_state))
             reference_params = [param for param, _ in reference_model.parameters()]
 
-        optimizer = SGD(model.parameters(), lr=self.learning_rate)
-        loss_fn = CrossEntropy()
-        last_loss = 0.0
-        for _ in range(self.local_epochs):
-            order = self.rng.permutation(self.n_examples)
-            for start in range(0, self.n_examples, self.batch_size):
-                batch = order[start : start + self.batch_size]
-                logits = model.forward(self.features[batch], training=True)
-                last_loss = float(loss_fn.forward(logits, self.labels[batch]))
-                model.zero_grad()
-                model.backward(loss_fn.backward())
-                if reference_params is not None:
-                    self._add_proximal_gradient(model, reference_params)
-                optimizer.step()
+        grad_hook = None
+        if reference_params is not None:
+            reference = reference_params
+            grad_hook = lambda m: self._add_proximal_gradient(m, reference)  # noqa: E731
+        step = SupervisedStep(
+            model=model,
+            loss_fn=CrossEntropy(),
+            optimizer=SGD(model.parameters(), lr=self.learning_rate),
+            features=self.features,
+            labels=self.labels,
+            batch_size=self.batch_size,
+            grad_hook=grad_hook,
+        )
+        engine = TrainingEngine(
+            step,
+            epochs=self.local_epochs,
+            batch_size=self.batch_size,
+            n_rows=self.n_examples,
+            rng=self.rng,
+        )
+        engine.run()
+        last_loss = step.last_loss
 
         local_state = model.state_dict()
         update = state_subtract(local_state, global_state)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.config import KiNETGANConfig
 from repro.core.trainer import KiNETGANTrainer
+from repro.engine import sampling_rng, seeded_rng
 from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
 from repro.federated.parameters import (
     StateDict,
@@ -150,7 +151,7 @@ class FederatedKiNETGAN:
         self.config = config if config is not None else KiNETGANConfig()
         self.condition_columns = condition_columns
         self.seed = seed
-        self.rng = np.random.default_rng(seed)
+        self.rng = seeded_rng(seed)
         self.transformer = DataTransformer(
             max_modes=self.config.max_modes,
             continuous_encoding=self.config.continuous_encoding,
@@ -295,7 +296,7 @@ class FederatedKiNETGAN:
             raise ValueError("n must be positive")
         if self._global_generator is None:
             raise RuntimeError("run at least one round before sampling")
-        rng = rng if rng is not None else np.random.default_rng(self.seed + 1)
+        rng = rng if rng is not None else sampling_rng(self.seed)
         total_records = sum(site.n_records for site in self.sites)
         pooled: Table | None = None
         remaining = n

@@ -90,6 +90,7 @@ class DataTransformer:
         self.schema: TableSchema | None = None
         self.output_info: list[ColumnOutputInfo] = []
         self._encoders: dict[str, object] = {}
+        self._softmax_spans: list[tuple[int, int]] | None = None
         self._fitted = False
 
     # ------------------------------------------------------------------ #
@@ -118,6 +119,7 @@ class DataTransformer:
             cursor += info.dim
             self.output_info.append(info)
             self._encoders[spec.name] = encoder
+        self._softmax_spans = None
         self._fitted = True
         return self
 
@@ -153,6 +155,45 @@ class DataTransformer:
                 spans.append((cursor, cursor + span.dim, span.activation))
                 cursor += span.dim
         return spans
+
+    def softmax_spans(self) -> list[tuple[int, int]]:
+        """Cached ``(start, end)`` bounds of every softmax (one-hot) block."""
+        self._require_fitted()
+        if self._softmax_spans is None:
+            self._softmax_spans = [
+                (start, end)
+                for start, end, activation in self.activation_spans()
+                if activation == "softmax"
+            ]
+        return self._softmax_spans
+
+    def harden(self, matrix: np.ndarray, inplace: bool = False) -> np.ndarray:
+        """Convert soft one-hot blocks to exact one-hot by per-block argmax.
+
+        This is the single hardening path shared by every synthesizer's
+        sampling code.  It makes one pass over the cached softmax spans with
+        numpy fancy indexing -- no per-block temporaries -- and copies the
+        input at most once.  ``inplace=True`` is a copy-avoidance hint for
+        callers that own the matrix: when the input is already a float64
+        array it is hardened in place and returned; otherwise the dtype
+        conversion still produces (and returns) a new array, so callers
+        must always use the return value.  ``tanh`` spans are untouched.
+        """
+        self._require_fitted()
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.output_dim:
+            raise ValueError(
+                f"expected matrix of width {self.output_dim}, got shape {matrix.shape}"
+            )
+        out = matrix if inplace else matrix.copy()
+        if out.shape[0] == 0:
+            return out
+        rows = np.arange(out.shape[0])
+        for start, end in self.softmax_spans():
+            winners = start + out[:, start:end].argmax(axis=1)
+            out[:, start:end] = 0.0
+            out[rows, winners] = 1.0
+        return out
 
     # ------------------------------------------------------------------ #
     def transform(self, table: Table, rng: np.random.Generator | None = None) -> np.ndarray:

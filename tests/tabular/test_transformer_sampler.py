@@ -84,6 +84,65 @@ class TestDataTransformer:
                 assert np.all(np.abs(block) <= 1.0)
 
 
+def _naive_harden(transformer: DataTransformer, matrix: np.ndarray) -> np.ndarray:
+    """The pre-engine per-block hardening loop, kept as the reference."""
+    hardened = matrix.copy()
+    for start, end, activation in transformer.activation_spans():
+        if activation != "softmax":
+            continue
+        block = hardened[:, start:end]
+        one_hot = np.zeros_like(block)
+        one_hot[np.arange(len(block)), block.argmax(axis=1)] = 1.0
+        hardened[:, start:end] = one_hot
+    return hardened
+
+
+class TestHarden:
+    def test_matches_reference_implementation(self, fitted_transformer, rng):
+        soft = rng.uniform(0.0, 1.0, size=(64, fitted_transformer.output_dim))
+        np.testing.assert_array_equal(
+            fitted_transformer.harden(soft), _naive_harden(fitted_transformer, soft)
+        )
+
+    def test_softmax_blocks_become_exact_one_hot(self, fitted_transformer, rng):
+        soft = rng.uniform(0.0, 1.0, size=(32, fitted_transformer.output_dim))
+        hard = fitted_transformer.harden(soft)
+        for start, end in fitted_transformer.softmax_spans():
+            block = hard[:, start:end]
+            assert set(np.unique(block)) <= {0.0, 1.0}
+            np.testing.assert_array_equal(block.sum(axis=1), np.ones(len(block)))
+
+    def test_tanh_spans_untouched(self, fitted_transformer, rng):
+        soft = rng.uniform(-1.0, 1.0, size=(16, fitted_transformer.output_dim))
+        hard = fitted_transformer.harden(soft)
+        for start, end, activation in fitted_transformer.activation_spans():
+            if activation == "tanh":
+                np.testing.assert_array_equal(hard[:, start:end], soft[:, start:end])
+
+    def test_inplace_avoids_copy(self, fitted_transformer, rng):
+        soft = rng.uniform(0.0, 1.0, size=(8, fitted_transformer.output_dim))
+        result = fitted_transformer.harden(soft, inplace=True)
+        assert result is soft
+
+    def test_copy_by_default(self, fitted_transformer, rng):
+        soft = rng.uniform(0.0, 1.0, size=(8, fitted_transformer.output_dim))
+        original = soft.copy()
+        fitted_transformer.harden(soft)
+        np.testing.assert_array_equal(soft, original)
+
+    def test_empty_batch(self, fitted_transformer):
+        empty = np.zeros((0, fitted_transformer.output_dim))
+        assert fitted_transformer.harden(empty).shape == empty.shape
+
+    def test_wrong_width_rejected(self, fitted_transformer):
+        with pytest.raises(ValueError):
+            fitted_transformer.harden(np.zeros((4, fitted_transformer.output_dim + 1)))
+
+    def test_unfitted_rejected(self, tiny_table):
+        with pytest.raises(RuntimeError):
+            DataTransformer().harden(np.zeros((2, 3)))
+
+
 class TestConditionSampler:
     def test_condition_dim_is_sum_of_categories(self, tiny_table, fitted_transformer):
         sampler = ConditionSampler(tiny_table, fitted_transformer,

@@ -1,0 +1,7 @@
+"""Benchmark suite for the paper reproduction.
+
+``pytest benchmarks`` regenerates the paper's tables and figures (all marked
+``slow`` + ``bench``); ``python -m benchmarks.run`` runs the data-plane
+micro-benchmarks and refreshes ``BENCH_*.json`` perf-trajectory files at the
+repository root.
+"""

@@ -1,0 +1,295 @@
+"""Data-plane micro-benchmarks: sampler, encoders, validity, epoch time.
+
+Measures the vectorized data plane (PR 2) against in-file replicas of the
+seed implementation on the lab-IoT table and writes the results to
+``BENCH_dataplane.json`` at the repository root, so every future PR has a
+perf trajectory to compare against.  The seed replicas are verbatim copies
+of the pre-vectorization hot loops:
+
+* ``ConditionSampler`` -- the ``legacy_sampling=True`` path *is* the seed
+  sampler (kept in-tree, bit-for-bit), so the comparison runs the real thing;
+* ``DataTransformer.transform`` / ``inverse_transform`` -- per-column loops
+  with per-row ``rng.choice`` mode draws and per-value ``OneHotEncoder``
+  dict lookups / list comprehensions, copied from the seed;
+* validity -- the per-record ``KGReasoner.violations`` loop (still in-tree
+  as ``BatchValidator.record_scores``).
+
+Run directly (``python -m benchmarks.bench_dataplane``) or through
+``python -m benchmarks.run --json``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import KiNETGAN, KiNETGANConfig
+from repro.datasets import load_lab_iot
+from repro.knowledge.builder import build_network_kg
+from repro.knowledge.reasoner import KGReasoner
+from repro.knowledge.validator import BatchValidator
+from repro.tabular.encoders import MinMaxScaler, ModeSpecificNormalizer
+from repro.tabular.sampler import ConditionSampler
+from repro.tabular.table import Table
+from repro.tabular.transformer import DataTransformer
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dataplane.json"
+
+BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "1500"))
+SAMPLE_BATCH = 512
+INVERSE_BATCH = 2048
+
+
+def _rate(fn, rows: int, min_seconds: float = 1.0) -> float:
+    """Throughput of ``fn`` in rows/second (repeats until ``min_seconds``)."""
+    fn()  # warm-up
+    start = time.perf_counter()
+    done = 0
+    while time.perf_counter() - start < min_seconds:
+        fn()
+        done += rows
+    return done / (time.perf_counter() - start)
+
+
+# --------------------------------------------------------------------- #
+# Seed-implementation replicas (pre-vectorization hot loops)
+# --------------------------------------------------------------------- #
+def _seed_onehot_transform(encoder, values) -> np.ndarray:
+    out = np.zeros((len(values), len(encoder.categories)), dtype=np.float64)
+    for row, value in enumerate(values):
+        index = encoder._index.get(value)
+        if index is None:
+            continue
+        out[row, index] = 1.0
+    return out
+
+
+def _seed_mode_transform(encoder, values, rng) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    proba = encoder.gmm.predict_proba(values)
+    modes = np.empty(len(values), dtype=int)
+    for i in range(len(values)):
+        modes[i] = rng.choice(encoder.gmm.n_components, p=proba[i])
+    mu = encoder.gmm.means[modes]
+    sigma = encoder.gmm.stds[modes]
+    alpha = np.clip((values - mu) / (4.0 * sigma), -1.0, 1.0)
+    beta = np.zeros((len(values), encoder.gmm.n_components), dtype=np.float64)
+    beta[np.arange(len(values)), modes] = 1.0
+    return np.concatenate([alpha[:, None], beta], axis=1)
+
+
+def _seed_empirical_conditions(sampler: ConditionSampler, n: int, rng) -> np.ndarray:
+    indices = rng.integers(0, sampler.table.n_rows, size=n)
+    vectors = np.zeros((n, sampler.condition_dim), dtype=np.float64)
+    for i, row_index in enumerate(indices):
+        row = sampler.table.row(int(row_index))
+        vectors[i] = sampler.vector_from_values(
+            {name: row[name] for name in sampler.conditional_columns}
+        )
+    return vectors
+
+
+def _seed_transform(transformer: DataTransformer, table: Table, rng) -> np.ndarray:
+    blocks = []
+    for info in transformer.output_info:
+        encoder = transformer._encoders[info.name]
+        values = table.column(info.name)
+        if isinstance(encoder, ModeSpecificNormalizer):
+            blocks.append(_seed_mode_transform(encoder, values.astype(np.float64), rng))
+        elif isinstance(encoder, MinMaxScaler):
+            blocks.append(encoder.transform(values.astype(np.float64))[:, None])
+        else:
+            blocks.append(_seed_onehot_transform(encoder, values))
+    return np.concatenate(blocks, axis=1)
+
+
+def _seed_inverse(transformer: DataTransformer, matrix: np.ndarray) -> Table:
+    matrix = np.asarray(matrix, dtype=np.float64)
+    columns = {}
+    for info in transformer.output_info:
+        encoder = transformer._encoders[info.name]
+        block = matrix[:, info.start : info.end]
+        if isinstance(encoder, ModeSpecificNormalizer):
+            alpha = np.clip(block[:, 0], -1.0, 1.0)
+            modes = np.argmax(block[:, 1:], axis=1)
+            columns[info.name] = alpha * 4.0 * encoder.gmm.stds[modes] + encoder.gmm.means[modes]
+        elif isinstance(encoder, MinMaxScaler):
+            columns[info.name] = encoder.inverse_transform(block[:, 0])
+        else:
+            indices = np.argmax(block, axis=1)
+            columns[info.name] = np.asarray(
+                [encoder.categories[i] for i in indices], dtype=object
+            )
+    for spec in transformer.schema:
+        if spec.is_continuous:
+            values = np.asarray(columns[spec.name], dtype=np.float64)
+            if spec.minimum is not None:
+                values = np.maximum(values, spec.minimum)
+            if spec.maximum is not None:
+                values = np.minimum(values, spec.maximum)
+            columns[spec.name] = values
+    return Table(transformer.schema, columns)
+
+
+# --------------------------------------------------------------------- #
+def run_dataplane_bench(rows: int = BENCH_ROWS, epoch: bool = True) -> dict:
+    """Measure the data plane and return the benchmark document."""
+    bundle = load_lab_iot(n_records=rows, seed=7)
+    table = bundle.table
+    transformer = DataTransformer(max_modes=6, seed=0).fit(table)
+    sampler = ConditionSampler(
+        table, transformer, conditional_columns=bundle.condition_columns
+    )
+    legacy = ConditionSampler(
+        table, transformer, conditional_columns=bundle.condition_columns,
+        legacy_sampling=True,
+    )
+    reasoner = KGReasoner(build_network_kg(bundle.catalog), field_map=bundle.catalog.field_map)
+    validator = BatchValidator(reasoner)
+    rng = np.random.default_rng(0)
+
+    metrics: dict[str, dict] = {}
+
+    def record(name: str, seed_rps: float, new_rps: float, **extra) -> None:
+        metrics[name] = {
+            "seed_rows_per_sec": round(seed_rps),
+            "vectorized_rows_per_sec": round(new_rps),
+            "speedup": round(new_rps / seed_rps, 2),
+            **extra,
+        }
+
+    # Condition sampling (training-by-sampling), batch 512.
+    record(
+        "sampler_sample",
+        _rate(lambda: legacy.sample(SAMPLE_BATCH, rng), SAMPLE_BATCH),
+        _rate(lambda: sampler.sample(SAMPLE_BATCH, rng), SAMPLE_BATCH),
+        batch_size=SAMPLE_BATCH,
+    )
+    record(
+        "empirical_conditions",
+        _rate(lambda: _seed_empirical_conditions(sampler, SAMPLE_BATCH, rng), SAMPLE_BATCH),
+        _rate(lambda: sampler.empirical_conditions(SAMPLE_BATCH, rng), SAMPLE_BATCH),
+        batch_size=SAMPLE_BATCH,
+    )
+
+    # Table -> matrix encoding.
+    record(
+        "transform",
+        _rate(lambda: _seed_transform(transformer, table, rng), table.n_rows),
+        _rate(lambda: transformer.transform(table, rng=rng), table.n_rows),
+        rows=table.n_rows,
+    )
+
+    # Matrix -> table decoding (hardened input, the sampling-path shape).
+    matrix = transformer.transform(table, rng=rng)
+    tiles = max(1, INVERSE_BATCH // len(matrix) + 1)
+    hard = np.ascontiguousarray(np.tile(matrix, (tiles, 1))[:INVERSE_BATCH])
+    record(
+        "inverse_transform",
+        _rate(lambda: _seed_inverse(transformer, hard), len(hard)),
+        _rate(lambda: transformer.inverse_transform(hard), len(hard)),
+        batch_size=len(hard),
+    )
+
+    # The categorical decode stage alone (the seed's per-value list
+    # comprehension vs one fancy index over precomputed winner codes).
+    encoder = transformer.encoder(bundle.condition_columns[0])
+    info = transformer.column_info(bundle.condition_columns[0])
+    codes = np.argmax(hard[:, info.start : info.end], axis=1)
+    record(
+        "onehot_decode",
+        _rate(lambda: np.asarray([encoder.categories[i] for i in codes], dtype=object),
+              len(codes)),
+        _rate(lambda: encoder.decode(codes), len(codes)),
+        batch_size=len(codes),
+    )
+
+    # Knowledge-graph validity.
+    record(
+        "validity_rate",
+        _rate(lambda: validator.record_scores(table.to_records()), table.n_rows),
+        _rate(lambda: reasoner.validity_mask(table), table.n_rows),
+        rows=table.n_rows,
+    )
+
+    document = {
+        "benchmark": "dataplane",
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "dataset": "lab_iot",
+            "rows": rows,
+            "sample_batch": SAMPLE_BATCH,
+            "inverse_batch": INVERSE_BATCH,
+        },
+        "metrics": metrics,
+        "notes": (
+            "inverse_transform total is bounded by the per-block argmax that the "
+            "seed implementation already ran in numpy; this PR removes the "
+            "per-value Python decode around it (see onehot_decode) and adds a "
+            "one-BLAS-pass winner extraction for exactly-one-hot input. "
+            "sampler/transform/validity were Python-loop bound and vectorize fully."
+        ),
+    }
+
+    if epoch:
+        # End-to-end: one KiNETGAN epoch through the engine on the lab table.
+        config = KiNETGANConfig(
+            embedding_dim=16,
+            generator_dims=(48,),
+            discriminator_dims=(48,),
+            epochs=1,
+            batch_size=128,
+            knowledge_negatives_per_batch=32,
+            seed=0,
+        )
+        model = KiNETGAN(config)
+        start = time.perf_counter()
+        model.fit(table, catalog=bundle.catalog, condition_columns=bundle.condition_columns)
+        document["metrics"]["kinetgan_epoch"] = {
+            "seconds": round(time.perf_counter() - start, 3),
+            "rows": table.n_rows,
+            "batch_size": config.batch_size,
+        }
+    return document
+
+
+def write_results(document: dict, path: Path = RESULT_PATH) -> Path:
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def format_results(document: dict) -> str:
+    lines = [f"[bench:dataplane] lab-IoT, {document['config']['rows']} rows"]
+    for name, entry in document["metrics"].items():
+        if "speedup" in entry:
+            lines.append(
+                f"  {name:22s} seed {entry['seed_rows_per_sec']:>12,} rows/s"
+                f" -> {entry['vectorized_rows_per_sec']:>12,} rows/s"
+                f"  ({entry['speedup']}x)"
+            )
+        else:
+            lines.append(f"  {name:22s} {entry['seconds']} s")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    document = run_dataplane_bench()
+    path = write_results(document)
+    print(format_results(document))
+    print(f"[bench:dataplane] wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

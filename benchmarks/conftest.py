@@ -20,12 +20,14 @@ from _harness import BENCH_ROWS, fit_model_suite, sample_all, split_bundle  # no
 
 
 def pytest_collection_modifyitems(config, items):
-    """Mark every benchmark ``slow`` so ``pytest -m "not slow"`` runs only the
-    fast unit/integration tier."""
+    """Mark every benchmark ``slow`` + ``bench`` so ``pytest -m "not slow"``
+    runs only the fast unit/integration tier and ``pytest -m bench`` selects
+    the perf suite."""
     root = str(Path(__file__).parent)
     for item in items:
         if str(item.fspath).startswith(root):
             item.add_marker(pytest.mark.slow)
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

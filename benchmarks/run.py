@@ -1,0 +1,53 @@
+"""Benchmark runner: ``python -m benchmarks.run [--json] [--rows N]``.
+
+Runs the data-plane micro-benchmarks and refreshes the ``BENCH_*.json``
+perf-trajectory files at the repository root.  With ``--json`` the full
+document is printed to stdout (for CI consumption); otherwise a readable
+summary is shown.  Either way the JSON file is (re)written unless
+``--no-write`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from benchmarks.bench_dataplane import (
+    BENCH_ROWS,
+    RESULT_PATH,
+    format_results,
+    run_dataplane_bench,
+    write_results,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.run", description=__doc__
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="print the full benchmark document as JSON")
+    parser.add_argument("--rows", type=int, default=BENCH_ROWS,
+                        help="lab-IoT rows to benchmark on (default %(default)s)")
+    parser.add_argument("--no-epoch", action="store_true",
+                        help="skip the end-to-end KiNETGAN epoch measurement")
+    parser.add_argument("--no-write", action="store_true",
+                        help=f"do not rewrite {RESULT_PATH.name}")
+    args = parser.parse_args(argv)
+
+    document = run_dataplane_bench(rows=args.rows, epoch=not args.no_epoch)
+    if not args.no_write:
+        write_results(document)
+    if args.json:
+        json.dump(document, sys.stdout, indent=2)
+        print()
+    else:
+        print(format_results(document))
+        if not args.no_write:
+            print(f"[bench:dataplane] wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.neural.layers import BatchNorm, Dense, Layer, ReLU, Residual
 from repro.neural.network import Sequential
+from repro.tabular.segments import BlockLayout
 from repro.tabular.transformer import DataTransformer
 
 __all__ = ["TabularOutputActivation", "ConditionalGenerator"]
@@ -29,6 +30,12 @@ class TabularOutputActivation(Layer):
     with temperature ``tau`` during training (noise-free softmax at
     evaluation time), matching how CTGAN-style generators emit one-hot
     blocks while remaining differentiable.
+
+    All softmax spans are handled together through a precomputed
+    :class:`~repro.tabular.segments.BlockLayout`: one gather, one Gumbel
+    noise draw for the whole region, segmented softmax, one scatter -- both
+    forward and backward run in a handful of C passes regardless of how many
+    one-hot blocks the table has.
     """
 
     def __init__(
@@ -42,21 +49,27 @@ class TabularOutputActivation(Layer):
         self.spans = list(spans)
         self.tau = tau
         self.rng = rng if rng is not None else np.random.default_rng()
+        self._layout = BlockLayout(
+            [(start, end) for start, end, activation in self.spans if activation == "softmax"]
+        )
+        tanh_cols: list[int] = []
+        for start, end, activation in self.spans:
+            if activation == "tanh":
+                tanh_cols.extend(range(start, end))
+        self._tanh_columns = np.asarray(tanh_cols, dtype=np.intp)
         self._cache: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         out = np.empty_like(x)
-        for start, end, activation in self.spans:
-            block = x[:, start:end]
-            if activation == "tanh":
-                out[:, start:end] = np.tanh(block)
-            else:
-                if training:
-                    uniform = self.rng.uniform(1e-12, 1 - 1e-12, size=block.shape)
-                    block = block - np.log(-np.log(uniform)) * self.tau
-                shifted = (block - block.max(axis=1, keepdims=True)) / self.tau
-                exp = np.exp(shifted)
-                out[:, start:end] = exp / exp.sum(axis=1, keepdims=True)
+        tanh_cols = self._tanh_columns
+        out[:, tanh_cols] = np.tanh(x[:, tanh_cols])
+        layout = self._layout
+        if layout.n_blocks:
+            gathered = layout.gather(x)
+            if training:
+                uniform = self.rng.uniform(1e-12, 1 - 1e-12, size=gathered.shape)
+                gathered = gathered - np.log(-np.log(uniform)) * self.tau
+            layout.scatter(out, layout.softmax(gathered, tau=self.tau))
         self._cache = out
         return out
 
@@ -65,14 +78,14 @@ class TabularOutputActivation(Layer):
             raise RuntimeError("backward called before forward")
         out = self._cache
         grad_input = np.empty_like(grad_output)
-        for start, end, activation in self.spans:
-            grad_block = grad_output[:, start:end]
-            out_block = out[:, start:end]
-            if activation == "tanh":
-                grad_input[:, start:end] = grad_block * (1.0 - out_block**2)
-            else:
-                dot = (grad_block * out_block).sum(axis=1, keepdims=True)
-                grad_input[:, start:end] = out_block * (grad_block - dot) / self.tau
+        tanh_cols = self._tanh_columns
+        grad_input[:, tanh_cols] = grad_output[:, tanh_cols] * (1.0 - out[:, tanh_cols] ** 2)
+        layout = self._layout
+        if layout.n_blocks:
+            grad_soft = layout.softmax_backward(
+                layout.gather(out), layout.gather(grad_output), tau=self.tau
+            )
+            layout.scatter(grad_input, grad_soft)
         return grad_input
 
 

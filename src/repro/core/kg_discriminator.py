@@ -25,7 +25,7 @@ from repro.neural.layers import Dense, LeakyReLU
 from repro.neural.losses import BinaryCrossEntropy
 from repro.neural.network import Sequential
 from repro.neural.optimizers import Adam
-from repro.tabular.table import Table
+from repro.tabular.table import Table, factorize_values
 from repro.tabular.transformer import DataTransformer
 
 __all__ = ["KnowledgeGuidedDiscriminator"]
@@ -195,7 +195,7 @@ class KnowledgeGuidedDiscriminator:
         if self.head is None or self._optimizer is None:
             return 0.0
         records = real_table.to_records()
-        real_valid = self.validator.record_scores(records)
+        real_valid = self.validator.table_scores(real_table)
 
         # Manufacture invalid records by corrupting real ones.
         pool = self._corrupt_records(records[: max(negatives, 1)])
@@ -268,7 +268,7 @@ class KnowledgeGuidedDiscriminator:
         return mask
 
     def valid_set_loss_and_grad(
-        self, fake_matrix: np.ndarray, condition_values: list[dict]
+        self, fake_matrix: np.ndarray, condition_values
     ) -> tuple[float, np.ndarray]:
         """Penalise generator probability mass on KG-invalid categories.
 
@@ -279,32 +279,61 @@ class KnowledgeGuidedDiscriminator:
         probability mass inside the valid set, so the generator is pushed to
         place its mass on combinations the KG deems valid.  Unlike the
         learned refinement head this signal is exact from the first epoch.
+
+        ``condition_values`` is either a list of per-row ``{attribute:
+        value}`` dicts or a :class:`~repro.tabular.sampler.ConditionBatch`
+        (the trainer's hot path); either way, rows are grouped by event type
+        so each (event, column) constraint is evaluated with one batched
+        masked sum rather than a Python loop over rows.
         """
+        from repro.tabular.sampler import ConditionBatch
+
         grad = np.zeros_like(fake_matrix)
-        if len(condition_values) != fake_matrix.shape[0]:
-            raise ValueError("condition_values length does not match the fake batch")
+        if isinstance(condition_values, ConditionBatch):
+            if len(condition_values) != fake_matrix.shape[0]:
+                raise ValueError("condition_values length does not match the fake batch")
+            try:
+                events = condition_values.column_values(self._event_column)
+            except KeyError:
+                events = np.asarray(
+                    [values.get(self._event_column) for values in condition_values.values],
+                    dtype=object,
+                )
+        else:
+            if len(condition_values) != fake_matrix.shape[0]:
+                raise ValueError("condition_values length does not match the fake batch")
+            events = np.asarray(
+                [values.get(self._event_column) for values in condition_values],
+                dtype=object,
+            )
+
         schema = self.transformer.schema
         total_loss = 0.0
         total_terms = 0
         eps = 1e-6
+        event_codes, event_names = factorize_values(events)
+        # Row partition per event, computed once and shared by every column.
+        event_rows = [
+            np.nonzero(event_codes == event_id)[0] for event_id in range(len(event_names))
+        ]
         for column in self.kg_columns:
             if column == self._event_column or not schema.column(column).is_categorical:
                 continue
             info = self.transformer.column_info(column)
             block_slice = slice(info.start, info.end)
             block = np.clip(fake_matrix[:, block_slice], eps, 1.0)
-            for i, values in enumerate(condition_values):
-                event_name = values.get(self._event_column)
+            columns_global = np.arange(info.start, info.end)
+            for event_id, event_name in enumerate(event_names):
                 if event_name is None:
                     continue
                 mask = self._valid_mask(column, str(event_name))
                 if mask is None:
                     continue
-                mass = float(block[i, mask].sum())
-                mass = min(max(mass, eps), 1.0)
-                total_loss += -np.log(mass)
-                grad[i, block_slice][mask] += -1.0 / mass
-                total_terms += 1
+                rows = event_rows[event_id]
+                mass = np.clip(block[rows][:, mask].sum(axis=1), eps, 1.0)
+                total_loss += float(-np.log(mass).sum())
+                grad[rows[:, None], columns_global[mask][None, :]] += -1.0 / mass[:, None]
+                total_terms += len(rows)
         if total_terms == 0:
             return 0.0, grad
         grad /= total_terms

@@ -261,7 +261,7 @@ class KiNETGANTrainer:
             kg_loss, grad_kg = self.kg_discriminator.generator_loss_and_grad(fake)
             if config.use_valid_set_loss:
                 vs_loss, grad_vs = self.kg_discriminator.valid_set_loss_and_grad(
-                    fake, cond.values
+                    fake, cond
                 )
                 kg_loss += vs_loss
                 grad_kg = grad_kg + grad_vs

@@ -54,15 +54,20 @@ class BatchValidator:
         self.reasoner = reasoner
 
     def record_scores(self, records: list[dict]) -> np.ndarray:
-        """Per-record validity as a float array of 0.0 / 1.0 values."""
+        """Per-record validity as a float array of 0.0 / 1.0 values.
+
+        Records may constrain any subset of attributes, so this path stays
+        per-record; whole tables should go through :meth:`table_scores`,
+        which uses the reasoner's batched ``validity_mask``.
+        """
         scores = np.empty(len(records), dtype=np.float64)
         for i, record in enumerate(records):
             scores[i] = 1.0 if self.reasoner.is_valid(record) else 0.0
         return scores
 
     def table_scores(self, table: Table) -> np.ndarray:
-        """Per-row validity scores for a table."""
-        return self.record_scores(table.to_records())
+        """Per-row validity scores for a table (batched KG query)."""
+        return self.reasoner.validity_mask(table).astype(np.float64)
 
     def report(self, table: Table) -> ValidityReport:
         """Full validity report with per-rule violation counts."""

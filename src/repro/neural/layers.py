@@ -113,7 +113,9 @@ class Dense(Layer):
         self._cache_input = x
         out = x @ self.weight
         if self.use_bias:
-            out = out + self.bias
+            # In-place add: the matmul result is freshly allocated, so this
+            # avoids a second full-batch array per layer per step.
+            out += self.bias
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -35,34 +35,70 @@ class _FittedMixin:
             raise RuntimeError(f"{type(self).__name__} used before fit()")
 
 
-class OneHotEncoder(_FittedMixin):
+class _CategoryCodec(_FittedMixin):
+    """Shared category <-> integer-code machinery for categorical encoders.
+
+    Categories are held three ways: as a plain list (the public API), as a
+    ``{value: code}`` dict for O(1) lookup, and as an object ndarray so that
+    decoding a whole batch of codes is a single fancy-index operation.
+    """
+
+    def __init__(self, categories: list | None = None) -> None:
+        self.categories: list = list(categories) if categories is not None else []
+        self._index: dict = {}
+        self._categories_array: np.ndarray | None = None
+        if categories is not None:
+            self._set_categories(self.categories)
+            self._fitted = True
+
+    def _set_categories(self, categories: list) -> None:
+        self.categories = list(categories)
+        self._index = {value: i for i, value in enumerate(self.categories)}
+        self._categories_array = np.empty(len(self.categories), dtype=object)
+        self._categories_array[:] = self.categories
+
+    def _fit_from_values(self, values: np.ndarray) -> None:
+        if not self._fitted:
+            seen: dict = {}
+            for value in values:
+                if value not in seen:
+                    seen[value] = len(seen)
+            self._set_categories(list(seen))
+            self._fitted = True
+
+    def codes(self, values) -> np.ndarray:
+        """Integer codes for a batch of raw values (-1 marks unknowns)."""
+        self._require_fitted()
+        get = self._index.get
+        return np.fromiter((get(v, -1) for v in values), dtype=np.int64, count=len(values))
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Category values for a batch of integer codes (fancy-indexed)."""
+        self._require_fitted()
+        return self._categories_array[codes]
+
+
+class OneHotEncoder(_CategoryCodec):
     """One-hot encoding for a single categorical column.
 
     Categories can be provided up front (so the encoding matches a schema /
     knowledge-graph domain exactly) or learned from data in first-seen order.
     Unknown values at transform time raise ``ValueError`` unless
     ``handle_unknown='ignore'``, in which case they map to the all-zero row.
+
+    ``transform`` / ``inverse_transform`` are batched array operations: values
+    are mapped to integer codes once, then the one-hot matrix is built with a
+    single scatter write (and decoded with a single fancy index).
     """
 
     def __init__(self, categories: list | None = None, handle_unknown: str = "error") -> None:
         if handle_unknown not in ("error", "ignore"):
             raise ValueError("handle_unknown must be 'error' or 'ignore'")
         self.handle_unknown = handle_unknown
-        self.categories: list = list(categories) if categories is not None else []
-        self._index: dict = {}
-        if categories is not None:
-            self._index = {value: i for i, value in enumerate(self.categories)}
-            self._fitted = True
+        super().__init__(categories)
 
     def fit(self, values: np.ndarray) -> "OneHotEncoder":
-        if not self._fitted:
-            seen: dict = {}
-            for value in values:
-                if value not in seen:
-                    seen[value] = len(seen)
-            self.categories = list(seen)
-            self._index = seen
-            self._fitted = True
+        self._fit_from_values(values)
         return self
 
     @property
@@ -70,59 +106,48 @@ class OneHotEncoder(_FittedMixin):
         self._require_fitted()
         return len(self.categories)
 
+    def codes(self, values) -> np.ndarray:
+        """Integer codes for raw values; unknowns are -1 (or raise in
+        ``handle_unknown='error'`` mode)."""
+        codes = super().codes(values)
+        if self.handle_unknown == "error" and (codes < 0).any():
+            bad = values[int(np.argmax(codes < 0))]
+            raise ValueError(f"unknown category {bad!r}")
+        return codes
+
     def transform(self, values: np.ndarray) -> np.ndarray:
         self._require_fitted()
+        codes = self.codes(values)
         out = np.zeros((len(values), len(self.categories)), dtype=np.float64)
-        for row, value in enumerate(values):
-            index = self._index.get(value)
-            if index is None:
-                if self.handle_unknown == "error":
-                    raise ValueError(f"unknown category {value!r}")
-                continue
-            out[row, index] = 1.0
+        known = codes >= 0
+        out[np.nonzero(known)[0], codes[known]] = 1.0
         return out
 
     def inverse_transform(self, encoded: np.ndarray) -> np.ndarray:
         """Map (possibly soft) one-hot rows back to category values by argmax."""
         self._require_fitted()
-        indices = np.argmax(encoded, axis=1)
-        return np.asarray([self.categories[i] for i in indices], dtype=object)
+        return self.decode(np.argmax(encoded, axis=1))
 
 
-class OrdinalEncoder(_FittedMixin):
+class OrdinalEncoder(_CategoryCodec):
     """Map categories to integer codes ``0..K-1`` (used by tree classifiers)."""
 
-    def __init__(self, categories: list | None = None) -> None:
-        self.categories: list = list(categories) if categories is not None else []
-        self._index: dict = {}
-        if categories is not None:
-            self._index = {value: i for i, value in enumerate(self.categories)}
-            self._fitted = True
-
     def fit(self, values: np.ndarray) -> "OrdinalEncoder":
-        if not self._fitted:
-            seen: dict = {}
-            for value in values:
-                if value not in seen:
-                    seen[value] = len(seen)
-            self.categories = list(seen)
-            self._index = seen
-            self._fitted = True
+        self._fit_from_values(values)
         return self
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        out = np.empty(len(values), dtype=np.float64)
-        for row, value in enumerate(values):
-            if value not in self._index:
-                raise ValueError(f"unknown category {value!r}")
-            out[row] = self._index[value]
-        return out
+        codes = self.codes(values)
+        if (codes < 0).any():
+            bad = values[int(np.argmax(codes < 0))]
+            raise ValueError(f"unknown category {bad!r}")
+        return codes.astype(np.float64)
 
     def inverse_transform(self, codes: np.ndarray) -> np.ndarray:
         self._require_fitted()
         clipped = np.clip(np.rint(codes).astype(int), 0, len(self.categories) - 1)
-        return np.asarray([self.categories[i] for i in clipped], dtype=object)
+        return self.decode(clipped)
 
 
 class MinMaxScaler(_FittedMixin):
@@ -320,27 +345,48 @@ class ModeSpecificNormalizer(_FittedMixin):
         return 1 + self.n_modes
 
     def transform(self, values: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Encode a batch of values as ``(alpha, one-hot mode)`` rows.
+
+        Mode assignment is a single batched inverse-CDF draw over the
+        posterior mode probabilities (one ``rng.uniform`` call for the whole
+        batch) rather than a per-row categorical draw; the sampled
+        distribution is identical, only the RNG draw order differs.
+        """
         self._require_fitted()
         rng = rng if rng is not None else np.random.default_rng(self.seed)
         values = np.asarray(values, dtype=np.float64)
         proba = self.gmm.predict_proba(values)
-        modes = np.empty(len(values), dtype=int)
-        for i in range(len(values)):
-            modes[i] = rng.choice(self.gmm.n_components, p=proba[i])
+        cumulative = np.cumsum(proba, axis=1)
+        draws = rng.uniform(size=len(values))
+        modes = np.minimum(
+            (cumulative < draws[:, None]).sum(axis=1), self.gmm.n_components - 1
+        )
+        out = np.zeros((len(values), 1 + self.gmm.n_components), dtype=np.float64)
+        out[:, 0] = self._alpha_for_modes(values, modes)
+        out[np.arange(len(values)), 1 + modes] = 1.0
+        return out
+
+    def _alpha_for_modes(self, values: np.ndarray, modes: np.ndarray) -> np.ndarray:
         mu = self.gmm.means[modes]
         sigma = self.gmm.stds[modes]
-        alpha = np.clip((values - mu) / (4.0 * sigma), -1.0, 1.0)
-        beta = np.zeros((len(values), self.gmm.n_components), dtype=np.float64)
-        beta[np.arange(len(values)), modes] = 1.0
-        return np.concatenate([alpha[:, None], beta], axis=1)
+        return np.clip((values - mu) / (4.0 * sigma), -1.0, 1.0)
+
+    def inverse_from_modes(self, alpha: np.ndarray, modes: np.ndarray) -> np.ndarray:
+        """Decode from the alpha scalar and already-resolved mode indices.
+
+        This is the fused fast path used by
+        :meth:`~repro.tabular.transformer.DataTransformer.inverse_transform`,
+        which computes every block's argmax in one batched pass.
+        """
+        self._require_fitted()
+        alpha = np.clip(np.asarray(alpha, dtype=np.float64), -1.0, 1.0)
+        mu = self.gmm.means[modes]
+        sigma = self.gmm.stds[modes]
+        return alpha * 4.0 * sigma + mu
 
     def inverse_transform(self, encoded: np.ndarray) -> np.ndarray:
         self._require_fitted()
         encoded = np.asarray(encoded, dtype=np.float64)
         if encoded.shape[1] != self.dim:
             raise ValueError(f"expected width {self.dim}, got {encoded.shape[1]}")
-        alpha = np.clip(encoded[:, 0], -1.0, 1.0)
-        modes = np.argmax(encoded[:, 1:], axis=1)
-        mu = self.gmm.means[modes]
-        sigma = self.gmm.stds[modes]
-        return alpha * 4.0 * sigma + mu
+        return self.inverse_from_modes(encoded[:, 0], np.argmax(encoded[:, 1:], axis=1))

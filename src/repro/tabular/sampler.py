@@ -8,11 +8,20 @@ log-frequency re-weighting (as in CTGAN) or by the paper's uniform draw over
 the attribute's range.  The :class:`ConditionSampler` owns that logic and can
 also find real rows that match a drawn condition so the discriminator sees
 consistent (data, condition) pairs.
+
+The sampler is fully vectorized: at construction every conditional column is
+integer-coded once, matching real rows are grouped into CSR-style buckets
+(one flat row-index array plus per-category offsets), and ``sample()`` /
+``empirical_conditions()`` become a handful of batched RNG draws plus one
+scatter write into the ``(batch, condition_dim)`` matrix -- no per-row
+``Table.row`` dict building, no ``list.index`` lookups.  The pre-vectorized
+per-row path is kept behind ``legacy_sampling=True`` for bit-for-bit
+reproduction of seeds recorded before the batched sampler landed (the two
+paths draw from identical distributions but consume the RNG stream in a
+different order).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -22,7 +31,6 @@ from repro.tabular.transformer import DataTransformer
 __all__ = ["ConditionBatch", "ConditionSampler"]
 
 
-@dataclass
 class ConditionBatch:
     """A batch of sampled conditions.
 
@@ -31,20 +39,65 @@ class ConditionBatch:
     vector:
         ``(batch, condition_dim)`` one-hot concatenation over the conditional
         attributes (equation 2 of the paper).
-    values:
-        List of ``{attribute: value}`` dictionaries, one per row.
-    pivot_columns:
-        The attribute whose value was explicitly (re)sampled per row; used by
-        the CTGAN-style generator penalty.
     row_indices:
         Indices of real rows matching the condition (used by the
         discriminator's real batch).
+    codes:
+        ``(batch, n_conditional_columns)`` integer category codes, the
+        native representation of the vectorized data plane (-1 marks a value
+        outside the encoder's category list, shown as an all-zero block).
+    pivot_indices:
+        Per-row index (into the sampler's conditional columns) of the
+        attribute whose value was explicitly (re)sampled.
+
+    ``values`` (list of ``{attribute: value}`` dicts) and ``pivot_columns``
+    (attribute names) are materialised lazily from the code arrays the first
+    time they are read, so consumers that only need the arrays never pay for
+    building per-row dictionaries.
     """
 
-    vector: np.ndarray
-    values: list[dict]
-    pivot_columns: list[str]
-    row_indices: np.ndarray
+    def __init__(
+        self,
+        vector: np.ndarray,
+        row_indices: np.ndarray,
+        *,
+        codes: np.ndarray | None = None,
+        pivot_indices: np.ndarray | None = None,
+        sampler: "ConditionSampler | None" = None,
+        values: list[dict] | None = None,
+        pivot_columns: list[str] | None = None,
+    ) -> None:
+        self.vector = vector
+        self.row_indices = row_indices
+        self.codes = codes
+        self.pivot_indices = pivot_indices
+        self._sampler = sampler
+        self._values = values
+        self._pivot_columns = pivot_columns
+
+    def __len__(self) -> int:
+        return len(self.row_indices)
+
+    def column_values(self, column: str) -> np.ndarray:
+        """Decoded values of one conditional attribute for the whole batch."""
+        if self.codes is not None and self._sampler is not None:
+            return self._sampler.decode_column(column, self.codes)
+        return np.asarray([values.get(column) for values in self.values], dtype=object)
+
+    @property
+    def values(self) -> list[dict]:
+        if self._values is None:
+            assert self.codes is not None and self._sampler is not None
+            self._values = self._sampler.values_from_codes(self.codes)
+        return self._values
+
+    @property
+    def pivot_columns(self) -> list[str]:
+        if self._pivot_columns is None:
+            assert self.pivot_indices is not None and self._sampler is not None
+            names = self._sampler.conditional_columns
+            self._pivot_columns = [names[i] for i in self.pivot_indices]
+        return self._pivot_columns
 
 
 class ConditionSampler:
@@ -57,6 +110,7 @@ class ConditionSampler:
         conditional_columns: list[str] | None = None,
         uniform_probability: float = 0.3,
         log_frequency: bool = True,
+        legacy_sampling: bool = False,
     ) -> None:
         """Parameters
         ----------
@@ -76,6 +130,12 @@ class ConditionSampler:
             When not drawing uniformly, sample the pivot value from the
             log-frequency-smoothed empirical distribution (CTGAN) rather than
             the raw empirical distribution.
+        legacy_sampling:
+            Reproduce the pre-vectorization per-row ``sample()`` loop
+            bit-for-bit (same RNG draw order).  The batched sampler draws
+            from the identical distribution but consumes the seeded stream
+            in a different order, so seeds recorded before the vectorized
+            data plane landed need this flag to replay exactly.
         """
         if not 0.0 <= uniform_probability <= 1.0:
             raise ValueError("uniform_probability must be in [0, 1]")
@@ -83,6 +143,7 @@ class ConditionSampler:
         self.transformer = transformer
         self.uniform_probability = uniform_probability
         self.log_frequency = log_frequency
+        self.legacy_sampling = legacy_sampling
         all_categorical = table.schema.categorical_names
         self.conditional_columns = (
             list(conditional_columns) if conditional_columns is not None else all_categorical
@@ -93,22 +154,36 @@ class ConditionSampler:
             if name not in all_categorical:
                 raise ValueError(f"conditional column {name!r} is not categorical")
 
-        # Per-column category bookkeeping.
+        # Per-column category bookkeeping: category lists, O(1) value->code
+        # dicts, object arrays for batched decoding, per-row integer codes,
+        # and CSR-style row buckets (rows sorted by code + per-code bounds).
         self._categories: dict[str, list] = {}
+        self._category_index: dict[str, dict] = {}
+        self._category_arrays: dict[str, np.ndarray] = {}
         self._category_probs: dict[str, np.ndarray] = {}
-        self._rows_by_value: dict[str, dict] = {}
+        self._bucket_rows: dict[str, np.ndarray] = {}
+        self._bucket_bounds: dict[str, np.ndarray] = {}
+        codes_by_column: list[np.ndarray] = []
         for name in self.conditional_columns:
             encoder = transformer.encoder(name)
             categories = list(encoder.categories)
+            k = len(categories)
+            index = {value: i for i, value in enumerate(categories)}
             self._categories[name] = categories
-            counts = np.zeros(len(categories), dtype=np.float64)
-            rows_by_value: dict = {value: [] for value in categories}
+            self._category_index[name] = index
+            array = np.empty(k, dtype=object)
+            array[:] = categories
+            self._category_arrays[name] = array
+
+            get = index.get
             column = table.column(name)
-            for row_index, value in enumerate(column):
-                if value in rows_by_value:
-                    rows_by_value[value].append(row_index)
-            for i, value in enumerate(categories):
-                counts[i] = len(rows_by_value[value])
+            codes = np.fromiter(
+                (get(value, -1) for value in column), dtype=np.int64, count=len(column)
+            )
+            codes_by_column.append(codes)
+
+            known = codes >= 0
+            counts = np.bincount(codes[known], minlength=k).astype(np.float64)
             if self.log_frequency:
                 weights = np.log1p(counts)
             else:
@@ -116,9 +191,19 @@ class ConditionSampler:
             if weights.sum() <= 0:
                 weights = np.ones_like(weights)
             self._category_probs[name] = weights / weights.sum()
-            self._rows_by_value[name] = {
-                value: np.asarray(rows, dtype=int) for value, rows in rows_by_value.items()
-            }
+
+            order = np.argsort(codes[known], kind="stable")
+            self._bucket_rows[name] = np.nonzero(known)[0][order]
+            bounds = np.zeros(k + 1, dtype=np.int64)
+            np.cumsum(counts.astype(np.int64), out=bounds[1:])
+            self._bucket_bounds[name] = bounds
+
+        #: (n_rows, n_conditional_columns) integer codes of the real table.
+        self._codes = (
+            np.stack(codes_by_column, axis=1)
+            if codes_by_column
+            else np.zeros((table.n_rows, 0), dtype=np.int64)
+        )
 
         self._offsets: dict[str, int] = {}
         cursor = 0
@@ -126,6 +211,10 @@ class ConditionSampler:
             self._offsets[name] = cursor
             cursor += len(self._categories[name])
         self._condition_dim = cursor
+        #: Column-aligned offsets of each one-hot block inside C.
+        self._offset_array = np.asarray(
+            [self._offsets[name] for name in self.conditional_columns], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -137,6 +226,10 @@ class ConditionSampler:
         """Admissible values of a conditional attribute."""
         return list(self._categories[column])
 
+    def category_index(self, column: str) -> dict:
+        """Cached ``{value: code}`` lookup for a conditional attribute."""
+        return self._category_index[column]
+
     def condition_offset(self, column: str) -> int:
         """Start index of ``column``'s one-hot block inside C."""
         return self._offsets[column]
@@ -144,6 +237,56 @@ class ConditionSampler:
     def condition_slice(self, column: str) -> slice:
         start = self._offsets[column]
         return slice(start, start + len(self._categories[column]))
+
+    # ------------------------------------------------------------------ #
+    # Code-array helpers (the vectorized data plane's native currency)
+    # ------------------------------------------------------------------ #
+    def decode_column(self, column: str, codes: np.ndarray) -> np.ndarray:
+        """Category values of one column from a ``(batch, n_columns)`` code array.
+
+        Codes of -1 (unknown / unconstrained) decode to ``None``.
+        """
+        if column not in self._categories:
+            raise KeyError(f"{column!r} is not a conditional column")
+        position = self.conditional_columns.index(column)
+        column_codes = codes[:, position]
+        decoded = self._category_arrays[column][column_codes]
+        unknown = column_codes < 0
+        if unknown.any():
+            decoded[unknown] = None
+        return decoded
+
+    def values_from_codes(self, codes: np.ndarray) -> list[dict]:
+        """Materialise ``{attribute: value}`` dicts from a code array.
+
+        Codes of -1 (values outside the encoder's category list) are left
+        out of the corresponding dict, mirroring an all-zero block.
+        """
+        decoded = [
+            self._category_arrays[name][codes[:, i]]
+            for i, name in enumerate(self.conditional_columns)
+        ]
+        names = self.conditional_columns
+        rows: list[dict] = []
+        for r in range(codes.shape[0]):
+            rows.append(
+                {
+                    name: decoded[i][r]
+                    for i, name in enumerate(names)
+                    if codes[r, i] >= 0
+                }
+            )
+        return rows
+
+    def vectors_from_codes(self, codes: np.ndarray) -> np.ndarray:
+        """One-hot condition matrix from a ``(batch, n_columns)`` code array."""
+        batch = codes.shape[0]
+        vectors = np.zeros((batch, self._condition_dim), dtype=np.float64)
+        flat = self._offset_array[None, :] + codes
+        known = codes >= 0
+        row_index = np.broadcast_to(np.arange(batch)[:, None], codes.shape)
+        vectors[row_index[known], flat[known]] = 1.0
+        return vectors
 
     # ------------------------------------------------------------------ #
     def vector_from_values(self, values: dict) -> np.ndarray:
@@ -157,10 +300,10 @@ class ConditionSampler:
         for name, value in values.items():
             if name not in self._categories:
                 raise KeyError(f"{name!r} is not a conditional column")
-            categories = self._categories[name]
-            if value not in categories:
+            code = self._category_index[name].get(value)
+            if code is None:
                 raise ValueError(f"value {value!r} not in categories of {name!r}")
-            vector[self._offsets[name] + categories.index(value)] = 1.0
+            vector[self._offsets[name] + code] = 1.0
         return vector
 
     def values_from_vector(self, vector: np.ndarray) -> dict:
@@ -177,9 +320,66 @@ class ConditionSampler:
 
     # ------------------------------------------------------------------ #
     def sample(self, batch_size: int, rng: np.random.Generator) -> ConditionBatch:
-        """Draw a training batch of conditions plus matching real rows."""
+        """Draw a training batch of conditions plus matching real rows.
+
+        Fully batched: one RNG call per decision stream (pivot choice,
+        uniform-vs-weighted coin, per-column value draws, per-column bucket
+        positions), then the condition matrix is built with a single scatter
+        write from the integer codes.
+        """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.legacy_sampling:
+            return self._sample_legacy(batch_size, rng)
+
+        n_columns = len(self.conditional_columns)
+        pivot_indices = rng.integers(0, n_columns, size=batch_size)
+        uniform_mask = rng.uniform(size=batch_size) < self.uniform_probability
+
+        pivot_codes = np.empty(batch_size, dtype=np.int64)
+        row_indices = np.empty(batch_size, dtype=np.int64)
+        for position, name in enumerate(self.conditional_columns):
+            selected = np.nonzero(pivot_indices == position)[0]
+            if not len(selected):
+                continue
+            k = len(self._categories[name])
+            codes = np.empty(len(selected), dtype=np.int64)
+            uniform_here = uniform_mask[selected]
+            n_uniform = int(uniform_here.sum())
+            if n_uniform:
+                codes[uniform_here] = rng.integers(0, k, size=n_uniform)
+            if len(selected) - n_uniform:
+                codes[~uniform_here] = rng.choice(
+                    k, size=len(selected) - n_uniform, p=self._category_probs[name]
+                )
+            bounds = self._bucket_bounds[name]
+            sizes = bounds[codes + 1] - bounds[codes]
+            positions = rng.integers(0, np.maximum(sizes, 1))
+            # Fancy indexing always allocates, so overwriting the empty-bucket
+            # fallbacks below cannot touch the bucket table itself.
+            rows = self._bucket_rows[name][bounds[codes] + np.minimum(positions, sizes - 1)]
+            empty = sizes == 0
+            if empty.any():
+                rows[empty] = rng.integers(0, self.table.n_rows, size=int(empty.sum()))
+            pivot_codes[selected] = codes
+            row_indices[selected] = rows
+
+        codes = self._codes[row_indices].copy()
+        codes[np.arange(batch_size), pivot_indices] = pivot_codes
+        return ConditionBatch(
+            vector=self.vectors_from_codes(codes),
+            row_indices=row_indices,
+            codes=codes,
+            pivot_indices=pivot_indices,
+            sampler=self,
+        )
+
+    def _sample_legacy(self, batch_size: int, rng: np.random.Generator) -> ConditionBatch:
+        """The pre-vectorization per-row loop, preserved bit-for-bit.
+
+        Kept (and covered by a golden regression test) so seeded runs
+        recorded before the batched sampler landed can be replayed exactly.
+        """
         vectors = np.zeros((batch_size, self._condition_dim), dtype=np.float64)
         values_list: list[dict] = []
         pivots: list[str] = []
@@ -195,7 +395,9 @@ class ConditionSampler:
                 pivot_value = categories[
                     rng.choice(len(categories), p=self._category_probs[pivot])
                 ]
-            matching = self._rows_by_value[pivot][pivot_value]
+            bounds = self._bucket_bounds[pivot]
+            code = self._category_index[pivot][pivot_value]
+            matching = self._bucket_rows[pivot][bounds[code] : bounds[code + 1]]
             if len(matching) > 0:
                 row_index = int(matching[rng.integers(0, len(matching))])
             else:
@@ -212,9 +414,9 @@ class ConditionSampler:
 
         return ConditionBatch(
             vector=vectors,
+            row_indices=row_indices,
             values=values_list,
             pivot_columns=pivots,
-            row_indices=row_indices,
         )
 
     def empirical_conditions(self, n: int, rng: np.random.Generator) -> np.ndarray:
@@ -223,18 +425,14 @@ class ConditionSampler:
         Used at generation time: rows are sampled uniformly from the real
         table and their conditional-attribute values become conditions, so
         the synthetic data reproduces the original attribute distribution
-        (section III-A: fidelity is preserved "during testing").
+        (section III-A: fidelity is preserved "during testing").  The draw
+        consumes the RNG stream exactly as the pre-vectorization loop did
+        (one ``integers`` call), so it stays bit-compatible.
         """
         if n <= 0:
             raise ValueError("n must be positive")
         indices = rng.integers(0, self.table.n_rows, size=n)
-        vectors = np.zeros((n, self._condition_dim), dtype=np.float64)
-        for i, row_index in enumerate(indices):
-            row = self.table.row(int(row_index))
-            vectors[i] = self.vector_from_values(
-                {name: row[name] for name in self.conditional_columns}
-            )
-        return vectors
+        return self.vectors_from_codes(self._codes[indices])
 
     def real_batch(self, batch: ConditionBatch) -> Table:
         """Real rows aligned with the sampled conditions."""

@@ -17,7 +17,23 @@ import numpy as np
 
 from repro.tabular.schema import TableSchema
 
-__all__ = ["Table"]
+__all__ = ["Table", "factorize_values"]
+
+
+def factorize_values(values) -> tuple[np.ndarray, list]:
+    """``(codes, uniques)`` for a value sequence, uniques in first-seen order.
+
+    Unlike ``np.unique`` this never compares values against each other, so
+    mixed-type object sequences (ints and strings) are safe.  Shared by
+    :meth:`Table.factorize`, the KG reasoner's batched validity mask and the
+    knowledge discriminator's event grouping.
+    """
+    seen: dict = {}
+    setdefault = seen.setdefault
+    codes = np.fromiter(
+        (setdefault(v, len(seen)) for v in values), dtype=np.int64, count=len(values)
+    )
+    return codes, list(seen)
 
 
 class Table:
@@ -37,9 +53,13 @@ class Table:
         self._columns: dict[str, np.ndarray] = {}
         for spec in schema:
             values = np.asarray(columns[spec.name])
+            # Columns already in their storage dtype are adopted as-is
+            # (columns are treated as immutable throughout; ``column()``
+            # documents that it returns the backing array, not a copy).
             if spec.is_continuous:
-                values = values.astype(np.float64)
-            else:
+                if values.dtype != np.float64:
+                    values = values.astype(np.float64)
+            elif values.dtype != object:
                 values = values.astype(object)
             self._columns[spec.name] = values
 
@@ -181,14 +201,32 @@ class Table:
         return Table(new_schema, columns)
 
     # ------------------------------------------------------------------ #
+    # Integer-code views (the vectorized data plane's native currency)
+    # ------------------------------------------------------------------ #
+    def column_codes(self, name: str, index: dict) -> np.ndarray:
+        """Integer codes for a column via a ``{value: code}`` mapping.
+
+        Values missing from ``index`` map to -1.  This is the one place the
+        data plane pays a per-value Python dict lookup; everything downstream
+        (bucketing, condition vectors, validity masks) operates on the
+        resulting int64 array.
+        """
+        column = self.column(name)
+        get = index.get
+        return np.fromiter((get(v, -1) for v in column), dtype=np.int64, count=len(column))
+
+    def factorize(self, name: str) -> tuple[np.ndarray, list]:
+        """``(codes, uniques)`` for a column, uniques in first-seen order."""
+        return factorize_values(self.column(name))
+
+    # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #
     def value_counts(self, name: str) -> dict:
         """Counts of each distinct value in a column, insertion-ordered."""
-        counts: dict = {}
-        for value in self.column(name):
-            counts[value] = counts.get(value, 0) + 1
-        return counts
+        codes, uniques = self.factorize(name)
+        counts = np.bincount(codes, minlength=len(uniques))
+        return {value: int(counts[i]) for i, value in enumerate(uniques)}
 
     def describe(self) -> dict[str, dict]:
         """Per-column summary statistics."""

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.tabular.encoders import MinMaxScaler, ModeSpecificNormalizer, OneHotEncoder
 from repro.tabular.schema import TableSchema
+from repro.tabular.segments import BlockLayout
 from repro.tabular.table import Table
 
 __all__ = ["OutputSpan", "ColumnOutputInfo", "DataTransformer"]
@@ -73,6 +74,96 @@ class ColumnOutputInfo:
         raise ValueError(f"column {self.name!r} has no one-hot block")
 
 
+class _DecodePlan:
+    """Precomputed batched-decode structure for ``inverse_transform``.
+
+    All categorical columns decode with ONE fancy index into a padded
+    ``(n_categorical, max_categories)`` object table; all mode-normalised
+    continuous columns decode with a handful of ``(rows, n_mode_columns)``
+    array operations against padded per-column mean / std / bound tables.
+    The per-column Python work in ``inverse_transform`` drops to slicing the
+    result matrices.
+    """
+
+    def __init__(self, transformer: "DataTransformer") -> None:
+        from repro.tabular.encoders import ModeSpecificNormalizer, OneHotEncoder
+
+        cat_names: list[str] = []
+        cat_blocks: list[int] = []
+        cat_tables: list[np.ndarray] = []
+        mode_names: list[str] = []
+        mode_blocks: list[int] = []
+        mode_alpha_cols: list[int] = []
+        mode_means: list[np.ndarray] = []
+        mode_stds: list[np.ndarray] = []
+        mode_low: list[float] = []
+        mode_high: list[float] = []
+        self.minmax: list[tuple[str, object, int, float | None, float | None]] = []
+        for info in transformer.output_info:
+            encoder = transformer._encoders[info.name]
+            spec = transformer.schema.column(info.name)
+            if isinstance(encoder, OneHotEncoder):
+                cat_names.append(info.name)
+                cat_blocks.append(transformer._softmax_block_of(info.name))
+                cat_tables.append(encoder._categories_array)
+            elif isinstance(encoder, ModeSpecificNormalizer):
+                mode_names.append(info.name)
+                mode_blocks.append(transformer._softmax_block_of(info.name))
+                mode_alpha_cols.append(info.start)
+                mode_means.append(encoder.gmm.means)
+                mode_stds.append(encoder.gmm.stds)
+                mode_low.append(spec.minimum if spec.minimum is not None else -np.inf)
+                mode_high.append(spec.maximum if spec.maximum is not None else np.inf)
+            else:
+                self.minmax.append(
+                    (info.name, encoder, info.start, spec.minimum, spec.maximum)
+                )
+        self.cat_names = cat_names
+        self.cat_blocks = np.asarray(cat_blocks, dtype=np.intp)
+        self.mode_names = mode_names
+        self.mode_blocks = np.asarray(mode_blocks, dtype=np.intp)
+        self.mode_alpha_cols = np.asarray(mode_alpha_cols, dtype=np.intp)
+        if cat_names:
+            max_k = max(len(table) for table in cat_tables)
+            self.cat_table = np.empty((len(cat_names), max_k), dtype=object)
+            for i, table in enumerate(cat_tables):
+                self.cat_table[i, : len(table)] = table
+            self.cat_rows = np.arange(len(cat_names))[None, :]
+        if mode_names:
+            max_k = max(len(means) for means in mode_means)
+            self.mode_mu = np.zeros((len(mode_names), max_k))
+            self.mode_sigma = np.ones((len(mode_names), max_k))
+            for i, (means, stds) in enumerate(zip(mode_means, mode_stds)):
+                self.mode_mu[i, : len(means)] = means
+                self.mode_sigma[i, : len(stds)] = stds
+            self.mode_rows = np.arange(len(mode_names))[None, :]
+            self.mode_lo = np.asarray(mode_low)
+            self.mode_hi = np.asarray(mode_high)
+
+    def decode(self, matrix: np.ndarray, winners: np.ndarray) -> dict[str, np.ndarray]:
+        columns: dict[str, np.ndarray] = {}
+        if self.cat_names:
+            decoded = self.cat_table[self.cat_rows, winners[:, self.cat_blocks]]
+            for i, name in enumerate(self.cat_names):
+                columns[name] = decoded[:, i]
+        if self.mode_names:
+            modes = winners[:, self.mode_blocks]
+            alpha = np.clip(matrix[:, self.mode_alpha_cols], -1.0, 1.0)
+            mu = self.mode_mu[self.mode_rows, modes]
+            sigma = self.mode_sigma[self.mode_rows, modes]
+            values = np.clip(alpha * 4.0 * sigma + mu, self.mode_lo, self.mode_hi)
+            for i, name in enumerate(self.mode_names):
+                columns[name] = values[:, i]
+        for name, encoder, start, minimum, maximum in self.minmax:
+            values = encoder.inverse_transform(matrix[:, start])
+            if minimum is not None:
+                values = np.maximum(values, minimum)
+            if maximum is not None:
+                values = np.minimum(values, maximum)
+            columns[name] = values
+        return columns
+
+
 class DataTransformer:
     """Fit/transform/inverse-transform a table into GAN-ready float matrices."""
 
@@ -91,6 +182,11 @@ class DataTransformer:
         self.output_info: list[ColumnOutputInfo] = []
         self._encoders: dict[str, object] = {}
         self._softmax_spans: list[tuple[int, int]] | None = None
+        self._softmax_layout_cache: BlockLayout | None = None
+        self._softmax_block_index: dict[str, int] | None = None
+        self._tanh_columns: np.ndarray | None = None
+        self._decode_plan: "_DecodePlan | None" = None
+        self._output_dim = 0
         self._fitted = False
 
     # ------------------------------------------------------------------ #
@@ -120,6 +216,11 @@ class DataTransformer:
             self.output_info.append(info)
             self._encoders[spec.name] = encoder
         self._softmax_spans = None
+        self._softmax_layout_cache = None
+        self._softmax_block_index = None
+        self._tanh_columns = None
+        self._decode_plan = None
+        self._output_dim = cursor
         self._fitted = True
         return self
 
@@ -129,9 +230,9 @@ class DataTransformer:
 
     @property
     def output_dim(self) -> int:
-        """Width of the transformed matrix."""
+        """Width of the transformed matrix (cached at fit time)."""
         self._require_fitted()
-        return sum(info.dim for info in self.output_info)
+        return self._output_dim
 
     def column_info(self, name: str) -> ColumnOutputInfo:
         self._require_fitted()
@@ -167,6 +268,43 @@ class DataTransformer:
             ]
         return self._softmax_spans
 
+    def softmax_layout(self) -> BlockLayout:
+        """Cached :class:`BlockLayout` over every softmax (one-hot) block.
+
+        The layout turns per-block argmax / softmax over the whole matrix
+        into a handful of segmented C passes; it is the backbone of the
+        batched ``inverse_transform`` / ``apply_output_activations`` paths
+        and of the generator's output activation.
+        """
+        self._require_fitted()
+        if self._softmax_layout_cache is None:
+            self._softmax_layout_cache = BlockLayout(self.softmax_spans())
+        return self._softmax_layout_cache
+
+    def _softmax_block_of(self, name: str) -> int:
+        """Index of ``name``'s one-hot (or mode) block within the layout."""
+        if self._softmax_block_index is None:
+            index: dict[str, int] = {}
+            block = 0
+            for info in self.output_info:
+                for span in info.spans:
+                    if span.activation == "softmax":
+                        index[info.name] = block
+                        block += 1
+            self._softmax_block_index = index
+        return self._softmax_block_index[name]
+
+    def tanh_columns(self) -> np.ndarray:
+        """Cached indices of every tanh-activated (scalar) output column."""
+        self._require_fitted()
+        if self._tanh_columns is None:
+            cols: list[int] = []
+            for start, end, activation in self.activation_spans():
+                if activation == "tanh":
+                    cols.extend(range(start, end))
+            self._tanh_columns = np.asarray(cols, dtype=np.intp)
+        return self._tanh_columns
+
     def harden(self, matrix: np.ndarray, inplace: bool = False) -> np.ndarray:
         """Convert soft one-hot blocks to exact one-hot by per-block argmax.
 
@@ -197,51 +335,55 @@ class DataTransformer:
 
     # ------------------------------------------------------------------ #
     def transform(self, table: Table, rng: np.random.Generator | None = None) -> np.ndarray:
-        """Encode ``table`` into a float matrix of shape (rows, output_dim)."""
+        """Encode ``table`` into a float matrix of shape (rows, output_dim).
+
+        Single-pass: the output matrix is allocated once and every column
+        block is written straight into its slice.  Categorical columns go
+        through the encoder's integer codes and one scatter write instead of
+        building a separate one-hot temporary per column.
+        """
         self._require_fitted()
         if table.schema.names != self.schema.names:
             raise ValueError("table schema does not match the fitted schema")
         rng = rng if rng is not None else np.random.default_rng(self.seed)
-        blocks: list[np.ndarray] = []
+        n_rows = table.n_rows
+        out = np.zeros((n_rows, self.output_dim), dtype=np.float64)
+        rows = np.arange(n_rows)
         for info in self.output_info:
             encoder = self._encoders[info.name]
             values = table.column(info.name)
             if isinstance(encoder, ModeSpecificNormalizer):
-                blocks.append(encoder.transform(values.astype(np.float64), rng=rng))
+                out[:, info.start : info.end] = encoder.transform(
+                    values.astype(np.float64), rng=rng
+                )
             elif isinstance(encoder, MinMaxScaler):
-                blocks.append(encoder.transform(values.astype(np.float64))[:, None])
+                out[:, info.start] = encoder.transform(values.astype(np.float64))
             else:
-                blocks.append(encoder.transform(values))
-        return np.concatenate(blocks, axis=1) if blocks else np.zeros((table.n_rows, 0))
+                codes = encoder.codes(values)
+                known = codes >= 0
+                out[rows[known], info.start + codes[known]] = 1.0
+        return out
 
     def inverse_transform(self, matrix: np.ndarray) -> Table:
-        """Decode a (possibly soft) matrix back into a typed table."""
+        """Decode a (possibly soft) matrix back into a typed table.
+
+        The winner of every one-hot / mode block is found in one batched
+        segmented-argmax pass over the gathered softmax columns; category
+        values are then materialised with one fancy index per column.
+        """
         self._require_fitted()
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2 or matrix.shape[1] != self.output_dim:
             raise ValueError(
                 f"expected matrix of width {self.output_dim}, got shape {matrix.shape}"
             )
-        columns: dict[str, np.ndarray] = {}
-        for info in self.output_info:
-            encoder = self._encoders[info.name]
-            block = matrix[:, info.start : info.end]
-            if isinstance(encoder, ModeSpecificNormalizer):
-                columns[info.name] = encoder.inverse_transform(block)
-            elif isinstance(encoder, MinMaxScaler):
-                columns[info.name] = encoder.inverse_transform(block[:, 0])
-            else:
-                columns[info.name] = encoder.inverse_transform(block)
-        # Clamp continuous columns to schema bounds when provided.
-        for spec in self.schema:
-            if spec.is_continuous:
-                values = np.asarray(columns[spec.name], dtype=np.float64)
-                if spec.minimum is not None:
-                    values = np.maximum(values, spec.minimum)
-                if spec.maximum is not None:
-                    values = np.minimum(values, spec.maximum)
-                columns[spec.name] = values
-        return Table(self.schema, columns)
+        layout = self.softmax_layout()
+        winners = layout.winners(matrix)
+        if self._decode_plan is None:
+            self._decode_plan = _DecodePlan(self)
+        # Schema bound clamping for continuous columns happens inside the
+        # plan (the bounds are baked into the padded decode tables).
+        return Table(self.schema, self._decode_plan.decode(matrix, winners))
 
     # ------------------------------------------------------------------ #
     def apply_output_activations(self, raw: np.ndarray, gumbel_tau: float = 0.2,
@@ -252,25 +394,26 @@ class DataTransformer:
         ``tanh`` blocks get a tanh; ``softmax`` blocks get a (Gumbel) softmax.
         With ``hard=True`` the softmax blocks are converted to exact one-hot
         vectors by argmax, which is what sampling-time decoding uses.
+
+        All softmax blocks are processed together via the cached
+        :class:`BlockLayout` (one gather, one Gumbel-noise draw, segmented
+        softmax, one scatter), so the cost no longer scales with the number
+        of columns.
         """
         self._require_fitted()
         raw = np.asarray(raw, dtype=np.float64)
         out = np.empty_like(raw)
         rng = rng if rng is not None else np.random.default_rng(self.seed)
-        for start, end, activation in self.activation_spans():
-            block = raw[:, start:end]
-            if activation == "tanh":
-                out[:, start:end] = np.tanh(block)
-            else:
-                if rng is not None and not hard:
-                    uniform = rng.uniform(1e-12, 1 - 1e-12, size=block.shape)
-                    block = block - np.log(-np.log(uniform)) * gumbel_tau
-                shifted = block - block.max(axis=1, keepdims=True)
-                soft = np.exp(shifted / gumbel_tau)
-                soft /= soft.sum(axis=1, keepdims=True)
-                if hard:
-                    hard_block = np.zeros_like(soft)
-                    hard_block[np.arange(len(soft)), soft.argmax(axis=1)] = 1.0
-                    soft = hard_block
-                out[:, start:end] = soft
+        tanh_cols = self.tanh_columns()
+        out[:, tanh_cols] = np.tanh(raw[:, tanh_cols])
+        layout = self.softmax_layout()
+        if layout.n_blocks:
+            gathered = layout.gather(raw)
+            if not hard:
+                uniform = rng.uniform(1e-12, 1 - 1e-12, size=gathered.shape)
+                gathered = gathered - np.log(-np.log(uniform)) * gumbel_tau
+            soft = layout.softmax(gathered, tau=gumbel_tau)
+            if hard:
+                soft = layout.one_hot_from_codes(layout.argmax(soft))
+            layout.scatter(out, soft)
         return out

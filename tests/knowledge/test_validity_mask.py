@@ -1,0 +1,80 @@
+"""Batched ``KGReasoner.validity_mask`` parity with the per-record query."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_lab_iot
+from repro.knowledge.builder import build_network_kg
+from repro.knowledge.reasoner import KGReasoner
+from repro.knowledge.validator import BatchValidator
+from repro.tabular.table import Table
+
+
+@pytest.fixture(scope="module")
+def lab():
+    bundle = load_lab_iot(n_records=400, seed=3)
+    reasoner = KGReasoner(build_network_kg(bundle.catalog), field_map=bundle.catalog.field_map)
+    return bundle, reasoner
+
+
+def _per_record(reasoner: KGReasoner, table: Table) -> np.ndarray:
+    return np.asarray([reasoner.is_valid(record) for record in table.to_records()])
+
+
+class TestValidityMask:
+    def test_matches_per_record_on_real_data(self, lab):
+        bundle, reasoner = lab
+        mask = reasoner.validity_mask(bundle.table)
+        np.testing.assert_array_equal(mask, _per_record(reasoner, bundle.table))
+        assert mask.all()  # generated lab data is valid by construction
+
+    def test_matches_per_record_on_corrupted_rows(self, lab):
+        bundle, reasoner = lab
+        table = bundle.table
+        rng = np.random.default_rng(0)
+        columns = {name: table.column(name).copy() for name in table.schema.names}
+        # Corrupt a third of the rows across every KG-constrained column.
+        n = table.n_rows
+        fm = reasoner.field_map
+        rows = rng.choice(n, size=n // 3, replace=False)
+        third = len(rows) // 3 or 1
+        columns[fm["protocol"]][rows[:third]] = "carrier-pigeon"
+        columns[fm["destination_port"]][rows[third : 2 * third]] = 1.0
+        columns[fm["event_type"]][rows[2 * third :]] = "unheard_of_event"
+        corrupted = Table(table.schema, columns)
+        mask = reasoner.validity_mask(corrupted)
+        np.testing.assert_array_equal(mask, _per_record(reasoner, corrupted))
+        assert not mask.all()
+
+    def test_accepts_column_mapping(self, lab):
+        bundle, reasoner = lab
+        table = bundle.table
+        columns = {name: table.column(name) for name in table.schema.names}
+        np.testing.assert_array_equal(
+            reasoner.validity_mask(columns), reasoner.validity_mask(table)
+        )
+
+    def test_unconstrained_when_event_column_absent(self, lab):
+        bundle, reasoner = lab
+        table = bundle.table.drop_columns([reasoner.field_map["event_type"]])
+        assert reasoner.validity_mask(table).all()
+
+    def test_non_numeric_port_is_invalid(self, lab):
+        bundle, reasoner = lab
+        table = bundle.table
+        columns = {name: table.column(name).copy() for name in table.schema.names}
+        port_column = reasoner.field_map["destination_port"]
+        if table.schema.column(port_column).is_continuous:
+            pytest.skip("port column stored as float in this schema")
+        columns[port_column][0] = "not-a-port"
+        corrupted = Table(table.schema, columns)
+        mask = reasoner.validity_mask(corrupted)
+        np.testing.assert_array_equal(mask, _per_record(reasoner, corrupted))
+
+    def test_table_scores_uses_batched_path(self, lab):
+        bundle, reasoner = lab
+        scores = BatchValidator(reasoner).table_scores(bundle.table)
+        assert scores.dtype == np.float64
+        np.testing.assert_array_equal(scores, _per_record(reasoner, bundle.table).astype(float))

@@ -95,6 +95,17 @@ class TestDense:
         with pytest.raises(RuntimeError):
             layer.backward(np.ones((1, 2)))
 
+    def test_forward_bias_add_exact_and_input_untouched(self, rng):
+        # The bias is added in place on the freshly-allocated matmul result;
+        # the caller's input must never be mutated by that optimisation.
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        original = x.copy()
+        out = layer.forward(x)
+        np.testing.assert_array_equal(x, original)
+        np.testing.assert_allclose(out, x @ layer.weight + layer.bias)
+        assert out is not layer.bias
+
 
 @pytest.mark.parametrize(
     "layer_factory",

@@ -138,8 +138,14 @@ def _seed_inverse(transformer: DataTransformer, matrix: np.ndarray) -> Table:
 
 
 # --------------------------------------------------------------------- #
-def run_dataplane_bench(rows: int = BENCH_ROWS, epoch: bool = True) -> dict:
-    """Measure the data plane and return the benchmark document."""
+def run_dataplane_bench(
+    rows: int = BENCH_ROWS, epoch: bool = True, min_seconds: float = 1.0
+) -> dict:
+    """Measure the data plane and return the benchmark document.
+
+    ``min_seconds`` is how long each measurement repeats; the CI smoke run
+    shrinks it to keep the whole check under a minute.
+    """
     bundle = load_lab_iot(n_records=rows, seed=7)
     table = bundle.table
     transformer = DataTransformer(max_modes=6, seed=0).fit(table)
@@ -167,22 +173,22 @@ def run_dataplane_bench(rows: int = BENCH_ROWS, epoch: bool = True) -> dict:
     # Condition sampling (training-by-sampling), batch 512.
     record(
         "sampler_sample",
-        _rate(lambda: legacy.sample(SAMPLE_BATCH, rng), SAMPLE_BATCH),
-        _rate(lambda: sampler.sample(SAMPLE_BATCH, rng), SAMPLE_BATCH),
+        _rate(lambda: legacy.sample(SAMPLE_BATCH, rng), SAMPLE_BATCH, min_seconds),
+        _rate(lambda: sampler.sample(SAMPLE_BATCH, rng), SAMPLE_BATCH, min_seconds),
         batch_size=SAMPLE_BATCH,
     )
     record(
         "empirical_conditions",
-        _rate(lambda: _seed_empirical_conditions(sampler, SAMPLE_BATCH, rng), SAMPLE_BATCH),
-        _rate(lambda: sampler.empirical_conditions(SAMPLE_BATCH, rng), SAMPLE_BATCH),
+        _rate(lambda: _seed_empirical_conditions(sampler, SAMPLE_BATCH, rng), SAMPLE_BATCH, min_seconds),
+        _rate(lambda: sampler.empirical_conditions(SAMPLE_BATCH, rng), SAMPLE_BATCH, min_seconds),
         batch_size=SAMPLE_BATCH,
     )
 
     # Table -> matrix encoding.
     record(
         "transform",
-        _rate(lambda: _seed_transform(transformer, table, rng), table.n_rows),
-        _rate(lambda: transformer.transform(table, rng=rng), table.n_rows),
+        _rate(lambda: _seed_transform(transformer, table, rng), table.n_rows, min_seconds),
+        _rate(lambda: transformer.transform(table, rng=rng), table.n_rows, min_seconds),
         rows=table.n_rows,
     )
 
@@ -192,8 +198,8 @@ def run_dataplane_bench(rows: int = BENCH_ROWS, epoch: bool = True) -> dict:
     hard = np.ascontiguousarray(np.tile(matrix, (tiles, 1))[:INVERSE_BATCH])
     record(
         "inverse_transform",
-        _rate(lambda: _seed_inverse(transformer, hard), len(hard)),
-        _rate(lambda: transformer.inverse_transform(hard), len(hard)),
+        _rate(lambda: _seed_inverse(transformer, hard), len(hard), min_seconds),
+        _rate(lambda: transformer.inverse_transform(hard), len(hard), min_seconds),
         batch_size=len(hard),
     )
 
@@ -205,16 +211,16 @@ def run_dataplane_bench(rows: int = BENCH_ROWS, epoch: bool = True) -> dict:
     record(
         "onehot_decode",
         _rate(lambda: np.asarray([encoder.categories[i] for i in codes], dtype=object),
-              len(codes)),
-        _rate(lambda: encoder.decode(codes), len(codes)),
+              len(codes), min_seconds),
+        _rate(lambda: encoder.decode(codes), len(codes), min_seconds),
         batch_size=len(codes),
     )
 
     # Knowledge-graph validity.
     record(
         "validity_rate",
-        _rate(lambda: validator.record_scores(table.to_records()), table.n_rows),
-        _rate(lambda: reasoner.validity_mask(table), table.n_rows),
+        _rate(lambda: validator.record_scores(table.to_records()), table.n_rows, min_seconds),
+        _rate(lambda: reasoner.validity_mask(table), table.n_rows, min_seconds),
         rows=table.n_rows,
     )
 

@@ -1,0 +1,38 @@
+"""Benchmark-tier checks for the parallel runtime.
+
+Runs a reduced version of :mod:`benchmarks.bench_runtime` and checks the
+*structure* and the machine-independent invariants:
+
+* the round-throughput sweep produces serial and process numbers for every
+  requested client count;
+* the latency-overlap probe (blocked work units) actually overlaps -- this
+  holds on any machine, single-core included, because sleeping workers
+  consume no CPU.
+
+Absolute CPU-bound speedups are hardware-bound (cores), so like the rest of
+the benchmark suite they are printed rather than asserted; run with ``-s``
+to see them.
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_runtime import format_results, run_runtime_bench
+
+
+def test_runtime_bench_document_structure_and_overlap():
+    document = run_runtime_bench(client_counts=(2,), rounds=1)
+    print()
+    print(format_results(document))
+
+    metrics = document["metrics"]
+    entry = metrics["federated_round_2clients"]
+    assert entry["serial_rounds_per_sec"] > 0
+    assert entry["process_rounds_per_sec"] > 0
+    assert entry["workers"] >= 2
+
+    overlap = metrics["latency_overlap"]
+    # Eight 50 ms blocked tasks over eight workers: even with generous
+    # scheduling slack the pool must clearly beat the 400 ms serial floor.
+    assert overlap["speedup"] > 1.3
+    assert document["machine"]["cpus"] >= 1
+    assert document["config"]["client_counts"] == [2]

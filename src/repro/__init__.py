@@ -31,9 +31,12 @@ Top-level convenience re-exports cover the most common entry points:
 * :mod:`repro.distributed` -- the synthetic-sharing distributed NIDS scenario.
 * :mod:`repro.federated` -- FedAvg / secure aggregation / DP-FedAvg and
   federated KiNETGAN (the paper's future-work agenda).
-* :mod:`repro.cli` -- ``python -m repro {datasets, generate, evaluate}``,
-  including the engine knobs ``--log-every``, ``--patience`` and
-  ``--checkpoint-dir`` on ``generate``.
+* :mod:`repro.runtime` -- the serial / process-pool executors the multi-node
+  layers run on; seeded parallel runs are bit-identical to serial ones.
+* :mod:`repro.cli` -- ``python -m repro {datasets, generate, evaluate,
+  federated, distributed}``, including the engine knobs ``--log-every``,
+  ``--patience`` and ``--checkpoint-dir`` on ``generate`` and the runtime's
+  ``--workers`` on the multi-node commands.
 """
 
 from repro._version import __version__

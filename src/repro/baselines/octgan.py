@@ -10,8 +10,6 @@ and the discriminator integrates its first hidden layer before classifying.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.config import KiNETGANConfig
 from repro.core.discriminator import DataDiscriminator
 from repro.core.generator import ConditionalGenerator, TabularOutputActivation

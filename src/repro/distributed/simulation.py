@@ -25,13 +25,59 @@ from repro.core.synthesizer import KiNETGAN
 from repro.datasets.base import DatasetBundle
 from repro.distributed.coordinator import Coordinator
 from repro.distributed.node import DeviceNode
+from repro.distributed.protocol import SyntheticShare
 from repro.nids.features import TabularFeaturizer
 from repro.nids.metrics import accuracy_score, f1_score
 from repro.nids.pipeline import make_classifier
+from repro.runtime import Executor, resolve_executor, spawn_seeds
 from repro.tabular.split import train_test_split
 from repro.tabular.table import Table
 
 __all__ = ["SimulationResult", "DistributedNIDSSimulation"]
+
+
+@dataclass
+class _NodeTask:
+    """Everything one device node does in a run, as one executor work unit.
+
+    A node's pipeline (train the local detector, evaluate it, fit the local
+    synthesizer, publish a synthetic share) is independent of every other
+    node once its share seed is fixed, so the whole pipeline fans out as a
+    single task.  The share seed is a child sequence spawned by the
+    simulation in the parent process, which keeps serial and process-pool
+    runs bit-identical.
+    """
+
+    node: DeviceNode
+    classifier: str
+    share_size: int | None
+    share_seed: np.random.SeedSequence
+    test: Table
+
+
+@dataclass
+class _NodeResult:
+    """What the coordinator needs back from one node's task."""
+
+    node_id: str
+    local_accuracy: float
+    local_f1: float
+    share: SyntheticShare
+
+
+def _run_node_task(task: _NodeTask) -> _NodeResult:
+    """Module-level worker: local detector + synthesizer + share for a node."""
+    node = task.node
+    node.train_local_detector(task.classifier)
+    metrics = node.evaluate_local_detector(task.test)
+    node.fit_synthesizer()
+    share = node.produce_share(task.share_size, rng=np.random.default_rng(task.share_seed))
+    return _NodeResult(
+        node_id=node.node_id,
+        local_accuracy=metrics["accuracy"],
+        local_f1=metrics["f1"],
+        share=share,
+    )
 
 
 @dataclass
@@ -71,6 +117,7 @@ class DistributedNIDSSimulation:
         synthesizer_factory=None,
         test_fraction: float = 0.25,
         seed: int = 0,
+        executor: Executor | str | int | None = None,
     ) -> None:
         """Parameters
         ----------
@@ -83,7 +130,14 @@ class DistributedNIDSSimulation:
             specialises in a subset of event labels.
         synthesizer_factory:
             Callable ``(seed) -> Synthesizer``; defaults to KiNETGAN with the
-            given config.
+            given config.  With a process-pool executor the factory runs in
+            the parent; only the constructed synthesizer must be picklable.
+        executor:
+            ``None``/``"serial"`` (default) runs nodes back-to-back in
+            process; ``N > 1`` / ``"process"`` / ``"process:N"`` fans the
+            per-node pipelines out over a process pool
+            (:func:`repro.runtime.resolve_executor`).  Seeded results are
+            bit-identical either way.
         """
         if num_nodes < 2:
             raise ValueError("num_nodes must be at least 2")
@@ -97,6 +151,11 @@ class DistributedNIDSSimulation:
         self.synthesizer_factory = synthesizer_factory
         self.test_fraction = test_fraction
         self.seed = seed
+        self.executor = resolve_executor(executor)
+
+    def close(self) -> None:
+        """Release the executor's worker pool (no-op for the serial one)."""
+        self.executor.close()
 
     # ------------------------------------------------------------------ #
     def _make_synthesizer(self, seed: int) -> Synthesizer:
@@ -149,14 +208,28 @@ class DistributedNIDSSimulation:
             )
             nodes.append(node)
 
+        # Every node's pipeline (local detector, synthesizer fit, synthetic
+        # share) is one executor task; share seeds are spawned here, in the
+        # parent, so the fan-out is deterministic under any executor.
+        share_seeds = spawn_seeds(self.seed, len(nodes))
+        tasks = [
+            _NodeTask(
+                node=node,
+                classifier=self.classifier,
+                share_size=share_size,
+                share_seed=share_seed,
+                test=test,
+            )
+            for node, share_seed in zip(nodes, share_seeds)
+        ]
+        results = self.executor.map(_run_node_task, tasks)
+
         # Local-only baseline.
         per_node_local: dict[str, float] = {}
         per_node_f1: list[float] = []
-        for node in nodes:
-            node.train_local_detector(self.classifier)
-            metrics = node.evaluate_local_detector(test)
-            per_node_local[node.node_id] = metrics["accuracy"]
-            per_node_f1.append(metrics["f1"])
+        for result in results:
+            per_node_local[result.node_id] = result.local_accuracy
+            per_node_f1.append(result.local_f1)
         local_only = float(np.mean(list(per_node_local.values())))
         local_only_f1 = float(np.mean(per_node_f1))
 
@@ -165,11 +238,9 @@ class DistributedNIDSSimulation:
             label_column=self.bundle.label_column, classifier=self.classifier, seed=self.seed
         )
         share_validity: dict[str, float | None] = {}
-        for node in nodes:
-            node.fit_synthesizer()
-            share = node.produce_share(share_size, rng=rng)
-            share_validity[node.node_id] = share.validity_rate
-            coordinator.receive(share)
+        for result in results:
+            share_validity[result.node_id] = result.share.validity_rate
+            coordinator.receive(result.share)
         coordinator.train_global_detector()
         summary = coordinator.evaluate(test, per_node_accuracy=per_node_local)
 

@@ -19,9 +19,15 @@ from repro.federated.aggregation import (
     SecureAggregationSession,
     fedavg_aggregate,
     median_aggregate,
+    safe_mean,
     trimmed_mean_aggregate,
 )
-from repro.federated.client import ClientUpdate, FederatedClient
+from repro.federated.client import (
+    ClientPayload,
+    ClientUpdate,
+    FederatedClient,
+    run_client_payload,
+)
 from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
 from repro.federated.kinetgan import (
     FederatedKiNETGAN,
@@ -29,6 +35,7 @@ from repro.federated.kinetgan import (
     FederatedKiNETGANSite,
 )
 from repro.federated.parameters import (
+    StateCodec,
     StateDict,
     clip_state_norm,
     copy_state,
@@ -43,9 +50,14 @@ from repro.federated.parameters import (
 )
 from repro.federated.partition import dirichlet_partition, iid_partition, label_skew_partition
 from repro.federated.server import FederatedHistory, FederatedRound, FederatedServer
-from repro.federated.simulation import FederatedNIDSResult, FederatedNIDSSimulation
+from repro.federated.simulation import (
+    DetectorFactory,
+    FederatedNIDSResult,
+    FederatedNIDSSimulation,
+)
 
 __all__ = [
+    "StateCodec",
     "StateDict",
     "copy_state",
     "zeros_like_state",
@@ -60,11 +72,15 @@ __all__ = [
     "fedavg_aggregate",
     "trimmed_mean_aggregate",
     "median_aggregate",
+    "safe_mean",
     "SecureAggregationSession",
     "DPFedAvgConfig",
     "DPFedAvgMechanism",
+    "ClientPayload",
     "ClientUpdate",
     "FederatedClient",
+    "run_client_payload",
+    "DetectorFactory",
     "FederatedRound",
     "FederatedHistory",
     "FederatedServer",

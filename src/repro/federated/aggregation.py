@@ -22,19 +22,29 @@ import hashlib
 
 import numpy as np
 
-from repro.federated.parameters import (
-    StateDict,
-    flatten_state,
-    unflatten_state,
-    weighted_average,
-)
+from repro.federated.parameters import StateCodec, StateDict, weighted_average
 
 __all__ = [
     "fedavg_aggregate",
     "trimmed_mean_aggregate",
     "median_aggregate",
+    "safe_mean",
     "SecureAggregationSession",
 ]
+
+
+def safe_mean(values: list[float]) -> float:
+    """Mean of the finite entries; quiet NaN when none are usable.
+
+    Round summaries average per-client metrics that may be missing or NaN
+    (clients that report nothing usable); plain ``np.mean``/``np.nanmean``
+    would emit a ``RuntimeWarning`` on an all-NaN or empty round, so this
+    filters first and degrades to NaN silently.
+    """
+    finite = [value for value in values if np.isfinite(value)]
+    if not finite:
+        return float("nan")
+    return float(np.mean(finite))
 
 
 def fedavg_aggregate(updates: list[StateDict], weights: list[float] | None = None) -> StateDict:
@@ -42,17 +52,12 @@ def fedavg_aggregate(updates: list[StateDict], weights: list[float] | None = Non
     return weighted_average(updates, weights)
 
 
-def _stack_updates(updates: list[StateDict]) -> tuple[np.ndarray, list[tuple[str, tuple[int, ...]]]]:
+def _stack_updates(updates: list[StateDict]) -> tuple[np.ndarray, StateCodec]:
+    """Pack updates into a ``(clients, total_params)`` matrix via the codec."""
     if not updates:
         raise ValueError("need at least one update")
-    flat_first, layout = flatten_state(updates[0])
-    rows = [flat_first]
-    for update in updates[1:]:
-        flat, other_layout = flatten_state(update)
-        if other_layout != layout:
-            raise ValueError("updates have incompatible layouts")
-        rows.append(flat)
-    return np.stack(rows, axis=0), layout
+    codec = StateCodec(updates[0])
+    return codec.encode_many(updates), codec
 
 
 def trimmed_mean_aggregate(updates: list[StateDict], trim_fraction: float = 0.1) -> StateDict:
@@ -64,20 +69,20 @@ def trimmed_mean_aggregate(updates: list[StateDict], trim_fraction: float = 0.1)
     """
     if not 0.0 <= trim_fraction < 0.5:
         raise ValueError("trim_fraction must be in [0, 0.5)")
-    stacked, layout = _stack_updates(updates)
+    stacked, codec = _stack_updates(updates)
     n_clients = stacked.shape[0]
     trim = int(np.floor(trim_fraction * n_clients))
     if 2 * trim >= n_clients:
         trim = max(0, (n_clients - 1) // 2)
     ordered = np.sort(stacked, axis=0)
     kept = ordered[trim : n_clients - trim] if trim else ordered
-    return unflatten_state(kept.mean(axis=0), layout)
+    return codec.decode(kept.mean(axis=0))
 
 
 def median_aggregate(updates: list[StateDict]) -> StateDict:
     """Coordinate-wise median over client updates (robust, unweighted)."""
-    stacked, layout = _stack_updates(updates)
-    return unflatten_state(np.median(stacked, axis=0), layout)
+    stacked, codec = _stack_updates(updates)
+    return codec.decode(np.median(stacked, axis=0))
 
 
 class SecureAggregationSession:
@@ -99,8 +104,8 @@ class SecureAggregationSession:
         if len(set(client_ids)) != len(client_ids):
             raise ValueError("client ids must be unique")
         self.client_ids = list(client_ids)
-        _, self._layout = flatten_state(template)
-        self._dim = int(sum(int(np.prod(shape)) if shape else 1 for _, shape in self._layout))
+        self._codec = StateCodec(template)
+        self._dim = self._codec.dim
         self._seed = seed
         self._masked: dict[str, np.ndarray] = {}
 
@@ -117,10 +122,10 @@ class SecureAggregationSession:
         """The masked flat vector ``client_id`` would send to the server."""
         if client_id not in self.client_ids:
             raise KeyError(f"unknown client {client_id!r}")
-        flat, layout = flatten_state(update)
-        if layout != self._layout:
-            raise ValueError("update layout does not match the session template")
-        masked = flat.astype(np.float64, copy=True)
+        try:
+            masked = self._codec.encode(update)
+        except ValueError as error:
+            raise ValueError("update layout does not match the session template") from error
         for other in self.client_ids:
             if other == client_id:
                 continue
@@ -150,9 +155,9 @@ class SecureAggregationSession:
         total = np.zeros(self._dim, dtype=np.float64)
         for masked in self._masked.values():
             total += masked
-        return unflatten_state(total, self._layout)
+        return self._codec.decode(total)
 
     def aggregate_mean(self) -> StateDict:
         """The unweighted mean of all submitted updates."""
         total = self.aggregate()
-        return unflatten_state(flatten_state(total)[0] / len(self.client_ids), self._layout)
+        return self._codec.decode(self._codec.encode(total) / len(self.client_ids))

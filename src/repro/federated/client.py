@@ -11,6 +11,15 @@ The local pass is a :class:`repro.engine.SupervisedStep` driven by the
 shared :class:`repro.engine.TrainingEngine` -- the same loop machinery the
 synthesizers train on -- with the FedProx term injected through the step's
 ``grad_hook``.
+
+For the parallel runtime (:mod:`repro.runtime`) a round of local training is
+packaged as a :class:`ClientPayload`: the client itself (partition + config,
+picklable as long as ``model_fn`` is a module-level callable or class
+instance), the broadcast global state, and a child
+:class:`~numpy.random.SeedSequence` spawned *in the parent* just before
+dispatch.  ``run_client_payload`` is the module-level function a process
+pool maps over; because the child seed is fixed at spawn time, serial and
+parallel rounds are bit-identical.
 """
 
 from __future__ import annotations
@@ -20,13 +29,13 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engine import SupervisedStep, TrainingEngine, seeded_rng
+from repro.engine import SupervisedStep, TrainingEngine
 from repro.federated.parameters import StateDict, copy_state, state_subtract
 from repro.neural.losses import CrossEntropy
 from repro.neural.network import Sequential
 from repro.neural.optimizers import SGD
 
-__all__ = ["ClientUpdate", "FederatedClient"]
+__all__ = ["ClientUpdate", "ClientPayload", "FederatedClient", "run_client_payload"]
 
 
 @dataclass
@@ -86,7 +95,11 @@ class FederatedClient:
         self.batch_size = batch_size
         self.local_epochs = local_epochs
         self.proximal_mu = proximal_mu
-        self.rng = seeded_rng(seed)
+        self.seed = seed
+        # Each round consumes a child stream spawned from this sequence in
+        # the parent process, so the randomness of round r is a pure function
+        # of (seed, r) -- independent of which executor runs the round.
+        self._seed_sequence = np.random.SeedSequence(seed)
 
     # ------------------------------------------------------------------ #
     @property
@@ -100,8 +113,32 @@ class FederatedClient:
         return {int(v): float(c) / total for v, c in zip(values, counts)}
 
     # ------------------------------------------------------------------ #
-    def local_update(self, global_state: StateDict) -> ClientUpdate:
-        """Run local training from ``global_state`` and return the delta."""
+    def spawn_round_seed(self) -> np.random.SeedSequence:
+        """Spawn the seed of the next local round (call in the parent only)."""
+        return self._seed_sequence.spawn(1)[0]
+
+    def make_payload(self, global_state: StateDict) -> "ClientPayload":
+        """Package one round of local training for an executor.
+
+        The round seed is spawned here, in the calling (parent) process, so
+        dispatching the payload to a worker cannot change the stream the
+        round consumes.
+        """
+        return ClientPayload(
+            client=self, global_state=global_state, round_seed=self.spawn_round_seed()
+        )
+
+    def local_update(
+        self, global_state: StateDict, rng: np.random.Generator | None = None
+    ) -> ClientUpdate:
+        """Run local training from ``global_state`` and return the delta.
+
+        ``rng`` defaults to a generator built from the next spawned round
+        seed; the executor path passes the payload's pre-spawned seed in
+        explicitly.
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.spawn_round_seed())
         model = self.model_fn()
         model.load_state_dict(copy_state(global_state))
         reference_params: list[np.ndarray] | None = None
@@ -128,7 +165,7 @@ class FederatedClient:
             epochs=self.local_epochs,
             batch_size=self.batch_size,
             n_rows=self.n_examples,
-            rng=self.rng,
+            rng=rng,
         )
         engine.run()
         last_loss = step.last_loss
@@ -170,3 +207,29 @@ class FederatedClient:
     def _local_accuracy(self, model: Sequential) -> float:
         predictions = model.forward(self.features, training=False).argmax(axis=1)
         return float((predictions == self.labels).mean())
+
+
+@dataclass
+class ClientPayload:
+    """One round of local training, packaged for a runtime executor.
+
+    Everything a worker process needs: the client (its private partition and
+    training config), the broadcast global state, and the child seed spawned
+    in the parent.  The payload pickles cleanly provided the client's
+    ``model_fn`` is a module-level function or a picklable class instance.
+    """
+
+    client: FederatedClient
+    global_state: StateDict
+    round_seed: np.random.SeedSequence
+
+    def run(self) -> ClientUpdate:
+        """Execute the local round (in whatever process the executor picked)."""
+        return self.client.local_update(
+            self.global_state, rng=np.random.default_rng(self.round_seed)
+        )
+
+
+def run_client_payload(payload: ClientPayload) -> ClientUpdate:
+    """Module-level entry point a process pool can map over payloads."""
+    return payload.run()

@@ -18,25 +18,26 @@ condition sampler over its private table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import KiNETGANConfig
 from repro.core.trainer import KiNETGANTrainer
 from repro.engine import sampling_rng, seeded_rng
+from repro.federated.aggregation import safe_mean
 from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
 from repro.federated.parameters import (
     StateDict,
     copy_state,
     state_add,
-    state_scale,
     state_subtract,
     weighted_average,
 )
 from repro.knowledge.builder import build_network_kg
 from repro.knowledge.catalog import DomainCatalog
 from repro.knowledge.reasoner import KGReasoner
+from repro.runtime import Executor, resolve_executor
 from repro.tabular.sampler import ConditionSampler
 from repro.tabular.table import Table
 from repro.tabular.transformer import DataTransformer
@@ -110,6 +111,45 @@ class FederatedKiNETGANSite:
         matrix = self.trainer.generate_matrix(n, rng=rng)
         return self.transformer.inverse_transform(matrix)
 
+    def absorb(self, trained: "FederatedKiNETGANSite") -> None:
+        """Adopt the state of a trained (possibly round-tripped) copy.
+
+        When a round runs on a process pool the worker trains a pickled
+        copy; absorbing its attributes into *this* object keeps every
+        external reference (for example the site handle ``add_site``
+        returned) pointing at the trained state.  A no-op when the copy is
+        this very object, as under the serial executor.
+        """
+        if trained is self:
+            return
+        self.__dict__.update(trained.__dict__)
+
+
+@dataclass
+class _SiteTask:
+    """One site's local-training slice of a round (executor work unit).
+
+    The *whole site* is shipped and shipped back: its trainer carries state
+    that must persist across rounds (Adam moments, the training RNG, the
+    history), so the worker returns the updated site and the coordinator
+    absorbs it into its existing site object (keeping external site handles
+    valid).  Under the serial executor this is the identity -- the same
+    object is mutated in place, exactly as the pre-runtime loop did.
+    """
+
+    site: FederatedKiNETGANSite
+    generator_state: StateDict
+    discriminator_state: StateDict
+    local_epochs: int
+
+
+def _run_site_task(task: _SiteTask) -> tuple[FederatedKiNETGANSite, dict[str, float]]:
+    """Module-level worker: broadcast, train locally, return the site."""
+    site = task.site
+    site.set_state(task.generator_state, task.discriminator_state)
+    metrics = site.train_local(task.local_epochs)
+    return site, metrics
+
 
 @dataclass
 class FederatedKiNETGANRound:
@@ -147,11 +187,13 @@ class FederatedKiNETGAN:
         condition_columns: list[str] | None = None,
         dp_config: DPFedAvgConfig | None = None,
         seed: int = 0,
+        executor: Executor | str | int | None = None,
     ) -> None:
         self.config = config if config is not None else KiNETGANConfig()
         self.condition_columns = condition_columns
         self.seed = seed
         self.rng = seeded_rng(seed)
+        self.executor = resolve_executor(executor)
         self.transformer = DataTransformer(
             max_modes=self.config.max_modes,
             continuous_encoding=self.config.continuous_encoding,
@@ -166,6 +208,10 @@ class FederatedKiNETGAN:
         self.rounds: list[FederatedKiNETGANRound] = []
         self._global_generator: StateDict | None = None
         self._global_discriminator: StateDict | None = None
+
+    def close(self) -> None:
+        """Release the executor's worker pool (no-op for the serial one)."""
+        self.executor.close()
 
     # ------------------------------------------------------------------ #
     def add_site(self, site_id: str, table: Table) -> FederatedKiNETGANSite:
@@ -206,10 +252,28 @@ class FederatedKiNETGAN:
             self._global_discriminator = copy_state(discriminator_state)
 
     def run_round(self, local_epochs: int = 1) -> FederatedKiNETGANRound:
-        """One round: broadcast, local training, (DP) aggregation."""
+        """One round: broadcast, local training, (DP) aggregation.
+
+        Sites train through the coordinator's executor.  Each work unit
+        carries the whole site (trainer optimizer moments and RNG included),
+        and the coordinator's site absorbs the returned copy, so a round on
+        the process pool is bit-identical to a serial one and existing site
+        handles keep pointing at the trained state.
+        """
         self._require_sites()
         self._initialise_global()
         assert self._global_generator is not None and self._global_discriminator is not None
+
+        tasks = [
+            _SiteTask(
+                site=site,
+                generator_state=self._global_generator,
+                discriminator_state=self._global_discriminator,
+                local_epochs=local_epochs,
+            )
+            for site in self.sites
+        ]
+        results = self.executor.map(_run_site_task, tasks)
 
         generator_states: list[StateDict] = []
         discriminator_states: list[StateDict] = []
@@ -217,9 +281,8 @@ class FederatedKiNETGAN:
         generator_losses: list[float] = []
         discriminator_losses: list[float] = []
 
-        for site in self.sites:
-            site.set_state(self._global_generator, self._global_discriminator)
-            metrics = site.train_local(local_epochs)
+        for index, (site, metrics) in enumerate(results):
+            self.sites[index].absorb(site)
             generator_losses.append(metrics.get("generator_loss", float("nan")))
             discriminator_losses.append(metrics.get("discriminator_loss", float("nan")))
             generator_state, discriminator_state = site.get_state()
@@ -245,8 +308,8 @@ class FederatedKiNETGAN:
         round_info = FederatedKiNETGANRound(
             round_index=len(self.rounds),
             participants=[site.site_id for site in self.sites],
-            mean_generator_loss=float(np.nanmean(generator_losses)),
-            mean_discriminator_loss=float(np.nanmean(discriminator_losses)),
+            mean_generator_loss=safe_mean(generator_losses),
+            mean_discriminator_loss=safe_mean(discriminator_losses),
             epsilon=epsilon,
         )
         self.rounds.append(round_info)

@@ -2,9 +2,13 @@
 
 Federated averaging operates on model *state dictionaries* (the
 ``name -> ndarray`` mapping produced by
-:meth:`repro.neural.network.Sequential.state_dict`).  The helpers here treat
-such dictionaries as flat vectors: weighted averages, differences, norms and
-(de)flattening, all without mutating the inputs.
+:meth:`repro.neural.network.Sequential.state_dict`).  The workhorse here is
+:class:`StateCodec`, a fixed flattened-buffer layout derived from a template
+state: it encodes any compatible state into one contiguous ``float64``
+vector (and a batch of states into a ``(clients, total_params)`` matrix), so
+aggregation rules become single stacked array operations instead of
+per-tensor Python loops.  The historical helpers (``flatten_state``,
+``weighted_average``, ...) are kept as thin wrappers over the codec.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import numpy as np
 
 __all__ = [
     "StateDict",
+    "StateCodec",
     "copy_state",
     "zeros_like_state",
     "state_add",
@@ -27,6 +32,92 @@ __all__ = [
 
 #: A model state: parameter (and buffer) name to array.
 StateDict = dict[str, np.ndarray]
+
+#: A flattening layout: (key, shape) in encoding order.
+Layout = list[tuple[str, tuple[int, ...]]]
+
+
+class StateCodec:
+    """Fixed layout between state dictionaries and flat ``float64`` buffers.
+
+    The layout is taken from a template state with keys sorted, so two
+    states with the same keys and shapes always encode to the same vector
+    positions -- the invariant both FedAvg stacking and the secure
+    aggregation masking rely on.  ``encode_many`` packs a whole round of
+    client states into one ``(clients, total_params)`` matrix; aggregation
+    then reduces over axis 0 in a single pass.
+    """
+
+    def __init__(self, template: StateDict) -> None:
+        self.keys: tuple[str, ...] = tuple(sorted(template))
+        self.shapes: dict[str, tuple[int, ...]] = {}
+        self.dtypes: dict[str, np.dtype] = {}
+        self._spans: dict[str, tuple[int, int]] = {}
+        cursor = 0
+        for key in self.keys:
+            value = np.asarray(template[key])
+            self.shapes[key] = value.shape
+            self.dtypes[key] = value.dtype
+            size = int(value.size)
+            self._spans[key] = (cursor, cursor + size)
+            cursor += size
+        self.dim = cursor
+
+    # ------------------------------------------------------------------ #
+    @property
+    def layout(self) -> Layout:
+        """The ``(key, shape)`` list in encoding order (sorted keys)."""
+        return [(key, self.shapes[key]) for key in self.keys]
+
+    def _validate(self, state: StateDict) -> None:
+        if set(state) != set(self.keys):
+            raise ValueError("state dictionaries have different keys")
+        for key in self.keys:
+            shape = np.asarray(state[key]).shape
+            if shape != self.shapes[key]:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: {self.shapes[key]} vs {shape}"
+                )
+
+    # ------------------------------------------------------------------ #
+    def encode(self, state: StateDict, out: np.ndarray | None = None) -> np.ndarray:
+        """Flatten ``state`` into a ``(dim,)`` float64 vector."""
+        self._validate(state)
+        vector = out if out is not None else np.empty(self.dim, dtype=np.float64)
+        for key in self.keys:
+            start, end = self._spans[key]
+            vector[start:end] = np.asarray(state[key], dtype=np.float64).ravel()
+        return vector
+
+    def encode_many(self, states: list[StateDict]) -> np.ndarray:
+        """Pack ``states`` into a ``(len(states), dim)`` float64 matrix."""
+        if not states:
+            raise ValueError("need at least one state to encode")
+        matrix = np.empty((len(states), self.dim), dtype=np.float64)
+        for row, state in enumerate(states):
+            self.encode(state, out=matrix[row])
+        return matrix
+
+    def decode(self, vector: np.ndarray) -> StateDict:
+        """Inverse of :meth:`encode`.
+
+        Floating template dtypes are restored; any non-float entry stays
+        ``float64``, because decoded vectors are usually *aggregates*
+        (means, medians, masked sums) and casting those back to an integer
+        dtype would silently truncate them.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected a ({self.dim},) vector, got shape {vector.shape}")
+        state: StateDict = {}
+        for key in self.keys:
+            start, end = self._spans[key]
+            chunk = vector[start:end].reshape(self.shapes[key])
+            dtype = self.dtypes[key]
+            if np.issubdtype(dtype, np.floating):
+                chunk = chunk.astype(dtype, copy=False)
+            state[key] = chunk
+        return state
 
 
 def _check_compatible(a: StateDict, b: StateDict) -> None:
@@ -91,6 +182,8 @@ def weighted_average(states: list[StateDict], weights: list[float] | None = None
 
     ``weights`` defaults to uniform; they are normalised internally, so
     passing per-client example counts gives the canonical FedAvg weighting.
+    The whole round is one stacked ``np.average`` over the codec's
+    ``(clients, total_params)`` matrix.
     """
     if not states:
         raise ValueError("need at least one state to average")
@@ -101,39 +194,25 @@ def weighted_average(states: list[StateDict], weights: list[float] | None = None
     weight_array = np.asarray(weights, dtype=np.float64)
     if np.any(weight_array < 0):
         raise ValueError("weights must be non-negative")
-    total = float(weight_array.sum())
-    if total <= 0:
+    if float(weight_array.sum()) <= 0:
         raise ValueError("weights must not all be zero")
-    weight_array = weight_array / total
 
-    reference = states[0]
-    for state in states[1:]:
-        _check_compatible(reference, state)
-    average = zeros_like_state(reference)
-    for state, weight in zip(states, weight_array):
-        for key in average:
-            average[key] += weight * state[key]
-    return average
+    codec = StateCodec(states[0])
+    matrix = codec.encode_many(states)
+    return codec.decode(np.average(matrix, axis=0, weights=weight_array))
 
 
-def flatten_state(state: StateDict) -> tuple[np.ndarray, list[tuple[str, tuple[int, ...]]]]:
+def flatten_state(state: StateDict) -> tuple[np.ndarray, Layout]:
     """Flatten a state into a single vector plus the layout needed to undo it.
 
     Keys are sorted so that two states with the same keys always flatten to
     the same layout (required by the secure-aggregation masking).
     """
-    layout: list[tuple[str, tuple[int, ...]]] = []
-    chunks: list[np.ndarray] = []
-    for key in sorted(state):
-        value = np.asarray(state[key], dtype=np.float64)
-        layout.append((key, value.shape))
-        chunks.append(value.ravel())
-    if not chunks:
-        return np.zeros(0, dtype=np.float64), layout
-    return np.concatenate(chunks), layout
+    codec = StateCodec(state)
+    return codec.encode(state), codec.layout
 
 
-def unflatten_state(vector: np.ndarray, layout: list[tuple[str, tuple[int, ...]]]) -> StateDict:
+def unflatten_state(vector: np.ndarray, layout: Layout) -> StateDict:
     """Inverse of :func:`flatten_state`."""
     vector = np.asarray(vector, dtype=np.float64)
     state: StateDict = {}

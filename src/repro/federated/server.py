@@ -18,12 +18,14 @@ from repro.federated.aggregation import (
     SecureAggregationSession,
     fedavg_aggregate,
     median_aggregate,
+    safe_mean,
     trimmed_mean_aggregate,
 )
-from repro.federated.client import ClientUpdate, FederatedClient
+from repro.federated.client import ClientUpdate, FederatedClient, run_client_payload
 from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
 from repro.federated.parameters import StateDict, copy_state, state_add, state_scale
 from repro.neural.network import Sequential
+from repro.runtime import Executor, resolve_executor
 
 __all__ = ["FederatedRound", "FederatedHistory", "FederatedServer"]
 
@@ -81,6 +83,7 @@ class FederatedServer:
         dp_config: DPFedAvgConfig | None = None,
         secure_aggregation: bool = False,
         seed: int = 0,
+        executor: Executor | str | int | None = None,
     ) -> None:
         """Parameters
         ----------
@@ -101,6 +104,12 @@ class FederatedServer:
             Route updates through the simulated pairwise-masking protocol.
             Only meaningful with the unweighted aggregators; with FedAvg the
             weighting is applied before masking.
+        executor:
+            How client rounds run: ``None``/``"serial"`` (default) trains
+            participants in-process, an ``int N > 1`` / ``"process"`` /
+            ``"process:N"`` fans them out over a process pool (see
+            :func:`repro.runtime.resolve_executor`).  Seeded results are
+            bit-identical either way.
         """
         if not clients:
             raise ValueError("need at least one client")
@@ -116,12 +125,17 @@ class FederatedServer:
         self.client_fraction = client_fraction
         self.server_lr = server_lr
         self.secure_aggregation = secure_aggregation
+        self.executor = resolve_executor(executor)
         self.rng = np.random.default_rng(seed)
 
         self.global_model = model_fn()
         self.global_state: StateDict = self.global_model.state_dict()
         self.dp_mechanism = DPFedAvgMechanism(dp_config, rng=self.rng) if dp_config else None
         self.history = FederatedHistory()
+
+    def close(self) -> None:
+        """Release the executor's worker pool (no-op for the serial one)."""
+        self.executor.close()
 
     # ------------------------------------------------------------------ #
     def select_clients(self) -> list[FederatedClient]:
@@ -135,11 +149,19 @@ class FederatedServer:
         eval_features: np.ndarray | None = None,
         eval_labels: np.ndarray | None = None,
     ) -> FederatedRound:
-        """One synchronous round: select, train locally, aggregate, update."""
+        """One synchronous round: select, train locally, aggregate, update.
+
+        Local training is fanned out through the server's executor: each
+        participant is packaged as a :class:`ClientPayload` (with its round
+        seed spawned here, before dispatch) and mapped over
+        :func:`run_client_payload`, so the serial and process-pool paths run
+        exactly the same code on exactly the same streams.
+        """
         participants = self.select_clients()
-        updates: list[ClientUpdate] = [
-            client.local_update(copy_state(self.global_state)) for client in participants
+        payloads = [
+            client.make_payload(copy_state(self.global_state)) for client in participants
         ]
+        updates: list[ClientUpdate] = self.executor.map(run_client_payload, payloads)
 
         if self.dp_mechanism is not None:
             for update in updates:
@@ -163,9 +185,9 @@ class FederatedServer:
         round_info = FederatedRound(
             round_index=self.history.n_rounds,
             participants=[u.client_id for u in updates],
-            mean_client_loss=float(np.mean([u.local_loss for u in updates])),
-            mean_client_accuracy=float(
-                np.mean([u.metrics.get("local_accuracy", np.nan) for u in updates])
+            mean_client_loss=safe_mean([u.local_loss for u in updates]),
+            mean_client_accuracy=safe_mean(
+                [u.metrics["local_accuracy"] for u in updates if "local_accuracy" in u.metrics]
             ),
             global_accuracy=global_accuracy,
             epsilon=self.dp_mechanism.epsilon() if self.dp_mechanism else None,

@@ -27,9 +27,61 @@ from repro.neural.layers import Dense, ReLU
 from repro.neural.network import Sequential
 from repro.nids.features import TabularFeaturizer
 from repro.nids.metrics import accuracy_score, f1_score
+from repro.runtime import Executor, resolve_executor
 from repro.tabular.split import train_test_split
 
-__all__ = ["FederatedNIDSResult", "FederatedNIDSSimulation"]
+__all__ = ["DetectorFactory", "FederatedNIDSResult", "FederatedNIDSSimulation"]
+
+
+@dataclass(frozen=True)
+class DetectorFactory:
+    """Picklable factory for the shared detector architecture.
+
+    The federated runtime ships clients to worker processes, so the model
+    factory every client carries must survive pickling -- a plain dataclass
+    of hyper-parameters does, where the closure the simulation previously
+    built did not.
+    """
+
+    n_features: int
+    n_classes: int
+    hidden_dims: tuple[int, ...]
+    seed: int
+
+    def __call__(self) -> Sequential:
+        rng = np.random.default_rng(self.seed)
+        layers: list = []
+        width = self.n_features
+        for hidden in self.hidden_dims:
+            layers.append(Dense(width, hidden, rng=rng, init="he"))
+            layers.append(ReLU())
+            width = hidden
+        layers.append(Dense(width, self.n_classes, rng=rng, init="glorot"))
+        return Sequential(layers)
+
+
+@dataclass
+class _SoloTask:
+    """Train one client alone for the local-only baseline (executor unit)."""
+
+    client: FederatedClient
+    model_fn: DetectorFactory
+    num_rounds: int
+    seed: int
+    test_features: np.ndarray
+    test_labels: np.ndarray
+
+
+def _run_solo_task(task: _SoloTask) -> tuple[str, float, float]:
+    """Module-level worker: full solo training of one client, then eval."""
+    server = FederatedServer(task.model_fn, [task.client], seed=task.seed)
+    server.run(task.num_rounds)
+    predictions = server.predict(task.test_features)
+    return (
+        task.client.client_id,
+        accuracy_score(task.test_labels, predictions),
+        f1_score(task.test_labels, predictions),
+    )
 
 
 @dataclass
@@ -76,6 +128,7 @@ class FederatedNIDSSimulation:
         dp_config: DPFedAvgConfig | None = None,
         test_fraction: float = 0.25,
         seed: int = 0,
+        executor: Executor | str | int | None = None,
     ) -> None:
         if num_rounds <= 0 or local_epochs <= 0:
             raise ValueError("num_rounds and local_epochs must be positive")
@@ -91,24 +144,20 @@ class FederatedNIDSSimulation:
         self.dp_config = dp_config
         self.test_fraction = test_fraction
         self.seed = seed
+        self.executor = resolve_executor(executor)
+
+    def close(self) -> None:
+        """Release the executor's worker pool (no-op for the serial one)."""
+        self.executor.close()
 
     # ------------------------------------------------------------------ #
-    def _model_fn(self, n_features: int, n_classes: int):
-        hidden_dims = self.hidden_dims
-        seed = self.seed
-
-        def factory() -> Sequential:
-            rng = np.random.default_rng(seed)
-            layers = []
-            width = n_features
-            for hidden in hidden_dims:
-                layers.append(Dense(width, hidden, rng=rng, init="he"))
-                layers.append(ReLU())
-                width = hidden
-            layers.append(Dense(width, n_classes, rng=rng, init="glorot"))
-            return Sequential(layers)
-
-        return factory
+    def _model_fn(self, n_features: int, n_classes: int) -> DetectorFactory:
+        return DetectorFactory(
+            n_features=n_features,
+            n_classes=n_classes,
+            hidden_dims=tuple(self.hidden_dims),
+            seed=self.seed,
+        )
 
     def _make_clients(
         self,
@@ -162,25 +211,36 @@ class FederatedNIDSSimulation:
         X_train, y_train = featurizer.transform(train)
         model_fn = self._model_fn(X_train.shape[1], featurizer.n_classes)
 
-        # Local-only baseline: every client trains alone from scratch.
+        # Local-only baseline: every client trains alone from scratch.  The
+        # solo runs are independent, so they fan out over the executor as
+        # whole-training work units (one task = all rounds of one client).
         clients = self._make_clients(partitions, featurizer, model_fn)
+        solo_tasks = [
+            _SoloTask(
+                client=client,
+                model_fn=model_fn,
+                num_rounds=self.num_rounds,
+                seed=self.seed,
+                test_features=X_test,
+                test_labels=y_test,
+            )
+            for client in clients
+        ]
         per_client_local: dict[str, float] = {}
         local_f1: list[float] = []
-        for client in clients:
-            solo_server = FederatedServer(model_fn, [client], seed=self.seed)
-            solo_server.run(self.num_rounds)
-            predictions = solo_server.predict(X_test)
-            per_client_local[client.client_id] = accuracy_score(y_test, predictions)
-            local_f1.append(f1_score(y_test, predictions))
+        for client_id, accuracy, f1 in self.executor.map(_run_solo_task, solo_tasks):
+            per_client_local[client_id] = accuracy
+            local_f1.append(f1)
         local_only = float(np.mean(list(per_client_local.values())))
 
-        # Federated training (FedAvg).
+        # Federated training (FedAvg); client rounds share the executor.
         clients = self._make_clients(partitions, featurizer, model_fn)
         server = FederatedServer(
             model_fn,
             clients,
             client_fraction=self.client_fraction,
             seed=self.seed,
+            executor=self.executor,
         )
         history = server.run(self.num_rounds, eval_features=X_test, eval_labels=y_test)
         federated_predictions = server.predict(X_test)
@@ -197,6 +257,7 @@ class FederatedNIDSSimulation:
                 client_fraction=self.client_fraction,
                 dp_config=self.dp_config,
                 seed=self.seed,
+                executor=self.executor,
             )
             dp_server.run(self.num_rounds)
             dp_predictions = dp_server.predict(X_test)

@@ -22,7 +22,6 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats
 
-from repro.tabular.schema import TableSchema
 from repro.tabular.table import Table
 
 __all__ = ["column_emd", "emd_distance", "mixed_distance", "per_column_distances"]

@@ -16,8 +16,6 @@ from typing import Mapping
 import numpy as np
 
 from repro.knowledge.builder import (
-    DEVICE_NS,
-    DOMAIN_NS,
     EVENT_NS,
     IP_NS,
     PORT_NS,

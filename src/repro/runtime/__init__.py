@@ -1,0 +1,51 @@
+"""Parallel execution runtime for the multi-node layers.
+
+The paper's deployment story is *distributed*: many devices train
+synthesizers and detectors at once.  Everything below the federated /
+distributed simulations is already vectorized (PR 2) and unified behind one
+training engine (PR 1); this subsystem removes the last serial tier by
+fanning independent per-client / per-node work units out over a process
+pool.
+
+Design rules (every call site follows them, new ones must too):
+
+1. **Work units are payloads, not closures.**  A payload is a picklable
+   object (dataclass of arrays + config + seeds) handed to a *module-level*
+   function, so it survives the pickle round-trip of a process pool under
+   any start method.  Payloads live next to the layer that owns them
+   (:mod:`repro.federated.client` defines :class:`ClientPayload`, the
+   distributed simulation its node task); this package only provides the
+   executors and the seeding discipline.
+2. **Child seeds are spawned in the parent.**  Every payload carries a
+   :class:`numpy.random.SeedSequence` child spawned *before* dispatch, so
+   the randomness a work unit consumes depends only on (parent seed, spawn
+   index) -- never on which process runs it or in which order results
+   arrive.  Serial and parallel execution are therefore bit-identical; the
+   parity tests in ``tests/runtime/`` enforce this.
+3. **Order in, order out.**  :meth:`Executor.map` always returns results in
+   submission order, whatever the completion order was.
+
+Pick an executor with :func:`resolve_executor` (``None``/``"serial"``/``0``/
+``1`` -> in-process, ``N > 1`` / ``"process"`` / ``"process:N"`` -> a
+persistent worker pool) or construct :class:`SerialExecutor` /
+:class:`ProcessExecutor` directly.  The CLI and the example scripts expose
+the same knob as ``--workers``.
+"""
+
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    default_worker_count,
+    resolve_executor,
+)
+from repro.runtime.seeding import spawn_seeds
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "default_worker_count",
+    "resolve_executor",
+    "spawn_seeds",
+]

@@ -1,0 +1,154 @@
+"""Pluggable executors: run payload functions serially or on a process pool.
+
+The contract is deliberately tiny -- :meth:`Executor.map` over picklable
+payloads with a module-level function -- because that is exactly what the
+federated server, the federated/distributed simulations and the runtime
+benchmark need, and anything richer (futures, streaming completion) would
+make the serial/parallel parity guarantee harder to reason about.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Callable, Iterable, TypeVar
+
+__all__ = ["Executor", "SerialExecutor", "ProcessExecutor", "resolve_executor"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Spec strings accepted by :func:`resolve_executor` for the serial path.
+_SERIAL_NAMES = ("serial", "none", "sync")
+
+
+def default_worker_count() -> int:
+    """Worker count used when a process executor is requested without one."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+class Executor:
+    """Maps a module-level function over payloads, preserving input order."""
+
+    #: Human-readable executor kind ("serial" or "process").
+    name: str = "abstract"
+
+    def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every payload and return results in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; a no-op for serial)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """In-process execution: a plain ordered loop over the payloads.
+
+    This is the default everywhere.  Because the parallel path feeds the
+    *same* payloads to the *same* module-level functions, a seeded run under
+    :class:`SerialExecutor` is bit-identical to one under
+    :class:`ProcessExecutor`.
+    """
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
+        return [fn(payload) for payload in payloads]
+
+
+class ProcessExecutor(Executor):
+    """A persistent process pool shared across successive ``map`` calls.
+
+    The underlying :class:`concurrent.futures.ProcessPoolExecutor` is
+    created lazily on first use and reused for every subsequent round, so
+    per-round overhead is pickling only, not process start-up.  Payloads and
+    the mapped function must be picklable (module-level functions, dataclass
+    payloads of arrays/config/seeds).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None, start_method: str | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers or default_worker_count()
+        self.start_method = start_method
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            context = None
+            if self.start_method is not None:
+                context = multiprocessing.get_context(self.start_method)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
+        # ProcessPoolExecutor.map already yields results in submission order.
+        return list(self._ensure_pool().map(fn, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+def resolve_executor(spec: "Executor | str | int | None") -> Executor:
+    """Normalise an executor spec into an :class:`Executor` instance.
+
+    Accepted specs:
+
+    * ``None``, ``0``, ``1``, ``"serial"`` -- the in-process serial executor;
+    * an ``int N > 1`` -- a process pool with ``N`` workers;
+    * ``"process"`` -- a process pool sized to the available CPUs;
+    * ``"process:N"`` -- a process pool with ``N`` workers;
+    * an :class:`Executor` instance -- returned unchanged.
+
+    This is the single point where the CLI / example ``--workers`` knob and
+    the simulation ``executor=`` parameters meet the runtime.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, bool):
+        raise TypeError("executor spec must be an Executor, str, int or None")
+    if isinstance(spec, int):
+        if spec < 0:
+            raise ValueError("worker count must be non-negative")
+        return SerialExecutor() if spec <= 1 else ProcessExecutor(max_workers=spec)
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in _SERIAL_NAMES:
+            return SerialExecutor()
+        if text == "process":
+            return ProcessExecutor()
+        if text.startswith("process:"):
+            workers = int(text.split(":", 1)[1])
+            if workers < 1:
+                raise ValueError("worker count must be at least 1")
+            return SerialExecutor() if workers == 1 else ProcessExecutor(max_workers=workers)
+        if text.isdigit():
+            return resolve_executor(int(text))
+        raise ValueError(
+            f"unknown executor spec {spec!r}; expected 'serial', 'process', 'process:N' or N"
+        )
+    raise TypeError("executor spec must be an Executor, str, int or None")

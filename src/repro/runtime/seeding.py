@@ -1,0 +1,39 @@
+"""Deterministic child-seed spawning for parallel work units.
+
+A work unit dispatched to a process pool must not share a stateful RNG with
+the parent (the parent's copy would never advance) and must not depend on
+*where* or *when* it runs.  The discipline used throughout the runtime is:
+
+* the parent owns a :class:`numpy.random.SeedSequence`;
+* immediately before dispatch it spawns one child per work unit (spawning
+  is stateful on the parent sequence, so successive rounds get fresh,
+  non-overlapping streams);
+* the payload carries the child and the worker builds its generator with
+  ``np.random.default_rng(child)``.
+
+Because the spawn happens in the parent in submission order, the stream a
+work unit sees is a pure function of (parent seed, spawn index) -- identical
+under the serial and the process executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_seeds"]
+
+
+def spawn_seeds(
+    source: "np.random.SeedSequence | int | None", n: int
+) -> list[np.random.SeedSequence]:
+    """Spawn ``n`` child seed sequences from ``source``.
+
+    ``source`` may be a :class:`~numpy.random.SeedSequence` (spawned from
+    directly, advancing its spawn counter), an integer seed or ``None``
+    (entropy-seeded).  Results are in spawn order, one per work unit.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not isinstance(source, np.random.SeedSequence):
+        source = np.random.SeedSequence(source)
+    return source.spawn(n)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.datasets import (
@@ -11,7 +10,6 @@ from repro.datasets import (
     available_datasets,
     load_dataset,
     load_lab_iot,
-    load_unsw_nb15,
 )
 from repro.datasets.lab_iot import EVENT_LABELS, lab_iot_schema
 from repro.datasets.unsw_nb15 import ATTACK_CATEGORIES, unsw_nb15_schema

@@ -6,14 +6,12 @@ import numpy as np
 import pytest
 
 from repro.baselines import IndependentSampler
-from repro.core.config import KiNETGANConfig
 from repro.distributed import (
     Coordinator,
     DeviceNode,
     DistributedNIDSSimulation,
     SyntheticShare,
 )
-from repro.tabular.split import train_test_split
 
 
 class TestProtocol:

@@ -10,7 +10,6 @@ from repro.engine import (
     Callback,
     Checkpointer,
     EarlyStopping,
-    History,
     PeriodicLogger,
     RecordMetric,
     SupervisedStep,

@@ -9,6 +9,7 @@ from repro.federated.aggregation import (
     SecureAggregationSession,
     fedavg_aggregate,
     median_aggregate,
+    safe_mean,
     trimmed_mean_aggregate,
 )
 from repro.federated.parameters import flatten_state, state_add, state_scale
@@ -121,3 +122,21 @@ class TestSecureAggregation:
     def test_duplicate_client_ids_rejected(self):
         with pytest.raises(ValueError):
             SecureAggregationSession(["a", "a"], template=make_state())
+
+
+class TestSafeMean:
+    def test_mean_of_finite_values(self):
+        assert safe_mean([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_nans_are_ignored(self):
+        assert safe_mean([float("nan"), 4.0]) == pytest.approx(4.0)
+
+    def test_all_nan_or_empty_degrade_quietly_to_nan(self):
+        import math
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert math.isnan(safe_mean([]))
+            assert math.isnan(safe_mean([float("nan"), float("nan")]))
+            assert math.isnan(safe_mean([float("inf")]))

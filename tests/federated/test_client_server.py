@@ -7,10 +7,13 @@ better than chance.
 
 from __future__ import annotations
 
+import math
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.federated.client import FederatedClient
+from repro.federated.client import ClientUpdate, FederatedClient
 from repro.federated.dp import DPFedAvgConfig
 from repro.federated.server import FederatedServer
 from repro.neural.layers import Dense, ReLU
@@ -173,3 +176,59 @@ class TestFederatedServer:
         server = FederatedServer(model_fn, make_clients(2), seed=0)
         with pytest.raises(ValueError):
             server.run(0)
+
+
+class TestRoundMetricGuards:
+    def test_round_with_no_usable_metrics_stays_quiet(self):
+        """A round whose clients report no usable metrics must not emit a
+        RuntimeWarning through np.mean -- it degrades to NaN silently."""
+
+        class MetriclessClient(FederatedClient):
+            def local_update(self, global_state, rng=None):
+                update = super().local_update(global_state, rng=rng)
+                return ClientUpdate(
+                    client_id=update.client_id,
+                    update=update.update,
+                    n_examples=update.n_examples,
+                    local_loss=float("nan"),
+                    metrics={},
+                )
+
+        X, y = make_blobs(40, seed=0)
+        clients = [
+            MetriclessClient(f"m{i}", X, y, model_fn, local_epochs=1, seed=i)
+            for i in range(2)
+        ]
+        server = FederatedServer(model_fn, clients, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            round_info = server.run_round()
+        assert math.isnan(round_info.mean_client_loss)
+        assert math.isnan(round_info.mean_client_accuracy)
+        assert round_info.participants == ["m0", "m1"]
+
+    def test_partial_metrics_average_only_the_usable_ones(self):
+        """Finite metrics from some clients are averaged; NaNs are ignored."""
+
+        class HalfReportingClient(FederatedClient):
+            def local_update(self, global_state, rng=None):
+                update = super().local_update(global_state, rng=rng)
+                if self.client_id == "h0":
+                    update.metrics = {"local_accuracy": 0.75}
+                    update.local_loss = 0.5
+                else:
+                    update.metrics = {}
+                    update.local_loss = float("nan")
+                return update
+
+        X, y = make_blobs(40, seed=1)
+        clients = [
+            HalfReportingClient(f"h{i}", X, y, model_fn, local_epochs=1, seed=i)
+            for i in range(2)
+        ]
+        server = FederatedServer(model_fn, clients, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            round_info = server.run_round()
+        assert round_info.mean_client_accuracy == pytest.approx(0.75)
+        assert round_info.mean_client_loss == pytest.approx(0.5)

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.federated.parameters import (
+    StateCodec,
     clip_state_norm,
     copy_state,
     flatten_state,
@@ -162,3 +163,78 @@ class TestFlattenUnflatten:
             stacked = np.stack([state[key] for state in states])
             assert np.all(average[key] <= stacked.max(axis=0) + 1e-12)
             assert np.all(average[key] >= stacked.min(axis=0) - 1e-12)
+
+
+class TestStateCodec:
+    def test_roundtrip_preserves_values_shapes_dtypes(self):
+        state = make_state(4)
+        state["half"] = np.array([0.5, 1.5], dtype=np.float32)
+        state["counter"] = np.array([3], dtype=np.int64)
+        codec = StateCodec(state)
+        restored = codec.decode(codec.encode(state))
+        assert set(restored) == set(state)
+        for key in state:
+            assert restored[key].shape == state[key].shape
+            np.testing.assert_allclose(
+                np.asarray(restored[key], dtype=np.float64),
+                np.asarray(state[key], dtype=np.float64),
+            )
+        # Floating dtypes are restored; integer entries stay float64 so that
+        # decoding an *aggregate* (e.g. the mean of counters) cannot truncate.
+        assert restored["half"].dtype == np.float32
+        assert restored["layers.0.weight"].dtype == np.float64
+        assert restored["counter"].dtype == np.float64
+
+    def test_decoded_aggregate_of_int_entries_is_not_truncated(self):
+        state_a = make_state(1)
+        state_a["counter"] = np.array([1], dtype=np.int64)
+        state_b = make_state(2)
+        state_b["counter"] = np.array([2], dtype=np.int64)
+        average = weighted_average([state_a, state_b])
+        assert average["counter"][0] == pytest.approx(1.5)
+
+    def test_dim_counts_every_parameter(self):
+        state = make_state()
+        codec = StateCodec(state)
+        assert codec.dim == sum(value.size for value in state.values())
+
+    def test_encode_many_stacks_clients_rows(self):
+        states = [make_state(seed) for seed in range(3)]
+        codec = StateCodec(states[0])
+        matrix = codec.encode_many(states)
+        assert matrix.shape == (3, codec.dim)
+        for row, state in enumerate(states):
+            np.testing.assert_allclose(matrix[row], codec.encode(state))
+
+    def test_layout_matches_flatten_state(self):
+        state = make_state()
+        codec = StateCodec(state)
+        flat, layout = flatten_state(state)
+        assert codec.layout == layout
+        np.testing.assert_allclose(codec.encode(state), flat)
+
+    def test_incompatible_states_rejected(self):
+        codec = StateCodec(make_state())
+        with pytest.raises(ValueError):
+            codec.encode({"other": np.zeros(3)})
+        bad = make_state()
+        bad["layers.0.bias"] = np.zeros((5,))
+        with pytest.raises(ValueError):
+            codec.encode(bad)
+        with pytest.raises(ValueError):
+            codec.decode(np.zeros(codec.dim + 1))
+        with pytest.raises(ValueError):
+            codec.encode_many([])
+
+    @given(
+        weights=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=5)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_average_matches_per_tensor_loop(self, weights):
+        """The stacked np.average equals the seed's per-tensor accumulation."""
+        states = [make_state(seed) for seed in range(len(weights))]
+        stacked = weighted_average(states, weights)
+        normalised = np.asarray(weights) / np.sum(weights)
+        for key in states[0]:
+            expected = sum(w * state[key] for w, state in zip(normalised, states))
+            np.testing.assert_allclose(stacked[key], expected, rtol=1e-12, atol=1e-12)

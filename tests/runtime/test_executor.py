@@ -1,0 +1,123 @@
+"""Unit tests for the runtime executors and seed spawning."""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    default_worker_count,
+    resolve_executor,
+    spawn_seeds,
+)
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(operator.neg, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_empty_input(self):
+        assert SerialExecutor().map(operator.neg, []) == []
+
+    def test_close_is_noop_and_context_manager_works(self):
+        with SerialExecutor() as executor:
+            assert executor.map(abs, [-2]) == [2]
+        executor.close()  # idempotent
+
+
+class TestProcessExecutor:
+    def test_maps_in_order_across_workers(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            assert executor.map(operator.neg, list(range(8))) == [-i for i in range(8)]
+
+    def test_pool_is_reused_between_map_calls(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            executor.map(abs, [-1])
+            pool = executor._pool
+            executor.map(abs, [-2])
+            assert executor._pool is pool
+
+    def test_close_shuts_down_and_is_idempotent(self):
+        executor = ProcessExecutor(max_workers=2)
+        executor.map(abs, [-1])
+        executor.close()
+        assert executor._pool is None
+        executor.close()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+
+
+class TestResolveExecutor:
+    @pytest.mark.parametrize("spec", [None, 0, 1, "serial", "none", "1", "process:1"])
+    def test_serial_specs(self, spec):
+        assert isinstance(resolve_executor(spec), SerialExecutor)
+
+    def test_int_spec_gives_process_pool(self):
+        executor = resolve_executor(3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.max_workers == 3
+
+    def test_process_spec_defaults_to_cpu_count(self):
+        executor = resolve_executor("process")
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.max_workers == default_worker_count()
+
+    def test_process_spec_with_count(self):
+        executor = resolve_executor("process:5")
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.max_workers == 5
+
+    def test_instance_passthrough(self):
+        executor = SerialExecutor()
+        assert resolve_executor(executor) is executor
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_executor("threads")
+        with pytest.raises(ValueError):
+            resolve_executor(-2)
+        with pytest.raises(ValueError):
+            resolve_executor("process:0")
+        with pytest.raises(TypeError):
+            resolve_executor(True)
+        with pytest.raises(TypeError):
+            resolve_executor(3.5)
+
+    def test_base_class_map_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Executor().map(abs, [1])
+
+
+class TestSpawnSeeds:
+    def test_deterministic_for_int_source(self):
+        first = spawn_seeds(42, 3)
+        second = spawn_seeds(42, 3)
+        assert len(first) == 3
+        for a, b in zip(first, second):
+            assert a.entropy == b.entropy
+            assert a.spawn_key == b.spawn_key
+            assert np.random.default_rng(a).integers(1 << 30) == (
+                np.random.default_rng(b).integers(1 << 30)
+            )
+
+    def test_children_are_distinct_streams(self):
+        children = spawn_seeds(0, 4)
+        draws = {int(np.random.default_rng(child).integers(1 << 60)) for child in children}
+        assert len(draws) == 4
+
+    def test_spawning_from_a_sequence_advances_it(self):
+        source = np.random.SeedSequence(7)
+        first = spawn_seeds(source, 2)
+        second = spawn_seeds(source, 2)
+        assert [c.spawn_key for c in first] != [c.spawn_key for c in second]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)

@@ -77,3 +77,43 @@ class TestCommands:
         assert "Fidelity" in out
         assert "validity rate" in out
         assert "INDEPENDENT" in out and "REAL" in out
+
+
+class TestRuntimeCommands:
+    def test_workers_flag_parsed_with_default_serial(self):
+        parser = build_parser()
+        assert parser.parse_args(["federated"]).workers == 0
+        assert parser.parse_args(["federated", "--workers", "4"]).workers == 4
+        assert parser.parse_args(["distributed", "--workers", "2"]).workers == 2
+        with pytest.raises(SystemExit):
+            parser.parse_args(["federated", "--workers", "-1"])
+
+    def test_federated_command_runs_serial(self, capsys):
+        exit_code = main(
+            [
+                "federated",
+                "--records", "400",
+                "--clients", "2",
+                "--rounds", "1",
+                "--local-epochs", "1",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "federated accuracy" in out
+        assert "centralised accuracy" in out
+
+    def test_distributed_command_runs_serial(self, capsys):
+        exit_code = main(
+            [
+                "distributed",
+                "--records", "400",
+                "--nodes", "2",
+                "--epochs", "1",
+                "--share-size", "80",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "local accuracy" in out
+        assert "synthetic-sharing" in out

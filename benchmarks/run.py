@@ -28,7 +28,7 @@ from benchmarks.bench_dataplane import (
     run_dataplane_bench,
     write_results,
 )
-from benchmarks import bench_runtime
+from benchmarks import bench_runtime, bench_serving
 
 SMOKE_MIN_SECONDS = 0.25
 SMOKE_RETRY_MIN_SECONDS = 1.0
@@ -131,7 +131,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--json", action="store_true",
                         help="print the full benchmark document(s) as JSON")
-    parser.add_argument("--suite", choices=("dataplane", "runtime", "all"),
+    parser.add_argument("--suite", choices=("dataplane", "runtime", "serving", "all"),
                         default="dataplane",
                         help="which benchmark suite to run (default %(default)s)")
     parser.add_argument("--rows", type=int, default=BENCH_ROWS,
@@ -162,6 +162,11 @@ def main(argv: list[str] | None = None) -> int:
         documents["runtime"] = document
         if not args.no_write:
             bench_runtime.write_results(document)
+    if args.suite in ("serving", "all"):
+        document = bench_serving.run_serving_bench()
+        documents["serving"] = document
+        if not args.no_write:
+            bench_serving.write_results(document)
 
     if args.json:
         payload = documents if len(documents) > 1 else next(iter(documents.values()))
@@ -173,10 +178,14 @@ def main(argv: list[str] | None = None) -> int:
                 print(format_results(document))
                 if not args.no_write:
                     print(f"[bench:dataplane] wrote {RESULT_PATH}")
-            else:
+            elif name == "runtime":
                 print(bench_runtime.format_results(document))
                 if not args.no_write:
                     print(f"[bench:runtime] wrote {bench_runtime.RESULT_PATH}")
+            else:
+                print(bench_serving.format_results(document))
+                if not args.no_write:
+                    print(f"[bench:serving] wrote {bench_serving.RESULT_PATH}")
     return 0
 
 

@@ -33,10 +33,13 @@ Top-level convenience re-exports cover the most common entry points:
   federated KiNETGAN (the paper's future-work agenda).
 * :mod:`repro.runtime` -- the serial / process-pool executors the multi-node
   layers run on; seeded parallel runs are bit-identical to serial ones.
-* :mod:`repro.cli` -- ``python -m repro {datasets, generate, evaluate,
-  federated, distributed}``, including the engine knobs ``--log-every``,
-  ``--patience`` and ``--checkpoint-dir`` on ``generate`` and the runtime's
-  ``--workers`` on the multi-node commands.
+* :mod:`repro.serve` -- versioned model artifacts (``save_model`` /
+  ``load_model`` with bit-identical reload sampling) and the micro-batching
+  ``SamplingService`` over an LRU model registry.
+* :mod:`repro.cli` -- ``python -m repro {datasets, generate, save, sample,
+  serve, evaluate, federated, distributed}``, including the engine knobs
+  ``--log-every``, ``--patience`` and ``--checkpoint-dir`` on ``generate``
+  and the runtime's ``--workers`` on the multi-node commands.
 """
 
 from repro._version import __version__

@@ -38,6 +38,30 @@ class IndependentSampler(Synthesizer):
         self._fitted = True
         return self
 
+    # ------------------------------------------------------------------ #
+    # Artifact-state protocol (repro.serve)
+    # ------------------------------------------------------------------ #
+    def artifact_state(self) -> dict:
+        self._require_fitted(self._fitted)
+        assert self._table is not None
+        return {
+            "jitter": self.jitter,
+            "seed": self.seed,
+            # The empirical marginals *are* the model; the fitted table (a
+            # schema plus plain numpy columns) is the exact state.
+            "table": self._table,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.jitter = float(state["jitter"])
+        self.seed = int(state["seed"])
+        self._table = state["table"]
+        self._fitted = True
+
+    def artifact_networks(self) -> dict:
+        self._require_fitted(self._fitted)
+        return {}
+
     def sample(
         self, n: int, conditions: dict | None = None, rng: np.random.Generator | None = None
     ) -> Table:

@@ -84,6 +84,12 @@ class OCTGAN(KiNETGAN):
         kwargs.pop("reasoner", None)
         return super().fit(table, **kwargs)
 
+    def _extra_artifact_state(self) -> dict:
+        return {"ode_steps": self.ode_steps}
+
+    def _apply_extra_artifact_state(self, state: dict) -> None:
+        self.ode_steps = int(state["ode_steps"])
+
     def _build_trainer(self) -> KiNETGANTrainer:
         assert self.transformer is not None and self.sampler is not None
         rng = seeded_rng(self.config.seed)

@@ -135,37 +135,12 @@ class PATEGAN(Synthesizer):
             seed=config.seed,
         ).fit(table)
         data = self.transformer.transform(table, rng=rng)
-        data_dim = self.transformer.output_dim
 
         # Disjoint teacher partitions.
         permutation = rng.permutation(len(data))
         partitions = np.array_split(permutation, self.num_teachers)
 
-        self.generator = ConditionalGenerator(
-            noise_dim=config.embedding_dim,
-            condition_dim=0,
-            transformer=self.transformer,
-            hidden_dims=config.generator_dims,
-            gumbel_tau=config.gumbel_tau,
-            rng=rng,
-        )
-        self.teachers = [
-            DataDiscriminator(
-                data_dim=data_dim,
-                condition_dim=0,
-                hidden_dims=(64,),
-                dropout=config.dropout,
-                rng=rng,
-            )
-            for _ in range(self.num_teachers)
-        ]
-        self.student = DataDiscriminator(
-            data_dim=data_dim,
-            condition_dim=0,
-            hidden_dims=config.discriminator_dims,
-            dropout=config.dropout,
-            rng=rng,
-        )
+        self._build_networks(rng, with_teachers=True)
 
         step = _PATEGANStep(self, data, partitions)
         engine = TrainingEngine(
@@ -180,6 +155,73 @@ class PATEGAN(Synthesizer):
         engine.run()
         self._fitted = True
         return self
+
+    def _build_networks(self, rng: np.random.Generator, with_teachers: bool) -> None:
+        """Construct the generator / teachers / student stacks.
+
+        ``with_teachers=False`` (the artifact-restore path) skips the teacher
+        ensemble: teachers are a training-time construct and are not part of
+        the persisted model, matching ``checkpoint_targets()``.
+        """
+        assert self.transformer is not None
+        config = self.config
+        data_dim = self.transformer.output_dim
+        self.generator = ConditionalGenerator(
+            noise_dim=config.embedding_dim,
+            condition_dim=0,
+            transformer=self.transformer,
+            hidden_dims=config.generator_dims,
+            gumbel_tau=config.gumbel_tau,
+            rng=rng,
+        )
+        if with_teachers:
+            self.teachers = [
+                DataDiscriminator(
+                    data_dim=data_dim,
+                    condition_dim=0,
+                    hidden_dims=(64,),
+                    dropout=config.dropout,
+                    rng=rng,
+                )
+                for _ in range(self.num_teachers)
+            ]
+        else:
+            self.teachers = []
+        self.student = DataDiscriminator(
+            data_dim=data_dim,
+            condition_dim=0,
+            hidden_dims=config.discriminator_dims,
+            dropout=config.dropout,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Artifact-state protocol (repro.serve)
+    # ------------------------------------------------------------------ #
+    def artifact_state(self) -> dict:
+        self._require_fitted(self._fitted)
+        assert self.transformer is not None
+        return {
+            "config": self.config,
+            "num_teachers": self.num_teachers,
+            "laplace_scale": self.laplace_scale,
+            "epsilon_spent": self.epsilon_spent,
+            "transformer": self.transformer.artifact_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.config = state["config"]
+        self.num_teachers = int(state["num_teachers"])
+        self.laplace_scale = float(state["laplace_scale"])
+        self.epsilon_spent = float(state["epsilon_spent"])
+        self.transformer = DataTransformer.from_artifact_state(state["transformer"])
+        self._build_networks(seeded_rng(self.config.seed), with_teachers=False)
+        self._fitted = True
+
+    def artifact_networks(self) -> dict[str, Sequential]:
+        self._require_fitted(self._fitted)
+        assert self.generator is not None and self.student is not None
+        return {"generator": self.generator.network, "student": self.student.network}
 
     def _noisy_vote(self, fake: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """PATE noisy-majority labels for a generated batch.

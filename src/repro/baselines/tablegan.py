@@ -157,37 +157,14 @@ class TableGAN(Synthesizer):
             seed=config.seed,
         ).fit(table)
         data = self.transformer.transform(table, rng=rng)
-        data_dim = self.transformer.output_dim
-
-        self.generator = ConditionalGenerator(
-            noise_dim=config.embedding_dim,
-            condition_dim=0,
-            transformer=self.transformer,
-            hidden_dims=config.generator_dims,
-            gumbel_tau=config.gumbel_tau,
-            rng=rng,
-        )
-        self.discriminator = DataDiscriminator(
-            data_dim=data_dim,
-            condition_dim=0,
-            hidden_dims=config.discriminator_dims,
-            dropout=config.dropout,
-            rng=rng,
-        )
-
-        # Auxiliary classifier over the non-label features.
-        opt_c = None
         if self.label_column is not None and self.label_column in table.schema.names:
             info = self.transformer.column_info(self.label_column)
             self._label_slice = slice(info.start, info.end)
-            feature_dim = data_dim - (info.end - info.start)
-            self.classifier = DataDiscriminator(
-                data_dim=feature_dim,
-                condition_dim=0,
-                hidden_dims=(64,),
-                dropout=0.0,
-                rng=rng,
-            )
+        self._build_networks(rng)
+
+        # Auxiliary classifier over the non-label features.
+        opt_c = None
+        if self.classifier is not None:
             opt_c = Adam(self.classifier.parameters(), lr=config.discriminator_lr)
 
         step = _TableGANStep(self, data, opt_c)
@@ -203,6 +180,77 @@ class TableGAN(Synthesizer):
         engine.run()
         self._fitted = True
         return self
+
+    def _build_networks(self, rng: np.random.Generator) -> None:
+        """Construct generator / discriminator / classifier over the
+        fitted transformer (``_label_slice`` must already be resolved)."""
+        assert self.transformer is not None
+        config = self.config
+        data_dim = self.transformer.output_dim
+        self.generator = ConditionalGenerator(
+            noise_dim=config.embedding_dim,
+            condition_dim=0,
+            transformer=self.transformer,
+            hidden_dims=config.generator_dims,
+            gumbel_tau=config.gumbel_tau,
+            rng=rng,
+        )
+        self.discriminator = DataDiscriminator(
+            data_dim=data_dim,
+            condition_dim=0,
+            hidden_dims=config.discriminator_dims,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        if self._label_slice is not None:
+            feature_dim = data_dim - (self._label_slice.stop - self._label_slice.start)
+            self.classifier = DataDiscriminator(
+                data_dim=feature_dim,
+                condition_dim=0,
+                hidden_dims=(64,),
+                dropout=0.0,
+                rng=rng,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Artifact-state protocol (repro.serve)
+    # ------------------------------------------------------------------ #
+    def artifact_state(self) -> dict:
+        self._require_fitted(self._fitted)
+        assert self.transformer is not None
+        label_slice = self._label_slice
+        return {
+            "config": self.config,
+            "label_column": self.label_column,
+            "info_weight": self.info_weight,
+            "class_weight": self.class_weight,
+            "label_slice": (
+                (label_slice.start, label_slice.stop) if label_slice is not None else None
+            ),
+            "transformer": self.transformer.artifact_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.config = state["config"]
+        self.label_column = state["label_column"]
+        self.info_weight = float(state["info_weight"])
+        self.class_weight = float(state["class_weight"])
+        bounds = state["label_slice"]
+        self._label_slice = slice(bounds[0], bounds[1]) if bounds is not None else None
+        self.transformer = DataTransformer.from_artifact_state(state["transformer"])
+        self._build_networks(seeded_rng(self.config.seed))
+        self._fitted = True
+
+    def artifact_networks(self) -> dict[str, Sequential]:
+        self._require_fitted(self._fitted)
+        assert self.generator is not None and self.discriminator is not None
+        networks = {
+            "generator": self.generator.network,
+            "discriminator": self.discriminator.network,
+        }
+        if self.classifier is not None:
+            networks["classifier"] = self.classifier.network
+        return networks
 
     # ------------------------------------------------------------------ #
     def _split_label(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

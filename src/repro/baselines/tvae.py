@@ -132,9 +132,28 @@ class TVAE(Synthesizer):
             seed=config.seed,
         ).fit(table)
         data = self.transformer.transform(table, rng=rng)
+        self._build_networks(rng)
+
+        step = _TVAEStep(self, data)
+        engine = TrainingEngine(
+            step,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            n_rows=len(data),
+            rng=rng,
+            callbacks=[RecordMetric(self.loss_history, "loss")]
+            + config.engine_callbacks(prefix="[TVAE]"),
+        )
+        engine.run()
+        self._fitted = True
+        return self
+
+    def _build_networks(self, rng: np.random.Generator) -> None:
+        """Construct the encoder / decoder stacks over the fitted transformer."""
+        assert self.transformer is not None
+        config = self.config
         data_dim = self.transformer.output_dim
         hidden = config.generator_dims[0] if config.generator_dims else 128
-
         self.encoder = Sequential(
             [
                 Dense(data_dim, hidden, rng=rng, init="he"),
@@ -151,19 +170,31 @@ class TVAE(Synthesizer):
             ]
         )
 
-        step = _TVAEStep(self, data)
-        engine = TrainingEngine(
-            step,
-            epochs=config.epochs,
-            batch_size=config.batch_size,
-            n_rows=len(data),
-            rng=rng,
-            callbacks=[RecordMetric(self.loss_history, "loss")]
-            + config.engine_callbacks(prefix="[TVAE]"),
-        )
-        engine.run()
+    # ------------------------------------------------------------------ #
+    # Artifact-state protocol (repro.serve)
+    # ------------------------------------------------------------------ #
+    def artifact_state(self) -> dict:
+        self._require_fitted(self._fitted)
+        assert self.transformer is not None
+        return {
+            "config": self.config,
+            "latent_dim": self.latent_dim,
+            "kl_weight": self.kl_weight,
+            "transformer": self.transformer.artifact_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.config = state["config"]
+        self.latent_dim = int(state["latent_dim"])
+        self.kl_weight = float(state["kl_weight"])
+        self.transformer = DataTransformer.from_artifact_state(state["transformer"])
+        self._build_networks(seeded_rng(self.config.seed))
         self._fitted = True
-        return self
+
+    def artifact_networks(self) -> dict[str, Sequential]:
+        self._require_fitted(self._fitted)
+        assert self.encoder is not None and self.decoder is not None
+        return {"encoder": self.encoder, "decoder": self.decoder}
 
     # ------------------------------------------------------------------ #
     def sample(

@@ -34,6 +34,39 @@ class Synthesizer:
         """
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Artifact-state protocol (repro.serve)
+    # ------------------------------------------------------------------ #
+    def artifact_state(self) -> dict:
+        """Picklable non-network state of a fitted model.
+
+        Together with :meth:`artifact_networks` this is the contract behind
+        :func:`repro.serve.save_model` / :func:`repro.serve.load_model`: the
+        state dict must contain everything (config, transformer / sampler /
+        knowledge state) needed so that ``restore_state(state)`` followed by
+        loading the network weights reproduces ``sample()`` bit-for-bit.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact-state protocol"
+        )
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild a fitted model (minus network weights) from ``state``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact-state protocol"
+        )
+
+    def artifact_networks(self) -> dict[str, object]:
+        """Named :class:`~repro.neural.network.Sequential` networks to persist.
+
+        Valid on a fitted *or* restored model; may be empty for models whose
+        whole state lives in :meth:`artifact_state` (e.g. the independent
+        marginal sampler).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact-state protocol"
+        )
+
     def _require_fitted(self, flag: bool) -> None:
         if not flag:
             raise RuntimeError(f"{type(self).__name__}.sample() called before fit()")

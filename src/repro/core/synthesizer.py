@@ -143,6 +143,93 @@ class KiNETGAN(Synthesizer):
         matrix = self.trainer.generate_matrix(n, conditions=condition_matrix, rng=rng)
         return self.transformer.inverse_transform(matrix)
 
+    def sample_inputs(
+        self,
+        n: int,
+        conditions: dict | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(noise, condition_matrix)`` pair ``sample()`` would consume.
+
+        Draws from ``rng`` in exactly the order :meth:`sample` does
+        (conditions first, then one normal block -- chunked normal draws from
+        a ``Generator`` are stream-identical to a single draw), so a caller
+        that runs the generator forward on these inputs, hardens and decodes
+        reproduces ``sample(n, conditions, rng)`` bit-for-bit.  This is the
+        hook :class:`repro.serve.SamplingService` uses to micro-batch many
+        requests into one generator pass.
+        """
+        self._require_fitted(self._fitted)
+        if n <= 0:
+            raise ValueError("n must be positive")
+        assert self.sampler is not None
+        rng = rng if rng is not None else sampling_rng(self.config.seed)
+        if conditions is not None:
+            vector = self.sampler.vector_from_values(conditions)
+            condition_matrix = np.tile(vector, (n, 1))
+        else:
+            condition_matrix = self.sampler.empirical_conditions(n, rng)
+        noise = rng.normal(size=(n, self.config.embedding_dim))
+        return noise, condition_matrix
+
+    def generator_forward(self, noise: np.ndarray, conditions: np.ndarray) -> np.ndarray:
+        """Raw (soft) generator output for prepared inputs (inference mode)."""
+        self._require_fitted(self._fitted)
+        assert self.trainer is not None
+        return self.trainer.generator.forward(noise, conditions, training=False)
+
+    def decode_matrix(self, matrix: np.ndarray) -> Table:
+        """Harden and decode a generated matrix into a typed table."""
+        self._require_fitted(self._fitted)
+        assert self.transformer is not None
+        return self.transformer.inverse_transform(self.transformer.harden(matrix, inplace=True))
+
+    # ------------------------------------------------------------------ #
+    # Artifact-state protocol (repro.serve)
+    # ------------------------------------------------------------------ #
+    def artifact_state(self) -> dict:
+        self._require_fitted(self._fitted)
+        assert self.transformer is not None and self.sampler is not None
+        state = {
+            "config": self.config,
+            "transformer": self.transformer.artifact_state(),
+            "sampler": self.sampler.artifact_state(),
+            "reasoner": self.reasoner,
+        }
+        state.update(self._extra_artifact_state())
+        return state
+
+    def _extra_artifact_state(self) -> dict:
+        """Subclass hook for extra constructor state (e.g. OCTGAN ode_steps)."""
+        return {}
+
+    def _apply_extra_artifact_state(self, state: dict) -> None:
+        """Subclass hook: consume :meth:`_extra_artifact_state` entries."""
+
+    def restore_state(self, state: dict) -> None:
+        self.config = state["config"]
+        self.transformer = DataTransformer.from_artifact_state(state["transformer"])
+        self.sampler = ConditionSampler.from_artifact_state(state["sampler"], self.transformer)
+        self.reasoner = state["reasoner"]
+        self._apply_extra_artifact_state(state)
+        # Networks are built freshly initialised here; the artifact loader
+        # overwrites their weights from the saved .npz files.
+        self.trainer = self._build_trainer()
+        self.history = None
+        self._fitted = True
+
+    def artifact_networks(self) -> dict:
+        self._require_fitted(self._fitted)
+        assert self.trainer is not None
+        networks = {
+            "generator": self.trainer.generator.network,
+            "discriminator": self.trainer.discriminator.network,
+        }
+        kg = self.trainer.kg_discriminator
+        if kg is not None and kg.head is not None:
+            networks["kg_head"] = kg.head
+        return networks
+
     # ------------------------------------------------------------------ #
     def validity_report(self, n: int = 1000, rng: np.random.Generator | None = None) -> ValidityReport:
         """Knowledge-graph validity of freshly sampled data (needs a reasoner)."""

@@ -19,8 +19,11 @@ centralises that machinery:
 * :mod:`repro.engine.seeding` is the single place where seeds become
   :class:`numpy.random.Generator` objects, so seeded re-runs of ``fit()``
   are bit-reproducible across every synthesizer.
-* :mod:`repro.engine.checkpoint` saves / restores a step's networks through
-  the existing ``Sequential.save`` / ``Sequential.load`` npz format.
+* :mod:`repro.engine.checkpoint` saves / restores named network collections
+  through the existing ``Sequential.save`` / ``Sequential.load`` npz format,
+  with a versioned ``checkpoint.json`` manifest and one aggregated
+  :class:`CheckpointError` for missing / mismatched networks.  The same
+  machinery persists the network half of a :mod:`repro.serve` artifact.
 """
 
 from repro.engine.callbacks import (
@@ -33,7 +36,13 @@ from repro.engine.callbacks import (
     RecordMetric,
     standard_callbacks,
 )
-from repro.engine.checkpoint import load_checkpoint, save_checkpoint
+from repro.engine.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    load_networks,
+    save_checkpoint,
+    save_networks,
+)
 from repro.engine.engine import TrainingEngine
 from repro.engine.seeding import sampling_rng, seeded_rng
 from repro.engine.steps import SupervisedStep, TrainStep
@@ -50,8 +59,11 @@ __all__ = [
     "SupervisedStep",
     "TrainStep",
     "TrainingEngine",
+    "CheckpointError",
     "load_checkpoint",
+    "load_networks",
     "save_checkpoint",
+    "save_networks",
     "sampling_rng",
     "seeded_rng",
 ]

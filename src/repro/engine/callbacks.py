@@ -61,9 +61,7 @@ class CallbackList(Callback):
         for callback in self.callbacks:
             callback.on_epoch_begin(engine, epoch)
 
-    def on_epoch_end(
-        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
-    ) -> None:
+    def on_epoch_end(self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]) -> None:
         for callback in self.callbacks:
             callback.on_epoch_end(engine, epoch, metrics)
 
@@ -86,9 +84,7 @@ class History(Callback):
         """The most recent epoch's metrics (empty before the first epoch)."""
         return {name: trace[-1] for name, trace in self.metrics.items() if trace}
 
-    def on_epoch_end(
-        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
-    ) -> None:
+    def on_epoch_end(self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]) -> None:
         for name, value in metrics.items():
             self.metrics.setdefault(name, []).append(value)
 
@@ -104,9 +100,7 @@ class RecordMetric(Callback):
         self.target = target
         self.key = key
 
-    def on_epoch_end(
-        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
-    ) -> None:
+    def on_epoch_end(self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]) -> None:
         if self.key in metrics:
             self.target.append(metrics[self.key])
 
@@ -125,8 +119,7 @@ class PeriodicLogger(Callback):
         log_every: int = 1,
         prefix: str = "",
         labels: dict[str, str] | None = None,
-        extra: Callable[["TrainingEngine", int, dict[str, float]], dict[str, float]]
-        | None = None,
+        extra: Callable[["TrainingEngine", int, dict[str, float]], dict[str, float]] | None = None,
         printer: Callable[[str], None] = print,
     ) -> None:
         if log_every < 1:
@@ -137,9 +130,7 @@ class PeriodicLogger(Callback):
         self.extra = extra
         self.printer = printer
 
-    def on_epoch_end(
-        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
-    ) -> None:
+    def on_epoch_end(self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]) -> None:
         if (epoch + 1) % self.log_every != 0:
             return
         shown: dict[str, float] = {}
@@ -164,9 +155,7 @@ class EarlyStopping(Callback):
     which that happened is kept in ``stopped_epoch``.
     """
 
-    def __init__(
-        self, monitor: str = "loss", patience: int = 3, min_delta: float = 0.0
-    ) -> None:
+    def __init__(self, monitor: str = "loss", patience: int = 3, min_delta: float = 0.0) -> None:
         if patience < 1:
             raise ValueError("patience must be at least 1")
         if min_delta < 0:
@@ -183,9 +172,7 @@ class EarlyStopping(Callback):
         self.wait = 0
         self.stopped_epoch = None
 
-    def on_epoch_end(
-        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
-    ) -> None:
+    def on_epoch_end(self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]) -> None:
         value = metrics.get(self.monitor)
         if value is None or not np.isfinite(value):
             return
@@ -196,9 +183,7 @@ class EarlyStopping(Callback):
         self.wait += 1
         if self.wait >= self.patience:
             self.stopped_epoch = epoch
-            engine.request_stop(
-                f"no {self.monitor!r} improvement for {self.patience} epochs"
-            )
+            engine.request_stop(f"no {self.monitor!r} improvement for {self.patience} epochs")
 
 
 class Checkpointer(Callback):
@@ -219,9 +204,7 @@ class Checkpointer(Callback):
     def on_train_begin(self, engine: "TrainingEngine") -> None:
         self._last_saved_epoch = None
 
-    def on_epoch_end(
-        self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]
-    ) -> None:
+    def on_epoch_end(self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]) -> None:
         if self.every > 0 and (epoch + 1) % self.every == 0:
             save_checkpoint(engine.step, self.directory)
             self._last_saved_epoch = epoch
@@ -239,8 +222,7 @@ def standard_callbacks(
     log_every: int = 1,
     prefix: str = "",
     labels: dict[str, str] | None = None,
-    extra: Callable[["TrainingEngine", int, dict[str, float]], dict[str, float]]
-    | None = None,
+    extra: Callable[["TrainingEngine", int, dict[str, float]], dict[str, float]] | None = None,
     patience: int = 0,
     monitor: str = "loss",
     min_delta: float = 0.0,
@@ -259,9 +241,7 @@ def standard_callbacks(
             PeriodicLogger(log_every=log_every, prefix=prefix, labels=labels, extra=extra)
         )
     if patience > 0:
-        callbacks.append(
-            EarlyStopping(monitor=monitor, patience=patience, min_delta=min_delta)
-        )
+        callbacks.append(EarlyStopping(monitor=monitor, patience=patience, min_delta=min_delta))
     if checkpoint_dir is not None:
         callbacks.append(Checkpointer(checkpoint_dir, every=checkpoint_every))
     return callbacks

@@ -1,18 +1,113 @@
-"""Saving and restoring a train step's networks.
+"""Saving and restoring named network collections.
 
 Checkpoints reuse the existing :meth:`Sequential.save` / ``load`` npz
-format, one file per named network, so a checkpoint directory written by
-the engine for KiNETGAN (``generator.npz`` + ``discriminator.npz``) is
-directly loadable by :meth:`repro.core.synthesizer.KiNETGAN.load_weights`.
+format, one file per named network, plus a small ``checkpoint.json``
+manifest recording the format version and the network names.  A checkpoint
+directory written by the engine for KiNETGAN (``generator.npz`` +
+``discriminator.npz``) is directly loadable by
+:meth:`repro.core.synthesizer.KiNETGAN.load_weights`, and the same
+machinery persists the network half of a :mod:`repro.serve` model artifact.
+
+Loading validates the directory up front: a version mismatch or a
+missing/unexpected network set fails with one :class:`CheckpointError`
+naming every problem, instead of a bare ``FileNotFoundError`` per file.
+(``CheckpointError`` subclasses ``FileNotFoundError`` so existing callers
+that caught the old error keep working.)  Directories written before the
+manifest existed (no ``checkpoint.json``) still load.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.engine.steps import TrainStep
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CHECKPOINT_MANIFEST",
+    "CheckpointError",
+    "save_networks",
+    "load_networks",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+#: Bumped when the on-disk checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Manifest file name written alongside the per-network ``.npz`` files.
+CHECKPOINT_MANIFEST = "checkpoint.json"
+
+
+class CheckpointError(FileNotFoundError):
+    """A checkpoint directory is missing, incomplete or incompatible."""
+
+
+def save_networks(networks: dict, directory: str | Path) -> list[Path]:
+    """Persist named networks into ``directory`` (one ``.npz`` each).
+
+    Writes a ``checkpoint.json`` manifest with the format version and the
+    network names so :func:`load_networks` can diagnose mismatches.  An
+    empty ``networks`` dict is allowed (the manifest alone is written);
+    callers that require targets, like :func:`save_checkpoint`, check first.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, network in networks.items():
+        path = directory / f"{name}.npz"
+        network.save(path)
+        written.append(path)
+    manifest = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "networks": sorted(networks),
+    }
+    (directory / CHECKPOINT_MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
+    return written
+
+
+def load_networks(networks: dict, directory: str | Path) -> None:
+    """Restore named networks from ``directory``, validating up front.
+
+    Every problem -- wrong format version, networks named in the manifest
+    but not expected by the caller (or vice versa), missing ``.npz`` files
+    -- is reported in a single :class:`CheckpointError` listing all of them.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise CheckpointError(f"checkpoint directory does not exist: {directory}")
+    problems: list[str] = []
+
+    manifest_path = directory / CHECKPOINT_MANIFEST
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as error:
+            raise CheckpointError(f"unreadable checkpoint manifest {manifest_path}: {error}")
+        version = manifest.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            problems.append(
+                f"format version {version!r} is not the supported "
+                f"version {CHECKPOINT_FORMAT_VERSION}"
+            )
+        recorded = set(manifest.get("networks", []))
+        expected = set(networks)
+        for name in sorted(expected - recorded):
+            problems.append(f"network {name!r} expected by the model but not in the checkpoint")
+        for name in sorted(recorded - expected):
+            problems.append(f"network {name!r} in the checkpoint but not expected by the model")
+
+    missing = [name for name in networks if not (directory / f"{name}.npz").exists()]
+    for name in sorted(missing):
+        problems.append(f"weight file missing: {directory / f'{name}.npz'}")
+
+    if problems:
+        raise CheckpointError(
+            f"cannot load checkpoint from {directory}:\n  - " + "\n  - ".join(problems)
+        )
+    for name, network in networks.items():
+        network.load(directory / f"{name}.npz")
 
 
 def save_checkpoint(step: TrainStep, directory: str | Path) -> list[Path]:
@@ -20,14 +115,7 @@ def save_checkpoint(step: TrainStep, directory: str | Path) -> list[Path]:
     targets = step.checkpoint_targets()
     if not targets:
         raise ValueError(f"{type(step).__name__} exposes no checkpoint targets")
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    written: list[Path] = []
-    for name, network in targets.items():
-        path = directory / f"{name}.npz"
-        network.save(path)
-        written.append(path)
-    return written
+    return save_networks(targets, directory)
 
 
 def load_checkpoint(step: TrainStep, directory: str | Path) -> None:
@@ -35,9 +123,4 @@ def load_checkpoint(step: TrainStep, directory: str | Path) -> None:
     targets = step.checkpoint_targets()
     if not targets:
         raise ValueError(f"{type(step).__name__} exposes no checkpoint targets")
-    directory = Path(directory)
-    for name, network in targets.items():
-        path = directory / f"{name}.npz"
-        if not path.exists():
-            raise FileNotFoundError(f"checkpoint file missing: {path}")
-        network.load(path)
+    load_networks(targets, directory)

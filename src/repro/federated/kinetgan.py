@@ -188,9 +188,18 @@ class FederatedKiNETGAN:
         dp_config: DPFedAvgConfig | None = None,
         seed: int = 0,
         executor: Executor | str | int | None = None,
+        client_fraction: float = 1.0,
     ) -> None:
+        """``client_fraction`` subsamples the participating sites per round
+        (the knob the federated detector server already has): each round
+        trains ``max(1, round(fraction * n_sites))`` sites drawn without
+        replacement from the coordinator's seeded RNG.  At the default 1.0
+        no draw is consumed, so existing seeded runs replay bit-for-bit."""
+        if not 0.0 < client_fraction <= 1.0:
+            raise ValueError("client_fraction must be in (0, 1]")
         self.config = config if config is not None else KiNETGANConfig()
         self.condition_columns = condition_columns
+        self.client_fraction = client_fraction
         self.seed = seed
         self.rng = seeded_rng(seed)
         self.executor = resolve_executor(executor)
@@ -251,8 +260,23 @@ class FederatedKiNETGAN:
             self._global_generator = copy_state(generator_state)
             self._global_discriminator = copy_state(discriminator_state)
 
+    def _select_sites(self) -> list[int]:
+        """Seeded per-round site subset (indices into ``self.sites``).
+
+        At ``client_fraction == 1.0`` every site participates and *no* RNG
+        draw is consumed, keeping pre-subsampling seeded runs bit-identical.
+        Below 1.0 the subset is a pure function of the coordinator seed and
+        the round index, so serial and process-pool runs select the same
+        sites (the selection happens in the parent, before dispatch).
+        """
+        if self.client_fraction >= 1.0:
+            return list(range(len(self.sites)))
+        count = max(1, int(round(self.client_fraction * len(self.sites))))
+        indices = self.rng.choice(len(self.sites), size=count, replace=False)
+        return sorted(int(i) for i in indices)
+
     def run_round(self, local_epochs: int = 1) -> FederatedKiNETGANRound:
-        """One round: broadcast, local training, (DP) aggregation.
+        """One round: select sites, broadcast, local training, (DP) aggregation.
 
         Sites train through the coordinator's executor.  Each work unit
         carries the whole site (trainer optimizer moments and RNG included),
@@ -264,14 +288,15 @@ class FederatedKiNETGAN:
         self._initialise_global()
         assert self._global_generator is not None and self._global_discriminator is not None
 
+        selected = self._select_sites()
         tasks = [
             _SiteTask(
-                site=site,
+                site=self.sites[index],
                 generator_state=self._global_generator,
                 discriminator_state=self._global_discriminator,
                 local_epochs=local_epochs,
             )
-            for site in self.sites
+            for index in selected
         ]
         results = self.executor.map(_run_site_task, tasks)
 
@@ -281,7 +306,7 @@ class FederatedKiNETGAN:
         generator_losses: list[float] = []
         discriminator_losses: list[float] = []
 
-        for index, (site, metrics) in enumerate(results):
+        for index, (site, metrics) in zip(selected, results):
             self.sites[index].absorb(site)
             generator_losses.append(metrics.get("generator_loss", float("nan")))
             discriminator_losses.append(metrics.get("discriminator_loss", float("nan")))
@@ -301,13 +326,14 @@ class FederatedKiNETGAN:
 
         epsilon = None
         if self.dp_generator is not None:
-            self.dp_generator.record_round(sample_rate=1.0)
-            self.dp_discriminator.record_round(sample_rate=1.0)
+            sample_rate = len(selected) / len(self.sites)
+            self.dp_generator.record_round(sample_rate=sample_rate)
+            self.dp_discriminator.record_round(sample_rate=sample_rate)
             epsilon = self.dp_generator.epsilon() + self.dp_discriminator.epsilon()
 
         round_info = FederatedKiNETGANRound(
             round_index=len(self.rounds),
-            participants=[site.site_id for site in self.sites],
+            participants=[self.sites[index].site_id for index in selected],
             mean_generator_loss=safe_mean(generator_losses),
             mean_discriminator_loss=safe_mean(discriminator_losses),
             epsilon=epsilon,

@@ -1,0 +1,43 @@
+"""Model serving: versioned artifacts plus a batched sampling service.
+
+The training layers produce fitted synthesizers; this package makes them
+*durable* and *servable*:
+
+* :mod:`repro.serve.artifact` -- the versioned :class:`ModelArtifact`
+  directory format (``manifest.json`` + per-network ``.npz`` weights +
+  the pickled transformer / condition-sampler / knowledge state) with
+  :func:`save_model` / :func:`load_model` for KiNETGAN and every baseline.
+  The contract: ``load_model(save_model(m)).sample(n, seed)`` is
+  bit-identical to ``m.sample(n, seed)``, in-process and across processes.
+* :mod:`repro.serve.service` -- :class:`SamplingService`, which loads
+  artifacts into an LRU :class:`ModelRegistry` (optionally warmed in
+  parallel over :mod:`repro.runtime` executors), micro-batches concurrent
+  ``sample(n, conditions)`` requests into single vectorized generator /
+  harden / decode passes, and streams large requests in bounded-memory
+  chunks.
+
+Exposed on the CLI as ``repro save``, ``repro sample --artifact`` and
+``repro serve``.
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    ModelArtifact,
+    load_model,
+    model_registry,
+    save_model,
+)
+from repro.serve.service import ModelRegistry, SampleRequest, SamplingService
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "ModelArtifact",
+    "ModelRegistry",
+    "SampleRequest",
+    "SamplingService",
+    "load_model",
+    "model_registry",
+    "save_model",
+]

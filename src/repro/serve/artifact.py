@@ -1,0 +1,168 @@
+"""Versioned model artifacts: durable, reloadable fitted synthesizers.
+
+A :class:`ModelArtifact` is a single directory:
+
+* ``manifest.json`` -- format version, model class, human-readable config
+  summary, fit metadata supplied by the caller, and the file inventory;
+* one ``<name>.npz`` per network (via the engine's checkpoint machinery,
+  so the weight files are byte-compatible with training checkpoints);
+* ``state.pkl`` -- the model's :meth:`~repro.core.base.Synthesizer.
+  artifact_state` blob: transformer encoders, the condition sampler's
+  integer-code tables, and the knowledge-graph reasoner.
+
+The headline invariant (enforced by ``tests/serve/test_artifacts.py``,
+including across processes): for every registered model class,
+``load_model(save_model(m)).sample(n, seed)`` is bit-identical to
+``m.sample(n, seed)``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro._version import __version__
+from repro.core.base import Synthesizer
+from repro.engine.checkpoint import CheckpointError, load_networks, save_networks
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "STATE_NAME",
+    "ArtifactError",
+    "ModelArtifact",
+    "model_registry",
+    "save_model",
+    "load_model",
+]
+
+#: Bumped when the on-disk artifact layout changes incompatibly.
+ARTIFACT_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+STATE_NAME = "state.pkl"
+
+
+class ArtifactError(RuntimeError):
+    """A model artifact is missing, incomplete or incompatible."""
+
+
+def model_registry() -> dict[str, type]:
+    """Model classes loadable from an artifact, keyed by class name.
+
+    Resolved lazily so :mod:`repro.serve` stays importable without pulling
+    the whole model zoo in at import time.
+    """
+    from repro.baselines import CTGAN, OCTGAN, PATEGAN, TVAE, IndependentSampler, TableGAN
+    from repro.core import KiNETGAN
+
+    return {
+        cls.__name__: cls
+        for cls in (KiNETGAN, CTGAN, OCTGAN, TVAE, TableGAN, PATEGAN, IndependentSampler)
+    }
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A validated on-disk artifact (manifest parsed, files checked)."""
+
+    directory: Path
+    manifest: dict
+
+    @property
+    def format_version(self) -> int:
+        return int(self.manifest["format_version"])
+
+    @property
+    def model_class(self) -> str:
+        return str(self.manifest["model_class"])
+
+    @property
+    def networks(self) -> list[str]:
+        return list(self.manifest.get("networks", []))
+
+    @property
+    def metadata(self) -> dict:
+        return dict(self.manifest.get("metadata", {}))
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "ModelArtifact":
+        """Parse and validate an artifact directory's manifest."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ArtifactError(f"no artifact manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as error:
+            raise ArtifactError(f"unreadable artifact manifest {manifest_path}: {error}")
+        version = manifest.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ArtifactError(
+                f"artifact at {directory} has format version {version!r}; this build "
+                f"supports version {ARTIFACT_FORMAT_VERSION}"
+            )
+        if "model_class" not in manifest:
+            raise ArtifactError(f"artifact manifest {manifest_path} names no model class")
+        if not (directory / manifest.get("state_file", STATE_NAME)).exists():
+            raise ArtifactError(f"artifact at {directory} is missing its state file")
+        return cls(directory=directory, manifest=manifest)
+
+
+def save_model(
+    model: Synthesizer, directory: str | Path, metadata: dict | None = None
+) -> ModelArtifact:
+    """Persist a fitted synthesizer as a versioned artifact directory.
+
+    ``metadata`` is caller-supplied fit provenance (dataset name, row count,
+    epochs, ...) recorded verbatim in the manifest; it must be
+    JSON-serialisable.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    networks = model.artifact_networks()
+    save_networks(networks, directory)
+    state = model.artifact_state()
+    (directory / STATE_NAME).write_bytes(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+    manifest = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "model_name": model.name,
+        "repro_version": __version__,
+        "networks": sorted(networks),
+        "state_file": STATE_NAME,
+        "metadata": dict(metadata or {}),
+    }
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    return ModelArtifact(directory=directory, manifest=manifest)
+
+
+def load_model(directory: str | Path) -> Synthesizer:
+    """Load a fitted synthesizer from an artifact directory.
+
+    Validates the manifest (format version, known model class), restores the
+    non-network state through the model's ``restore_state``, then loads the
+    network weights through the checkpoint machinery, which reports missing
+    or mismatched networks with one clear error.
+    """
+    artifact = ModelArtifact.open(directory)
+    registry = model_registry()
+    if artifact.model_class not in registry:
+        raise ArtifactError(
+            f"artifact at {artifact.directory} was saved by unknown model class "
+            f"{artifact.model_class!r}; known classes: {sorted(registry)}"
+        )
+    state_path = artifact.directory / artifact.manifest.get("state_file", STATE_NAME)
+    try:
+        state = pickle.loads(state_path.read_bytes())
+    except Exception as error:
+        raise ArtifactError(f"corrupt artifact state at {state_path}: {error}")
+    model = registry[artifact.model_class]()
+    model.restore_state(state)
+    try:
+        load_networks(model.artifact_networks(), artifact.directory)
+    except CheckpointError as error:
+        raise ArtifactError(str(error))
+    return model

@@ -1,0 +1,430 @@
+"""The batched sampling service over model artifacts.
+
+Two pieces:
+
+* :class:`ModelRegistry` -- a thread-safe LRU cache of loaded artifacts.
+  ``preload()`` fans the (CPU-heavy) artifact loads out over a
+  :mod:`repro.runtime` executor, so warming a many-model registry scales
+  with workers.
+* :class:`SamplingService` -- the request front-end.  ``sample_many()``
+  micro-batches a burst of ``(artifact, n, conditions, seed)`` requests:
+  all requests against the same conditional-GAN artifact are coalesced
+  into one concatenated generator pass (noise and condition matrices are
+  drawn per request from that request's seeded stream, so every row is
+  bit-identical to what ``model.sample(n, seed)`` would produce), hardened
+  and decoded through the shared :class:`~repro.tabular.segments.
+  BlockLayout` machinery in a single batched pass, then split back per
+  request.  ``sample_stream()`` yields fixed-size chunks so arbitrarily
+  large requests run in bounded memory.  ``submit()`` is the concurrent
+  front-end: requests land on a queue and a background batcher drains
+  bursts into ``sample_many``.
+
+Determinism contract: a request's rows depend only on (artifact, n,
+conditions, seed) -- never on which requests it was batched with, the
+chunk size, or the thread that served it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.synthesizer import KiNETGAN
+from repro.engine import sampling_rng
+from repro.runtime import Executor, resolve_executor
+from repro.serve.artifact import load_model
+from repro.tabular.table import Table
+
+__all__ = ["SampleRequest", "ModelRegistry", "SamplingService"]
+
+
+@dataclass(frozen=True)
+class SampleRequest:
+    """One sampling request against a saved artifact.
+
+    ``seed=None`` uses the model's own sampling seed, exactly like calling
+    ``model.sample(n)`` with no rng.  ``conditions`` fixes conditional
+    attribute values for every generated row (conditional models only).
+    """
+
+    artifact: str
+    n: int
+    conditions: dict | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+
+
+def _load_artifact_task(task: tuple):
+    """Module-level executor work unit: apply a (picklable) loader to a path."""
+    loader, key = task
+    return loader(key)
+
+
+class ModelRegistry:
+    """Thread-safe LRU cache mapping artifact directories to loaded models."""
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        loader: Callable[[str], object] = load_model,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._loader = loader
+        self._models: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.RLock()
+        self._loading: dict[str, threading.Event] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(artifact: str | Path) -> str:
+        return str(Path(artifact).resolve())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._models)
+
+    def get(self, artifact: str | Path):
+        """The loaded model for ``artifact``, loading (and caching) on miss.
+
+        The (potentially slow) artifact load runs *outside* the registry
+        lock, so a cold load never stalls concurrent hits on other models;
+        concurrent misses on the same key wait for the first loader instead
+        of loading twice.
+        """
+        key = self._key(artifact)
+        while True:
+            with self._lock:
+                if key in self._models:
+                    self.hits += 1
+                    self._models.move_to_end(key)
+                    return self._models[key]
+                pending = self._loading.get(key)
+                if pending is None:
+                    pending = threading.Event()
+                    self._loading[key] = pending
+                    break
+            pending.wait()
+        try:
+            model = self._loader(key)
+        except BaseException:
+            with self._lock:
+                self._loading.pop(key, None)
+            pending.set()
+            raise
+        with self._lock:
+            self.misses += 1
+            self._insert(key, model)
+            self._loading.pop(key, None)
+        pending.set()
+        return model
+
+    def put(self, artifact: str | Path, model) -> None:
+        """Insert an already-loaded model (used by ``preload``)."""
+        with self._lock:
+            self._insert(self._key(artifact), model)
+
+    def _insert(self, key: str, model) -> None:
+        self._models[key] = model
+        self._models.move_to_end(key)
+        while len(self._models) > self.capacity:
+            self._models.popitem(last=False)
+            self.evictions += 1
+
+    def preload(
+        self, artifacts: Sequence[str | Path], executor: Executor | str | int | None = None
+    ) -> list:
+        """Load many artifacts, optionally fanning out over an executor.
+
+        ``executor`` accepts the usual :func:`repro.runtime.resolve_executor`
+        specs; executors created here from a spec are closed afterwards,
+        caller-supplied :class:`Executor` instances are left running.
+        """
+        keys = [self._key(path) for path in artifacts]
+        owns_executor = not isinstance(executor, Executor)
+        resolved = resolve_executor(executor)
+        try:
+            models = resolved.map(_load_artifact_task, [(self._loader, key) for key in keys])
+        finally:
+            if owns_executor:
+                resolved.close()
+        for key, model in zip(keys, models):
+            self.put(key, model)
+        return models
+
+
+@dataclass
+class ServiceStats:
+    """Running counters of the service's work (monotonic, thread-safe)."""
+
+    requests: int = 0
+    rows: int = 0
+    generator_passes: int = 0
+    batches: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, requests: int, rows: int, passes: int) -> None:
+        with self._lock:
+            self.requests += requests
+            self.rows += rows
+            self.generator_passes += passes
+            self.batches += 1
+
+
+class SamplingService:
+    """Micro-batching sampling front-end over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        capacity: int = 4,
+        max_batch_rows: int = 8192,
+        chunk_rows: int = 1024,
+        max_pending: int = 64,
+    ) -> None:
+        if max_batch_rows < 1 or chunk_rows < 1:
+            raise ValueError("max_batch_rows and chunk_rows must be positive")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.registry = registry if registry is not None else ModelRegistry(capacity=capacity)
+        self.max_batch_rows = max_batch_rows
+        self.chunk_rows = chunk_rows
+        self.max_pending = max_pending
+        self.stats = ServiceStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._worker_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Synchronous API
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        artifact: str | Path,
+        n: int,
+        conditions: dict | None = None,
+        seed: int | None = None,
+    ) -> Table:
+        """Serve a single request (one-element micro-batch)."""
+        request = SampleRequest(artifact=str(artifact), n=n, conditions=conditions, seed=seed)
+        return self.sample_many([request])[0]
+
+    def sample_many(self, requests: Sequence[SampleRequest]) -> list[Table]:
+        """Serve a burst of requests, coalescing per artifact.
+
+        Results come back in request order.  Requests against the same
+        conditional-GAN artifact share generator / harden / decode passes;
+        other model types are served per request.
+        """
+        if not requests:
+            return []
+        groups: OrderedDict[str, list[int]] = OrderedDict()
+        for index, request in enumerate(requests):
+            groups.setdefault(ModelRegistry._key(request.artifact), []).append(index)
+        results: list[Table | None] = [None] * len(requests)
+        for key, indices in groups.items():
+            model = self.registry.get(key)
+            group = [requests[i] for i in indices]
+            if isinstance(model, KiNETGAN):
+                tables, passes = self._serve_conditional_gan(model, group)
+            else:
+                tables = [
+                    model.sample(
+                        request.n,
+                        conditions=request.conditions,
+                        rng=self._request_rng(model, request),
+                    )
+                    for request in group
+                ]
+                passes = len(group)
+            for i, table in zip(indices, tables):
+                results[i] = table
+            self.stats.record(requests=len(group), rows=sum(r.n for r in group), passes=passes)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _default_seed(model) -> int:
+        """The seed ``model.sample()`` would fall back to with no rng."""
+        config = getattr(model, "config", None)
+        if config is not None:
+            return config.seed
+        return getattr(model, "seed", 0)
+
+    @classmethod
+    def _request_rng(cls, model, request: SampleRequest) -> np.random.Generator:
+        seed = request.seed if request.seed is not None else cls._default_seed(model)
+        return sampling_rng(seed)
+
+    def _serve_conditional_gan(
+        self, model: KiNETGAN, group: list[SampleRequest]
+    ) -> tuple[list[Table], int]:
+        """One vectorized pipeline pass for all requests against ``model``.
+
+        Noise and condition matrices are drawn per request from that
+        request's own seeded stream (bit-identical to ``model.sample``),
+        then concatenated: the generator forward runs in ``max_batch_rows``
+        chunks over the stacked inputs, and hardening + decoding run once
+        over the whole stack through the shared ``BlockLayout`` passes.
+        Row-chunked forward passes are bit-identical to unchunked ones, so
+        batching never changes a request's rows.
+        """
+        noises: list[np.ndarray] = []
+        conditions: list[np.ndarray] = []
+        for request in group:
+            rng = self._request_rng(model, request)
+            noise, condition = model.sample_inputs(request.n, request.conditions, rng)
+            noises.append(noise)
+            conditions.append(condition)
+        noise = np.concatenate(noises, axis=0)
+        condition = np.concatenate(conditions, axis=0)
+        total = noise.shape[0]
+        outputs: list[np.ndarray] = []
+        passes = 0
+        for start in range(0, total, self.max_batch_rows):
+            end = min(start + self.max_batch_rows, total)
+            outputs.append(model.generator_forward(noise[start:end], condition[start:end]))
+            passes += 1
+        table = model.decode_matrix(np.concatenate(outputs, axis=0))
+        tables: list[Table] = []
+        cursor = 0
+        for request in group:
+            tables.append(table.select_rows(np.arange(cursor, cursor + request.n)))
+            cursor += request.n
+        return tables, passes
+
+    # ------------------------------------------------------------------ #
+    # Streaming API
+    # ------------------------------------------------------------------ #
+    def sample_stream(
+        self,
+        artifact: str | Path,
+        n: int,
+        conditions: dict | None = None,
+        seed: int | None = None,
+        chunk_rows: int | None = None,
+    ) -> Iterator[Table]:
+        """Yield a request's rows in chunks of ``chunk_rows``.
+
+        For conditional-GAN artifacts each chunk is generated and decoded
+        on demand, so peak memory is bounded by the chunk size regardless
+        of ``n``; concatenating the chunks reproduces ``sample(artifact, n,
+        conditions, seed)`` bit-for-bit.  Other model types sample once and
+        stream row slices.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        chunk_rows = chunk_rows if chunk_rows is not None else self.chunk_rows
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be positive")
+        model = self.registry.get(artifact)
+        rng = sampling_rng(seed if seed is not None else self._default_seed(model))
+        if not isinstance(model, KiNETGAN):
+            table = model.sample(n, conditions=conditions, rng=rng)
+            for start in range(0, n, chunk_rows):
+                yield table.select_rows(np.arange(start, min(start + chunk_rows, n)))
+            return
+        noise, condition = model.sample_inputs(n, conditions, rng)
+        for start in range(0, n, chunk_rows):
+            end = min(start + chunk_rows, n)
+            raw = model.generator_forward(noise[start:end], condition[start:end])
+            self.stats.record(requests=0, rows=end - start, passes=1)
+            yield model.decode_matrix(raw)
+
+    # ------------------------------------------------------------------ #
+    # Concurrent front-end
+    # ------------------------------------------------------------------ #
+    def submit(self, request: SampleRequest) -> "Future[Table]":
+        """Enqueue a request; the background batcher resolves the future.
+
+        Concurrent submissions that are in the queue together are served as
+        one micro-batch through :meth:`sample_many`.
+        """
+        future: "Future[Table]" = Future()
+        self._ensure_worker()
+        self._queue.put((request, future))
+        return future
+
+    def _ensure_worker(self) -> None:
+        with self._worker_lock:
+            if self._worker is None or not self._worker.is_alive():
+                self._worker = threading.Thread(
+                    target=self._batch_loop, name="sampling-service", daemon=True
+                )
+                self._worker.start()
+
+    def _batch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            while len(batch) < self.max_pending:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    self._serve_batch(batch)
+                    return
+                batch.append(extra)
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: list) -> None:
+        # Claim every future first: a future cancelled while queued reports
+        # False here and is dropped, and a claimed future can no longer be
+        # cancelled, so the set_result/set_exception calls below cannot
+        # raise InvalidStateError and kill the batcher thread.
+        live = [
+            (request, future) for request, future in batch if future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        try:
+            tables = self.sample_many([request for request, _future in live])
+        except Exception as error:
+            for _request, future in live:
+                future.set_exception(error)
+            return
+        for (_request, future), table in zip(live, tables):
+            future.set_result(table)
+
+    def close(self) -> None:
+        """Stop the background batcher (idempotent; restartable)."""
+        with self._worker_lock:
+            worker = self._worker
+            self._worker = None
+        if worker is not None and worker.is_alive():
+            self._queue.put(None)
+            worker.join(timeout=10.0)
+
+    def __enter__(self) -> "SamplingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def warm(
+        self,
+        artifacts: Iterable[str | Path],
+        executor: Executor | str | int | None = None,
+    ) -> None:
+        """Preload artifacts into the registry (see ``ModelRegistry.preload``)."""
+        self.registry.preload(list(artifacts), executor=executor)

@@ -11,6 +11,12 @@ float representation first.  This module provides:
 
 All encoders follow a ``fit`` / ``transform`` / ``inverse_transform``
 protocol and raise if used before fitting.
+
+Fitted encoders also implement the artifact-state protocol used by
+:mod:`repro.serve`: ``artifact_state()`` returns a plain dict capturing the
+fitted state exactly (category lists in first-seen order, mixture
+parameters, scaling bounds) and :func:`encoder_from_state` rebuilds an
+encoder that transforms and decodes bit-identically to the original.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ __all__ = [
     "StandardScaler",
     "GaussianMixtureModel",
     "ModeSpecificNormalizer",
+    "encoder_from_state",
 ]
 
 
@@ -78,6 +85,22 @@ class _CategoryCodec(_FittedMixin):
         return self._categories_array[codes]
 
 
+def encoder_from_state(state: dict):
+    """Rebuild a fitted encoder from an ``artifact_state()`` dict."""
+    kind = state.get("type")
+    types = {
+        "onehot": OneHotEncoder,
+        "ordinal": OrdinalEncoder,
+        "minmax": MinMaxScaler,
+        "standard": StandardScaler,
+        "gmm": GaussianMixtureModel,
+        "mode_specific": ModeSpecificNormalizer,
+    }
+    if kind not in types:
+        raise ValueError(f"unknown encoder state type {kind!r}")
+    return types[kind].from_artifact_state(state)
+
+
 class OneHotEncoder(_CategoryCodec):
     """One-hot encoding for a single categorical column.
 
@@ -128,6 +151,21 @@ class OneHotEncoder(_CategoryCodec):
         self._require_fitted()
         return self.decode(np.argmax(encoded, axis=1))
 
+    def artifact_state(self) -> dict:
+        self._require_fitted()
+        return {
+            "type": "onehot",
+            "categories": list(self.categories),
+            "handle_unknown": self.handle_unknown,
+        }
+
+    @classmethod
+    def from_artifact_state(cls, state: dict) -> "OneHotEncoder":
+        return cls(
+            categories=list(state["categories"]),
+            handle_unknown=state.get("handle_unknown", "error"),
+        )
+
 
 class OrdinalEncoder(_CategoryCodec):
     """Map categories to integer codes ``0..K-1`` (used by tree classifiers)."""
@@ -148,6 +186,14 @@ class OrdinalEncoder(_CategoryCodec):
         self._require_fitted()
         clipped = np.clip(np.rint(codes).astype(int), 0, len(self.categories) - 1)
         return self.decode(clipped)
+
+    def artifact_state(self) -> dict:
+        self._require_fitted()
+        return {"type": "ordinal", "categories": list(self.categories)}
+
+    @classmethod
+    def from_artifact_state(cls, state: dict) -> "OrdinalEncoder":
+        return cls(categories=list(state["categories"]))
 
 
 class MinMaxScaler(_FittedMixin):
@@ -180,6 +226,18 @@ class MinMaxScaler(_FittedMixin):
         scaled = np.clip(np.asarray(scaled, dtype=np.float64), -1.0, 1.0)
         return (scaled + 1.0) / 2.0 * self.span + self.minimum
 
+    def artifact_state(self) -> dict:
+        self._require_fitted()
+        return {"type": "minmax", "minimum": self.minimum, "maximum": self.maximum}
+
+    @classmethod
+    def from_artifact_state(cls, state: dict) -> "MinMaxScaler":
+        scaler = cls()
+        scaler.minimum = float(state["minimum"])
+        scaler.maximum = float(state["maximum"])
+        scaler._fitted = True
+        return scaler
+
 
 class StandardScaler(_FittedMixin):
     """Zero-mean unit-variance scaling."""
@@ -204,6 +262,18 @@ class StandardScaler(_FittedMixin):
     def inverse_transform(self, scaled: np.ndarray) -> np.ndarray:
         self._require_fitted()
         return np.asarray(scaled, dtype=np.float64) * self.std + self.mean
+
+    def artifact_state(self) -> dict:
+        self._require_fitted()
+        return {"type": "standard", "mean": self.mean, "std": self.std}
+
+    @classmethod
+    def from_artifact_state(cls, state: dict) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean = float(state["mean"])
+        scaler.std = float(state["std"])
+        scaler._fitted = True
+        return scaler
 
 
 class GaussianMixtureModel(_FittedMixin):
@@ -314,6 +384,33 @@ class GaussianMixtureModel(_FittedMixin):
         components = rng.choice(len(self.weights), size=n, p=self.weights)
         return rng.normal(self.means[components], self.stds[components])
 
+    def artifact_state(self) -> dict:
+        self._require_fitted()
+        return {
+            "type": "gmm",
+            "max_components": self.max_components,
+            "max_iter": self.max_iter,
+            "weight_threshold": self.weight_threshold,
+            "seed": self.seed,
+            "weights": np.asarray(self.weights, dtype=np.float64),
+            "means": np.asarray(self.means, dtype=np.float64),
+            "stds": np.asarray(self.stds, dtype=np.float64),
+        }
+
+    @classmethod
+    def from_artifact_state(cls, state: dict) -> "GaussianMixtureModel":
+        gmm = cls(
+            max_components=int(state["max_components"]),
+            max_iter=int(state["max_iter"]),
+            weight_threshold=float(state["weight_threshold"]),
+            seed=int(state["seed"]),
+        )
+        gmm.weights = np.asarray(state["weights"], dtype=np.float64)
+        gmm.means = np.asarray(state["means"], dtype=np.float64)
+        gmm.stds = np.asarray(state["stds"], dtype=np.float64)
+        gmm._fitted = True
+        return gmm
+
 
 class ModeSpecificNormalizer(_FittedMixin):
     """CTGAN mode-specific normalisation for one continuous column.
@@ -390,3 +487,15 @@ class ModeSpecificNormalizer(_FittedMixin):
         if encoded.shape[1] != self.dim:
             raise ValueError(f"expected width {self.dim}, got {encoded.shape[1]}")
         return self.inverse_from_modes(encoded[:, 0], np.argmax(encoded[:, 1:], axis=1))
+
+    def artifact_state(self) -> dict:
+        self._require_fitted()
+        return {"type": "mode_specific", "seed": self.seed, "gmm": self.gmm.artifact_state()}
+
+    @classmethod
+    def from_artifact_state(cls, state: dict) -> "ModeSpecificNormalizer":
+        gmm = GaussianMixtureModel.from_artifact_state(state["gmm"])
+        normalizer = cls(max_modes=gmm.max_components, seed=int(state["seed"]))
+        normalizer.gmm = gmm
+        normalizer._fitted = True
+        return normalizer

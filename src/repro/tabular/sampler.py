@@ -140,6 +140,7 @@ class ConditionSampler:
         if not 0.0 <= uniform_probability <= 1.0:
             raise ValueError("uniform_probability must be in [0, 1]")
         self.table = table
+        self.n_rows = table.n_rows
         self.transformer = transformer
         self.uniform_probability = uniform_probability
         self.log_frequency = log_frequency
@@ -204,7 +205,9 @@ class ConditionSampler:
             if codes_by_column
             else np.zeros((table.n_rows, 0), dtype=np.int64)
         )
+        self._build_offsets()
 
+    def _build_offsets(self) -> None:
         self._offsets: dict[str, int] = {}
         cursor = 0
         for name in self.conditional_columns:
@@ -215,6 +218,71 @@ class ConditionSampler:
         self._offset_array = np.asarray(
             [self._offsets[name] for name in self.conditional_columns], dtype=np.int64
         )
+
+    # ------------------------------------------------------------------ #
+    # Artifact-state protocol (repro.serve)
+    # ------------------------------------------------------------------ #
+    def artifact_state(self) -> dict:
+        """Fitted state for the :mod:`repro.serve` artifact format.
+
+        The integer-code tables are the sampler's whole working state: the
+        per-column category lists (first-seen order), the training-by-sampling
+        probabilities, the CSR row buckets and the ``(n_rows, n_columns)``
+        code matrix.  The raw training table is deliberately *not* included:
+        a restored sampler can draw conditions and condition vectors exactly
+        (``sample`` / ``empirical_conditions`` / ``vector_from_values``) but
+        cannot serve real rows (``real_batch`` raises).
+        """
+        return {
+            "conditional_columns": list(self.conditional_columns),
+            "uniform_probability": self.uniform_probability,
+            "log_frequency": self.log_frequency,
+            "legacy_sampling": self.legacy_sampling,
+            "n_rows": self.n_rows,
+            "categories": {name: list(values) for name, values in self._categories.items()},
+            "category_probs": {name: probs.copy() for name, probs in self._category_probs.items()},
+            "bucket_rows": {name: rows.copy() for name, rows in self._bucket_rows.items()},
+            "bucket_bounds": {
+                name: bounds.copy() for name, bounds in self._bucket_bounds.items()
+            },
+            "codes": self._codes.copy(),
+        }
+
+    @classmethod
+    def from_artifact_state(cls, state: dict, transformer: DataTransformer) -> "ConditionSampler":
+        """Rebuild a sampler from :meth:`artifact_state` output (no table)."""
+        sampler = cls.__new__(cls)
+        sampler.table = None
+        sampler.n_rows = int(state["n_rows"])
+        sampler.transformer = transformer
+        sampler.uniform_probability = float(state["uniform_probability"])
+        sampler.log_frequency = bool(state["log_frequency"])
+        sampler.legacy_sampling = bool(state["legacy_sampling"])
+        sampler.conditional_columns = list(state["conditional_columns"])
+        sampler._categories = {}
+        sampler._category_index = {}
+        sampler._category_arrays = {}
+        for name, categories in state["categories"].items():
+            categories = list(categories)
+            sampler._categories[name] = categories
+            sampler._category_index[name] = {value: i for i, value in enumerate(categories)}
+            array = np.empty(len(categories), dtype=object)
+            array[:] = categories
+            sampler._category_arrays[name] = array
+        sampler._category_probs = {
+            name: np.asarray(probs, dtype=np.float64)
+            for name, probs in state["category_probs"].items()
+        }
+        sampler._bucket_rows = {
+            name: np.asarray(rows, dtype=np.int64) for name, rows in state["bucket_rows"].items()
+        }
+        sampler._bucket_bounds = {
+            name: np.asarray(bounds, dtype=np.int64)
+            for name, bounds in state["bucket_bounds"].items()
+        }
+        sampler._codes = np.asarray(state["codes"], dtype=np.int64)
+        sampler._build_offsets()
+        return sampler
 
     # ------------------------------------------------------------------ #
     @property
@@ -360,7 +428,7 @@ class ConditionSampler:
             rows = self._bucket_rows[name][bounds[codes] + np.minimum(positions, sizes - 1)]
             empty = sizes == 0
             if empty.any():
-                rows[empty] = rng.integers(0, self.table.n_rows, size=int(empty.sum()))
+                rows[empty] = rng.integers(0, self.n_rows, size=int(empty.sum()))
             pivot_codes[selected] = codes
             row_indices[selected] = rows
 
@@ -401,8 +469,8 @@ class ConditionSampler:
             if len(matching) > 0:
                 row_index = int(matching[rng.integers(0, len(matching))])
             else:
-                row_index = int(rng.integers(0, self.table.n_rows))
-            row = self.table.row(row_index)
+                row_index = int(rng.integers(0, self.n_rows))
+            row = self._require_table().row(row_index)
             condition_values = {
                 name: row[name] for name in self.conditional_columns
             }
@@ -431,9 +499,17 @@ class ConditionSampler:
         """
         if n <= 0:
             raise ValueError("n must be positive")
-        indices = rng.integers(0, self.table.n_rows, size=n)
+        indices = rng.integers(0, self.n_rows, size=n)
         return self.vectors_from_codes(self._codes[indices])
+
+    def _require_table(self) -> Table:
+        if self.table is None:
+            raise RuntimeError(
+                "this ConditionSampler was restored from a model artifact and "
+                "carries no real rows; only condition sampling is available"
+            )
+        return self.table
 
     def real_batch(self, batch: ConditionBatch) -> Table:
         """Real rows aligned with the sampled conditions."""
-        return self.table.select_rows(batch.row_indices)
+        return self._require_table().select_rows(batch.row_indices)

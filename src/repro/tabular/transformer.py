@@ -228,6 +228,56 @@ class DataTransformer:
         if not self._fitted:
             raise RuntimeError("DataTransformer used before fit()")
 
+    # ------------------------------------------------------------------ #
+    def artifact_state(self) -> dict:
+        """Fitted state for the :mod:`repro.serve` artifact format.
+
+        Everything needed to rebuild a bit-identical transformer without the
+        training table: constructor knobs, the schema, and each column
+        encoder's exact fitted state (category orders, mixture parameters,
+        scaling bounds).  The span layout is *not* stored -- it is a pure
+        function of (schema, encoders) and is recomputed on restore.
+        """
+        self._require_fitted()
+        return {
+            "max_modes": self.max_modes,
+            "continuous_encoding": self.continuous_encoding,
+            "seed": self.seed,
+            "schema": self.schema.to_dict(),
+            "encoders": {
+                info.name: self._encoders[info.name].artifact_state()
+                for info in self.output_info
+            },
+        }
+
+    @classmethod
+    def from_artifact_state(cls, state: dict) -> "DataTransformer":
+        """Rebuild a fitted transformer from :meth:`artifact_state` output."""
+        from repro.tabular.encoders import encoder_from_state
+
+        transformer = cls(
+            max_modes=int(state["max_modes"]),
+            continuous_encoding=state["continuous_encoding"],
+            seed=int(state["seed"]),
+        )
+        transformer.schema = TableSchema.from_dict(state["schema"])
+        cursor = 0
+        for spec in transformer.schema:
+            encoder = encoder_from_state(state["encoders"][spec.name])
+            if isinstance(encoder, OneHotEncoder):
+                spans = (OutputSpan(encoder.dim, "softmax"),)
+            elif isinstance(encoder, ModeSpecificNormalizer):
+                spans = (OutputSpan(1, "tanh"), OutputSpan(encoder.n_modes, "softmax"))
+            else:
+                spans = (OutputSpan(1, "tanh"),)
+            info = ColumnOutputInfo(name=spec.name, kind=spec.kind, spans=spans, start=cursor)
+            cursor += info.dim
+            transformer.output_info.append(info)
+            transformer._encoders[spec.name] = encoder
+        transformer._output_dim = cursor
+        transformer._fitted = True
+        return transformer
+
     @property
     def output_dim(self) -> int:
         """Width of the transformed matrix (cached at fit time)."""

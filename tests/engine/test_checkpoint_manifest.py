@@ -1,0 +1,85 @@
+"""Checkpoint manifest: version + network inventory, clear failure modes."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import CheckpointError, load_networks, save_checkpoint, save_networks
+from repro.engine.checkpoint import CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MANIFEST
+from repro.engine.steps import TrainStep
+from repro.neural.layers import Dense
+from repro.neural.network import Sequential
+
+
+def make_network(seed: int = 0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(3, 2, rng=rng)])
+
+
+class _Step(TrainStep):
+    def __init__(self, targets):
+        self.targets = targets
+
+    def step(self, rng, batch_index):
+        return {"loss": 0.0}
+
+    def checkpoint_targets(self):
+        return self.targets
+
+
+class TestManifest:
+    def test_save_writes_versioned_manifest(self, tmp_path):
+        save_checkpoint(_Step({"generator": make_network(), "head": make_network(1)}), tmp_path)
+        manifest = json.loads((tmp_path / CHECKPOINT_MANIFEST).read_text())
+        assert manifest["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert manifest["networks"] == ["generator", "head"]
+
+    def test_legacy_directory_without_manifest_loads(self, tmp_path):
+        network = make_network()
+        network.save(tmp_path / "model.npz")
+        restored = make_network(9)
+        load_networks({"model": restored}, tmp_path)
+        x = np.zeros((2, 3))
+        np.testing.assert_array_equal(
+            restored.forward(x, training=False), network.forward(x, training=False)
+        )
+
+
+class TestClearErrors:
+    def test_version_mismatch_reported(self, tmp_path):
+        network = make_network()
+        save_networks({"model": network}, tmp_path)
+        manifest = json.loads((tmp_path / CHECKPOINT_MANIFEST).read_text())
+        manifest["format_version"] = 99
+        (tmp_path / CHECKPOINT_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="format version"):
+            load_networks({"model": network}, tmp_path)
+
+    def test_mismatched_network_sets_all_named(self, tmp_path):
+        save_networks({"generator": make_network()}, tmp_path)
+        with pytest.raises(CheckpointError) as error:
+            load_networks({"generator": make_network(), "discriminator": make_network()},
+                          tmp_path)
+        message = str(error.value)
+        assert "discriminator" in message and "expected by the model" in message
+
+    def test_unexpected_network_named(self, tmp_path):
+        save_networks({"generator": make_network(), "extra": make_network(1)}, tmp_path)
+        with pytest.raises(CheckpointError, match="'extra'"):
+            load_networks({"generator": make_network()}, tmp_path)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_networks({"model": make_network()}, tmp_path / "nope")
+
+    def test_error_is_a_file_not_found_error(self, tmp_path):
+        """Backwards compatibility: callers catching FileNotFoundError still work."""
+        with pytest.raises(FileNotFoundError):
+            load_networks({"model": make_network()}, tmp_path)
+
+    def test_empty_targets_allowed_for_networkless_models(self, tmp_path):
+        save_networks({}, tmp_path)
+        load_networks({}, tmp_path)  # no error: artifact with no networks

@@ -106,6 +106,61 @@ class TestTraining:
         with pytest.raises(ValueError):
             fed.sites[0].train_local(epochs=0)
 
+    def test_client_fraction_validated(self, lab_bundle_small, tiny_config):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                FederatedKiNETGAN(
+                    reference_table=lab_bundle_small.table.head(100),
+                    config=tiny_config,
+                    client_fraction=bad,
+                )
+
+    def _fraction_fed(self, lab_bundle_small, tiny_config, fraction, seed=5):
+        table = lab_bundle_small.table.head(400)
+        rng = np.random.default_rng(2)
+        parts = label_skew_partition(table, "label", 3, rng, skew=0.3, min_rows=20)
+        fed = FederatedKiNETGAN(
+            reference_table=table.head(150),
+            config=tiny_config,
+            catalog=lab_bundle_small.catalog,
+            condition_columns=lab_bundle_small.condition_columns,
+            seed=seed,
+            client_fraction=fraction,
+        )
+        for i, part in enumerate(parts):
+            fed.add_site(f"site-{i}", part)
+        return fed
+
+    def test_client_fraction_subsamples_sites_per_round(self, lab_bundle_small, tiny_config):
+        fed = self._fraction_fed(lab_bundle_small, tiny_config, fraction=0.5)
+        rounds = fed.run(num_rounds=3, local_epochs=1)
+        all_ids = {site.site_id for site in fed.sites}
+        for round_info in rounds:
+            assert len(round_info.participants) == 2  # round(0.5 * 3) sites
+            assert set(round_info.participants) <= all_ids
+
+    def test_client_fraction_selection_is_seeded(self, lab_bundle_small, tiny_config):
+        fed_a = self._fraction_fed(lab_bundle_small, tiny_config, fraction=0.5, seed=5)
+        fed_b = self._fraction_fed(lab_bundle_small, tiny_config, fraction=0.5, seed=5)
+        rounds_a = fed_a.run(num_rounds=2, local_epochs=1)
+        rounds_b = fed_b.run(num_rounds=2, local_epochs=1)
+        assert [r.participants for r in rounds_a] == [r.participants for r in rounds_b]
+        state_a, _ = fed_a.global_states()
+        state_b, _ = fed_b.global_states()
+        for key in state_a:
+            np.testing.assert_array_equal(state_a[key], state_b[key])
+
+    def test_full_participation_consumes_no_selection_draws(
+        self, lab_bundle_small, tiny_config
+    ):
+        """At the default fraction the coordinator RNG stream is untouched,
+        so seeded runs recorded before the knob existed replay exactly."""
+        fed = self._fraction_fed(lab_bundle_small, tiny_config, fraction=1.0)
+        before = fed.rng.bit_generator.state
+        selected = fed._select_sites()
+        assert selected == [0, 1, 2]
+        assert fed.rng.bit_generator.state == before
+
     def test_dp_variant_reports_epsilon(self, lab_bundle_small, tiny_config):
         table = lab_bundle_small.table.head(300)
         rng = np.random.default_rng(3)

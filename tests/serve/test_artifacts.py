@@ -1,0 +1,215 @@
+"""Artifact round-trips: save -> load -> sample must be bit-identical.
+
+Covers the headline ``repro.serve`` invariant for KiNETGAN and the
+baselines (in-process and across a subprocess boundary), plus the
+manifest validation failure modes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import TVAE, IndependentSampler, TableGAN
+from repro.core import KiNETGAN, KiNETGANConfig
+from repro.engine import sampling_rng
+from repro.serve import ArtifactError, ModelArtifact, load_model, save_model
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def small_config(seed: int = 0) -> KiNETGANConfig:
+    return KiNETGANConfig(
+        embedding_dim=16,
+        generator_dims=(32,),
+        discriminator_dims=(32,),
+        epochs=2,
+        batch_size=64,
+        knowledge_negatives_per_batch=16,
+        max_modes=4,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def train_table(lab_bundle_small):
+    return lab_bundle_small.table.head(400)
+
+
+@pytest.fixture(scope="module")
+def fitted_kinetgan(lab_bundle_small, train_table):
+    model = KiNETGAN(small_config())
+    model.fit(
+        train_table,
+        catalog=lab_bundle_small.catalog,
+        condition_columns=lab_bundle_small.condition_columns,
+    )
+    return model
+
+
+@pytest.fixture(scope="module")
+def fitted_tvae(train_table):
+    return TVAE(small_config(), latent_dim=8).fit(train_table)
+
+
+@pytest.fixture(scope="module")
+def fitted_tablegan(lab_bundle_small, train_table):
+    return TableGAN(small_config(), label_column=lab_bundle_small.label_column).fit(train_table)
+
+
+@pytest.fixture(scope="module")
+def kinetgan_artifact(fitted_kinetgan, tmp_path_factory) -> Path:
+    directory = tmp_path_factory.mktemp("artifacts") / "kinetgan"
+    save_model(fitted_kinetgan, directory, metadata={"dataset": "lab_iot"})
+    return directory
+
+
+def assert_tables_identical(a, b) -> None:
+    assert a.schema.names == b.schema.names
+    assert a.n_rows == b.n_rows
+    for name in a.schema.names:
+        assert np.array_equal(a.column(name), b.column(name)), name
+
+
+class TestRoundTripParity:
+    def test_kinetgan_bit_parity(self, fitted_kinetgan, kinetgan_artifact):
+        loaded = load_model(kinetgan_artifact)
+        expected = fitted_kinetgan.sample(300, rng=sampling_rng(42))
+        actual = loaded.sample(300, rng=sampling_rng(42))
+        assert_tables_identical(expected, actual)
+
+    def test_kinetgan_conditional_parity(self, fitted_kinetgan, kinetgan_artifact):
+        loaded = load_model(kinetgan_artifact)
+        conditions = {"event_type": fitted_kinetgan.sampler.categories("event_type")[0]}
+        expected = fitted_kinetgan.sample(64, conditions=conditions, rng=sampling_rng(5))
+        actual = loaded.sample(64, conditions=conditions, rng=sampling_rng(5))
+        assert_tables_identical(expected, actual)
+
+    def test_tvae_bit_parity(self, fitted_tvae, tmp_path):
+        save_model(fitted_tvae, tmp_path / "tvae")
+        loaded = load_model(tmp_path / "tvae")
+        assert_tables_identical(
+            fitted_tvae.sample(200, rng=sampling_rng(7)),
+            loaded.sample(200, rng=sampling_rng(7)),
+        )
+
+    def test_tablegan_bit_parity(self, fitted_tablegan, tmp_path):
+        save_model(fitted_tablegan, tmp_path / "tablegan")
+        loaded = load_model(tmp_path / "tablegan")
+        assert_tables_identical(
+            fitted_tablegan.sample(200, rng=sampling_rng(9)),
+            loaded.sample(200, rng=sampling_rng(9)),
+        )
+
+    def test_independent_sampler_round_trip(self, train_table, tmp_path):
+        model = IndependentSampler(seed=3).fit(train_table)
+        artifact = save_model(model, tmp_path / "independent")
+        assert artifact.networks == []
+        loaded = load_model(tmp_path / "independent")
+        assert_tables_identical(
+            model.sample(150, rng=sampling_rng(1)),
+            loaded.sample(150, rng=sampling_rng(1)),
+        )
+
+    def test_default_seed_sampling_matches(self, fitted_kinetgan, kinetgan_artifact):
+        """With no explicit rng both sides fall back to the config seed."""
+        loaded = load_model(kinetgan_artifact)
+        assert_tables_identical(fitted_kinetgan.sample(50), loaded.sample(50))
+
+
+class TestRestoredState:
+    def test_restored_sampler_carries_no_real_rows(self, kinetgan_artifact):
+        loaded = load_model(kinetgan_artifact)
+        assert loaded.sampler.table is None
+        batch = loaded.sampler.sample(16, np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="no real rows"):
+            loaded.sampler.real_batch(batch)
+
+    def test_manifest_records_model_and_networks(self, kinetgan_artifact):
+        artifact = ModelArtifact.open(kinetgan_artifact)
+        assert artifact.model_class == "KiNETGAN"
+        assert artifact.format_version == 1
+        assert set(artifact.networks) == {"generator", "discriminator", "kg_head"}
+        assert artifact.metadata["dataset"] == "lab_iot"
+
+    def test_unfitted_model_cannot_be_saved(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_model(KiNETGAN(small_config()), tmp_path / "nope")
+
+
+class TestCrossProcess:
+    def test_subprocess_load_samples_identically(self, fitted_kinetgan, kinetgan_artifact,
+                                                 tmp_path):
+        """A fresh interpreter loads the artifact and reproduces sample()."""
+        out_csv = tmp_path / "subprocess.csv"
+        script = (
+            "import sys\n"
+            "from repro.serve import load_model\n"
+            "from repro.engine import sampling_rng\n"
+            "model = load_model(sys.argv[1])\n"
+            "model.sample(120, rng=sampling_rng(2024)).to_csv(sys.argv[2])\n"
+        )
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(
+            [sys.executable, "-c", script, str(kinetgan_artifact), str(out_csv)],
+            check=True,
+            env=env,
+            cwd=str(tmp_path),
+        )
+        expected = tmp_path / "expected.csv"
+        fitted_kinetgan.sample(120, rng=sampling_rng(2024)).to_csv(expected)
+        assert out_csv.read_text() == expected.read_text()
+
+
+class TestRejection:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_model(tmp_path)
+
+    def test_future_format_version_rejected(self, kinetgan_artifact, tmp_path):
+        corrupted = tmp_path / "future"
+        corrupted.mkdir()
+        for path in Path(kinetgan_artifact).iterdir():
+            (corrupted / path.name).write_bytes(path.read_bytes())
+        manifest = json.loads((corrupted / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (corrupted / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="format version"):
+            load_model(corrupted)
+
+    def test_unknown_model_class_rejected(self, kinetgan_artifact, tmp_path):
+        corrupted = tmp_path / "unknown"
+        corrupted.mkdir()
+        for path in Path(kinetgan_artifact).iterdir():
+            (corrupted / path.name).write_bytes(path.read_bytes())
+        manifest = json.loads((corrupted / "manifest.json").read_text())
+        manifest["model_class"] = "DiffusionModel"
+        (corrupted / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="unknown model class"):
+            load_model(corrupted)
+
+    def test_missing_network_file_named_in_error(self, kinetgan_artifact, tmp_path):
+        corrupted = tmp_path / "missing_net"
+        corrupted.mkdir()
+        for path in Path(kinetgan_artifact).iterdir():
+            if path.name != "generator.npz":
+                (corrupted / path.name).write_bytes(path.read_bytes())
+        with pytest.raises(ArtifactError, match="generator"):
+            load_model(corrupted)
+
+    def test_corrupt_state_blob_rejected(self, kinetgan_artifact, tmp_path):
+        corrupted = tmp_path / "bad_state"
+        corrupted.mkdir()
+        for path in Path(kinetgan_artifact).iterdir():
+            (corrupted / path.name).write_bytes(path.read_bytes())
+        (corrupted / "state.pkl").write_bytes(b"not a pickle")
+        with pytest.raises(ArtifactError, match="state"):
+            load_model(corrupted)

@@ -79,6 +79,98 @@ class TestCommands:
         assert "INDEPENDENT" in out and "REAL" in out
 
 
+class TestServingCommands:
+    def test_save_sample_serve_round_trip(self, tmp_path, capsys):
+        artifact = tmp_path / "artifact"
+        assert main(
+            [
+                "save",
+                "--dataset", "lab_iot",
+                "--model", "independent",
+                "--records", "400",
+                "--epochs", "1",
+                "--artifact-dir", str(artifact),
+            ]
+        ) == 0
+        assert (artifact / "manifest.json").exists()
+        out = capsys.readouterr().out
+        assert "Saved IndependentSampler artifact" in out
+
+        output = tmp_path / "sampled.csv"
+        assert main(
+            [
+                "sample",
+                "--artifact", str(artifact),
+                "--samples", "80",
+                "--seed", "3",
+                "--chunk-rows", "32",
+                "--output", str(output),
+            ]
+        ) == 0
+        lines = output.read_text().strip().splitlines()
+        assert len(lines) == 81  # header + 80 rows
+        assert "Wrote 80 synthetic rows" in capsys.readouterr().out
+
+        assert main(
+            [
+                "serve",
+                "--artifact", str(artifact),
+                "--requests", "4",
+                "--request-rows", "20",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Served 4 requests / 80 rows" in out
+
+    def test_sample_with_condition_on_conditional_model(self, tmp_path, capsys):
+        artifact = tmp_path / "kinetgan"
+        assert main(
+            [
+                "save",
+                "--dataset", "lab_iot",
+                "--model", "kinetgan",
+                "--records", "400",
+                "--epochs", "1",
+                "--artifact-dir", str(artifact),
+            ]
+        ) == 0
+        capsys.readouterr()
+        output = tmp_path / "attack.csv"
+        assert main(
+            [
+                "sample",
+                "--artifact", str(artifact),
+                "--samples", "40",
+                "--condition", "event_type=traffic_flooding",
+                "--output", str(output),
+            ]
+        ) == 0
+        rows = output.read_text().strip().splitlines()[1:]
+        assert len(rows) == 40
+        # Conditioning is soft (a 1-epoch generator need not obey it); the
+        # exact conditioned-sampling parity is covered in tests/serve.  Here
+        # we check the plumbing: an unknown condition value must fail loudly.
+        capsys.readouterr()
+        with pytest.raises(ValueError, match="not in categories"):
+            main(
+                [
+                    "sample",
+                    "--artifact", str(artifact),
+                    "--samples", "5",
+                    "--condition", "event_type=not_a_real_event",
+                    "--output", str(tmp_path / "bad.csv"),
+                ]
+            )
+
+    def test_serve_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--artifact", "a", "--artifact", "b"])
+        assert args.artifact == ["a", "b"]
+        assert args.workers == 0
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve"])  # --artifact is required
+
+
 class TestRuntimeCommands:
     def test_workers_flag_parsed_with_default_serial(self):
         parser = build_parser()

@@ -1,24 +1,32 @@
-"""Runtime benchmarks: federated round throughput, serial vs process pool.
+"""Runtime benchmarks: round throughput, scheduling overlap, transport bytes.
 
 Measures how fast the multi-node layer turns over synchronous FedAvg rounds
-at 4 / 8 / 16 clients under the serial executor and the process-pool
-executor (:mod:`repro.runtime`), plus a latency-overlap probe that isolates
-the runtime's ability to overlap blocked time from the machine's core
-count.  Results land in ``BENCH_runtime.json`` at the repository root so
-future PRs have a trajectory to compare against.
+at 4 / 8 / 16 clients under the serial, process-pool and thread-pool
+executors (:mod:`repro.runtime`), a latency-overlap probe that isolates the
+runtime's ability to overlap blocked time from the machine's core count,
+and a *transport-bytes* probe that counts what actually crosses the task
+pipe per round on each transport.  Results land in ``BENCH_runtime.json``
+at the repository root so future PRs have a trajectory to compare against.
 
 Interpreting the numbers:
 
 * ``federated_round_Nclients`` -- wall-clock round throughput.  Client-side
-  local training is CPU-bound numpy, so the process-pool speedup is capped
-  by physical cores: on a multi-core runner 8 clients over >= 4 workers
-  should clear 2x, while a single-core machine can at best break even (the
-  pickling overhead is then visible instead of hidden).
+  local training is CPU-bound numpy, so pool speedups are capped by
+  physical cores: on a multi-core runner 8 clients over >= 4 workers
+  should clear 2x, while a single-core machine can at best break even.
+  Every entry records the ``cpu_count`` it was measured with; the smoke
+  gate skips these core-count-sensitive comparisons on mismatched runners.
 * ``latency_overlap`` -- the same executor machinery over work units that
   *block* (simulated device/network latency).  This measures pure
   scheduling overlap and reaches ~min(workers, tasks)x on any machine,
   which is the regime a real federated deployment (remote devices, network
   round-trips) lives in.
+* ``transport_bytes_per_round`` -- pickled bytes per steady-state round on
+  the legacy payload transport (whole clients + state dicts re-shipped
+  every round) versus the resident transport (clients installed once,
+  rounds ship refs + seeds, parameters ride shared memory).  This is
+  deterministic and core-count independent: the copy elimination is
+  visible even on a 1-core container.
 
 Run directly (``python -m benchmarks.bench_runtime``) or through
 ``python -m benchmarks.run --suite runtime``.
@@ -29,6 +37,7 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import pickle
 import platform
 import time
 from pathlib import Path
@@ -40,7 +49,13 @@ from repro.federated.client import FederatedClient
 from repro.federated.server import FederatedServer
 from repro.federated.simulation import DetectorFactory
 from repro.nids.features import TabularFeaturizer
-from repro.runtime import ProcessExecutor, SerialExecutor, default_worker_count
+from repro.runtime import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_worker_count,
+)
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 
@@ -51,12 +66,68 @@ LOCAL_EPOCHS = int(os.environ.get("REPRO_BENCH_LOCAL_EPOCHS", "4"))
 ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
 LATENCY_TASKS = 8
 LATENCY_SECONDS = 0.05
+TRANSPORT_CLIENTS = 8
+TRANSPORT_ROUNDS = 2
+
+#: What the measured configurations ship per round (recorded in entries).
+RESIDENT_TRANSPORT = "resident (refs + seeds; params via shared memory)"
+PAYLOAD_TRANSPORT = "payload (clients + state dicts re-pickled per round)"
 
 
 def _sleep_task(seconds: float) -> float:
     """Module-level blocked work unit for the latency-overlap probe."""
     time.sleep(seconds)
     return seconds
+
+
+class _MeteredExecutor(Executor):
+    """Wraps an executor and counts the pickled bytes a round ships.
+
+    ``map`` payloads and results are measured with ``pickle.dumps`` -- the
+    same serialisation the process pool itself performs -- while
+    ``install`` bytes are tallied separately (they are one-time, not
+    per-round).  Shared-memory buffers are delegated untouched: bytes the
+    transport moves through them never cross the task pipe, which is
+    exactly what this meter exists to show.
+    """
+
+    name = "metered"
+
+    def __init__(self, inner: Executor) -> None:
+        super().__init__()
+        self.inner = inner
+        self.payload_bytes = 0
+        self.result_bytes = 0
+        self.install_bytes = 0
+
+    def reset(self) -> None:
+        self.payload_bytes = 0
+        self.result_bytes = 0
+
+    def map(self, fn, payloads):
+        payloads = list(payloads)
+        self.payload_bytes += sum(
+            len(pickle.dumps(p, pickle.HIGHEST_PROTOCOL)) for p in payloads
+        )
+        results = self.inner.map(fn, payloads)
+        self.result_bytes += sum(
+            len(pickle.dumps(r, pickle.HIGHEST_PROTOCOL)) for r in results
+        )
+        return results
+
+    def install(self, state):
+        self.install_bytes += len(pickle.dumps(state, pickle.HIGHEST_PROTOCOL))
+        return self.inner.install(state)
+
+    def evict(self, ref):
+        self.inner.evict(ref)
+
+    def shared_array(self, shape):
+        return self.inner.shared_array(shape)
+
+    def close(self):
+        self.inner.close()
+        self._closed = True
 
 
 def _make_clients(n_clients: int, rows_per_client: int, seed: int) -> tuple[list, DetectorFactory]:
@@ -93,35 +164,46 @@ def _rounds_per_sec(executor, n_clients: int, rounds: int, seed: int) -> float:
     """Timed FedAvg rounds on a fresh server (1 warm-up round untimed)."""
     clients, model_fn = _make_clients(n_clients, ROWS_PER_CLIENT, seed)
     server = FederatedServer(model_fn, clients, seed=seed, executor=executor)
-    server.run_round()  # warm-up: spins the pool up and JITs nothing away
-    start = time.perf_counter()
-    for _ in range(rounds):
-        server.run_round()
-    elapsed = time.perf_counter() - start
+    try:
+        server.run_round()  # warm-up: spins the pool up and installs state
+        start = time.perf_counter()
+        for _ in range(rounds):
+            server.run_round()
+        elapsed = time.perf_counter() - start
+    finally:
+        server.release_transport()
     return rounds / elapsed
 
 
-def run_runtime_bench(
+def measure_round_throughput(
     client_counts: tuple[int, ...] = CLIENT_COUNTS, rounds: int = ROUNDS
-) -> dict:
-    """Measure round throughput serial vs process and return the document."""
+) -> dict[str, dict]:
+    """Round throughput serial vs process vs thread at each client count."""
     cores = default_worker_count()
     metrics: dict[str, dict] = {}
-
     for n_clients in client_counts:
         workers = min(n_clients, max(2, cores))
         serial = _rounds_per_sec(SerialExecutor(), n_clients, rounds, seed=7)
         with ProcessExecutor(max_workers=workers) as pool:
-            parallel = _rounds_per_sec(pool, n_clients, rounds, seed=7)
+            process = _rounds_per_sec(pool, n_clients, rounds, seed=7)
+        with ThreadExecutor(max_workers=workers) as pool:
+            thread = _rounds_per_sec(pool, n_clients, rounds, seed=7)
         metrics[f"federated_round_{n_clients}clients"] = {
             "serial_rounds_per_sec": round(serial, 3),
-            "process_rounds_per_sec": round(parallel, 3),
-            "speedup": round(parallel / serial, 2),
+            "process_rounds_per_sec": round(process, 3),
+            "thread_rounds_per_sec": round(thread, 3),
+            "speedup": round(process / serial, 2),
+            "thread_speedup": round(thread / serial, 2),
             "workers": workers,
             "rows_per_client": ROWS_PER_CLIENT,
+            "transport": RESIDENT_TRANSPORT,
+            "cpu_count": cores,
         }
+    return metrics
 
-    # Scheduling overlap, decoupled from core count: blocked work units.
+
+def measure_latency_overlap() -> dict:
+    """Scheduling overlap, decoupled from core count: blocked work units."""
     serial_start = time.perf_counter()
     SerialExecutor().map(_sleep_task, [LATENCY_SECONDS] * LATENCY_TASKS)
     serial_seconds = time.perf_counter() - serial_start
@@ -130,13 +212,66 @@ def run_runtime_bench(
         parallel_start = time.perf_counter()
         pool.map(_sleep_task, [LATENCY_SECONDS] * LATENCY_TASKS)
         parallel_seconds = time.perf_counter() - parallel_start
-    metrics["latency_overlap"] = {
+    return {
         "tasks": LATENCY_TASKS,
         "task_seconds": LATENCY_SECONDS,
         "serial_seconds": round(serial_seconds, 3),
         "process_seconds": round(parallel_seconds, 3),
         "speedup": round(serial_seconds / parallel_seconds, 2),
+        "cpu_count": default_worker_count(),
     }
+
+
+def measure_transport_bytes(
+    n_clients: int = TRANSPORT_CLIENTS, rounds: int = TRANSPORT_ROUNDS
+) -> dict:
+    """Pickled bytes per steady-state round, payload vs resident transport.
+
+    Both transports run over a real (metered) process pool, so the resident
+    refs measured here are the shared-memory ones, not the in-process
+    identity refs.  The first round is excluded: it carries the one-time
+    installs (counted separately as ``resident_install_bytes``).
+    """
+
+    def run(transport: str) -> tuple[float, int]:
+        clients, model_fn = _make_clients(n_clients, ROWS_PER_CLIENT, seed=11)
+        meter = _MeteredExecutor(ProcessExecutor(max_workers=2))
+        server = FederatedServer(
+            model_fn, clients, seed=11, executor=meter, transport=transport
+        )
+        try:
+            server.run_round()  # install + warm-up round
+            meter.reset()
+            for _ in range(rounds):
+                server.run_round()
+            per_round = (meter.payload_bytes + meter.result_bytes) / rounds
+            return per_round, meter.install_bytes
+        finally:
+            server.close()
+
+    payload_per_round, _ = run("payload")
+    resident_per_round, install_bytes = run("resident")
+    return {
+        "clients": n_clients,
+        "rows_per_client": ROWS_PER_CLIENT,
+        "rounds_measured": rounds,
+        "legacy_payload_bytes_per_round": int(payload_per_round),
+        "resident_delta_bytes_per_round": int(resident_per_round),
+        "resident_install_bytes": install_bytes,
+        "reduction": round(payload_per_round / resident_per_round, 1),
+        "transport": f"{PAYLOAD_TRANSPORT} vs {RESIDENT_TRANSPORT}",
+        "cpu_count": default_worker_count(),
+    }
+
+
+def run_runtime_bench(
+    client_counts: tuple[int, ...] = CLIENT_COUNTS, rounds: int = ROUNDS
+) -> dict:
+    """Measure all runtime probes and return the trajectory document."""
+    cores = default_worker_count()
+    metrics = measure_round_throughput(client_counts, rounds)
+    metrics["latency_overlap"] = measure_latency_overlap()
+    metrics["transport_bytes_per_round"] = measure_transport_bytes()
 
     return {
         "benchmark": "runtime",
@@ -158,13 +293,16 @@ def run_runtime_bench(
         },
         "metrics": metrics,
         "notes": (
-            "Round throughput is CPU-bound: the process-pool speedup scales "
-            "with physical cores (>=2x at 8 clients needs >=4 usable cores; "
-            "a 1-core machine shows executor overhead instead). "
-            "latency_overlap isolates scheduling overlap with blocked work "
-            "units and is core-count independent -- it is the regime of a "
-            "real distributed deployment, where client time is dominated by "
-            "device latency rather than coordinator CPU."
+            "Round throughput is CPU-bound: pool speedups scale with "
+            "physical cores (>=2x at 8 clients needs >=4 usable cores; a "
+            "1-core machine shows executor overhead instead), so every "
+            "entry records its cpu_count and the smoke gate only compares "
+            "them on a matching runner. latency_overlap isolates "
+            "scheduling overlap with blocked work units and is core-count "
+            "independent. transport_bytes_per_round is deterministic: it "
+            "shows the resident transport cutting per-round pickling to "
+            "refs + seeds + metric floats, with parameters riding shared "
+            "memory instead of the task pipe."
         ),
     }
 
@@ -181,14 +319,23 @@ def format_results(document: dict) -> str:
         if name.startswith("federated_round"):
             lines.append(
                 f"  {name:28s} serial {entry['serial_rounds_per_sec']:>7.3f} rounds/s"
-                f" -> process {entry['process_rounds_per_sec']:>7.3f} rounds/s"
-                f"  ({entry['speedup']}x, {entry['workers']} workers)"
+                f" -> process {entry['process_rounds_per_sec']:>7.3f}"
+                f" / thread {entry['thread_rounds_per_sec']:>7.3f} rounds/s"
+                f"  ({entry['speedup']}x / {entry['thread_speedup']}x,"
+                f" {entry['workers']} workers)"
             )
-        else:
+        elif name == "latency_overlap":
             lines.append(
                 f"  {name:28s} serial {entry['serial_seconds']:.3f}s"
                 f" -> process {entry['process_seconds']:.3f}s"
                 f"  ({entry['speedup']}x, {entry['tasks']} blocked tasks)"
+            )
+        else:
+            lines.append(
+                f"  {name:28s} payload {entry['legacy_payload_bytes_per_round']:,} B/round"
+                f" -> resident {entry['resident_delta_bytes_per_round']:,} B/round"
+                f"  ({entry['reduction']}x less, {entry['clients']} clients;"
+                f" one-time install {entry['resident_install_bytes']:,} B)"
             )
     return "\n".join(lines)
 

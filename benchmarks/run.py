@@ -12,7 +12,13 @@ than ``--tolerance`` (default 30%).  Absolute rows/sec are machine-bound, so
 the comparison uses each metric's *speedup* -- the vectorized path's
 throughput normalised by the in-file seed replica measured on the same
 runner -- plus the floor that vectorized must never fall behind the seed
-replica.  Smoke mode never rewrites the trajectory files.
+replica.  The gate also re-checks the runtime trajectory
+(``BENCH_runtime.json``): the transport-bytes and latency-overlap probes are
+core-count independent and always compared, while the CPU-bound round
+throughput entries are *skipped* whenever the runner's usable core count
+differs from the one recorded in the committed entry (a 1-core container
+and a multi-core CI runner legitimately disagree about pool speedups).
+Smoke mode never rewrites the trajectory files.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from benchmarks.bench_dataplane import (
     write_results,
 )
 from benchmarks import bench_runtime, bench_serving
+from repro.runtime import default_worker_count
 
 SMOKE_MIN_SECONDS = 0.25
 SMOKE_RETRY_MIN_SECONDS = 1.0
@@ -67,6 +74,114 @@ def _evaluate_smoke(
     return rows, failures
 
 
+def _smoke_runtime(tolerance: float) -> tuple[list[dict], list[str]]:
+    """Re-check the runtime trajectory; core-count-sensitive entries may skip.
+
+    Always compared (deterministic / core-count independent):
+
+    * ``transport_bytes_per_round`` -- the resident transport must still
+      beat the payload transport, and its byte reduction must stay within
+      tolerance of the committed one;
+    * ``latency_overlap`` -- scheduling overlap of blocked work units
+      (re-measured twice on failure, like the data-plane gate).
+
+    Skipped with a visible row when the runner's usable core count differs
+    from the committed entry's ``cpu_count``: the ``federated_round_*``
+    process-pool speedups, which are meaningless to compare across core
+    counts.
+    """
+    if not bench_runtime.RESULT_PATH.exists():
+        return [], [f"no runtime baseline at {bench_runtime.RESULT_PATH}"]
+    baseline = json.loads(bench_runtime.RESULT_PATH.read_text())["metrics"]
+    cores = default_worker_count()
+    rows: list[dict] = []
+    failures: list[str] = []
+
+    entry = baseline.get("transport_bytes_per_round")
+    if entry is not None:
+        measured = bench_runtime.measure_transport_bytes(rounds=1)
+        floor = max(entry["reduction"] * (1.0 - tolerance), 1.0)
+        ok = (
+            measured["resident_delta_bytes_per_round"]
+            < measured["legacy_payload_bytes_per_round"]
+            and measured["reduction"] >= floor
+        )
+        rows.append(
+            {
+                "metric": "transport_bytes_per_round",
+                "baseline_reduction": entry["reduction"],
+                "measured_reduction": measured["reduction"],
+                "floor": round(floor, 2),
+                "status": "ok" if ok else "REGRESSED",
+            }
+        )
+        if not ok:
+            failures.append(
+                f"transport_bytes_per_round: reduction {measured['reduction']}x < "
+                f"allowed floor {floor:.2f}x (baseline {entry['reduction']}x)"
+            )
+
+    entry = baseline.get("latency_overlap")
+    if entry is not None:
+        floor = max(entry["speedup"] * (1.0 - tolerance), 1.0)
+        best = 0.0
+        for _attempt in range(2):
+            best = max(best, bench_runtime.measure_latency_overlap()["speedup"])
+            if best >= floor:
+                break
+        rows.append(
+            {
+                "metric": "latency_overlap",
+                "baseline_speedup": entry["speedup"],
+                "measured_speedup": best,
+                "floor": round(floor, 2),
+                "status": "ok" if best >= floor else "REGRESSED",
+            }
+        )
+        if best < floor:
+            failures.append(
+                f"latency_overlap: speedup {best}x < allowed floor {floor:.2f}x "
+                f"(baseline {entry['speedup']}x)"
+            )
+
+    for name, entry in baseline.items():
+        if not name.startswith("federated_round"):
+            continue
+        recorded_cores = entry.get("cpu_count")
+        if recorded_cores != cores:
+            rows.append(
+                {
+                    "metric": name,
+                    "status": "skipped",
+                    "reason": f"recorded on {recorded_cores} cpus, runner has {cores}",
+                }
+            )
+            continue
+        n_clients = int(name.removeprefix("federated_round_").removesuffix("clients"))
+        floor = entry["speedup"] * (1.0 - tolerance)
+        best = 0.0
+        for _attempt in range(2):
+            measured = bench_runtime.measure_round_throughput((n_clients,), rounds=2)[name]
+            best = max(best, measured["speedup"])
+            if best >= floor:
+                break
+        rows.append(
+            {
+                "metric": name,
+                "baseline_speedup": entry["speedup"],
+                "measured_speedup": best,
+                "floor": round(floor, 2),
+                "status": "ok" if best >= floor else "REGRESSED",
+            }
+        )
+        if best < floor:
+            failures.append(
+                f"{name}: process speedup {best}x < allowed floor {floor:.2f}x "
+                f"(baseline {entry['speedup']}x)"
+            )
+    return rows, failures
+
+
 def _run_smoke(tolerance: float, as_json: bool = False) -> int:
     """Re-measure the data plane and gate on the committed trajectory.
 
@@ -96,12 +211,16 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
                 metrics[name] = entry
         comparison, failures = _evaluate_smoke(baseline["metrics"], metrics, tolerance)
 
+    runtime_comparison, runtime_failures = _smoke_runtime(tolerance)
+    failures = failures + runtime_failures
+
     document = {
-        "benchmark": "dataplane-smoke",
+        "benchmark": "bench-smoke",
         "rows": rows,
         "tolerance": tolerance,
         "retried": retried,
         "comparison": comparison,
+        "runtime_comparison": runtime_comparison,
         "failures": failures,
         "ok": not failures,
     }
@@ -116,12 +235,26 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
                 f"  now {row['measured_speedup']:>7.2f}x"
                 f"  ({row['measured_rows_per_sec']:,} rows/s)  {row['status']}"
             )
+        print(f"[bench:smoke] runtime trajectory ({default_worker_count()} usable cpus)")
+        for row in runtime_comparison:
+            if row["status"] == "skipped":
+                print(f"  {row['metric']:26s} skipped ({row['reason']})")
+            else:
+                baseline_key = (
+                    "baseline_reduction" if "baseline_reduction" in row else "baseline_speedup"
+                )
+                measured_key = baseline_key.replace("baseline", "measured")
+                print(
+                    f"  {row['metric']:26s} baseline {row[baseline_key]:>7.2f}x"
+                    f"  now {row[measured_key]:>7.2f}x"
+                    f"  (floor {row['floor']}x)  {row['status']}"
+                )
         if failures:
             print("[bench:smoke] FAILED (after retry with longer windows):")
             for failure in failures:
                 print(f"  - {failure}")
         else:
-            print("[bench:smoke] ok - no data-plane metric regressed beyond tolerance")
+            print("[bench:smoke] ok - no gated metric regressed beyond tolerance")
     return 1 if failures else 0
 
 

@@ -6,7 +6,11 @@ Run with::
 
 ``--workers N`` (N > 1) fans the per-client local training of every round --
 and the whole federated-KiNETGAN sites -- out over a process pool via
-:mod:`repro.runtime`; seeded results are bit-identical to the serial run.
+:mod:`repro.runtime`; ``--workers thread[:N]`` uses a zero-pickling thread
+pool instead.  Seeded results are bit-identical to the serial run either
+way.  Clients and sites are worker-resident: they are installed into the
+execution plane once and each round ships only seeds and flattened
+parameter deltas (shared-memory backed on the process pool).
 
 The script demonstrates the paper's future-work agenda end to end:
 
@@ -42,9 +46,9 @@ def main() -> None:
     parser.add_argument("--clients", type=int, default=4, help="number of federated devices")
     parser.add_argument("--rounds", type=int, default=10, help="federated rounds")
     parser.add_argument("--gan-rounds", type=int, default=4, help="federated KiNETGAN rounds")
-    parser.add_argument("--workers", type=int, default=0,
-                        help="process-pool workers for client/site training "
-                             "(0 or 1 = serial)")
+    parser.add_argument("--workers", type=str, default="serial",
+                        help="executor spec for client/site training: 0/1/'serial', "
+                             "N or 'process[:N]', or 'thread[:N]'")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
@@ -54,7 +58,9 @@ def main() -> None:
 
     # ------------------------------------------------------------------ #
     print("\n=== Federated detector training (FedAvg vs local-only vs centralised) ===")
-    simulation = FederatedNIDSSimulation(
+    # The with-block closes the executor's workers on every path, including
+    # exceptions raised mid-run.
+    with FederatedNIDSSimulation(
         bundle,
         num_clients=args.clients,
         skew=0.6,
@@ -64,11 +70,8 @@ def main() -> None:
         dp_config=DPFedAvgConfig(clip_norm=2.0, noise_multiplier=0.6, delta=1e-5),
         seed=args.seed,
         executor=args.workers,
-    )
-    try:
+    ) as simulation:
         result = simulation.run()
-    finally:
-        simulation.close()
     print(f"local-only accuracy      : {result.local_only:.3f} (macro-F1 {result.local_only_f1:.3f})")
     print(f"federated accuracy       : {result.federated:.3f} (macro-F1 {result.federated_f1:.3f})")
     print(
@@ -90,22 +93,19 @@ def main() -> None:
         batch_size=128,
         seed=args.seed,
     )
-    federated_gan = FederatedKiNETGAN(
+    with FederatedKiNETGAN(
         reference_table=bundle.table.head(min(1000, bundle.table.n_rows)),
         config=config,
         catalog=bundle.catalog,
         condition_columns=bundle.condition_columns,
         seed=args.seed,
         executor=args.workers,
-    )
-    for i, part in enumerate(parts):
-        federated_gan.add_site(f"site-{i}", part)
-        print(f"  site-{i}: {part.n_rows} private records")
-    try:
+    ) as federated_gan:
+        for i, part in enumerate(parts):
+            federated_gan.add_site(f"site-{i}", part)
+            print(f"  site-{i}: {part.n_rows} private records")
         federated_gan.run(num_rounds=args.gan_rounds, local_epochs=3)
         synthetic = federated_gan.sample(1000, rng=rng)
-    finally:
-        federated_gan.close()
 
     reasoner = KGReasoner(build_network_kg(bundle.catalog), field_map=bundle.catalog.field_map)
     validity = BatchValidator(reasoner).report(synthetic)

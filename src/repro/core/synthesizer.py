@@ -231,7 +231,9 @@ class KiNETGAN(Synthesizer):
         return networks
 
     # ------------------------------------------------------------------ #
-    def validity_report(self, n: int = 1000, rng: np.random.Generator | None = None) -> ValidityReport:
+    def validity_report(
+        self, n: int = 1000, rng: np.random.Generator | None = None
+    ) -> ValidityReport:
         """Knowledge-graph validity of freshly sampled data (needs a reasoner)."""
         self._require_fitted(self._fitted)
         if self.reasoner is None:

@@ -155,21 +155,25 @@ class KiNETGANTrainer:
         self.sampler = sampler
         self.rng = seeded_rng(config.seed)
 
-        self.generator = generator if generator is not None else ConditionalGenerator(
-            noise_dim=config.embedding_dim,
-            condition_dim=sampler.condition_dim,
-            transformer=transformer,
-            hidden_dims=config.generator_dims,
-            gumbel_tau=config.gumbel_tau,
-            rng=self.rng,
-        )
-        self.discriminator = discriminator if discriminator is not None else DataDiscriminator(
-            data_dim=transformer.output_dim,
-            condition_dim=sampler.condition_dim,
-            hidden_dims=config.discriminator_dims,
-            dropout=config.dropout,
-            rng=self.rng,
-        )
+        if generator is None:
+            generator = ConditionalGenerator(
+                noise_dim=config.embedding_dim,
+                condition_dim=sampler.condition_dim,
+                transformer=transformer,
+                hidden_dims=config.generator_dims,
+                gumbel_tau=config.gumbel_tau,
+                rng=self.rng,
+            )
+        self.generator = generator
+        if discriminator is None:
+            discriminator = DataDiscriminator(
+                data_dim=transformer.output_dim,
+                condition_dim=sampler.condition_dim,
+                hidden_dims=config.discriminator_dims,
+                dropout=config.dropout,
+                rng=self.rng,
+            )
+        self.discriminator = discriminator
         self.kg_discriminator: KnowledgeGuidedDiscriminator | None = None
         if reasoner is not None and config.use_knowledge_discriminator:
             self.kg_discriminator = KnowledgeGuidedDiscriminator(

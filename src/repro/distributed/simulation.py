@@ -30,6 +30,7 @@ from repro.nids.features import TabularFeaturizer
 from repro.nids.metrics import accuracy_score, f1_score
 from repro.nids.pipeline import make_classifier
 from repro.runtime import Executor, resolve_executor, spawn_seeds
+from repro.runtime.state import StateRef
 from repro.tabular.split import train_test_split
 from repro.tabular.table import Table
 
@@ -45,7 +46,8 @@ class _NodeTask:
     node once its share seed is fixed, so the whole pipeline fans out as a
     single task.  The share seed is a child sequence spawned by the
     simulation in the parent process, which keeps serial and process-pool
-    runs bit-identical.
+    runs bit-identical.  This is the legacy payload form: the node *and*
+    the common test table are re-pickled into every task.
     """
 
     node: DeviceNode
@@ -53,6 +55,24 @@ class _NodeTask:
     share_size: int | None
     share_seed: np.random.SeedSequence
     test: Table
+
+
+@dataclass
+class _ResidentNodeTask:
+    """The resident form of :class:`_NodeTask`: refs instead of payloads.
+
+    The node pipeline and the test table are installed into the execution
+    plane once (the test table in particular is shared by *every* node, so
+    the payload transport used to pickle it ``num_nodes`` times); the task
+    itself carries only refs, the classifier name, the share size and the
+    parent-spawned share seed.
+    """
+
+    node: StateRef
+    classifier: str
+    share_size: int | None
+    share_seed: np.random.SeedSequence
+    test: StateRef
 
 
 @dataclass
@@ -65,18 +85,37 @@ class _NodeResult:
     share: SyntheticShare
 
 
-def _run_node_task(task: _NodeTask) -> _NodeResult:
-    """Module-level worker: local detector + synthesizer + share for a node."""
-    node = task.node
-    node.train_local_detector(task.classifier)
-    metrics = node.evaluate_local_detector(task.test)
+def _run_node_pipeline(
+    node: DeviceNode,
+    classifier: str,
+    share_size: int | None,
+    share_seed: np.random.SeedSequence,
+    test: Table,
+) -> _NodeResult:
+    """Local detector + synthesizer + share for one node (any transport)."""
+    node.train_local_detector(classifier)
+    metrics = node.evaluate_local_detector(test)
     node.fit_synthesizer()
-    share = node.produce_share(task.share_size, rng=np.random.default_rng(task.share_seed))
+    share = node.produce_share(share_size, rng=np.random.default_rng(share_seed))
     return _NodeResult(
         node_id=node.node_id,
         local_accuracy=metrics["accuracy"],
         local_f1=metrics["f1"],
         share=share,
+    )
+
+
+def _run_node_task(task: _NodeTask) -> _NodeResult:
+    """Module-level worker for the legacy payload transport."""
+    return _run_node_pipeline(
+        task.node, task.classifier, task.share_size, task.share_seed, task.test
+    )
+
+
+def _run_resident_node_task(task: _ResidentNodeTask) -> _NodeResult:
+    """Module-level worker for the resident transport."""
+    return _run_node_pipeline(
+        task.node.resolve(), task.classifier, task.share_size, task.share_seed, task.test.resolve()
     )
 
 
@@ -118,6 +157,7 @@ class DistributedNIDSSimulation:
         test_fraction: float = 0.25,
         seed: int = 0,
         executor: Executor | str | int | None = None,
+        transport: str = "resident",
     ) -> None:
         """Parameters
         ----------
@@ -134,13 +174,21 @@ class DistributedNIDSSimulation:
             the parent; only the constructed synthesizer must be picklable.
         executor:
             ``None``/``"serial"`` (default) runs nodes back-to-back in
-            process; ``N > 1`` / ``"process"`` / ``"process:N"`` fans the
-            per-node pipelines out over a process pool
-            (:func:`repro.runtime.resolve_executor`).  Seeded results are
-            bit-identical either way.
+            process; ``N > 1`` / ``"process[:N]"`` fans the per-node
+            pipelines out over a process pool and ``"thread[:N]"`` over a
+            thread pool (:func:`repro.runtime.resolve_executor`).  Seeded
+            results are bit-identical in every case.
+        transport:
+            ``"resident"`` (default) installs the node pipelines and the
+            shared test table into the execution plane once and dispatches
+            ref-only tasks; ``"payload"`` re-pickles node + test table into
+            every task (the pre-resident reference transport).  Seeded
+            results are bit-identical on either transport.
         """
         if num_nodes < 2:
             raise ValueError("num_nodes must be at least 2")
+        if transport not in ("resident", "payload"):
+            raise ValueError(f"unknown transport {transport!r}; options: ('resident', 'payload')")
         if not 0.0 <= non_iid_skew < 1.0:
             raise ValueError("non_iid_skew must be in [0, 1)")
         self.bundle = bundle
@@ -152,10 +200,17 @@ class DistributedNIDSSimulation:
         self.test_fraction = test_fraction
         self.seed = seed
         self.executor = resolve_executor(executor)
+        self.transport = transport
 
     def close(self) -> None:
         """Release the executor's worker pool (no-op for the serial one)."""
         self.executor.close()
+
+    def __enter__(self) -> "DistributedNIDSSimulation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def _make_synthesizer(self, seed: int) -> Synthesizer:
@@ -210,19 +265,41 @@ class DistributedNIDSSimulation:
 
         # Every node's pipeline (local detector, synthesizer fit, synthetic
         # share) is one executor task; share seeds are spawned here, in the
-        # parent, so the fan-out is deterministic under any executor.
+        # parent, so the fan-out is deterministic under any executor.  The
+        # resident transport installs the pipelines and the shared test
+        # table once and ships ref-only tasks.
         share_seeds = spawn_seeds(self.seed, len(nodes))
-        tasks = [
-            _NodeTask(
-                node=node,
-                classifier=self.classifier,
-                share_size=share_size,
-                share_seed=share_seed,
-                test=test,
-            )
-            for node, share_seed in zip(nodes, share_seeds)
-        ]
-        results = self.executor.map(_run_node_task, tasks)
+        if self.transport == "resident":
+            node_refs = [self.executor.install(node) for node in nodes]
+            test_ref = self.executor.install(test)
+            resident_tasks = [
+                _ResidentNodeTask(
+                    node=node_ref,
+                    classifier=self.classifier,
+                    share_size=share_size,
+                    share_seed=share_seed,
+                    test=test_ref,
+                )
+                for node_ref, share_seed in zip(node_refs, share_seeds)
+            ]
+            try:
+                results = self.executor.map(_run_resident_node_task, resident_tasks)
+            finally:
+                for node_ref in node_refs:
+                    self.executor.evict(node_ref)
+                self.executor.evict(test_ref)
+        else:
+            tasks = [
+                _NodeTask(
+                    node=node,
+                    classifier=self.classifier,
+                    share_size=share_size,
+                    share_seed=share_seed,
+                    test=test,
+                )
+                for node, share_seed in zip(nodes, share_seeds)
+            ]
+            results = self.executor.map(_run_node_task, tasks)
 
         # Local-only baseline.
         per_node_local: dict[str, float] = {}

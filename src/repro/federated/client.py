@@ -12,14 +12,27 @@ shared :class:`repro.engine.TrainingEngine` -- the same loop machinery the
 synthesizers train on -- with the FedProx term injected through the step's
 ``grad_hook``.
 
-For the parallel runtime (:mod:`repro.runtime`) a round of local training is
-packaged as a :class:`ClientPayload`: the client itself (partition + config,
-picklable as long as ``model_fn`` is a module-level callable or class
-instance), the broadcast global state, and a child
-:class:`~numpy.random.SeedSequence` spawned *in the parent* just before
-dispatch.  ``run_client_payload`` is the module-level function a process
-pool maps over; because the child seed is fixed at spawn time, serial and
-parallel rounds are bit-identical.
+For the parallel runtime (:mod:`repro.runtime`) a round of local training
+is packaged one of two ways:
+
+* the **resident** path (default): the client -- its private partition and
+  training config -- is installed into the execution plane *once* with
+  :meth:`repro.runtime.Executor.install`, and each round ships only a
+  :class:`ClientRoundTask` of refs plus the child
+  :class:`~numpy.random.SeedSequence` spawned *in the parent* just before
+  dispatch.  The broadcast global parameters arrive as a flattened
+  :class:`~repro.federated.parameters.StateCodec` buffer in a shared array,
+  and the worker writes its flattened update into its private row of the
+  round's ``(clients, total_params)`` result matrix -- under the process
+  executor both travel through :mod:`multiprocessing.shared_memory`, so a
+  steady-state round pickles nothing but refs and a seed.
+* the **legacy payload** path: a :class:`ClientPayload` carrying the whole
+  client and the broadcast state, re-pickled every round (kept for the
+  parity suite and as the reference transport).
+
+``run_client_round`` / ``run_client_payload`` are the module-level
+functions a pool maps over; because the child seed is fixed at spawn time,
+serial, thread and process rounds are bit-identical on either path.
 """
 
 from __future__ import annotations
@@ -30,12 +43,20 @@ from typing import Callable
 import numpy as np
 
 from repro.engine import SupervisedStep, TrainingEngine
-from repro.federated.parameters import StateDict, copy_state, state_subtract
+from repro.federated.parameters import StateCodec, StateDict, copy_state, state_subtract
 from repro.neural.losses import CrossEntropy
 from repro.neural.network import Sequential
 from repro.neural.optimizers import SGD
+from repro.runtime.state import BufferRef, StateRef
 
-__all__ = ["ClientUpdate", "ClientPayload", "FederatedClient", "run_client_payload"]
+__all__ = [
+    "ClientUpdate",
+    "ClientPayload",
+    "ClientRoundTask",
+    "FederatedClient",
+    "run_client_payload",
+    "run_client_round",
+]
 
 
 @dataclass
@@ -233,3 +254,45 @@ class ClientPayload:
 def run_client_payload(payload: ClientPayload) -> ClientUpdate:
     """Module-level entry point a process pool can map over payloads."""
     return payload.run()
+
+
+@dataclass
+class ClientRoundTask:
+    """One round of local training on a worker-resident client.
+
+    Everything heavy is addressed by ref: ``client`` resolves to the
+    installed :class:`FederatedClient`, ``codec`` to the shared
+    :class:`~repro.federated.parameters.StateCodec`, ``global_params`` to
+    the broadcast flattened global state and ``update_out`` to this
+    client's row of the round's ``(clients, total_params)`` update matrix.
+    Only the refs and the parent-spawned round seed cross the task pipe.
+    """
+
+    client: StateRef
+    codec: StateRef
+    global_params: BufferRef
+    update_out: BufferRef
+    round_seed: np.random.SeedSequence
+
+    def run(self) -> ClientUpdate:
+        """Execute the round; the flattened update lands in ``update_out``.
+
+        The returned :class:`ClientUpdate` carries the metrics only (its
+        ``update`` dict is empty): the caller rebuilds the state delta from
+        the shared update matrix, so no parameter bytes ride the result
+        pipe.
+        """
+        client: FederatedClient = self.client.resolve()
+        codec: StateCodec = self.codec.resolve()
+        # The broadcast buffer is only valid for the duration of the round;
+        # decoding a copy detaches the update computation from it.
+        global_state = codec.decode(np.array(self.global_params.resolve(), copy=True))
+        update = client.local_update(global_state, rng=np.random.default_rng(self.round_seed))
+        codec.encode(update.update, out=self.update_out.resolve())
+        update.update = {}
+        return update
+
+
+def run_client_round(task: ClientRoundTask) -> ClientUpdate:
+    """Module-level entry point for the resident-state round transport."""
+    return task.run()

@@ -28,6 +28,7 @@ from repro.engine import sampling_rng, seeded_rng
 from repro.federated.aggregation import safe_mean
 from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
 from repro.federated.parameters import (
+    StateCodec,
     StateDict,
     copy_state,
     state_add,
@@ -38,6 +39,7 @@ from repro.knowledge.builder import build_network_kg
 from repro.knowledge.catalog import DomainCatalog
 from repro.knowledge.reasoner import KGReasoner
 from repro.runtime import Executor, resolve_executor
+from repro.runtime.state import BufferRef, StateRef
 from repro.tabular.sampler import ConditionSampler
 from repro.tabular.table import Table
 from repro.tabular.transformer import DataTransformer
@@ -114,15 +116,110 @@ class FederatedKiNETGANSite:
     def absorb(self, trained: "FederatedKiNETGANSite") -> None:
         """Adopt the state of a trained (possibly round-tripped) copy.
 
-        When a round runs on a process pool the worker trains a pickled
-        copy; absorbing its attributes into *this* object keeps every
-        external reference (for example the site handle ``add_site``
-        returned) pointing at the trained state.  A no-op when the copy is
-        this very object, as under the serial executor.
+        When a legacy-transport round runs on a process pool the worker
+        trains a pickled copy; absorbing its attributes into *this* object
+        keeps every external reference (for example the site handle
+        ``add_site`` returned) pointing at the trained state.  A no-op when
+        the copy is this very object, as under the serial executor.
         """
         if trained is self:
             return
         self.__dict__.update(trained.__dict__)
+
+    # ------------------------------------------------------------------ #
+    # The mutable cross-round trainer state: everything a round changes
+    # that is NOT the broadcast generator/discriminator weights.  This is
+    # the per-round "delta" of the resident transport -- the whole site
+    # (table, fitted sampler/transformer, reasoner, networks) stays
+    # resident in the execution plane and only this state plus the
+    # flattened weight buffers travel.
+    # ------------------------------------------------------------------ #
+    def trainer_state(self) -> dict:
+        """Snapshot the mutable trainer state (optimizers, RNG, KG head).
+
+        The trainer's single :class:`numpy.random.Generator` is shared by
+        the dropout / Gumbel layers and the knowledge discriminator, so its
+        bit-generator state captures every stream a local epoch consumes.
+        The training history is deliberately *not* included -- it grows
+        with every round, so the round transport ships only the entries a
+        round appends (:meth:`history_tail`), keeping the delta
+        constant-size.
+        """
+        trainer = self.trainer
+        state = {
+            "rng": trainer.rng.bit_generator.state,
+            "opt_g": trainer._opt_g.state_dict(),
+            "opt_d": trainer._opt_d.state_dict(),
+            "kg_head": None,
+            "kg_opt": None,
+        }
+        kg = trainer.kg_discriminator
+        if kg is not None and kg.head is not None:
+            state["kg_head"] = kg.head.state_dict()
+            state["kg_opt"] = kg._optimizer.state_dict()
+        return state
+
+    def load_trainer_state(self, state: dict) -> None:
+        """Restore a :meth:`trainer_state` snapshot in place.
+
+        The RNG state is assigned through the existing ``bit_generator`` so
+        every layer holding a reference to the shared generator follows;
+        optimizer moments and head weights are copied into their existing
+        buffers so parameter bindings survive.
+        """
+        trainer = self.trainer
+        trainer.rng.bit_generator.state = state["rng"]
+        trainer._opt_g.load_state_dict(state["opt_g"])
+        trainer._opt_d.load_state_dict(state["opt_d"])
+        kg = trainer.kg_discriminator
+        if state["kg_head"] is not None:
+            if kg is None or kg.head is None:
+                raise ValueError("trainer state carries a KG head but the site has none")
+            kg.head.load_state_dict(state["kg_head"])
+            kg._optimizer.load_state_dict(state["kg_opt"])
+
+    # ------------------------------------------------------------------ #
+    # Constant-size history transport: a round ships only the entries it
+    # appended.  Lengths are captured before training (in the parent before
+    # dispatch, in the worker before the local epochs), and the parent
+    # replays the tail onto its own history -- a no-op rewrite under the
+    # in-process executors, an append under the process executor.
+    # ------------------------------------------------------------------ #
+    _HISTORY_FIELDS = (
+        "generator_loss",
+        "discriminator_loss",
+        "condition_loss",
+        "knowledge_loss",
+        "validity_rate",
+    )
+
+    def history_lengths(self) -> dict[str, int]:
+        """Current length of every per-epoch history trace."""
+        history = self.trainer.history
+        return {name: len(getattr(history, name)) for name in self._HISTORY_FIELDS}
+
+    def history_tail(self, lengths: dict[str, int]) -> dict[str, list[float]]:
+        """The history entries appended since ``lengths`` was captured."""
+        history = self.trainer.history
+        return {
+            name: getattr(history, name)[lengths[name] :] for name in self._HISTORY_FIELDS
+        }
+
+    def apply_history_tail(
+        self, lengths: dict[str, int], tail: dict[str, list[float]]
+    ) -> None:
+        """Truncate each trace to ``lengths`` and append ``tail``.
+
+        Truncating first makes the operation idempotent with respect to the
+        executor: under serial/thread the worker already appended to this
+        very history object, under a process pool it appended to its
+        resident copy only.
+        """
+        history = self.trainer.history
+        for name in self._HISTORY_FIELDS:
+            trace = getattr(history, name)
+            del trace[lengths[name] :]
+            trace.extend(tail[name])
 
 
 @dataclass
@@ -149,6 +246,104 @@ def _run_site_task(task: _SiteTask) -> tuple[FederatedKiNETGANSite, dict[str, fl
     site.set_state(task.generator_state, task.discriminator_state)
     metrics = site.train_local(task.local_epochs)
     return site, metrics
+
+
+@dataclass
+class _SiteRoundTask:
+    """One site's local-training slice of a round on the resident transport.
+
+    The whole site lives in the execution plane (installed once); the round
+    ships down only this task -- refs, the mutable trainer state and the
+    epoch count -- and the broadcast weights arrive through the shared
+    flattened buffers.  The worker leaves its updated weights in its rows
+    of the ``(sites, total_params)`` result matrices and returns the new
+    trainer state plus the round metrics.
+    """
+
+    site: StateRef
+    trainer_state: dict
+    generator_codec: StateRef
+    discriminator_codec: StateRef
+    global_generator: BufferRef
+    global_discriminator: BufferRef
+    generator_out: BufferRef
+    discriminator_out: BufferRef
+    local_epochs: int
+
+
+def _run_site_round(task: _SiteRoundTask) -> tuple[dict, dict[str, list[float]], dict[str, float]]:
+    """Module-level worker for the resident transport: delta in, delta out."""
+    site: FederatedKiNETGANSite = task.site.resolve()
+    site.load_trainer_state(task.trainer_state)
+    generator_codec: StateCodec = task.generator_codec.resolve()
+    discriminator_codec: StateCodec = task.discriminator_codec.resolve()
+    # Broadcast buffers are only valid for the round; decode copies.
+    site.set_state(
+        generator_codec.decode(np.array(task.global_generator.resolve(), copy=True)),
+        discriminator_codec.decode(np.array(task.global_discriminator.resolve(), copy=True)),
+    )
+    lengths = site.history_lengths()
+    metrics = site.train_local(task.local_epochs)
+    generator_state, discriminator_state = site.get_state()
+    generator_codec.encode(generator_state, out=task.generator_out.resolve())
+    discriminator_codec.encode(discriminator_state, out=task.discriminator_out.resolve())
+    return site.trainer_state(), site.history_tail(lengths), metrics
+
+
+class _SiteTransport:
+    """Parent-side bookkeeping of the resident site transport.
+
+    Sites are installed lazily (``add_site`` may be called between rounds)
+    and the flattened weight buffers are re-allocated when the site count
+    grows; both codecs are installed once, derived from the initial global
+    states.
+    """
+
+    def __init__(
+        self, executor: Executor, generator_template: StateDict, discriminator_template: StateDict
+    ) -> None:
+        self.executor = executor
+        self.generator_codec = StateCodec(generator_template)
+        self.discriminator_codec = StateCodec(discriminator_template)
+        self.generator_codec_ref = executor.install(self.generator_codec)
+        self.discriminator_codec_ref = executor.install(self.discriminator_codec)
+        self.site_refs: dict[str, StateRef] = {}
+        self.global_generator = executor.shared_array((self.generator_codec.dim,))
+        self.global_discriminator = executor.shared_array((self.discriminator_codec.dim,))
+        self.generator_out = None
+        self.discriminator_out = None
+        self._capacity = 0
+
+    def ensure_sites(self, sites: list[FederatedKiNETGANSite]) -> None:
+        for site in sites:
+            if site.site_id not in self.site_refs:
+                self.site_refs[site.site_id] = self.executor.install(site)
+        if len(sites) > self._capacity:
+            for buffer in (self.generator_out, self.discriminator_out):
+                if buffer is not None:
+                    buffer.close()
+            self._capacity = len(sites)
+            self.generator_out = self.executor.shared_array(
+                (self._capacity, self.generator_codec.dim)
+            )
+            self.discriminator_out = self.executor.shared_array(
+                (self._capacity, self.discriminator_codec.dim)
+            )
+
+    def close(self) -> None:
+        for ref in self.site_refs.values():
+            self.executor.evict(ref)
+        self.site_refs.clear()
+        self.executor.evict(self.generator_codec_ref)
+        self.executor.evict(self.discriminator_codec_ref)
+        for buffer in (
+            self.global_generator,
+            self.global_discriminator,
+            self.generator_out,
+            self.discriminator_out,
+        ):
+            if buffer is not None:
+                buffer.close()
 
 
 @dataclass
@@ -189,17 +384,29 @@ class FederatedKiNETGAN:
         seed: int = 0,
         executor: Executor | str | int | None = None,
         client_fraction: float = 1.0,
+        transport: str = "resident",
     ) -> None:
         """``client_fraction`` subsamples the participating sites per round
         (the knob the federated detector server already has): each round
         trains ``max(1, round(fraction * n_sites))`` sites drawn without
         replacement from the coordinator's seeded RNG.  At the default 1.0
-        no draw is consumed, so existing seeded runs replay bit-for-bit."""
+        no draw is consumed, so existing seeded runs replay bit-for-bit.
+
+        ``transport`` selects the round transport: ``"resident"`` (default)
+        installs each whole site into the execution plane once and
+        round-trips only the per-site delta (mutable trainer state +
+        flattened weight buffers, shared-memory backed under the process
+        executor); ``"site"`` re-ships the whole pickled site both ways
+        every round (the pre-resident reference transport).  Seeded results
+        are bit-identical on either transport."""
         if not 0.0 < client_fraction <= 1.0:
             raise ValueError("client_fraction must be in (0, 1]")
+        if transport not in ("resident", "site"):
+            raise ValueError(f"unknown transport {transport!r}; options: ('resident', 'site')")
         self.config = config if config is not None else KiNETGANConfig()
         self.condition_columns = condition_columns
         self.client_fraction = client_fraction
+        self.transport = transport
         self.seed = seed
         self.rng = seeded_rng(seed)
         self.executor = resolve_executor(executor)
@@ -217,10 +424,29 @@ class FederatedKiNETGAN:
         self.rounds: list[FederatedKiNETGANRound] = []
         self._global_generator: StateDict | None = None
         self._global_discriminator: StateDict | None = None
+        self._transport_state: _SiteTransport | None = None
+
+    def release_transport(self) -> None:
+        """Release the resident round transport but keep the executor open.
+
+        For coordinators sharing a caller-owned executor: frees the
+        installed sites, codecs and shared weight buffers without shutting
+        the workers down (mirrors ``FederatedServer.release_transport``).
+        """
+        if self._transport_state is not None:
+            self._transport_state.close()
+            self._transport_state = None
 
     def close(self) -> None:
-        """Release the executor's worker pool (no-op for the serial one)."""
+        """Release the round transport and the executor's worker pool."""
+        self.release_transport()
         self.executor.close()
+
+    def __enter__(self) -> "FederatedKiNETGAN":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def add_site(self, site_id: str, table: Table) -> FederatedKiNETGANSite:
@@ -278,42 +504,49 @@ class FederatedKiNETGAN:
     def run_round(self, local_epochs: int = 1) -> FederatedKiNETGANRound:
         """One round: select sites, broadcast, local training, (DP) aggregation.
 
-        Sites train through the coordinator's executor.  Each work unit
-        carries the whole site (trainer optimizer moments and RNG included),
-        and the coordinator's site absorbs the returned copy, so a round on
-        the process pool is bit-identical to a serial one and existing site
-        handles keep pointing at the trained state.
+        Sites train through the coordinator's executor.  On the default
+        resident transport each whole site lives in the execution plane
+        (installed once) and a round exchanges only the per-site delta:
+        mutable trainer state down and up, flattened weights through the
+        shared broadcast / result buffers.  On the legacy ``"site"``
+        transport each work unit carries the whole pickled site both ways
+        and the coordinator's site absorbs the returned copy.  Either way a
+        round on a process or thread pool is bit-identical to a serial one
+        and existing site handles keep pointing at the trained state.
         """
         self._require_sites()
         self._initialise_global()
         assert self._global_generator is not None and self._global_discriminator is not None
 
         selected = self._select_sites()
-        tasks = [
-            _SiteTask(
-                site=self.sites[index],
-                generator_state=self._global_generator,
-                discriminator_state=self._global_discriminator,
-                local_epochs=local_epochs,
-            )
-            for index in selected
-        ]
-        results = self.executor.map(_run_site_task, tasks)
+        if self.transport == "resident":
+            states = self._run_resident_round(selected, local_epochs)
+            generator_states, discriminator_states, weights, metrics_list = states
+        else:
+            tasks = [
+                _SiteTask(
+                    site=self.sites[index],
+                    generator_state=self._global_generator,
+                    discriminator_state=self._global_discriminator,
+                    local_epochs=local_epochs,
+                )
+                for index in selected
+            ]
+            results = self.executor.map(_run_site_task, tasks)
+            generator_states = []
+            discriminator_states = []
+            weights = []
+            metrics_list = []
+            for index, (site, metrics) in zip(selected, results):
+                self.sites[index].absorb(site)
+                metrics_list.append(metrics)
+                generator_state, discriminator_state = site.get_state()
+                generator_states.append(generator_state)
+                discriminator_states.append(discriminator_state)
+                weights.append(float(site.n_records))
 
-        generator_states: list[StateDict] = []
-        discriminator_states: list[StateDict] = []
-        weights: list[float] = []
-        generator_losses: list[float] = []
-        discriminator_losses: list[float] = []
-
-        for index, (site, metrics) in zip(selected, results):
-            self.sites[index].absorb(site)
-            generator_losses.append(metrics.get("generator_loss", float("nan")))
-            discriminator_losses.append(metrics.get("discriminator_loss", float("nan")))
-            generator_state, discriminator_state = site.get_state()
-            generator_states.append(generator_state)
-            discriminator_states.append(discriminator_state)
-            weights.append(float(site.n_records))
+        generator_losses = [m.get("generator_loss", float("nan")) for m in metrics_list]
+        discriminator_losses = [m.get("discriminator_loss", float("nan")) for m in metrics_list]
 
         new_generator = self._aggregate(
             generator_states, weights, self._global_generator, self.dp_generator
@@ -340,6 +573,76 @@ class FederatedKiNETGAN:
         )
         self.rounds.append(round_info)
         return round_info
+
+    def _run_resident_round(
+        self, selected: list[int], local_epochs: int
+    ) -> tuple[list[StateDict], list[StateDict], list[float], list[dict]]:
+        """Dispatch one delta round over the resident transport.
+
+        Returns the per-site (generator state, discriminator state, weight,
+        metrics) the aggregation consumes, decoded out of the shared result
+        matrices.  The coordinator's own site objects are kept in lockstep
+        with their worker-resident twins: the returned trainer state and the
+        decoded weights are applied to them, so external site handles always
+        see the trained state, exactly as the legacy transport's ``absorb``
+        provided.
+        """
+        assert self._global_generator is not None and self._global_discriminator is not None
+        if self._transport_state is None:
+            self._transport_state = _SiteTransport(
+                self.executor, self._global_generator, self._global_discriminator
+            )
+        transport = self._transport_state
+        transport.ensure_sites(self.sites)
+        assert transport.generator_out is not None and transport.discriminator_out is not None
+        transport.generator_codec.encode(
+            self._global_generator, out=transport.global_generator.array
+        )
+        transport.discriminator_codec.encode(
+            self._global_discriminator, out=transport.global_discriminator.array
+        )
+        # Captured before dispatch: under the in-process executors the
+        # worker appends to the parent's own history object mid-map.
+        history_lengths = [self.sites[index].history_lengths() for index in selected]
+        tasks = [
+            _SiteRoundTask(
+                site=transport.site_refs[self.sites[index].site_id],
+                trainer_state=self.sites[index].trainer_state(),
+                generator_codec=transport.generator_codec_ref,
+                discriminator_codec=transport.discriminator_codec_ref,
+                global_generator=transport.global_generator.ref(),
+                global_discriminator=transport.global_discriminator.ref(),
+                generator_out=transport.generator_out.ref(slot),
+                discriminator_out=transport.discriminator_out.ref(slot),
+                local_epochs=local_epochs,
+            )
+            for slot, index in enumerate(selected)
+        ]
+        results = self.executor.map(_run_site_round, tasks)
+
+        generator_states: list[StateDict] = []
+        discriminator_states: list[StateDict] = []
+        weights: list[float] = []
+        metrics_list: list[dict] = []
+        for slot, (index, (trainer_state, history_tail, metrics)) in enumerate(
+            zip(selected, results)
+        ):
+            site = self.sites[index]
+            site.load_trainer_state(trainer_state)
+            site.apply_history_tail(history_lengths[slot], history_tail)
+            generator_state = transport.generator_codec.decode(
+                np.array(transport.generator_out.array[slot], copy=True)
+            )
+            discriminator_state = transport.discriminator_codec.decode(
+                np.array(transport.discriminator_out.array[slot], copy=True)
+            )
+            # Mirror the worker's trained weights onto the parent site.
+            site.set_state(generator_state, discriminator_state)
+            generator_states.append(generator_state)
+            discriminator_states.append(discriminator_state)
+            weights.append(float(site.n_records))
+            metrics_list.append(metrics)
+        return generator_states, discriminator_states, weights, metrics_list
 
     def _aggregate(
         self,

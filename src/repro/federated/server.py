@@ -21,13 +21,22 @@ from repro.federated.aggregation import (
     safe_mean,
     trimmed_mean_aggregate,
 )
-from repro.federated.client import ClientUpdate, FederatedClient, run_client_payload
+from repro.federated.client import (
+    ClientRoundTask,
+    ClientUpdate,
+    FederatedClient,
+    run_client_payload,
+    run_client_round,
+)
 from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
-from repro.federated.parameters import StateDict, copy_state, state_add, state_scale
+from repro.federated.parameters import StateCodec, StateDict, copy_state, state_add, state_scale
 from repro.neural.network import Sequential
 from repro.runtime import Executor, resolve_executor
 
 __all__ = ["FederatedRound", "FederatedHistory", "FederatedServer"]
+
+#: Round transports selectable on the server.
+TRANSPORTS = ("resident", "payload")
 
 #: Aggregation rules selectable by name.
 AGGREGATORS: dict[str, Callable[..., StateDict]] = {
@@ -35,6 +44,37 @@ AGGREGATORS: dict[str, Callable[..., StateDict]] = {
     "trimmed_mean": trimmed_mean_aggregate,
     "median": median_aggregate,
 }
+
+
+class _ResidentTransport:
+    """Parent-side bookkeeping of the resident-state round transport.
+
+    Installed once per server/executor pair: every client (its partition
+    and config) plus the shared :class:`StateCodec`, one broadcast buffer
+    for the flattened global state and one ``(clients, total_params)``
+    matrix the workers write their flattened updates into.  Under the
+    process executor all four live in shared memory, so a round's
+    parameter traffic never touches the task pipe; under serial/thread
+    executors the refs resolve to the parent's own objects and arrays.
+    """
+
+    def __init__(
+        self, executor: Executor, clients: list[FederatedClient], template: StateDict
+    ) -> None:
+        self.executor = executor
+        self.codec = StateCodec(template)
+        self.codec_ref = executor.install(self.codec)
+        self.client_refs = [executor.install(client) for client in clients]
+        self.global_buffer = executor.shared_array((self.codec.dim,))
+        self.update_buffer = executor.shared_array((len(clients), self.codec.dim))
+
+    def close(self) -> None:
+        for ref in self.client_refs:
+            self.executor.evict(ref)
+        self.client_refs = []
+        self.executor.evict(self.codec_ref)
+        self.global_buffer.close()
+        self.update_buffer.close()
 
 
 @dataclass
@@ -84,6 +124,7 @@ class FederatedServer:
         secure_aggregation: bool = False,
         seed: int = 0,
         executor: Executor | str | int | None = None,
+        transport: str = "resident",
     ) -> None:
         """Parameters
         ----------
@@ -106,15 +147,24 @@ class FederatedServer:
             weighting is applied before masking.
         executor:
             How client rounds run: ``None``/``"serial"`` (default) trains
-            participants in-process, an ``int N > 1`` / ``"process"`` /
-            ``"process:N"`` fans them out over a process pool (see
-            :func:`repro.runtime.resolve_executor`).  Seeded results are
-            bit-identical either way.
+            participants in-process, ``int N > 1`` / ``"process[:N]"`` fans
+            them out over a process pool, ``"thread[:N]"`` over a thread
+            pool (see :func:`repro.runtime.resolve_executor`).  Seeded
+            results are bit-identical in every case.
+        transport:
+            ``"resident"`` (default) installs clients into the execution
+            plane once and ships only refs, round seeds and flattened
+            parameter buffers per round; ``"payload"`` re-ships the whole
+            :class:`~repro.federated.client.ClientPayload` every round
+            (the pre-resident reference transport).  Seeded results are
+            bit-identical on either transport.
         """
         if not clients:
             raise ValueError("need at least one client")
         if aggregator not in AGGREGATORS:
             raise ValueError(f"unknown aggregator {aggregator!r}; options: {sorted(AGGREGATORS)}")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; options: {TRANSPORTS}")
         if not 0.0 < client_fraction <= 1.0:
             raise ValueError("client_fraction must be in (0, 1]")
         if server_lr <= 0:
@@ -126,23 +176,55 @@ class FederatedServer:
         self.server_lr = server_lr
         self.secure_aggregation = secure_aggregation
         self.executor = resolve_executor(executor)
+        self.transport = transport
         self.rng = np.random.default_rng(seed)
 
         self.global_model = model_fn()
         self.global_state: StateDict = self.global_model.state_dict()
         self.dp_mechanism = DPFedAvgMechanism(dp_config, rng=self.rng) if dp_config else None
         self.history = FederatedHistory()
+        self._transport_state: _ResidentTransport | None = None
+
+    def release_transport(self) -> None:
+        """Release the resident round transport but keep the executor open.
+
+        For servers sharing a caller-owned executor (the federated NIDS
+        simulation runs several servers over one pool): frees the installed
+        clients and shared buffers without shutting the workers down.
+        """
+        if self._transport_state is not None:
+            self._transport_state.close()
+            self._transport_state = None
 
     def close(self) -> None:
-        """Release the executor's worker pool (no-op for the serial one)."""
+        """Release the round transport and the executor's worker pool."""
+        self.release_transport()
         self.executor.close()
 
+    def __enter__(self) -> "FederatedServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
-    def select_clients(self) -> list[FederatedClient]:
-        """Sample the participants of one round."""
+    def _select_indices(self) -> list[int]:
+        """Sample the participant indices of one round (sorted)."""
         count = max(1, int(round(self.client_fraction * len(self.clients))))
         indices = self.rng.choice(len(self.clients), size=count, replace=False)
-        return [self.clients[i] for i in sorted(indices)]
+        return sorted(int(i) for i in indices)
+
+    def select_clients(self) -> list[FederatedClient]:
+        """Sample the participants of one round."""
+        return [self.clients[i] for i in self._select_indices()]
+
+    def _ensure_transport(self) -> _ResidentTransport:
+        """Install clients / codec / buffers on first resident round."""
+        if self._transport_state is None:
+            self._transport_state = _ResidentTransport(
+                self.executor, self.clients, self.global_state
+            )
+        return self._transport_state
 
     def run_round(
         self,
@@ -151,17 +233,24 @@ class FederatedServer:
     ) -> FederatedRound:
         """One synchronous round: select, train locally, aggregate, update.
 
-        Local training is fanned out through the server's executor: each
-        participant is packaged as a :class:`ClientPayload` (with its round
-        seed spawned here, before dispatch) and mapped over
-        :func:`run_client_payload`, so the serial and process-pool paths run
-        exactly the same code on exactly the same streams.
+        Local training is fanned out through the server's executor.  On the
+        default resident transport each participant is addressed by its
+        installed ref and the round ships only a :class:`ClientRoundTask`
+        (refs + a round seed spawned here, before dispatch); the broadcast
+        parameters and the update matrix travel through shared buffers.  On
+        the legacy payload transport the whole :class:`ClientPayload` is
+        re-pickled per round.  Serial, thread and process execution run
+        exactly the same code on exactly the same streams either way.
         """
-        participants = self.select_clients()
-        payloads = [
-            client.make_payload(copy_state(self.global_state)) for client in participants
-        ]
-        updates: list[ClientUpdate] = self.executor.map(run_client_payload, payloads)
+        indices = self._select_indices()
+        participants = [self.clients[i] for i in indices]
+        if self.transport == "resident":
+            updates = self._run_resident_round(indices)
+        else:
+            payloads = [
+                client.make_payload(copy_state(self.global_state)) for client in participants
+            ]
+            updates = self.executor.map(run_client_payload, payloads)
 
         if self.dp_mechanism is not None:
             for update in updates:
@@ -194,6 +283,35 @@ class FederatedServer:
         )
         self.history.rounds.append(round_info)
         return round_info
+
+    def _run_resident_round(self, indices: list[int]) -> list[ClientUpdate]:
+        """Dispatch one round over the resident transport and rebuild updates.
+
+        The workers leave their flattened updates in the shared
+        ``(clients, total_params)`` matrix; rows are decoded (copied out of
+        the shared buffer) back into state dictionaries here so the
+        aggregation / DP / secure-aggregation paths below see exactly what
+        the payload transport would have produced, bit for bit.
+        """
+        transport = self._ensure_transport()
+        codec = transport.codec
+        codec.encode(self.global_state, out=transport.global_buffer.array)
+        tasks = [
+            ClientRoundTask(
+                client=transport.client_refs[index],
+                codec=transport.codec_ref,
+                global_params=transport.global_buffer.ref(),
+                update_out=transport.update_buffer.ref(slot),
+                round_seed=self.clients[index].spawn_round_seed(),
+            )
+            for slot, index in enumerate(indices)
+        ]
+        updates: list[ClientUpdate] = self.executor.map(run_client_round, tasks)
+        for slot, update in enumerate(updates):
+            update.update = codec.decode(
+                np.array(transport.update_buffer.array[slot], copy=True)
+            )
+        return updates
 
     def run(
         self,

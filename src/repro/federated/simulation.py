@@ -28,6 +28,7 @@ from repro.neural.network import Sequential
 from repro.nids.features import TabularFeaturizer
 from repro.nids.metrics import accuracy_score, f1_score
 from repro.runtime import Executor, resolve_executor
+from repro.runtime.state import StateRef
 from repro.tabular.split import train_test_split
 
 __all__ = ["DetectorFactory", "FederatedNIDSResult", "FederatedNIDSSimulation"]
@@ -62,25 +63,31 @@ class DetectorFactory:
 
 @dataclass
 class _SoloTask:
-    """Train one client alone for the local-only baseline (executor unit)."""
+    """Train one client alone for the local-only baseline (executor unit).
 
-    client: FederatedClient
+    The client rides as a resident-state ref and the (identical for every
+    task) evaluation matrices as one shared ref, so the payload transport
+    no longer pickles the test set once per client.
+    """
+
+    client: StateRef
     model_fn: DetectorFactory
     num_rounds: int
     seed: int
-    test_features: np.ndarray
-    test_labels: np.ndarray
+    eval_set: StateRef
 
 
 def _run_solo_task(task: _SoloTask) -> tuple[str, float, float]:
     """Module-level worker: full solo training of one client, then eval."""
-    server = FederatedServer(task.model_fn, [task.client], seed=task.seed)
+    client: FederatedClient = task.client.resolve()
+    test_features, test_labels = task.eval_set.resolve()
+    server = FederatedServer(task.model_fn, [client], seed=task.seed)
     server.run(task.num_rounds)
-    predictions = server.predict(task.test_features)
+    predictions = server.predict(test_features)
     return (
-        task.client.client_id,
-        accuracy_score(task.test_labels, predictions),
-        f1_score(task.test_labels, predictions),
+        client.client_id,
+        accuracy_score(test_labels, predictions),
+        f1_score(test_labels, predictions),
     )
 
 
@@ -129,9 +136,12 @@ class FederatedNIDSSimulation:
         test_fraction: float = 0.25,
         seed: int = 0,
         executor: Executor | str | int | None = None,
+        transport: str = "resident",
     ) -> None:
         if num_rounds <= 0 or local_epochs <= 0:
             raise ValueError("num_rounds and local_epochs must be positive")
+        if transport not in ("resident", "payload"):
+            raise ValueError(f"unknown transport {transport!r}; options: ('resident', 'payload')")
         self.bundle = bundle
         self.num_clients = num_clients
         self.skew = skew
@@ -145,10 +155,19 @@ class FederatedNIDSSimulation:
         self.test_fraction = test_fraction
         self.seed = seed
         self.executor = resolve_executor(executor)
+        #: Round transport forwarded to every FederatedServer this
+        #: simulation builds ("resident" or "payload", see the server).
+        self.transport = transport
 
     def close(self) -> None:
         """Release the executor's worker pool (no-op for the serial one)."""
         self.executor.close()
+
+    def __enter__(self) -> "FederatedNIDSSimulation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def _model_fn(self, n_features: int, n_classes: int) -> DetectorFactory:
@@ -213,24 +232,32 @@ class FederatedNIDSSimulation:
 
         # Local-only baseline: every client trains alone from scratch.  The
         # solo runs are independent, so they fan out over the executor as
-        # whole-training work units (one task = all rounds of one client).
+        # whole-training work units (one task = all rounds of one client);
+        # clients ride as resident refs and the (identical) evaluation
+        # matrices are installed once for all tasks.
         clients = self._make_clients(partitions, featurizer, model_fn)
+        eval_ref = self.executor.install((X_test, y_test))
+        client_refs = [self.executor.install(client) for client in clients]
         solo_tasks = [
             _SoloTask(
-                client=client,
+                client=client_ref,
                 model_fn=model_fn,
                 num_rounds=self.num_rounds,
                 seed=self.seed,
-                test_features=X_test,
-                test_labels=y_test,
+                eval_set=eval_ref,
             )
-            for client in clients
+            for client_ref in client_refs
         ]
         per_client_local: dict[str, float] = {}
         local_f1: list[float] = []
-        for client_id, accuracy, f1 in self.executor.map(_run_solo_task, solo_tasks):
-            per_client_local[client_id] = accuracy
-            local_f1.append(f1)
+        try:
+            for client_id, accuracy, f1 in self.executor.map(_run_solo_task, solo_tasks):
+                per_client_local[client_id] = accuracy
+                local_f1.append(f1)
+        finally:
+            for client_ref in client_refs:
+                self.executor.evict(client_ref)
+            self.executor.evict(eval_ref)
         local_only = float(np.mean(list(per_client_local.values())))
 
         # Federated training (FedAvg); client rounds share the executor.
@@ -241,9 +268,13 @@ class FederatedNIDSSimulation:
             client_fraction=self.client_fraction,
             seed=self.seed,
             executor=self.executor,
+            transport=self.transport,
         )
-        history = server.run(self.num_rounds, eval_features=X_test, eval_labels=y_test)
-        federated_predictions = server.predict(X_test)
+        try:
+            history = server.run(self.num_rounds, eval_features=X_test, eval_labels=y_test)
+            federated_predictions = server.predict(X_test)
+        finally:
+            server.release_transport()
 
         # Federated training with DP (optional).
         federated_dp = None
@@ -258,9 +289,13 @@ class FederatedNIDSSimulation:
                 dp_config=self.dp_config,
                 seed=self.seed,
                 executor=self.executor,
+                transport=self.transport,
             )
-            dp_server.run(self.num_rounds)
-            dp_predictions = dp_server.predict(X_test)
+            try:
+                dp_server.run(self.num_rounds)
+                dp_predictions = dp_server.predict(X_test)
+            finally:
+                dp_server.release_transport()
             federated_dp = accuracy_score(y_test, dp_predictions)
             federated_dp_f1 = f1_score(y_test, dp_predictions)
             epsilon = dp_server.epsilon()

@@ -33,6 +33,37 @@ class Optimizer:
         for _param, grad in self.parameters:
             grad.fill(0.0)
 
+    # ------------------------------------------------------------------ #
+    # Optimizer state is positionally keyed (like the buffers themselves),
+    # so it can be shipped across processes and restored onto another
+    # optimizer bound to the same parameter list -- the federated runtime
+    # round-trips it as part of a site's per-round delta.
+    # ------------------------------------------------------------------ #
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        """The per-parameter state buffer lists, keyed by buffer name."""
+        return {}
+
+    def state_dict(self) -> dict:
+        """A picklable snapshot of the optimizer's mutable state."""
+        return {
+            name: [np.array(buffer, copy=True) for buffer in buffers]
+            for name, buffers in self._state_buffers().items()
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Buffers are copied into the existing arrays, so the binding to the
+        optimizer's parameter list is preserved.
+        """
+        for name, buffers in self._state_buffers().items():
+            if name not in state:
+                raise KeyError(f"missing optimizer state {name!r}")
+            if len(state[name]) != len(buffers):
+                raise ValueError(f"optimizer state {name!r} has the wrong length")
+            for buffer, value in zip(buffers, state[name]):
+                np.copyto(buffer, value)
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -50,6 +81,9 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p) for p, _ in self.parameters]
+
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
         for (param, grad), vel in zip(self.parameters, self._velocity):
@@ -79,6 +113,9 @@ class RMSprop(Optimizer):
         self.rho = rho
         self.eps = eps
         self._square_avg = [np.zeros_like(p) for p, _ in self.parameters]
+
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"square_avg": self._square_avg}
 
     def step(self) -> None:
         for (param, grad), avg in zip(self.parameters, self._square_avg):
@@ -113,6 +150,20 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p) for p, _ in self.parameters]
         self._v = [np.zeros_like(p) for p, _ in self.parameters]
         self._t = 0
+
+    def _state_buffers(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["t"] = self._t
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if "t" not in state:
+            raise KeyError("missing optimizer state 't'")
+        self._t = int(state["t"])
 
     def step(self) -> None:
         self._t += 1

@@ -1,10 +1,19 @@
-"""Pluggable executors: run payload functions serially or on a process pool.
+"""Pluggable executors: serial, thread-pool and process-pool execution.
 
-The contract is deliberately tiny -- :meth:`Executor.map` over picklable
-payloads with a module-level function -- because that is exactly what the
-federated server, the federated/distributed simulations and the runtime
-benchmark need, and anything richer (futures, streaming completion) would
-make the serial/parallel parity guarantee harder to reason about.
+Two contracts make up the execution plane:
+
+* the stateless one -- :meth:`Executor.map` over picklable payloads with a
+  module-level function, returning results in submission order; and
+* the resident one -- :meth:`Executor.install` places a one-time
+  :mod:`resident state <repro.runtime.state>` in the plane and returns a
+  small ref, :meth:`Executor.shared_array` allocates a parameter buffer
+  every worker can address, and per-round tasks carry only refs plus the
+  delta that actually changed.
+
+Both are deliberately tiny: they are exactly what the federated server, the
+federated/distributed simulations and the runtime benchmark need, and
+anything richer (futures, streaming completion) would make the
+serial/parallel parity guarantee harder to reason about.
 """
 
 from __future__ import annotations
@@ -12,9 +21,25 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import os
-from typing import Callable, Iterable, TypeVar
+import pickle
+from typing import Any, Callable, Iterable, TypeVar
 
-__all__ = ["Executor", "SerialExecutor", "ProcessExecutor", "resolve_executor"]
+from repro.runtime.state import (
+    DirectStateRef,
+    LocalBuffer,
+    SharedBuffer,
+    SharedMemoryBuffer,
+    SharedStateRef,
+    StateRef,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -24,7 +49,7 @@ _SERIAL_NAMES = ("serial", "none", "sync")
 
 
 def default_worker_count() -> int:
-    """Worker count used when a process executor is requested without one."""
+    """Worker count used when a pooled executor is requested without one."""
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux fallback
@@ -34,13 +59,45 @@ def default_worker_count() -> int:
 class Executor:
     """Maps a module-level function over payloads, preserving input order."""
 
-    #: Human-readable executor kind ("serial" or "process").
+    #: Human-readable executor kind ("serial", "thread" or "process").
     name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` released the executor's resources."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
 
     def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every payload and return results in input order."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Resident state (see repro.runtime.state).  The in-process default
+    # stores objects and buffers directly -- resolving a ref is free and
+    # nothing is ever pickled; ProcessExecutor overrides with the
+    # shared-memory transport.
+    # ------------------------------------------------------------------ #
+    def install(self, state: object) -> StateRef:
+        """Install ``state`` into the execution plane once; returns its ref."""
+        self._check_open()
+        return DirectStateRef(state)
+
+    def evict(self, ref: StateRef) -> None:
+        """Release an installed resident state (idempotent)."""
+
+    def shared_array(self, shape: tuple[int, ...]) -> SharedBuffer:
+        """Allocate a float64 parameter buffer addressable from every worker."""
+        self._check_open()
+        return LocalBuffer(shape)
+
+    # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Release worker resources (idempotent; a no-op for serial)."""
 
@@ -57,16 +114,64 @@ class Executor:
 class SerialExecutor(Executor):
     """In-process execution: a plain ordered loop over the payloads.
 
-    This is the default everywhere.  Because the parallel path feeds the
+    This is the default everywhere.  Because the parallel paths feed the
     *same* payloads to the *same* module-level functions, a seeded run under
     :class:`SerialExecutor` is bit-identical to one under
-    :class:`ProcessExecutor`.
+    :class:`ThreadExecutor` or :class:`ProcessExecutor`.
     """
 
     name = "serial"
 
     def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
         return [fn(payload) for payload in payloads]
+
+
+class ThreadExecutor(Executor):
+    """A persistent thread pool: zero pickling, shared address space.
+
+    The numpy-heavy work units of this repository (batched generator /
+    discriminator passes, stacked aggregation) spend their time inside BLAS
+    kernels that release the GIL, so threads overlap them on multi-core
+    machines without any of the pickling a process pool pays.  Resident
+    state is the parent's own objects (install/resolve are identity), and
+    shared arrays are plain ndarrays -- the zero-copy limit of the
+    execution plane.
+
+    Work units must therefore not mutate state they share with other
+    concurrently running units; every runtime consumer touches only its own
+    client/site/node plus its private row of a shared buffer.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers or default_worker_count()
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        self._check_open()
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-runtime"
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
+        # Executor.map yields results in submission order even when tasks
+        # complete out of order (tested in tests/runtime/test_executor.py).
+        return list(self._ensure_pool().map(fn, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadExecutor(max_workers={self.max_workers})"
 
 
 class ProcessExecutor(Executor):
@@ -76,19 +181,30 @@ class ProcessExecutor(Executor):
     created lazily on first use and reused for every subsequent round, so
     per-round overhead is pickling only, not process start-up.  Payloads and
     the mapped function must be picklable (module-level functions, dataclass
-    payloads of arrays/config/seeds).
+    payloads of arrays/config/seeds/refs).
+
+    Resident state uses the shared-memory transport of
+    :mod:`repro.runtime.state`: :meth:`install` pickles the state *once*
+    into a segment that every worker attaches and caches on first use, and
+    :meth:`shared_array` maps a float64 buffer all processes address
+    directly, so steady-state rounds ship refs and deltas only.  Segments
+    are unlinked by :meth:`evict` / :meth:`close`.
     """
 
     name = "process"
 
     def __init__(self, max_workers: int | None = None, start_method: str | None = None) -> None:
+        super().__init__()
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers or default_worker_count()
         self.start_method = start_method
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._installed: dict[str, Any] = {}
+        self._buffers: list[SharedMemoryBuffer] = []
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        self._check_open()
         if self._pool is None:
             context = None
             if self.start_method is not None:
@@ -102,13 +218,67 @@ class ProcessExecutor(Executor):
         # ProcessPoolExecutor.map already yields results in submission order.
         return list(self._ensure_pool().map(fn, payloads))
 
+    # ------------------------------------------------------------------ #
+    def install(self, state: object) -> SharedStateRef:
+        from multiprocessing import shared_memory
+
+        self._check_open()
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+        segment.buf[: len(payload)] = payload
+        self._installed[segment.name] = segment
+        return SharedStateRef(name=segment.name, nbytes=len(payload))
+
+    def evict(self, ref: StateRef) -> None:
+        if not isinstance(ref, SharedStateRef):
+            return
+        segment = self._installed.pop(ref.name, None)
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def shared_array(self, shape: tuple[int, ...]) -> SharedMemoryBuffer:
+        self._check_open()
+        buffer = SharedMemoryBuffer(shape)
+        self._buffers.append(buffer)
+        return buffer
+
+    # ------------------------------------------------------------------ #
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for segment in self._installed.values():
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._installed.clear()
+        for buffer in self._buffers:
+            buffer.close()
+        self._buffers.clear()
+        self._closed = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+def _pool_spec(text: str, cls: type[Executor]) -> Executor:
+    """Parse the ``N`` of a ``"<kind>:N"`` spec into a pool of ``cls``."""
+    raw = text.split(":", 1)[1]
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid worker count {raw!r} in executor spec {text!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError("worker count must be at least 1")
+    return SerialExecutor() if workers == 1 else cls(max_workers=workers)
 
 
 def resolve_executor(spec: "Executor | str | int | None") -> Executor:
@@ -118,9 +288,13 @@ def resolve_executor(spec: "Executor | str | int | None") -> Executor:
 
     * ``None``, ``0``, ``1``, ``"serial"`` -- the in-process serial executor;
     * an ``int N > 1`` -- a process pool with ``N`` workers;
-    * ``"process"`` -- a process pool sized to the available CPUs;
-    * ``"process:N"`` -- a process pool with ``N`` workers;
-    * an :class:`Executor` instance -- returned unchanged.
+    * ``"process"`` / ``"process:N"`` -- a process pool (CPU-count sized /
+      ``N`` workers);
+    * ``"thread"`` / ``"thread:N"`` -- a thread pool (CPU-count sized /
+      ``N`` workers), zero pickling, best when work units spend their time
+      in GIL-releasing BLAS kernels;
+    * an open :class:`Executor` instance -- returned unchanged (a closed
+      one is rejected).
 
     This is the single point where the CLI / example ``--workers`` knob and
     the simulation ``executor=`` parameters meet the runtime.
@@ -128,6 +302,8 @@ def resolve_executor(spec: "Executor | str | int | None") -> Executor:
     if spec is None:
         return SerialExecutor()
     if isinstance(spec, Executor):
+        if spec.closed:
+            raise ValueError(f"executor spec is a closed {type(spec).__name__}")
         return spec
     if isinstance(spec, bool):
         raise TypeError("executor spec must be an Executor, str, int or None")
@@ -141,14 +317,15 @@ def resolve_executor(spec: "Executor | str | int | None") -> Executor:
             return SerialExecutor()
         if text == "process":
             return ProcessExecutor()
+        if text == "thread":
+            return ThreadExecutor()
         if text.startswith("process:"):
-            workers = int(text.split(":", 1)[1])
-            if workers < 1:
-                raise ValueError("worker count must be at least 1")
-            return SerialExecutor() if workers == 1 else ProcessExecutor(max_workers=workers)
+            return _pool_spec(text, ProcessExecutor)
+        if text.startswith("thread:"):
+            return _pool_spec(text, ThreadExecutor)
         if text.isdigit():
             return resolve_executor(int(text))
         raise ValueError(
-            f"unknown executor spec {spec!r}; expected 'serial', 'process', 'process:N' or N"
+            f"unknown executor spec {spec!r}; expected 'serial', 'process[:N]', 'thread[:N]' or N"
         )
     raise TypeError("executor spec must be an Executor, str, int or None")

@@ -1,0 +1,266 @@
+"""Worker-resident state and shared-memory parameter transport.
+
+The stateless ``map(fn, payloads)`` contract of :mod:`repro.runtime.executor`
+re-pickles everything a work unit needs on every call.  For round-based
+workloads (federated rounds, repeated simulations) most of that payload never
+changes: the client's feature partition, a whole KiNETGAN site, a node
+pipeline.  This module splits a payload into
+
+* a **resident state** -- installed into the execution plane *once* via
+  :meth:`repro.runtime.Executor.install` and addressed afterwards by a small
+  picklable :class:`StateRef`; and
+* a **per-round delta** -- whatever actually changed (a spawned round seed, a
+  flattened parameter buffer), shipped through the ordinary task payload or
+  through a :class:`SharedBuffer`.
+
+Transport is executor-specific but the worker-facing API is uniform: a task
+carries refs, the worker function calls ``ref.resolve()``.
+
+* In-process executors (serial, thread) hand out :class:`DirectStateRef` /
+  :class:`DirectBufferRef`, which hold the object / array itself -- resolving
+  is free and nothing is ever copied.
+* :class:`~repro.runtime.ProcessExecutor` pickles a resident state **once**
+  into a :class:`multiprocessing.shared_memory.SharedMemory` segment and
+  hands out :class:`SharedStateRef`.  Every worker process unpickles the
+  segment the first time it resolves the ref and caches the object in its
+  process-local :class:`StateStore`, so successive rounds ship only the ref
+  (a name and a byte count).  :class:`SharedBuffer` maps a ``float64`` array
+  (for example the ``(clients, total_params)`` round matrices of
+  :mod:`repro.federated.parameters`) into shared memory: the parent writes
+  parameters in place, workers read -- or write their result rows -- without
+  any bytes crossing the task pipe.
+
+Synchronisation contract: rounds are synchronous (``Executor.map`` returns
+only after every task finished), so the parent may rewrite a shared buffer
+between rounds but never during one, and workers must copy anything they
+want to keep past the end of their task.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "StateStore",
+    "StateRef",
+    "DirectStateRef",
+    "SharedStateRef",
+    "BufferRef",
+    "DirectBufferRef",
+    "SharedBufferRef",
+    "SharedBuffer",
+    "LocalBuffer",
+    "SharedMemoryBuffer",
+    "worker_store",
+]
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting cleanup responsibility.
+
+    The parent process that created a segment owns its lifetime (it unlinks
+    on ``evict``/``close``).  Python 3.13 lets an attaching worker opt out
+    of resource tracking with ``track=False``; on older versions the worker
+    attaches normally, which is harmless under the Linux default ``fork``
+    start method (parent and workers share one resource tracker, and its
+    registry is a set, so the extra registration dedupes away).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+class StateStore:
+    """Process-local cache of resolved resident states and attached segments.
+
+    One instance lives at module level in every process (parent and workers
+    alike).  ``resolve`` is keyed by segment name, which is unique per
+    ``install`` call, so re-installing a state under a new segment never
+    collides with a stale cache entry.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[str, Any] = {}
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def attach(self, name: str) -> shared_memory.SharedMemory:
+        """The (cached) attachment to the shared-memory segment ``name``."""
+        segment = self._segments.get(name)
+        if segment is None:
+            segment = _attach_segment(name)
+            self._segments[name] = segment
+        return segment
+
+    def resolve(self, name: str, nbytes: int) -> Any:
+        """Unpickle (once) and return the resident state stored in ``name``."""
+        if name not in self._objects:
+            segment = self.attach(name)
+            self._objects[name] = pickle.loads(bytes(segment.buf[:nbytes]))
+        return self._objects[name]
+
+    def forget(self, name: str) -> None:
+        """Drop a cached object/attachment (used by tests; workers just exit)."""
+        self._objects.pop(name, None)
+        segment = self._segments.pop(name, None)
+        if segment is not None:
+            segment.close()
+
+
+#: The one store of the current process.  Workers populate it lazily the
+#: first time a task resolves a shared ref.
+_STORE = StateStore()
+
+
+def worker_store() -> StateStore:
+    """The calling process's :class:`StateStore` (parent or worker)."""
+    return _STORE
+
+
+# --------------------------------------------------------------------------- #
+# Resident-state refs
+# --------------------------------------------------------------------------- #
+class StateRef:
+    """Small picklable address of an installed resident state."""
+
+    def resolve(self) -> Any:
+        """The resident state, materialised in the calling process."""
+        raise NotImplementedError
+
+
+@dataclass(eq=False)
+class DirectStateRef(StateRef):
+    """In-process ref: holds the object itself (serial / thread executors)."""
+
+    state: Any
+
+    def resolve(self) -> Any:
+        return self.state
+
+
+@dataclass(frozen=True)
+class SharedStateRef(StateRef):
+    """Cross-process ref: the state was pickled once into shared memory."""
+
+    name: str
+    nbytes: int
+
+    def resolve(self) -> Any:
+        return _STORE.resolve(self.name, self.nbytes)
+
+
+# --------------------------------------------------------------------------- #
+# Shared parameter buffers
+# --------------------------------------------------------------------------- #
+class BufferRef:
+    """Picklable address of (a row of) a shared ``float64`` buffer."""
+
+    def resolve(self) -> np.ndarray:
+        """The addressed array (a view -- copy anything kept past the task)."""
+        raise NotImplementedError
+
+
+@dataclass(eq=False)
+class DirectBufferRef(BufferRef):
+    """In-process ref: a view of the parent's own array."""
+
+    array: np.ndarray
+    row: int | None = None
+
+    def resolve(self) -> np.ndarray:
+        return self.array if self.row is None else self.array[self.row]
+
+
+@dataclass(frozen=True)
+class SharedBufferRef(BufferRef):
+    """Cross-process ref: maps the segment and returns an ndarray view."""
+
+    name: str
+    shape: tuple[int, ...]
+    row: int | None = None
+
+    def resolve(self) -> np.ndarray:
+        segment = _STORE.attach(self.name)
+        array: np.ndarray = np.ndarray(self.shape, dtype=np.float64, buffer=segment.buf)
+        return array if self.row is None else array[self.row]
+
+
+class SharedBuffer:
+    """Parent-side handle to a ``float64`` array every worker can address.
+
+    Created with :meth:`repro.runtime.Executor.shared_array`; ``array`` is
+    the parent's read/write view and ``ref(row)`` produces the picklable
+    address a task carries.
+    """
+
+    @property
+    def array(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def ref(self, row: int | None = None) -> BufferRef:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the buffer (idempotent)."""
+
+
+class LocalBuffer(SharedBuffer):
+    """Plain in-process array: shared trivially by serial/thread executors."""
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self._array = np.zeros(shape, dtype=np.float64)
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._array
+
+    def ref(self, row: int | None = None) -> DirectBufferRef:
+        return DirectBufferRef(self._array, row)
+
+
+@dataclass(eq=False)
+class SharedMemoryBuffer(SharedBuffer):
+    """Shared-memory array: one mapping, zero per-round transport bytes."""
+
+    shape: tuple[int, ...]
+    _segment: shared_memory.SharedMemory = field(init=False)
+    _view: np.ndarray | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        nbytes = int(np.prod(self.shape)) * np.dtype(np.float64).itemsize
+        self._segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self._view = np.ndarray(self.shape, dtype=np.float64, buffer=self._segment.buf)
+        self._view.fill(0.0)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._view is None:
+            raise RuntimeError("shared buffer is closed")
+        return self._view
+
+    def ref(self, row: int | None = None) -> SharedBufferRef:
+        return SharedBufferRef(self.name, self.shape, row)
+
+    def close(self) -> None:
+        if self._view is None:
+            return
+        # The numpy view exports the segment's memory; drop it before the
+        # mmap is closed or BufferError is raised.
+        self._view = None
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass

@@ -65,9 +65,14 @@ class SampleRequest:
 
 
 def _load_artifact_task(task: tuple):
-    """Module-level executor work unit: apply a (picklable) loader to a path."""
-    loader, key = task
-    return loader(key)
+    """Module-level executor work unit: apply an installed loader to a path.
+
+    The loader rides as a :class:`repro.runtime.StateRef` installed once for
+    the whole preload batch, so only the ref and the artifact key are
+    pickled per task.
+    """
+    loader_ref, key = task
+    return loader_ref.resolve()(key)
 
 
 class ModelRegistry:
@@ -155,16 +160,21 @@ class ModelRegistry:
 
         ``executor`` accepts the usual :func:`repro.runtime.resolve_executor`
         specs; executors created here from a spec are closed afterwards,
-        caller-supplied :class:`Executor` instances are left running.
+        caller-supplied :class:`Executor` instances are left running.  The
+        loader is installed into the execution plane once (resident state),
+        so each task ships only a ref and its artifact key.
         """
         keys = [self._key(path) for path in artifacts]
         owns_executor = not isinstance(executor, Executor)
         resolved = resolve_executor(executor)
+        loader_ref = resolved.install(self._loader)
         try:
-            models = resolved.map(_load_artifact_task, [(self._loader, key) for key in keys])
+            models = resolved.map(_load_artifact_task, [(loader_ref, key) for key in keys])
         finally:
             if owns_executor:
                 resolved.close()
+            else:
+                resolved.evict(loader_ref)
         for key, model in zip(keys, models):
             self.put(key, model)
         return models

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import operator
+import time
 
 import numpy as np
 import pytest
@@ -11,10 +12,17 @@ from repro.runtime import (
     Executor,
     ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     default_worker_count,
     resolve_executor,
     spawn_seeds,
 )
+
+
+def _sleepy_neg(x: int) -> int:
+    """Sleep longer for earlier items so completion order is reversed."""
+    time.sleep(0.02 * max(0, 3 - x))
+    return -x
 
 
 class TestSerialExecutor:
@@ -54,6 +62,49 @@ class TestProcessExecutor:
             ProcessExecutor(max_workers=0)
 
 
+class TestThreadExecutor:
+    def test_maps_in_order_across_workers(self):
+        with ThreadExecutor(max_workers=2) as executor:
+            assert executor.map(operator.neg, list(range(8))) == [-i for i in range(8)]
+
+    def test_order_preserved_under_out_of_order_completion(self):
+        # Four workers, earlier submissions sleep longest: completion order
+        # is roughly the reverse of submission order, results must not be.
+        with ThreadExecutor(max_workers=4) as executor:
+            assert executor.map(_sleepy_neg, [0, 1, 2, 3]) == [0, -1, -2, -3]
+
+    def test_pool_is_reused_between_map_calls(self):
+        with ThreadExecutor(max_workers=2) as executor:
+            executor.map(abs, [-1])
+            pool = executor._pool
+            executor.map(abs, [-2])
+            assert executor._pool is pool
+
+    def test_close_is_terminal_and_idempotent(self):
+        executor = ThreadExecutor(max_workers=2)
+        executor.map(abs, [-1])
+        executor.close()
+        assert executor.closed
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(abs, [-1])
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(max_workers=0)
+
+    def test_shares_parent_objects_with_workers(self):
+        # install/resolve are identity in-process: zero pickling.
+        with ThreadExecutor(max_workers=2) as executor:
+            payload = {"x": np.arange(4)}
+            ref = executor.install(payload)
+            assert ref.resolve() is payload
+            buffer = executor.shared_array((2, 3))
+            buffer.array[1, :] = 5.0
+            assert buffer.ref(1).resolve() is not None
+            assert (buffer.ref(1).resolve() == 5.0).all()
+
+
 class TestResolveExecutor:
     @pytest.mark.parametrize("spec", [None, 0, 1, "serial", "none", "1", "process:1"])
     def test_serial_specs(self, spec):
@@ -78,17 +129,41 @@ class TestResolveExecutor:
         executor = SerialExecutor()
         assert resolve_executor(executor) is executor
 
+    def test_thread_spec(self):
+        executor = resolve_executor("thread")
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.max_workers == default_worker_count()
+
+    def test_thread_spec_with_count(self):
+        executor = resolve_executor("thread:5")
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.max_workers == 5
+
+    def test_single_worker_thread_spec_is_serial(self):
+        assert isinstance(resolve_executor("thread:1"), SerialExecutor)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["threads", "process:0", "thread:0", "thread:-3", "process:x", "thread:x", "gpu"],
+    )
+    def test_bad_spec_strings_rejected(self, spec):
+        with pytest.raises(ValueError):
+            resolve_executor(spec)
+
     def test_invalid_specs_rejected(self):
         with pytest.raises(ValueError):
-            resolve_executor("threads")
-        with pytest.raises(ValueError):
             resolve_executor(-2)
-        with pytest.raises(ValueError):
-            resolve_executor("process:0")
         with pytest.raises(TypeError):
             resolve_executor(True)
         with pytest.raises(TypeError):
             resolve_executor(3.5)
+
+    @pytest.mark.parametrize("cls", [ProcessExecutor, ThreadExecutor])
+    def test_closed_executor_instance_rejected(self, cls):
+        executor = cls(max_workers=2)
+        executor.close()
+        with pytest.raises(ValueError, match="closed"):
+            resolve_executor(executor)
 
     def test_base_class_map_is_abstract(self):
         with pytest.raises(NotImplementedError):

@@ -1,10 +1,18 @@
-"""Serial vs process-pool parity: seeded runs must be bit-identical.
+"""Executor/transport parity: seeded runs must be bit-identical.
 
-These tests are the acceptance gate of the parallel runtime: for every
+These tests are the acceptance gate of the execution plane: for every
 multi-node layer (FedAvg server, federated NIDS simulation, distributed
-synthetic-sharing simulation, federated KiNETGAN) a seeded run under the
-process-pool executor must produce exactly the global states and round
-histories of the serial run -- not approximately, bit for bit.
+synthetic-sharing simulation, federated KiNETGAN) a seeded run must produce
+exactly the same global states and round histories -- not approximately,
+bit for bit -- across
+
+* every executor: serial, thread pool, process pool; and
+* both round transports: worker-resident state (refs + deltas +
+  shared-memory parameter buffers) and the legacy re-pickled payloads.
+
+The baseline of each matrix is the serial run on the legacy transport (the
+pre-resident reference semantics); every other combination is compared
+against it.
 """
 
 from __future__ import annotations
@@ -20,7 +28,24 @@ from repro.federated.kinetgan import FederatedKiNETGAN
 from repro.federated.partition import label_skew_partition
 from repro.federated.server import FederatedServer
 from repro.federated.simulation import DetectorFactory, FederatedNIDSSimulation
-from repro.runtime import ProcessExecutor
+from repro.runtime import ProcessExecutor, ThreadExecutor
+
+#: (executor spec factory, transport) combinations compared to the
+#: serial+legacy baseline.  Legacy transports are named "payload" on the
+#: server/simulations and "site" on federated KiNETGAN.
+MATRIX = [
+    pytest.param(lambda: None, "resident", id="serial-resident"),
+    pytest.param(lambda: ThreadExecutor(max_workers=2), "resident", id="thread-resident"),
+    pytest.param(lambda: ProcessExecutor(max_workers=2), "resident", id="process-resident"),
+    pytest.param(lambda: ThreadExecutor(max_workers=2), "legacy", id="thread-legacy"),
+    pytest.param(lambda: ProcessExecutor(max_workers=2), "legacy", id="process-legacy"),
+]
+
+
+def _assert_states_equal(expected: dict, actual: dict) -> None:
+    assert set(expected) == set(actual)
+    for key in expected:
+        assert np.array_equal(expected[key], actual[key]), key
 
 
 def _make_clients(n_clients: int, model_fn: DetectorFactory) -> list[FederatedClient]:
@@ -45,124 +70,147 @@ def _make_clients(n_clients: int, model_fn: DetectorFactory) -> list[FederatedCl
 
 
 class TestServerParity:
-    def test_global_state_and_history_bit_identical(self):
+    @staticmethod
+    def _run(executor, transport: str):
         model_fn = DetectorFactory(n_features=5, n_classes=2, hidden_dims=(8,), seed=0)
-
-        def run(executor):
-            server = FederatedServer(
-                model_fn, _make_clients(3, model_fn), seed=0, executor=executor
-            )
+        transport = "payload" if transport == "legacy" else transport
+        with FederatedServer(
+            model_fn, _make_clients(3, model_fn), seed=0, executor=executor, transport=transport
+        ) as server:
             server.run(3)
-            return server
+            return server.global_state, server.history.rounds
 
-        serial = run(None)
-        with ProcessExecutor(max_workers=2) as pool:
-            parallel = run(pool)
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return self._run(None, "legacy")
 
-        assert set(serial.global_state) == set(parallel.global_state)
-        for key in serial.global_state:
-            assert np.array_equal(serial.global_state[key], parallel.global_state[key])
-        assert serial.history.rounds == parallel.history.rounds
+    @pytest.mark.parametrize("executor_factory,transport", MATRIX)
+    def test_global_state_and_history_bit_identical(
+        self, baseline, executor_factory, transport
+    ):
+        state, rounds = self._run(executor_factory(), transport)
+        _assert_states_equal(baseline[0], state)
+        assert baseline[1] == rounds
 
 
 class TestFederatedSimulationParity:
-    def test_seeded_results_identical(self, lab_bundle_small):
-        def run(executor):
-            simulation = FederatedNIDSSimulation(
-                lab_bundle_small,
-                num_clients=3,
-                skew=0.5,
-                hidden_dims=(8,),
-                num_rounds=2,
-                local_epochs=1,
-                seed=0,
-                executor=executor,
-            )
-            try:
-                return simulation.run()
-            finally:
-                simulation.close()
+    @staticmethod
+    def _run(bundle, executor, transport: str):
+        transport = "payload" if transport == "legacy" else transport
+        with FederatedNIDSSimulation(
+            bundle,
+            num_clients=3,
+            skew=0.5,
+            hidden_dims=(8,),
+            num_rounds=2,
+            local_epochs=1,
+            seed=0,
+            executor=executor,
+            transport=transport,
+        ) as simulation:
+            return simulation.run()
 
-        serial = run(None)
-        parallel = run(2)
-        assert serial.federated == parallel.federated
-        assert serial.centralised == parallel.centralised
-        assert serial.local_only == parallel.local_only
-        assert serial.round_accuracies == parallel.round_accuracies
-        assert serial.per_client_local == parallel.per_client_local
+    @pytest.fixture(scope="class")
+    def baseline(self, lab_bundle_small):
+        return self._run(lab_bundle_small, None, "legacy")
+
+    @pytest.mark.parametrize("executor_factory,transport", MATRIX)
+    def test_seeded_results_identical(
+        self, baseline, lab_bundle_small, executor_factory, transport
+    ):
+        result = self._run(lab_bundle_small, executor_factory(), transport)
+        assert baseline.federated == result.federated
+        assert baseline.centralised == result.centralised
+        assert baseline.local_only == result.local_only
+        assert baseline.round_accuracies == result.round_accuracies
+        assert baseline.per_client_local == result.per_client_local
 
 
 class TestDistributedSimulationParity:
-    def test_seeded_results_identical(self, lab_bundle_small):
-        def run(executor):
-            simulation = DistributedNIDSSimulation(
-                lab_bundle_small,
-                num_nodes=3,
-                non_iid_skew=0.5,
-                synthesizer_factory=lambda seed: IndependentSampler(seed=seed),
-                seed=5,
-                executor=executor,
-            )
-            try:
-                return simulation.run(share_size=120)
-            finally:
-                simulation.close()
+    @staticmethod
+    def _run(bundle, executor, transport: str):
+        transport = "payload" if transport == "legacy" else transport
+        with DistributedNIDSSimulation(
+            bundle,
+            num_nodes=3,
+            non_iid_skew=0.5,
+            synthesizer_factory=lambda seed: IndependentSampler(seed=seed),
+            seed=5,
+            executor=executor,
+            transport=transport,
+        ) as simulation:
+            return simulation.run(share_size=120)
 
-        serial = run(None)
-        parallel = run(2)
-        assert serial.local_only == parallel.local_only
-        assert serial.synthetic_sharing == parallel.synthetic_sharing
-        assert serial.centralised_real == parallel.centralised_real
-        assert serial.per_node_local == parallel.per_node_local
-        assert serial.share_validity == parallel.share_validity
+    @pytest.fixture(scope="class")
+    def baseline(self, lab_bundle_small):
+        return self._run(lab_bundle_small, None, "legacy")
+
+    @pytest.mark.parametrize("executor_factory,transport", MATRIX)
+    def test_seeded_results_identical(
+        self, baseline, lab_bundle_small, executor_factory, transport
+    ):
+        result = self._run(lab_bundle_small, executor_factory(), transport)
+        assert baseline.local_only == result.local_only
+        assert baseline.synthetic_sharing == result.synthetic_sharing
+        assert baseline.centralised_real == result.centralised_real
+        assert baseline.per_node_local == result.per_node_local
+        assert baseline.share_validity == result.share_validity
 
 
 class TestFederatedKiNETGANParity:
-    @pytest.fixture(scope="class")
-    def tiny_config(self) -> KiNETGANConfig:
-        return KiNETGANConfig(
-            embedding_dim=8,
-            generator_dims=(16,),
-            discriminator_dims=(16,),
-            epochs=1,
-            batch_size=32,
-            knowledge_negatives_per_batch=8,
-            max_modes=3,
-            seed=0,
-        )
+    """Two rounds, so cross-round worker state (Adam moments, the trainer
+    RNG, the KG head) is exercised: a resident site whose delta round-trip
+    dropped any of it would diverge from the serial baseline in round 2."""
 
-    def test_global_weights_bit_identical(self, lab_bundle_small, tiny_config):
-        table = lab_bundle_small.table.head(300)
+    CONFIG = KiNETGANConfig(
+        embedding_dim=8,
+        generator_dims=(16,),
+        discriminator_dims=(16,),
+        epochs=1,
+        batch_size=32,
+        knowledge_negatives_per_batch=8,
+        max_modes=3,
+        seed=0,
+    )
+
+    @classmethod
+    def _run(cls, bundle, executor, transport: str):
+        transport = "site" if transport == "legacy" else transport
+        table = bundle.table.head(300)
         rng = np.random.default_rng(0)
         parts = label_skew_partition(table, "label", 2, rng, skew=0.5, min_rows=20)
-
-        def run(executor):
-            fed = FederatedKiNETGAN(
-                reference_table=table.head(150),
-                config=tiny_config,
-                catalog=lab_bundle_small.catalog,
-                condition_columns=lab_bundle_small.condition_columns,
-                seed=0,
-                executor=executor,
-            )
+        with FederatedKiNETGAN(
+            reference_table=table.head(150),
+            config=cls.CONFIG,
+            catalog=bundle.catalog,
+            condition_columns=bundle.condition_columns,
+            seed=0,
+            executor=executor,
+            transport=transport,
+        ) as fed:
             handles = [fed.add_site(f"site-{i}", part) for i, part in enumerate(parts)]
-            try:
-                fed.run(num_rounds=1, local_epochs=1)
-                # Site handles returned by add_site must keep pointing at the
-                # trained state even when workers trained pickled copies.
-                for handle, site in zip(handles, fed.sites):
-                    assert handle is site
-                    assert handle.trainer.history.epochs >= 1
-                return fed.global_states()
-            finally:
-                fed.close()
+            fed.run(num_rounds=2, local_epochs=1)
+            # Site handles returned by add_site must keep pointing at the
+            # trained state (history, weights) whichever worker trained it.
+            for handle, site in zip(handles, fed.sites):
+                assert handle is site
+                assert handle.trainer.history.epochs >= 2
+            generator_state, discriminator_state = fed.global_states()
+            sample = fed.sample(60)
+            return generator_state, discriminator_state, sample
 
-        serial_generator, serial_discriminator = run(None)
-        parallel_generator, parallel_discriminator = run(2)
-        for serial_state, parallel_state in (
-            (serial_generator, parallel_generator),
-            (serial_discriminator, parallel_discriminator),
-        ):
-            assert set(serial_state) == set(parallel_state)
-            for key in serial_state:
-                assert np.array_equal(serial_state[key], parallel_state[key])
+    @pytest.fixture(scope="class")
+    def baseline(self, lab_bundle_small):
+        return self._run(lab_bundle_small, None, "legacy")
+
+    @pytest.mark.parametrize("executor_factory,transport", MATRIX)
+    def test_global_weights_and_sample_bit_identical(
+        self, baseline, lab_bundle_small, executor_factory, transport
+    ):
+        generator_state, discriminator_state, sample = self._run(
+            lab_bundle_small, executor_factory(), transport
+        )
+        _assert_states_equal(baseline[0], generator_state)
+        _assert_states_equal(baseline[1], discriminator_state)
+        for name in baseline[2].schema.names:
+            assert list(baseline[2].column(name)) == list(sample.column(name)), name

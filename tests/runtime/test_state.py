@@ -1,0 +1,139 @@
+"""Worker-resident state and shared-memory transport unit tests."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime import ProcessExecutor, SerialExecutor
+from repro.runtime.state import (
+    DirectBufferRef,
+    DirectStateRef,
+    SharedBufferRef,
+    SharedStateRef,
+)
+
+
+def _bump(ref) -> int:
+    """Increment a counter inside the worker-resident state."""
+    state = ref.resolve()
+    state["count"] += 1
+    return state["count"]
+
+
+def _write_row(task) -> float:
+    buffer_ref, row, value = task
+    out = buffer_ref.resolve()
+    out[:] = value
+    return float(row)
+
+
+def _read_broadcast(task) -> float:
+    buffer_ref, scale = task
+    return float(buffer_ref.resolve().sum() * scale)
+
+
+class TestDirectRefs:
+    def test_state_ref_is_identity(self):
+        payload = {"arrays": np.arange(5)}
+        with SerialExecutor() as executor:
+            ref = executor.install(payload)
+            assert isinstance(ref, DirectStateRef)
+            assert ref.resolve() is payload
+            executor.evict(ref)  # no-op, still resolvable in-process
+            assert ref.resolve() is payload
+
+    def test_buffer_ref_views_parent_array(self):
+        with SerialExecutor() as executor:
+            buffer = executor.shared_array((3, 2))
+            buffer.array[2] = 9.0
+            view = buffer.ref(2).resolve()
+            assert isinstance(buffer.ref(2), DirectBufferRef)
+            assert (view == 9.0).all()
+            view[:] = 4.0
+            assert (buffer.array[2] == 4.0).all()
+
+
+class TestProcessResidentState:
+    def test_state_is_unpickled_once_per_worker(self):
+        # With a single worker, a mutation made by round 1 must still be
+        # visible in round 2: the worker resolved its resident copy once
+        # and kept it, rather than re-unpickling per task.
+        with ProcessExecutor(max_workers=1) as executor:
+            ref = executor.install({"count": 0})
+            assert isinstance(ref, SharedStateRef)
+            assert executor.map(_bump, [ref]) == [1]
+            assert executor.map(_bump, [ref]) == [2]
+
+    def test_ref_pickles_small(self):
+        big = {"features": np.zeros((1000, 50))}
+        with ProcessExecutor(max_workers=1) as executor:
+            ref = executor.install(big)
+            assert len(pickle.dumps(ref)) < 200
+            assert len(pickle.dumps(ref)) < len(pickle.dumps(big)) / 1000
+
+    def test_evict_unlinks_segment(self):
+        with ProcessExecutor(max_workers=1) as executor:
+            ref = executor.install({"x": 1})
+            executor.evict(ref)
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=ref.name)
+            executor.evict(ref)  # idempotent
+
+    def test_install_after_close_raises(self):
+        executor = ProcessExecutor(max_workers=1)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.install({"x": 1})
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.shared_array((2,))
+
+
+class TestProcessSharedBuffers:
+    def test_workers_write_rows_parent_reads(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            buffer = executor.shared_array((3, 4))
+            tasks = [(buffer.ref(row), row, float(10 + row)) for row in range(3)]
+            assert executor.map(_write_row, tasks) == [0.0, 1.0, 2.0]
+            assert (buffer.array == np.array([[10.0] * 4, [11.0] * 4, [12.0] * 4])).all()
+
+    def test_parent_broadcast_visible_without_reship(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            buffer = executor.shared_array((4,))
+            ref = buffer.ref()
+            assert isinstance(ref, SharedBufferRef)
+            buffer.array[:] = 1.0
+            assert executor.map(_read_broadcast, [(ref, 2.0)]) == [8.0]
+            # Rewrite in place between rounds: same ref, new bytes.
+            buffer.array[:] = 3.0
+            assert executor.map(_read_broadcast, [(ref, 1.0)]) == [12.0]
+
+    def test_buffer_close_is_idempotent_and_releases(self):
+        executor = ProcessExecutor(max_workers=1)
+        buffer = executor.shared_array((2, 2))
+        name = buffer.name
+        buffer.close()
+        buffer.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        with pytest.raises(RuntimeError, match="closed"):
+            _ = buffer.array
+        executor.close()
+
+    def test_executor_close_releases_everything(self):
+        executor = ProcessExecutor(max_workers=1)
+        ref = executor.install({"x": 1})
+        buffer = executor.shared_array((2,))
+        name = buffer.name
+        executor.close()
+        from multiprocessing import shared_memory
+
+        for segment in (ref.name, name):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=segment)

@@ -166,19 +166,23 @@ class TestServingCommands:
         parser = build_parser()
         args = parser.parse_args(["serve", "--artifact", "a", "--artifact", "b"])
         assert args.artifact == ["a", "b"]
-        assert args.workers == 0
+        assert args.workers == "serial"
         with pytest.raises(SystemExit):
             parser.parse_args(["serve"])  # --artifact is required
 
 
 class TestRuntimeCommands:
-    def test_workers_flag_parsed_with_default_serial(self):
+    def test_workers_flag_accepts_executor_specs(self):
         parser = build_parser()
-        assert parser.parse_args(["federated"]).workers == 0
-        assert parser.parse_args(["federated", "--workers", "4"]).workers == 4
-        assert parser.parse_args(["distributed", "--workers", "2"]).workers == 2
-        with pytest.raises(SystemExit):
-            parser.parse_args(["federated", "--workers", "-1"])
+        assert parser.parse_args(["federated"]).workers == "serial"
+        assert parser.parse_args(["federated", "--workers", "4"]).workers == "4"
+        assert parser.parse_args(["distributed", "--workers", "2"]).workers == "2"
+        assert parser.parse_args(["federated", "--workers", "thread"]).workers == "thread"
+        assert parser.parse_args(["federated", "--workers", "thread:3"]).workers == "thread:3"
+        assert parser.parse_args(["distributed", "--workers", "process:2"]).workers == "process:2"
+        for bad in ("-1", "thread:0", "thread:x", "gpu"):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["federated", "--workers", bad])
 
     def test_federated_command_runs_serial(self, capsys):
         exit_code = main(

@@ -18,6 +18,9 @@ core-count independent and always compared, while the CPU-bound round
 throughput entries are *skipped* whenever the runner's usable core count
 differs from the one recorded in the committed entry (a 1-core container
 and a multi-core CI runner legitimately disagree about pool speedups).
+The training trajectory (``BENCH_training.json``) is gated the same way:
+the arena-runtime epoch speedup over the in-process seed replica (with a
+longer-window retry) and the deterministic network-core allocation ratio.
 Smoke mode never rewrites the trajectory files.
 """
 
@@ -34,7 +37,7 @@ from benchmarks.bench_dataplane import (
     run_dataplane_bench,
     write_results,
 )
-from benchmarks import bench_runtime, bench_serving
+from benchmarks import bench_runtime, bench_serving, bench_training
 from repro.runtime import default_worker_count
 
 SMOKE_MIN_SECONDS = 0.25
@@ -182,6 +185,71 @@ def _smoke_runtime(tolerance: float) -> tuple[list[dict], list[str]]:
     return rows, failures
 
 
+def _smoke_training(tolerance: float) -> tuple[list[dict], list[str]]:
+    """Re-check the training trajectory (``BENCH_training.json``).
+
+    Two gates:
+
+    * ``kinetgan_epoch`` -- the arena-runtime epoch speedup over the
+      in-process seed replica, re-measured with short interleaved windows;
+      like the data-plane gate it only fails after a second pass with the
+      full windows (best-of-both compared against the floor).
+    * ``step_allocations`` -- the network-core tracemalloc peak ratio,
+      which is deterministic and therefore compared in a single pass.
+    """
+    if not bench_training.RESULT_PATH.exists():
+        return [], [f"no training baseline at {bench_training.RESULT_PATH}"]
+    baseline_doc = json.loads(bench_training.RESULT_PATH.read_text())
+    baseline = baseline_doc["metrics"]
+    rows = int(baseline_doc.get("config", {}).get("rows", bench_training.BENCH_ROWS))
+    comparison: list[dict] = []
+    failures: list[str] = []
+
+    entry = baseline.get("kinetgan_epoch")
+    if entry is not None:
+        floor = max(entry["speedup"] * (1.0 - tolerance), 1.0)
+        best = 0.0
+        for groups, reps in ((2, 3), (bench_training.EPOCH_GROUPS, bench_training.EPOCH_REPS)):
+            best = max(best, bench_training.measure_epoch(rows, groups, reps)["speedup"])
+            if best >= floor:
+                break
+        comparison.append(
+            {
+                "metric": "kinetgan_epoch",
+                "baseline_speedup": entry["speedup"],
+                "measured_speedup": best,
+                "floor": round(floor, 2),
+                "status": "ok" if best >= floor else "REGRESSED",
+            }
+        )
+        if best < floor:
+            failures.append(
+                f"kinetgan_epoch: speedup {best}x < allowed floor {floor:.2f}x "
+                f"(baseline {entry['speedup']}x)"
+            )
+
+    entry = baseline.get("step_allocations")
+    if entry is not None:
+        measured = bench_training.measure_step_allocations(rows)
+        floor = max(entry["speedup"] * (1.0 - tolerance), 1.0)
+        ok = measured["speedup"] >= floor
+        comparison.append(
+            {
+                "metric": "step_allocations",
+                "baseline_speedup": entry["speedup"],
+                "measured_speedup": measured["speedup"],
+                "floor": round(floor, 2),
+                "status": "ok" if ok else "REGRESSED",
+            }
+        )
+        if not ok:
+            failures.append(
+                f"step_allocations: ratio {measured['speedup']}x < allowed floor "
+                f"{floor:.2f}x (baseline {entry['speedup']}x)"
+            )
+    return comparison, failures
+
+
 def _run_smoke(tolerance: float, as_json: bool = False) -> int:
     """Re-measure the data plane and gate on the committed trajectory.
 
@@ -212,7 +280,8 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
         comparison, failures = _evaluate_smoke(baseline["metrics"], metrics, tolerance)
 
     runtime_comparison, runtime_failures = _smoke_runtime(tolerance)
-    failures = failures + runtime_failures
+    training_comparison, training_failures = _smoke_training(tolerance)
+    failures = failures + runtime_failures + training_failures
 
     document = {
         "benchmark": "bench-smoke",
@@ -221,6 +290,7 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
         "retried": retried,
         "comparison": comparison,
         "runtime_comparison": runtime_comparison,
+        "training_comparison": training_comparison,
         "failures": failures,
         "ok": not failures,
     }
@@ -249,6 +319,13 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
                     f"  now {row[measured_key]:>7.2f}x"
                     f"  (floor {row['floor']}x)  {row['status']}"
                 )
+        print("[bench:smoke] training trajectory")
+        for row in training_comparison:
+            print(
+                f"  {row['metric']:26s} baseline {row['baseline_speedup']:>7.2f}x"
+                f"  now {row['measured_speedup']:>7.2f}x"
+                f"  (floor {row['floor']}x)  {row['status']}"
+            )
         if failures:
             print("[bench:smoke] FAILED (after retry with longer windows):")
             for failure in failures:
@@ -264,7 +341,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--json", action="store_true",
                         help="print the full benchmark document(s) as JSON")
-    parser.add_argument("--suite", choices=("dataplane", "runtime", "serving", "all"),
+    parser.add_argument("--suite",
+                        choices=("dataplane", "runtime", "serving", "training", "all"),
                         default="dataplane",
                         help="which benchmark suite to run (default %(default)s)")
     parser.add_argument("--rows", type=int, default=BENCH_ROWS,
@@ -300,6 +378,11 @@ def main(argv: list[str] | None = None) -> int:
         documents["serving"] = document
         if not args.no_write:
             bench_serving.write_results(document)
+    if args.suite in ("training", "all"):
+        document = bench_training.run_training_bench(rows=args.rows)
+        documents["training"] = document
+        if not args.no_write:
+            bench_training.write_results(document)
 
     if args.json:
         payload = documents if len(documents) > 1 else next(iter(documents.values()))
@@ -315,10 +398,14 @@ def main(argv: list[str] | None = None) -> int:
                 print(bench_runtime.format_results(document))
                 if not args.no_write:
                     print(f"[bench:runtime] wrote {bench_runtime.RESULT_PATH}")
-            else:
+            elif name == "serving":
                 print(bench_serving.format_results(document))
                 if not args.no_write:
                     print(f"[bench:serving] wrote {bench_serving.RESULT_PATH}")
+            else:
+                print(bench_training.format_results(document))
+                if not args.no_write:
+                    print(f"[bench:training] wrote {bench_training.RESULT_PATH}")
     return 0
 
 

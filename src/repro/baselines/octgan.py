@@ -43,6 +43,7 @@ class _ODEGenerator(ConditionalGenerator):
             TabularOutputActivation(transformer.activation_spans(), tau=gumbel_tau, rng=rng),
         ]
         self.network = Sequential(layers)
+        self.network.consolidate()
 
 
 class _ODEDiscriminator(DataDiscriminator):
@@ -61,6 +62,7 @@ class _ODEDiscriminator(DataDiscriminator):
             Dense(hidden, 1, rng=rng, init="glorot"),
         ]
         self.network = Sequential(layers)
+        self.network.consolidate()
 
 
 class OCTGAN(KiNETGAN):

@@ -169,6 +169,8 @@ class TVAE(Synthesizer):
                 TabularOutputActivation(self.transformer.activation_spans(), tau=1.0, rng=rng),
             ]
         )
+        self.encoder.consolidate()
+        self.decoder.consolidate()
 
     # ------------------------------------------------------------------ #
     # Artifact-state protocol (repro.serve)

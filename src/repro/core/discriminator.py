@@ -43,6 +43,7 @@ class DataDiscriminator:
             width = hidden
         layers.append(Dense(width, 1, rng=rng, init="glorot"))
         self.network = Sequential(layers)
+        self.network.consolidate()
 
     def forward(
         self, data: np.ndarray, condition: np.ndarray | None, training: bool = True

@@ -58,19 +58,57 @@ class TabularOutputActivation(Layer):
                 tanh_cols.extend(range(start, end))
         self._tanh_columns = np.asarray(tanh_cols, dtype=np.intp)
         self._cache: np.ndarray | None = None
+        # Reusable scratch for the gather / Gumbel / softmax intermediates
+        # (keyed by shape inside BlockLayout._scratch_buffer).  The output
+        # matrix itself stays freshly allocated: it escapes as the generated
+        # batch and is held across the whole training step.
+        self._scratch: dict = {}
+
+    def __getstate__(self) -> dict:
+        # Scratch buffers are a pure cache; drop them from pickles so saved
+        # models do not carry the last batch's intermediates.
+        state = self.__dict__.copy()
+        state["_scratch"] = {}
+        return state
+
+    def _buffer(self, key: str, shape: tuple[int, ...]) -> np.ndarray:
+        return BlockLayout._scratch_buffer(self._scratch, key, shape)
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         out = np.empty_like(x)
         tanh_cols = self._tanh_columns
-        out[:, tanh_cols] = np.tanh(x[:, tanh_cols])
+        if tanh_cols.size:
+            # take -> tanh-in-place replays ``np.tanh(x[:, tanh_cols])``
+            # without the two per-call temporaries.
+            span = self._buffer("tanh", (x.shape[0], tanh_cols.size))
+            np.take(x, tanh_cols, axis=1, out=span)
+            np.tanh(span, out=span)
+            out[:, tanh_cols] = span
         layout = self._layout
         if layout.n_blocks:
-            gathered = layout.gather(x)
+            gathered = self._buffer("gather", (x.shape[0], layout.total))
+            np.take(x, layout.columns, axis=1, out=gathered)
             if training:
-                uniform = self.rng.uniform(1e-12, 1 - 1e-12, size=gathered.shape)
-                gathered = gathered - np.log(-np.log(uniform)) * self.tau
-            layout.scatter(out, layout.softmax(gathered, tau=self.tau))
-        self._cache = out
+                # ``gathered - log(-log(u)) * tau`` staged in place through
+                # a recycled buffer: ``random(out=...)`` consumes the stream
+                # identically to ``uniform(lo, hi, size=...)``, and
+                # ``u * (hi - lo) + lo`` in place returns the same bits.
+                lo, hi = 1e-12, 1.0 - 1e-12
+                uniform = self._buffer("gumbel", gathered.shape)
+                self.rng.random(out=uniform)
+                np.multiply(uniform, hi - lo, out=uniform)
+                np.add(uniform, lo, out=uniform)
+                np.log(uniform, out=uniform)
+                np.negative(uniform, out=uniform)
+                np.log(uniform, out=uniform)
+                np.multiply(uniform, self.tau, out=uniform)
+                np.subtract(gathered, uniform, out=gathered)
+            layout.scatter(
+                out, layout.softmax(gathered, tau=self.tau, scratch=self._scratch)
+            )
+        # Only training passes are differentiated; caching inference outputs
+        # would pin the last sampled batch in warm serving registries.
+        self._cache = out if training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -79,13 +117,29 @@ class TabularOutputActivation(Layer):
         out = self._cache
         grad_input = np.empty_like(grad_output)
         tanh_cols = self._tanh_columns
-        grad_input[:, tanh_cols] = grad_output[:, tanh_cols] * (1.0 - out[:, tanh_cols] ** 2)
+        if tanh_cols.size:
+            # Replays ``grad_output[:, cols] * (1.0 - out[:, cols] ** 2)``
+            # through two reused spans (power(, 2) hits the same squared
+            # special case as ``**``), writing the product into the first.
+            span = self._buffer("tanh_bwd", (grad_output.shape[0], tanh_cols.size))
+            np.take(out, tanh_cols, axis=1, out=span)
+            np.power(span, 2, out=span)
+            np.subtract(1.0, span, out=span)
+            gspan = self._buffer("tanh_bwd_g", (grad_output.shape[0], tanh_cols.size))
+            np.take(grad_output, tanh_cols, axis=1, out=gspan)
+            np.multiply(gspan, span, out=span)
+            grad_input[:, tanh_cols] = span
         layout = self._layout
         if layout.n_blocks:
+            region = self._buffer("bwd_region_out", (out.shape[0], layout.total))
+            np.take(out, layout.columns, axis=1, out=region)
+            gregion = self._buffer("bwd_region_grad", (out.shape[0], layout.total))
+            np.take(grad_output, layout.columns, axis=1, out=gregion)
             grad_soft = layout.softmax_backward(
-                layout.gather(out), layout.gather(grad_output), tau=self.tau
+                region, gregion, tau=self.tau, scratch=self._scratch
             )
             layout.scatter(grad_input, grad_soft)
+        self._cache = None
         return grad_input
 
 
@@ -124,6 +178,7 @@ class ConditionalGenerator:
         )
         layers.append(self.activation)
         self.network = Sequential(layers)
+        self.network.consolidate()
 
     # ------------------------------------------------------------------ #
     def forward(

@@ -76,6 +76,9 @@ class KnowledgeGuidedDiscriminator:
         }
         self._event_column = reasoner.field_map["event_type"]
         self._valid_mask_cache: dict[tuple[str, str], np.ndarray | None] = {}
+        #: ``(column, event) -> global column indices`` of the valid
+        #: categories -- the scatter targets of ``valid_set_loss_and_grad``.
+        self._valid_idx_cache: dict[tuple[str, str], np.ndarray | None] = {}
         self._slices: list[slice] = [
             slice(transformer.column_info(name).start, transformer.column_info(name).end)
             for name in self.kg_columns
@@ -94,6 +97,7 @@ class KnowledgeGuidedDiscriminator:
                 width = hidden
             layers.append(Dense(width, 1, rng=self.rng, init="glorot"))
             self.head = Sequential(layers)
+            self.head.consolidate()
             self._optimizer = Adam(self.head.parameters(), lr=learning_rate, betas=(0.5, 0.9))
 
     # ------------------------------------------------------------------ #
@@ -103,17 +107,354 @@ class KnowledgeGuidedDiscriminator:
         """Exact 0/1 validity of decoded records (the KG query ``Q``)."""
         return self.validator.table_scores(table)
 
+    def _score_plan(self) -> list[tuple]:
+        """Per-column decode recipes for the KG-relevant columns only.
+
+        Validity depends solely on the columns named in the reasoner's
+        ``field_map``, so scoring a transformed batch does not need the full
+        ``inverse_transform`` (which decodes every column and materialises a
+        :class:`Table`).  Each recipe decodes one column with the exact
+        arithmetic of the transformer's decode plan -- per-block argmax for
+        one-hot columns, ``clip(clip(alpha) * 4 * sigma + mu)`` for
+        mode-normalised ones -- so the decoded values, and therefore the
+        scores, are bit-identical to the full-decode path.
+        """
+        plan = getattr(self, "_score_plan_cache", None)
+        if plan is None:
+            from repro.tabular.encoders import MinMaxScaler, ModeSpecificNormalizer
+
+            plan = []
+            schema = self.transformer.schema
+            for name in dict.fromkeys(self.validator.reasoner.field_map.values()):
+                if name not in schema.names:
+                    continue
+                info = self.transformer.column_info(name)
+                encoder = self.transformer.encoder(name)
+                spec = schema.column(name)
+                if isinstance(encoder, ModeSpecificNormalizer):
+                    lo = spec.minimum if spec.minimum is not None else -np.inf
+                    hi = spec.maximum if spec.maximum is not None else np.inf
+                    plan.append(
+                        ("mode", name, info.start, info.end,
+                         encoder.gmm.means, encoder.gmm.stds, lo, hi)
+                    )
+                elif isinstance(encoder, MinMaxScaler):
+                    plan.append(("minmax", name, info.start, encoder,
+                                 spec.minimum, spec.maximum))
+                else:
+                    plan.append(("onehot", name, info.start, info.end,
+                                 encoder._categories_array))
+            self._score_plan_cache = plan
+        return plan
+
+    def _validity_tables(self):
+        """Precoded validity lookups over the encoders' category lists.
+
+        A transformed row's decoded categorical values always come from the
+        fixed per-column category lists, so every (event, category) validity
+        decision can be resolved once up front: per membership role a
+        ``(n_events, n_categories)`` boolean table, per port column either a
+        category table (one-hot ports) or per-event integer bounds
+        (mode-normalised source ports).  Scoring a batch is then a handful
+        of argmax + table gathers with no per-value hashing.  The tables
+        replicate :meth:`KGReasoner.validity_mask` exactly: ``None`` events
+        skip all checks, unknown events are invalid, empty constraint sets
+        leave a role unconstrained, and unparseable port categories violate
+        whenever the row's event is known.  Returns ``None`` when the
+        layout does not fit (then scoring falls back to the batched
+        reasoner query).
+        """
+        cached = getattr(self, "_validity_tables_cache", "unset")
+        if cached != "unset":
+            return cached
+        from repro.knowledge.reasoner import _numeric_column
+        from repro.tabular.encoders import OneHotEncoder
+
+        reasoner = self.validator.reasoner
+        fm = reasoner.field_map
+        tr = self.transformer
+        names = set(tr.schema.names)
+        event_col = fm["event_type"]
+        dst_col = fm.get("destination_port")
+        src_col = fm.get("source_port")
+        usable = event_col in names and isinstance(tr.encoder(event_col), OneHotEncoder)
+        if dst_col in names and not isinstance(tr.encoder(dst_col), OneHotEncoder):
+            # Continuous destination ports need per-row set membership;
+            # leave that to the reasoner's batched path.
+            usable = False
+        for role in reasoner._MEMBERSHIP_ATTRS:
+            col = fm.get(role)
+            if col in names and not isinstance(tr.encoder(col), OneHotEncoder):
+                usable = False
+        if not usable:
+            self._validity_tables_cache = None
+            return None
+
+        events = list(tr.encoder(event_col).categories)
+        n_events = len(events)
+        skip = np.zeros(n_events, dtype=bool)
+        base = np.ones(n_events, dtype=bool)
+        constraints: list = [None] * n_events
+        for e, value in enumerate(events):
+            if value is None:
+                skip[e] = True
+                continue
+            c = reasoner._constraints.get(value)
+            constraints[e] = c
+            if c is None:
+                base[e] = False
+
+        def port_table(col: str, check) -> tuple[int, int, np.ndarray]:
+            cats = np.empty(len(tr.encoder(col).categories), dtype=object)
+            cats[:] = list(tr.encoder(col).categories)
+            floats, parseable = _numeric_column(cats)
+            ints = np.zeros(len(cats), dtype=np.int64)
+            ints[parseable] = np.trunc(floats[parseable]).astype(np.int64)
+            tbl = np.ones((n_events, len(cats)), dtype=bool)
+            for e, c in enumerate(constraints):
+                if skip[e] or c is None:
+                    continue
+                ok = check(c, ints)
+                tbl[e] = parseable if ok is None else parseable & ok
+            info = tr.column_info(col)
+            return col, info.start, info.end, tbl
+
+        member = []
+        for role, attr in reasoner._MEMBERSHIP_ATTRS.items():
+            col = fm.get(role)
+            if col not in names:
+                continue
+            cats = list(tr.encoder(col).categories)
+            tbl = np.ones((n_events, len(cats)), dtype=bool)
+            for e, c in enumerate(constraints):
+                if skip[e] or c is None:
+                    continue
+                allowed = getattr(c, attr)
+                if not allowed:
+                    continue
+                tbl[e] = np.fromiter(
+                    (v in allowed for v in cats), dtype=bool, count=len(cats)
+                )
+            info = tr.column_info(col)
+            member.append((col, info.start, info.end, tbl))
+
+        def dst_check(c, ints):
+            if not c.destination_ports and c.destination_port_range is None:
+                return None  # unconstrained: only parseability applies
+            ok = np.fromiter(
+                (int(p) in c.destination_ports for p in ints),
+                dtype=bool,
+                count=len(ints),
+            )
+            if c.destination_port_range is not None:
+                low, high = c.destination_port_range
+                ok |= (ints >= low) & (ints <= high)
+            return ok
+
+        dst = port_table(dst_col, dst_check) if dst_col in names else None
+
+        src = None
+        if src_col in names:
+            encoder = tr.encoder(src_col)
+            if isinstance(encoder, OneHotEncoder):
+
+                def src_check(c, ints):
+                    if c.source_port_range is None:
+                        return None
+                    low, high = c.source_port_range
+                    return (ints >= low) & (ints <= high)
+
+                # For range-free events validity_mask applies no source-port
+                # check at all, so the table row must be all-True there --
+                # port_table's parseable-only default is wrong for them.
+                _, start, end, tbl = port_table(src_col, src_check)
+                for e, c in enumerate(constraints):
+                    if not skip[e] and c is not None and c.source_port_range is None:
+                        tbl[e] = True
+                src = ("table", src_col, start, end, tbl)
+            else:
+                info = tr.column_info(src_col)
+                spec = tr.schema.column(src_col)
+                lo_bound = spec.minimum if spec.minimum is not None else -np.inf
+                hi_bound = spec.maximum if spec.maximum is not None else np.inf
+                lo = np.full(n_events, np.iinfo(np.int64).min, dtype=np.int64)
+                hi = np.full(n_events, np.iinfo(np.int64).max, dtype=np.int64)
+                active = np.zeros(n_events, dtype=bool)
+                for e, c in enumerate(constraints):
+                    if skip[e] or c is None or c.source_port_range is None:
+                        continue
+                    active[e] = True
+                    lo[e], hi[e] = c.source_port_range
+                src = (
+                    "range", src_col, info.start, info.end,
+                    encoder.gmm.means, encoder.gmm.stds,
+                    lo_bound, hi_bound, lo, hi, active,
+                )
+
+        info_e = tr.column_info(event_col)
+        self._validity_tables_cache = (info_e.start, info_e.end, base, member, dst, src)
+        return self._validity_tables_cache
+
+    def _record_tables(self):
+        """Category-index views of :meth:`_validity_tables` for record dicts.
+
+        Scoring a corrupted-record pool only needs ``{value: category_index}``
+        dict lookups into the same precoded tables.  Returns ``None`` when
+        the tables are unavailable.
+        """
+        cached = getattr(self, "_record_tables_cache", "unset")
+        if cached != "unset":
+            return cached
+        tables = self._validity_tables()
+        if tables is None:
+            self._record_tables_cache = None
+            return None
+        _, _, base, member, dst, src = tables
+        fm = self.validator.reasoner.field_map
+
+        def index_for(col: str) -> dict:
+            return {v: i for i, v in enumerate(self.transformer.encoder(col).categories)}
+
+        cat_checks = [(col, index_for(col), tbl) for col, _, _, tbl in member]
+        if dst is not None:
+            col, _, _, tbl = dst
+            cat_checks.append((col, index_for(col), tbl))
+        src_range = None
+        if src is not None:
+            if src[0] == "table":
+                _, col, _, _, tbl = src
+                cat_checks.append((col, index_for(col), tbl))
+            else:
+                col, lo, hi, active = src[1], src[8], src[9], src[10]
+                src_range = (col, lo, hi, active)
+        event_col = fm["event_type"]
+        self._record_tables_cache = (
+            event_col, index_for(event_col), base, cat_checks, src_range
+        )
+        return self._record_tables_cache
+
+    def _pool_scores(self, records: list[dict]) -> np.ndarray:
+        """Per-record validity of full record dicts, mirroring ``is_valid``.
+
+        Resolves each record against the precoded tables with one dict
+        lookup per constrained column.  Any value outside the encoders'
+        category lists falls back to the reasoner's per-record query for
+        that record, so the scores are always exactly ``is_valid``'s.
+        """
+        tables = self._record_tables()
+        if tables is None:
+            return self.validator.record_scores(records)
+        event_col, event_index, base, cat_checks, src_range = tables
+        reasoner = self.validator.reasoner
+        missing = object()
+        scores = np.empty(len(records), dtype=np.float64)
+        for i, record in enumerate(records):
+            event = record.get(event_col)
+            if event is None:
+                scores[i] = 1.0
+                continue
+            e = event_index.get(event)
+            if e is None:
+                scores[i] = 1.0 if reasoner.is_valid(record) else 0.0
+                continue
+            if not base[e]:
+                scores[i] = 0.0
+                continue
+            ok = True
+            fallback = False
+            for col, index, tbl in cat_checks:
+                value = record.get(col, missing)
+                if value is missing:
+                    continue
+                j = index.get(value)
+                if j is None:
+                    fallback = True
+                    break
+                if not tbl[e, j]:
+                    ok = False
+                    break
+            if fallback:
+                scores[i] = 1.0 if reasoner.is_valid(record) else 0.0
+                continue
+            if ok and src_range is not None:
+                col, lo, hi, active = src_range
+                if active[e] and col in record:
+                    try:
+                        port = int(float(record[col]))
+                    except (TypeError, ValueError):
+                        ok = False
+                    else:
+                        if not lo[e] <= port <= hi[e]:
+                            ok = False
+            scores[i] = 1.0 if ok else 0.0
+        return scores
+
+    def _hard_scores_fast(self, matrix: np.ndarray) -> np.ndarray:
+        """Exact validity of transformed rows, decoding KG columns only."""
+        tables = self._validity_tables()
+        if tables is not None:
+            e_start, e_end, base, member, dst, src = tables
+            event = np.argmax(matrix[:, e_start:e_end], axis=1)
+            valid = base[event]
+            for _, start, end, tbl in member:
+                valid &= tbl[event, np.argmax(matrix[:, start:end], axis=1)]
+            if dst is not None:
+                _, start, end, tbl = dst
+                valid &= tbl[event, np.argmax(matrix[:, start:end], axis=1)]
+            if src is not None:
+                if src[0] == "table":
+                    _, _, start, end, tbl = src
+                    valid &= tbl[event, np.argmax(matrix[:, start:end], axis=1)]
+                else:
+                    (_, _, start, end, means, stds,
+                     lo_bound, hi_bound, lo, hi, active) = src
+                    act = active[event]
+                    if act.any():
+                        modes = np.argmax(matrix[:, start + 1 : end], axis=1)
+                        alpha = np.clip(matrix[:, start], -1.0, 1.0)
+                        x = np.clip(
+                            alpha * 4.0 * stds[modes] + means[modes], lo_bound, hi_bound
+                        )
+                        finite = np.isfinite(x)
+                        ints = np.trunc(np.where(finite, x, 0.0)).astype(np.int64)
+                        valid &= ~act | (finite & (ints >= lo[event]) & (ints <= hi[event]))
+            return valid.astype(np.float64)
+
+        columns: dict[str, np.ndarray] = {}
+        for recipe in self._score_plan():
+            kind, name = recipe[0], recipe[1]
+            if kind == "onehot":
+                _, _, start, end, categories = recipe
+                columns[name] = categories[np.argmax(matrix[:, start:end], axis=1)]
+            elif kind == "mode":
+                _, _, start, end, means, stds, lo, hi = recipe
+                modes = np.argmax(matrix[:, start + 1 : end], axis=1)
+                alpha = np.clip(matrix[:, start], -1.0, 1.0)
+                columns[name] = np.clip(alpha * 4.0 * stds[modes] + means[modes], lo, hi)
+            else:
+                _, _, start, encoder, minimum, maximum = recipe
+                values = encoder.inverse_transform(matrix[:, start])
+                if minimum is not None:
+                    values = np.maximum(values, minimum)
+                if maximum is not None:
+                    values = np.minimum(values, maximum)
+                columns[name] = values
+        return self.validator.reasoner.validity_mask(columns).astype(np.float64)
+
     def hard_scores_matrix(self, matrix: np.ndarray, batch_size: int = 0) -> np.ndarray:
         """Exact validity of transformed rows (decoded internally).
 
+        Only the KG-relevant columns are decoded (see :meth:`_score_plan`);
+        the result is bit-identical to scoring the fully decoded table.
         With ``batch_size > 0`` the matrix is decoded and scored in chunks,
         which bounds peak memory when callers estimate validity over large
         generated samples.
         """
+        matrix = np.asarray(matrix, dtype=np.float64)
         if batch_size <= 0 or len(matrix) <= batch_size:
-            return self.hard_scores(self.transformer.inverse_transform(matrix))
+            return self._hard_scores_fast(matrix)
         chunks = [
-            self.hard_scores(self.transformer.inverse_transform(matrix[start : start + batch_size]))
+            self._hard_scores_fast(matrix[start : start + batch_size])
             for start in range(0, len(matrix), batch_size)
         ]
         return np.concatenate(chunks)
@@ -180,10 +521,12 @@ class KnowledgeGuidedDiscriminator:
 
     def train_step(
         self,
-        real_table: Table,
+        real_table: Table | None,
         real_matrix: np.ndarray,
         fake_matrix: np.ndarray,
         negatives: int = 64,
+        real_valid: np.ndarray | None = None,
+        real_records: list[dict] | None = None,
     ) -> float:
         """One optimisation step of the learned head.
 
@@ -191,15 +534,33 @@ class KnowledgeGuidedDiscriminator:
         their exact validity is re-checked so mislabelled rows are dropped.
         Negatives: corrupted copies of real rows that the hard check rejects,
         plus generated rows the hard check rejects.
+
+        The exact validity of real rows and their record dicts never change
+        across a fit, so callers that repeatedly draw batches from one table
+        (the KiNETGAN trainer) pass per-fit cached ``real_valid`` scores and
+        ``real_records`` dicts instead of ``real_table``; the validator query
+        and the per-row dict materialisation then run once per fit rather
+        than once per step, with bit-identical results.
         """
         if self.head is None or self._optimizer is None:
             return 0.0
-        records = real_table.to_records()
-        real_valid = self.validator.table_scores(real_table)
+        if real_valid is None:
+            if real_table is None:
+                raise ValueError("train_step needs real_table when real_valid is not given")
+            real_valid = self.validator.table_scores(real_table)
 
-        # Manufacture invalid records by corrupting real ones.
-        pool = self._corrupt_records(records[: max(negatives, 1)])
-        pool_scores = self.validator.record_scores(pool)
+        # Manufacture invalid records by corrupting real ones.  Only the
+        # first ``negatives`` rows are corrupted, so only those are
+        # materialised as record dicts.
+        if real_records is None:
+            if real_table is None:
+                raise ValueError("train_step needs real_table when real_records is not given")
+            limit = min(real_table.n_rows, max(negatives, 1))
+            real_records = [real_table.row(i) for i in range(limit)]
+        else:
+            real_records = real_records[: max(negatives, 1)]
+        pool = self._corrupt_records(real_records)
+        pool_scores = self._pool_scores(pool)
         invalid_records = [r for r, s in zip(pool, pool_scores) if s == 0.0]
 
         inputs = [real_matrix]
@@ -267,6 +628,21 @@ class KnowledgeGuidedDiscriminator:
         self._valid_mask_cache[key] = mask
         return mask
 
+    def _valid_indices(self, column: str, event_name: str, start: int) -> np.ndarray | None:
+        """Global column indices of the KG-valid categories, cached.
+
+        The cached array is exactly ``start + nonzero(_valid_mask(...))``;
+        caching it keeps the hot loop of :meth:`valid_set_loss_and_grad`
+        free of per-call mask-to-index conversions.
+        """
+        key = (column, event_name)
+        if key in self._valid_idx_cache:
+            return self._valid_idx_cache[key]
+        mask = self._valid_mask(column, event_name)
+        idx = None if mask is None else start + np.nonzero(mask)[0]
+        self._valid_idx_cache[key] = idx
+        return idx
+
     def valid_set_loss_and_grad(
         self, fake_matrix: np.ndarray, condition_values
     ) -> tuple[float, np.ndarray]:
@@ -320,20 +696,37 @@ class KnowledgeGuidedDiscriminator:
             if column == self._event_column or not schema.column(column).is_categorical:
                 continue
             info = self.transformer.column_info(column)
-            block_slice = slice(info.start, info.end)
-            block = np.clip(fake_matrix[:, block_slice], eps, 1.0)
-            columns_global = np.arange(info.start, info.end)
+            start, end = info.start, info.end
+            # One clipped copy of the block per column, shared by every
+            # event's row select below (clip is elementwise, so
+            # clip-then-select equals select-then-clip bit for bit; the
+            # contiguous block makes the per-event row gathers cheap).
+            block = np.clip(fake_matrix[:, start:end], eps, 1.0)
+            gblock: np.ndarray | None = None
             for event_id, event_name in enumerate(event_names):
                 if event_name is None:
                     continue
-                mask = self._valid_mask(column, str(event_name))
-                if mask is None:
+                # Cached scatter targets; ``None`` means the KG does not
+                # constrain this (column, event) pair.
+                idx = self._valid_indices(column, str(event_name), start)
+                if idx is None:
                     continue
+                mask = self._valid_mask(column, str(event_name))
                 rows = event_rows[event_id]
-                mass = np.clip(block[rows][:, mask].sum(axis=1), eps, 1.0)
-                total_loss += float(-np.log(mass).sum())
-                grad[rows[:, None], columns_global[mask][None, :]] += -1.0 / mass[:, None]
+                mass = block[rows][:, mask].sum(axis=1)
+                np.clip(mass, eps, 1.0, out=mass)
+                # Events partition the rows, so each (row, column) cell is
+                # written by exactly one event: plain assignment into a
+                # per-column buffer replaces the fancy ``+=`` on the full
+                # gradient (read-modify-write of a zero is the same write).
+                if gblock is None:
+                    gblock = np.zeros((fake_matrix.shape[0], end - start))
+                gblock[rows[:, None], (idx - start)[None, :]] = -1.0 / mass[:, None]
+                np.log(mass, out=mass)
+                total_loss += float(-mass.sum())
                 total_terms += len(rows)
+            if gblock is not None:
+                grad[:, start:end] = gblock
         if total_terms == 0:
             return 0.0, grad
         grad /= total_terms

@@ -87,9 +87,25 @@ class _HistoryAdapter(Callback):
 class KiNETGANStep(TrainStep):
     """One KiNETGAN mini-batch update (paper figure 1), engine-pluggable."""
 
-    def __init__(self, trainer: "KiNETGANTrainer", real_matrix: np.ndarray) -> None:
+    def __init__(
+        self,
+        trainer: "KiNETGANTrainer",
+        real_matrix: np.ndarray,
+        table: Table | None = None,
+    ) -> None:
         self.trainer = trainer
         self.real_matrix = real_matrix
+        # Real rows never change across a fit, so their exact KG validity
+        # and record dicts are computed once here instead of once per step;
+        # each step then just gathers by the sampled row indices.  The
+        # validator is deterministic (no rng draws), so this is
+        # bit-identical to the per-step query.
+        self._kg_valid: np.ndarray | None = None
+        self._kg_records: list[dict] | None = None
+        kg = trainer.kg_discriminator
+        if kg is not None and kg.head is not None and table is not None:
+            self._kg_valid = kg.hard_scores(table)
+            self._kg_records = [table.row(i) for i in range(table.n_rows)]
 
     def step(self, rng: np.random.Generator, batch_index: int) -> dict[str, float]:
         trainer = self.trainer
@@ -108,13 +124,27 @@ class KiNETGANStep(TrainStep):
 
         k_loss = 0.0
         if trainer.kg_discriminator is not None and cond is not None:
-            real_rows = trainer.sampler.real_batch(cond)
-            k_loss = trainer.kg_discriminator.train_step(
-                real_table=real_rows,
-                real_matrix=self.real_matrix[cond.row_indices],
-                fake_matrix=fake_for_kg,
-                negatives=config.knowledge_negatives_per_batch,
-            )
+            if self._kg_valid is not None and self._kg_records is not None:
+                # ``real`` is the last d-step's gather of the same indices,
+                # so it is reused rather than gathered a second time.
+                idx = cond.row_indices
+                limit = max(config.knowledge_negatives_per_batch, 1)
+                k_loss = trainer.kg_discriminator.train_step(
+                    real_table=None,
+                    real_matrix=real,
+                    fake_matrix=fake_for_kg,
+                    negatives=config.knowledge_negatives_per_batch,
+                    real_valid=self._kg_valid[idx],
+                    real_records=[self._kg_records[i] for i in idx[:limit]],
+                )
+            else:
+                real_rows = trainer.sampler.real_batch(cond)
+                k_loss = trainer.kg_discriminator.train_step(
+                    real_table=real_rows,
+                    real_matrix=self.real_matrix[cond.row_indices],
+                    fake_matrix=fake_for_kg,
+                    negatives=config.knowledge_negatives_per_batch,
+                )
 
         g_loss, c_loss, kg_gen_loss = trainer._generator_step(config)
         return {
@@ -190,6 +220,10 @@ class KiNETGANTrainer:
             self.discriminator.parameters(), lr=config.discriminator_lr, betas=(0.5, 0.9)
         )
         self._bce = BinaryCrossEntropy(from_logits=True)
+        # Constant BCE target arrays, cached per logits shape: the three
+        # discriminator/generator BCE terms per step would otherwise rebuild
+        # identical ones/zeros batches thousands of times per fit.
+        self._bce_targets: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
         self.history = TrainingHistory()
         self.engine: TrainingEngine | None = None
 
@@ -198,7 +232,7 @@ class KiNETGANTrainer:
         """Train on ``table`` (already the table the sampler was built from)."""
         config = self.config
         real_matrix = self.transformer.transform(table, rng=self.rng)
-        step = KiNETGANStep(self, real_matrix)
+        step = KiNETGANStep(self, real_matrix, table=table)
         callbacks: list[Callback] = [_HistoryAdapter(self.history)]
         callbacks += config.engine_callbacks(
             prefix="[KiNETGAN]",
@@ -229,15 +263,24 @@ class KiNETGANTrainer:
         return {"validity": validity}
 
     # ------------------------------------------------------------------ #
+    def _targets(self, shape: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(ones, zeros)`` BCE target arrays for ``shape``."""
+        cached = self._bce_targets.get(shape)
+        if cached is None:
+            cached = (np.ones(shape), np.zeros(shape))
+            self._bce_targets[shape] = cached
+        return cached
+
     def _discriminator_step(
         self, real: np.ndarray, fake: np.ndarray, condition: np.ndarray
     ) -> float:
         self.discriminator.zero_grad()
         logits_real = self.discriminator.forward(real, condition, training=True)
-        loss_real = self._bce.forward(logits_real, np.ones_like(logits_real))
+        ones, zeros = self._targets(logits_real.shape)
+        loss_real = self._bce.forward(logits_real, ones)
         self.discriminator.backward(self._bce.backward())
         logits_fake = self.discriminator.forward(fake, condition, training=True)
-        loss_fake = self._bce.forward(logits_fake, np.zeros_like(logits_fake))
+        loss_fake = self._bce.forward(logits_fake, zeros)
         self.discriminator.backward(self._bce.backward())
         self._opt_d.step()
         return loss_real + loss_fake
@@ -249,7 +292,8 @@ class KiNETGANTrainer:
 
         # Adversarial (non-saturating) term through D_M.
         logits_fake = self.discriminator.forward(fake, cond.vector, training=True)
-        adv_loss = self._bce.forward(logits_fake, np.ones_like(logits_fake))
+        ones, _zeros = self._targets(logits_fake.shape)
+        adv_loss = self._bce.forward(logits_fake, ones)
         grad_fake = self.discriminator.backward(self._bce.backward())
         self.discriminator.zero_grad()
 
@@ -260,7 +304,7 @@ class KiNETGANTrainer:
         # the exact valid-set penalty obtained by querying the KG with the
         # sampled condition values (section III-B-1).
         kg_loss = 0.0
-        grad_kg = 0.0
+        grad_kg: np.ndarray | float = 0.0
         if self.kg_discriminator is not None and config.lambda_knowledge > 0:
             kg_loss, grad_kg = self.kg_discriminator.generator_loss_and_grad(fake)
             if config.use_valid_set_loss:
@@ -268,13 +312,22 @@ class KiNETGANTrainer:
                     fake, cond
                 )
                 kg_loss += vs_loss
-                grad_kg = grad_kg + grad_vs
+                grad_kg += grad_vs
 
-        total_grad = (
-            grad_fake
-            + config.lambda_condition * grad_cond
-            + config.lambda_knowledge * grad_kg
-        )
+        # ``grad_fake + lambda_c * grad_cond + lambda_k * grad_kg`` fused in
+        # place through ``grad_cond`` (both penalty grads are freshly
+        # allocated per call).  IEEE addition is commutative bitwise, so
+        # accumulating left-to-right into the scaled condition grad matches
+        # the reference expression exactly while dropping three batch-sized
+        # temporaries per generator step.
+        np.multiply(grad_cond, config.lambda_condition, out=grad_cond)
+        grad_cond += grad_fake
+        if isinstance(grad_kg, np.ndarray):
+            np.multiply(grad_kg, config.lambda_knowledge, out=grad_kg)
+            grad_cond += grad_kg
+        else:
+            grad_cond += config.lambda_knowledge * grad_kg
+        total_grad = grad_cond
         self.generator.zero_grad()
         self.generator.backward(total_grad)
         self._opt_g.step()

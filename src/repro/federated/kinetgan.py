@@ -96,6 +96,24 @@ class FederatedKiNETGANSite:
         self.trainer.generator.network.load_state_dict(copy_state(generator_state))
         self.trainer.discriminator.network.load_state_dict(copy_state(discriminator_state))
 
+    def load_flat_state(
+        self,
+        generator_codec: StateCodec,
+        generator_vector: np.ndarray,
+        discriminator_codec: StateCodec,
+        discriminator_vector: np.ndarray,
+    ) -> None:
+        """Load broadcast flat parameter vectors directly into the networks.
+
+        ``StateCodec.decode_into`` copies each vector straight into the live
+        network arrays (one ``np.copyto`` for arena-backed networks), so the
+        broadcast needs no intermediate per-tensor state dictionary.
+        """
+        generator_codec.decode_into(generator_vector, self.trainer.generator.network.state_dict())
+        discriminator_codec.decode_into(
+            discriminator_vector, self.trainer.discriminator.network.state_dict()
+        )
+
     def train_local(self, epochs: int) -> dict[str, float]:
         """Run ``epochs`` local KiNETGAN epochs on the private table."""
         if epochs <= 0:
@@ -277,10 +295,14 @@ def _run_site_round(task: _SiteRoundTask) -> tuple[dict, dict[str, list[float]],
     site.load_trainer_state(task.trainer_state)
     generator_codec: StateCodec = task.generator_codec.resolve()
     discriminator_codec: StateCodec = task.discriminator_codec.resolve()
-    # Broadcast buffers are only valid for the round; decode copies.
-    site.set_state(
-        generator_codec.decode(np.array(task.global_generator.resolve(), copy=True)),
-        discriminator_codec.decode(np.array(task.global_discriminator.resolve(), copy=True)),
+    # Broadcast buffers are only valid for the round; decode_into copies the
+    # shared vectors straight into the live network arrays (no intermediate
+    # state dict, and a single memcpy per network when arenas are intact).
+    site.load_flat_state(
+        generator_codec,
+        np.asarray(task.global_generator.resolve()),
+        discriminator_codec,
+        np.asarray(task.global_discriminator.resolve()),
     )
     lengths = site.history_lengths()
     metrics = site.train_local(task.local_epochs)

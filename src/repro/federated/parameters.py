@@ -62,6 +62,18 @@ class StateCodec:
             self._spans[key] = (cursor, cursor + size)
             cursor += size
         self.dim = cursor
+        # Last verified flat view: the exact arrays of an arena-backed state
+        # plus the contiguous view covering them.  Holding the arrays pins
+        # their identities, so an all-``is`` match on a later call proves the
+        # walk's conclusion still holds without re-reading data pointers.
+        self._fast_cache: tuple[tuple[np.ndarray, ...], np.ndarray] | None = None
+
+    def __getstate__(self) -> dict:
+        # The cached arrays are live model parameters; pickled codecs must
+        # not drag a whole network's state along.
+        state = self.__dict__.copy()
+        state["_fast_cache"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     @property
@@ -80,10 +92,75 @@ class StateCodec:
                 )
 
     # ------------------------------------------------------------------ #
+    def _flat_view(self, state: StateDict) -> np.ndarray | None:
+        """One contiguous view covering ``state`` in layout order, or ``None``.
+
+        The states of arena-consolidated networks (see
+        :mod:`repro.neural.arena`) are float64 views laid out back-to-back in
+        this codec's sorted-key order inside one flat buffer; detecting that
+        turns :meth:`encode` / :meth:`decode_into` into a single ``memcpy``.
+        The check walks the entries once (O(keys) pointer arithmetic) and
+        caches its verdict against the exact array objects, so the steady
+        state -- a resident site encoding the same live network every round
+        -- pays only an identity sweep before the copy.
+        """
+        if not self.keys:
+            return None
+        cached = getattr(self, "_fast_cache", None)
+        if cached is not None and len(state) == len(self.keys):
+            values, flat = cached
+            for key, value in zip(self.keys, values):
+                if state.get(key) is not value:
+                    break
+            else:
+                return flat
+        first = state.get(self.keys[0])
+        if not isinstance(first, np.ndarray):
+            return None
+        itemsize = np.dtype(np.float64).itemsize
+        expected = first.__array_interface__["data"][0]
+        begin = expected
+        root = first
+        while isinstance(root.base, np.ndarray):
+            root = root.base
+        # A remaining non-None base means foreign memory (memoryview, mmap,
+        # pickle buffer); offset arithmetic against it is not worth trusting.
+        if root.base is not None or root.dtype != np.float64 or not root.flags.c_contiguous:
+            return None
+        for key in self.keys:
+            value = state.get(key)
+            if (
+                not isinstance(value, np.ndarray)
+                or value.dtype != np.float64
+                or not value.flags.c_contiguous
+                or value.shape != self.shapes[key]
+            ):
+                return None
+            if value.__array_interface__["data"][0] != expected:
+                return None
+            expected += value.nbytes
+        if len(state) != len(self.keys) or expected - begin != self.dim * itemsize:
+            return None
+        root_begin = root.__array_interface__["data"][0]
+        offset, remainder = divmod(begin - root_begin, itemsize)
+        if remainder or offset < 0 or offset + self.dim > root.size:
+            return None
+        view = root.reshape(-1)[offset : offset + self.dim]
+        self._fast_cache = (tuple(state[key] for key in self.keys), view)
+        return view
+
     def encode(self, state: StateDict, out: np.ndarray | None = None) -> np.ndarray:
-        """Flatten ``state`` into a ``(dim,)`` float64 vector."""
-        self._validate(state)
+        """Flatten ``state`` into a ``(dim,)`` float64 vector.
+
+        Arena-backed states (contiguous float64 views in layout order) are
+        encoded with one ``np.copyto``; anything else takes the per-key path.
+        """
         vector = out if out is not None else np.empty(self.dim, dtype=np.float64)
+        flat = self._flat_view(state)
+        if flat is not None:
+            np.copyto(vector, flat)
+            return vector
+        self._validate(state)
         for key in self.keys:
             start, end = self._spans[key]
             vector[start:end] = np.asarray(state[key], dtype=np.float64).ravel()
@@ -117,6 +194,27 @@ class StateCodec:
             if np.issubdtype(dtype, np.floating):
                 chunk = chunk.astype(dtype, copy=False)
             state[key] = chunk
+        return state
+
+    def decode_into(self, vector: np.ndarray, state: StateDict) -> StateDict:
+        """Copy a flat ``vector`` into an existing state's arrays in place.
+
+        The in-place inverse of :meth:`encode`: where :meth:`decode` builds a
+        standalone dictionary (what aggregation wants), this fills the live
+        arrays of an already-built model -- the broadcast path of a resident
+        federated site.  Arena-backed states take a single ``np.copyto``.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected a ({self.dim},) vector, got shape {vector.shape}")
+        flat = self._flat_view(state)
+        if flat is not None:
+            np.copyto(flat, vector)
+            return state
+        self._validate(state)
+        for key in self.keys:
+            start, end = self._spans[key]
+            state[key][...] = vector[start:end].reshape(self.shapes[key])
         return state
 
 

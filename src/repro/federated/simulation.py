@@ -58,7 +58,9 @@ class DetectorFactory:
             layers.append(ReLU())
             width = hidden
         layers.append(Dense(width, self.n_classes, rng=rng, init="glorot"))
-        return Sequential(layers)
+        network = Sequential(layers)
+        network.consolidate()
+        return network
 
 
 @dataclass

@@ -10,6 +10,7 @@ into per-event constraint tables the first time it is used.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -24,7 +25,6 @@ from repro.knowledge.builder import (
 from repro.knowledge.catalog import DEFAULT_FIELD_MAP
 from repro.knowledge.graph import KnowledgeGraph
 from repro.knowledge.rules import ImplicationRule, MembershipRule, RuleSet, RuleViolation
-from repro.tabular.table import factorize_values
 
 __all__ = ["EventConstraints", "KGReasoner"]
 
@@ -99,6 +99,25 @@ class KGReasoner:
         self.field_map = dict(field_map) if field_map is not None else dict(DEFAULT_FIELD_MAP)
         self._constraints: dict[str, EventConstraints] = {}
         self._compile()
+        # Lazily-built lookup registries for the batched validity mask; the
+        # constraint set is immutable after _compile(), so cached lookups
+        # never go stale.  Guarded by a lock because federated thread
+        # executors may share one reasoner across sites.
+        self._batch_tables: dict | None = None
+        self._batch_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks cannot be pickled and the batch registries are a pure cache;
+        # both are rebuilt lazily on the other side.
+        state = self.__dict__.copy()
+        state["_batch_tables"] = None
+        state["_batch_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._batch_tables = None
+        self._batch_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Compilation from triples
@@ -282,6 +301,44 @@ class KGReasoner:
     # ------------------------------------------------------------------ #
     # Batched validity (the vectorized form of the "Q" query)
     # ------------------------------------------------------------------ #
+    _MEMBERSHIP_ATTRS = {
+        "protocol": "protocols",
+        "source_ip": "source_ips",
+        "destination_ip": "destination_ips",
+    }
+
+    def _batch_registries(self) -> dict:
+        """Lazily-built persistent lookup state for :meth:`validity_mask`.
+
+        Value -> code registries grow monotonically across calls (first-seen
+        order), so the per-(event, role) allowed-value bitmaps and the sorted
+        per-event port arrays are computed once and reused every step instead
+        of being rebuilt per batch.
+        """
+        with self._batch_lock:
+            if self._batch_tables is None:
+                self._batch_tables = {
+                    "event_codes": {},  # event value -> code
+                    "event_info": [],   # code -> EventConstraints | "skip" | None
+                    "role_codes": {role: {} for role in self._MEMBERSHIP_ATTRS},
+                    "allowed": {},      # (role, event_code) -> bool lookup array
+                    "dst_ports": {      # event name -> sorted unique port array
+                        name: np.array(sorted(c.destination_ports), dtype=np.int64)
+                        for name, c in self._constraints.items()
+                    },
+                }
+        return self._batch_tables
+
+    def _allowed_lookup(self, tables: dict, role: str, event_id: int, allowed: set) -> np.ndarray:
+        """Bool array mapping a role's value codes to set membership."""
+        registry = tables["role_codes"][role]
+        lookup = tables["allowed"].get((role, event_id))
+        if lookup is None or lookup.size < len(registry):
+            values = list(registry)  # insertion order == code order
+            lookup = np.fromiter((v in allowed for v in values), dtype=bool, count=len(values))
+            tables["allowed"][(role, event_id)] = lookup
+        return lookup
+
     def validity_mask(self, table_or_columns) -> np.ndarray:
         """Per-row validity of a whole table as one boolean array.
 
@@ -291,6 +348,12 @@ class KGReasoner:
         checked with batched numpy operations, so the cost is a few C passes
         per event instead of one Python ``violations()`` call per row.  The
         semantics match :meth:`is_valid` row for row.
+
+        Because the constraint tables are immutable, the value -> code
+        registries and per-event allowed-value lookups live on the reasoner
+        and persist across calls: in steady state each call costs one
+        registry-mapping pass per constrained column plus a few small indexed
+        reads per event, with no per-batch set scans or ``np.isin`` calls.
         """
         if isinstance(table_or_columns, Mapping):
             names = list(table_or_columns.keys())
@@ -309,19 +372,33 @@ class KGReasoner:
             # record path, where a missing event type yields no violations).
             return valid
 
-        event_codes, event_names = factorize_values(
-            np.asarray(get_column(event_column), dtype=object)
+        tables = self._batch_registries()
+        event_registry = tables["event_codes"]
+        ev_setdefault = event_registry.setdefault
+        event_codes = np.fromiter(
+            (ev_setdefault(v, len(event_registry)) for v in get_column(event_column)),
+            dtype=np.int64,
+            count=n_rows,
         )
+        event_info = tables["event_info"]
+        if len(event_registry) > len(event_info):
+            with self._batch_lock:
+                for value, _code in list(event_registry.items())[len(event_info):]:
+                    if value is None:
+                        event_info.append("skip")
+                    else:
+                        event_info.append(self._constraints.get(value))
 
-        # Factorize each membership-constrained column once; per event the
-        # allowed set then reduces to a boolean lookup over the uniques.
-        membership_roles = ("protocol", "source_ip", "destination_ip")
-        factorized: dict[str, tuple[np.ndarray, list]] = {}
-        for role in membership_roles:
+        membership: dict[str, np.ndarray] = {}
+        for role in self._MEMBERSHIP_ATTRS:
             column = fm.get(role)
             if column in names:
-                factorized[role] = factorize_values(
-                    np.asarray(get_column(column), dtype=object)
+                registry = tables["role_codes"][role]
+                rsetdefault = registry.setdefault
+                membership[role] = np.fromiter(
+                    (rsetdefault(v, len(registry)) for v in get_column(column)),
+                    dtype=np.int64,
+                    count=n_rows,
                 )
 
         numeric: dict[str, tuple[np.ndarray, np.ndarray]] = {}
@@ -330,32 +407,34 @@ class KGReasoner:
             if column in names:
                 numeric[role] = _numeric_column(get_column(column))
 
-        for event_id, event_name in enumerate(event_names):
+        for event_id in np.unique(event_codes):
             rows = np.nonzero(event_codes == event_id)[0]
-            if event_name is None:
+            constraints = event_info[event_id]
+            if constraints == "skip":  # event value was None
                 continue
-            constraints = self._constraints.get(event_name)
             if constraints is None:
                 valid[rows] = False
                 continue
-            for role in membership_roles:
-                allowed = getattr(
-                    constraints,
-                    {"protocol": "protocols", "source_ip": "source_ips",
-                     "destination_ip": "destination_ips"}[role],
-                )
-                if not allowed or role not in factorized:
+            for role, codes in membership.items():
+                allowed = getattr(constraints, self._MEMBERSHIP_ATTRS[role])
+                if not allowed:
                     continue
-                codes, uniques = factorized[role]
-                lookup = np.fromiter((u in allowed for u in uniques), dtype=bool,
-                                     count=len(uniques))
+                lookup = self._allowed_lookup(tables, role, int(event_id), allowed)
                 valid[rows] &= lookup[codes[rows]]
             if "destination_port" in numeric:
                 ports, parseable = numeric["destination_port"]
                 ok = parseable[rows].copy()
                 here = np.trunc(ports[rows][ok]).astype(np.int64)
                 if constraints.destination_ports or constraints.destination_port_range is not None:
-                    port_ok = np.isin(here, list(constraints.destination_ports))
+                    # Sorted-array membership == np.isin on the same set.
+                    allowed_ports = tables["dst_ports"][constraints.name]
+                    if allowed_ports.size:
+                        idx = np.minimum(
+                            np.searchsorted(allowed_ports, here), allowed_ports.size - 1
+                        )
+                        port_ok = allowed_ports[idx] == here
+                    else:
+                        port_ok = np.zeros(here.size, dtype=bool)
                     if constraints.destination_port_range is not None:
                         low, high = constraints.destination_port_range
                         port_ok |= (here >= low) & (here <= high)

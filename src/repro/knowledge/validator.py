@@ -56,9 +56,10 @@ class BatchValidator:
     def record_scores(self, records: list[dict]) -> np.ndarray:
         """Per-record validity as a float array of 0.0 / 1.0 values.
 
-        Records may constrain any subset of attributes, so this path stays
-        per-record; whole tables should go through :meth:`table_scores`,
-        which uses the reasoner's batched ``validity_mask``.
+        Records may constrain any subset of attributes; ``is_valid`` skips
+        constraints on attributes a record does not carry.  The per-record
+        loop beats repacking into the batched ``validity_mask`` at the pool
+        sizes the D_KG training step uses (a few dozen corrupted rows).
         """
         scores = np.empty(len(records), dtype=np.float64)
         for i, record in enumerate(records):

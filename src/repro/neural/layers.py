@@ -5,14 +5,25 @@ Every layer follows the same contract:
 * ``forward(x, training=True)`` consumes a ``(batch, features)`` array and
   returns the layer output, caching whatever is needed for the backward pass.
 * ``backward(grad_output)`` consumes the gradient of the loss with respect to
-  the layer output, accumulates parameter gradients into ``layer.grads`` and
-  returns the gradient with respect to the layer input.
+  the layer output, accumulates parameter gradients into ``layer.grads``,
+  returns the gradient with respect to the layer input, and releases the
+  cached forward activations (so the final batch of a fit is not pinned in
+  memory by resident federated sites or warm serving registries).
 * ``params`` / ``grads`` expose aligned lists of parameter and gradient
   arrays so optimizers can update them in place.
 
 Gradients *accumulate* across backward calls until :meth:`Layer.zero_grad`
 is invoked; this mirrors the PyTorch convention and makes multi-term GAN
 losses (e.g. the KiNETGAN condition penalty) straightforward.
+
+Two optional fast paths, both bit-identical to the plain code:
+
+* **Arena consolidation** (:mod:`repro.neural.arena`): a layer describes its
+  state entries through :meth:`Layer.arena_entries` so ``Sequential`` can
+  re-house parameters and gradients as views into one flat buffer.
+* **Workspace buffers** (:mod:`repro.neural.workspace`): once a workspace is
+  bound via :meth:`Layer.bind_workspace`, forward/backward run through
+  recycled ``out=`` buffers instead of allocating fresh batch-sized arrays.
 """
 
 from __future__ import annotations
@@ -41,9 +52,17 @@ _INITIALIZERS = {
     "normal": normal_init,
 }
 
+#: All-ones float64 bit pattern; ``bool_mask * _U64_ALL`` builds the word
+#: mask the bit-select activation backward passes use.
+_U64_ALL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
 
 class Layer:
     """Base class for all layers."""
+
+    #: Shared step workspace, bound by ``Sequential.consolidate()``.  A class
+    #: attribute so unbound (and un-pickled legacy) instances read ``None``.
+    _ws = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         raise NotImplementedError
@@ -65,12 +84,35 @@ class Layer:
         for g in self.grads:
             g.fill(0.0)
 
+    def bind_workspace(self, workspace) -> None:
+        """Attach a shared step workspace (see :mod:`repro.neural.workspace`)."""
+        self._ws = workspace
+
+    def arena_entries(self) -> list[tuple[str, object, str, str | None]] | None:
+        """Arena consolidation spec: ``(state_key, owner, attr, grad_attr)``.
+
+        One tuple per :meth:`state_dict` entry; ``grad_attr`` is ``None``
+        for non-trainable buffers.  Returning ``None`` is the documented
+        opt-out for layers whose state cannot be rebound to arena views --
+        it disables consolidation for the enclosing network, which then
+        stays on per-tensor storage.  This base implementation opts
+        stateless layers in and any stateful layer that has not described
+        its attribute bindings out.
+        """
+        if self.params or self.state_dict():
+            return None
+        return []
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Serialisable layer state (parameters plus buffers)."""
         return {}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Restore state produced by :meth:`state_dict`."""
+        """Restore state produced by :meth:`state_dict`.
+
+        Values are copied into the existing arrays, which keeps arena views
+        (and optimizer bindings) intact.
+        """
         for key, value in self.state_dict().items():
             if key not in state:
                 raise KeyError(f"missing key {key!r} in state dict")
@@ -111,9 +153,14 @@ class Dense(Layer):
                 f"Dense expected input of shape (batch, {self.in_features}), got {x.shape}"
             )
         self._cache_input = x
-        out = x @ self.weight
+        ws = self._ws
+        if ws is None:
+            out = x @ self.weight
+        else:
+            out = ws.buffer(self, "fwd", (x.shape[0], self.out_features))
+            np.dot(x, self.weight, out=out)
         if self.use_bias:
-            # In-place add: the matmul result is freshly allocated, so this
+            # In-place add: the matmul result is scratch either way, so this
             # avoids a second full-batch array per layer per step.
             out += self.bias
         return out
@@ -122,10 +169,28 @@ class Dense(Layer):
         if self._cache_input is None:
             raise RuntimeError("backward called before forward")
         x = self._cache_input
-        self.grad_weight += x.T @ grad_output
-        if self.use_bias:
-            self.grad_bias += grad_output.sum(axis=0)
-        return grad_output @ self.weight.T
+        ws = self._ws
+        if ws is None:
+            self.grad_weight += x.T @ grad_output
+            if self.use_bias:
+                self.grad_bias += grad_output.sum(axis=0)
+            grad_input = grad_output @ self.weight.T
+        else:
+            # np.dot hands BLAS the transposed operands via gemm flags where
+            # np.matmul would materialise ``x.T`` / ``weight.T`` copies first;
+            # the results are bit-identical (same dgemm call).  add.reduce is
+            # what np.sum delegates to, minus the Python dispatch wrapper.
+            gw = ws.buffer(self, "gw", self.weight.shape)
+            np.dot(x.T, grad_output, out=gw)
+            self.grad_weight += gw
+            if self.use_bias:
+                gb = ws.buffer(self, "gb", self.bias.shape)
+                np.add.reduce(grad_output, axis=0, out=gb)
+                self.grad_bias += gb
+            grad_input = ws.buffer(self, "bwd", (grad_output.shape[0], self.in_features))
+            np.dot(grad_output, self.weight.T, out=grad_input)
+        self._cache_input = None
+        return grad_input
 
     @property
     def params(self) -> list[np.ndarray]:
@@ -139,6 +204,12 @@ class Dense(Layer):
             return [self.grad_weight, self.grad_bias]
         return [self.grad_weight]
 
+    def arena_entries(self) -> list[tuple[str, object, str, str | None]]:
+        entries = [("weight", self, "weight", "grad_weight")]
+        if self.use_bias:
+            entries.append(("bias", self, "bias", "grad_bias"))
+        return entries
+
     def state_dict(self) -> dict[str, np.ndarray]:
         state = {"weight": self.weight}
         if self.use_bias:
@@ -150,38 +221,110 @@ class Dense(Layer):
 
 
 class ReLU(Layer):
-    """Rectified linear unit."""
+    """Rectified linear unit.
+
+    ``maximum(x, 0.0)`` is bit-identical to ``where(x > 0, x, 0.0)`` for all
+    non-NaN inputs (numpy's maximum resolves the ``-0.0`` tie to ``+0.0``,
+    matching the ``where`` form); branchless, it runs several times faster
+    than the masked select.  NaN inputs propagate instead of being zeroed --
+    by then training is already broken.
+    """
 
     def __init__(self) -> None:
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        self._mask = x > 0.0
-        return np.where(self._mask, x, 0.0)
+        ws = self._ws
+        if ws is None:
+            self._mask = x > 0.0
+            return np.maximum(x, 0.0)
+        mask = ws.buffer(self, "mask", x.shape, dtype=bool)
+        np.greater(x, 0.0, out=mask)
+        self._mask = mask
+        out = ws.buffer(self, "fwd", x.shape)
+        np.maximum(x, 0.0, out=out)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad_output * self._mask
+        ws = self._ws
+        if ws is None:
+            grad_input = grad_output * self._mask
+        else:
+            grad_input = ws.buffer(self, "bwd", grad_output.shape)
+            np.multiply(grad_output, self._mask, out=grad_input)
+        self._mask = None
+        return grad_input
 
 
 class LeakyReLU(Layer):
-    """Leaky ReLU with configurable negative slope (GAN discriminator default)."""
+    """Leaky ReLU with configurable negative slope (GAN discriminator default).
+
+    For ``0 < slope <= 1`` the forward pass uses the branchless
+    ``maximum(slope * x, x)``, which is bit-identical to
+    ``where(x > 0, x, slope * x)`` for every input (including ``+-0.0``,
+    infinities, denormals and NaN: both operands carry the sign of ``x`` and
+    NaN propagates through both forms) while avoiding the much slower masked
+    select.  Slopes outside that range keep the ``where`` form: at
+    ``slope == 0`` the ``slope * x`` operand turns infinities into NaN that
+    ``where`` would have discarded, and ``slope > 1`` flips the comparison.
+    """
 
     def __init__(self, negative_slope: float = 0.2) -> None:
         if negative_slope < 0:
             raise ValueError("negative_slope must be non-negative")
         self.negative_slope = negative_slope
+        self._branchless = 0.0 < negative_slope <= 1.0
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        self._mask = x > 0.0
-        return np.where(self._mask, x, self.negative_slope * x)
+        ws = self._ws
+        if ws is None:
+            self._mask = x > 0.0
+            if self._branchless:
+                return np.maximum(self.negative_slope * x, x)
+            return np.where(self._mask, x, self.negative_slope * x)
+        mask = ws.buffer(self, "mask", x.shape, dtype=bool)
+        np.greater(x, 0.0, out=mask)
+        self._mask = mask
+        out = ws.buffer(self, "fwd", x.shape)
+        if self._branchless:
+            np.multiply(x, self.negative_slope, out=out)
+            np.maximum(out, x, out=out)
+        else:
+            np.multiply(x, self.negative_slope, out=out)
+            np.copyto(out, x, where=mask)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad_output * np.where(self._mask, 1.0, self.negative_slope)
+        ws = self._ws
+        if ws is None:
+            grad_input = grad_output * np.where(self._mask, 1.0, self.negative_slope)
+        else:
+            grad_input = ws.buffer(self, "bwd", grad_output.shape)
+            np.multiply(grad_output, self.negative_slope, out=grad_input)
+            if grad_output.flags.c_contiguous:
+                # IEEE bit-select ``out = b ^ ((a ^ b) & m)`` replaying
+                # ``where(mask, grad, slope * grad)`` exactly: ``1.0 * g``
+                # is bitwise ``g``, so selecting grad's bits over the
+                # positive positions matches the reference for every value
+                # (signed zeros and NaN included), while the vectorized
+                # integer ops replace copyto's masked scalar loop, which is
+                # ~5x slower on this hot path.
+                m64 = ws.buffer(self, "m64", grad_output.shape, dtype=np.uint64)
+                np.multiply(self._mask, _U64_ALL, out=m64)
+                sel = ws.buffer(self, "sel", grad_output.shape, dtype=np.uint64)
+                bits = grad_input.view(np.uint64)
+                np.bitwise_xor(grad_output.view(np.uint64), bits, out=sel)
+                sel &= m64
+                bits ^= sel
+            else:
+                np.copyto(grad_input, grad_output, where=self._mask)
+        self._mask = None
+        return grad_input
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LeakyReLU({self.negative_slope})"
@@ -194,13 +337,28 @@ class Tanh(Layer):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        self._out = np.tanh(x)
+        ws = self._ws
+        if ws is None:
+            self._out = np.tanh(x)
+        else:
+            out = ws.buffer(self, "fwd", x.shape)
+            np.tanh(x, out=out)
+            self._out = out
         return self._out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward called before forward")
-        return grad_output * (1.0 - self._out**2)
+        ws = self._ws
+        if ws is None:
+            grad_input = grad_output * (1.0 - self._out**2)
+        else:
+            grad_input = ws.buffer(self, "bwd", grad_output.shape)
+            np.multiply(self._out, self._out, out=grad_input)
+            np.subtract(1.0, grad_input, out=grad_input)
+            np.multiply(grad_output, grad_input, out=grad_input)
+        self._out = None
+        return grad_input
 
 
 class Sigmoid(Layer):
@@ -210,13 +368,33 @@ class Sigmoid(Layer):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        ws = self._ws
+        if ws is None:
+            self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        else:
+            out = ws.buffer(self, "fwd", x.shape)
+            np.clip(x, -60.0, 60.0, out=out)
+            np.negative(out, out=out)
+            np.exp(out, out=out)
+            np.add(out, 1.0, out=out)
+            np.divide(1.0, out, out=out)
+            self._out = out
         return self._out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward called before forward")
-        return grad_output * self._out * (1.0 - self._out)
+        ws = self._ws
+        if ws is None:
+            grad_input = grad_output * self._out * (1.0 - self._out)
+        else:
+            grad_input = ws.buffer(self, "bwd", grad_output.shape)
+            np.multiply(grad_output, self._out, out=grad_input)
+            one_minus = ws.buffer(self, "bwd2", grad_output.shape)
+            np.subtract(1.0, self._out, out=one_minus)
+            np.multiply(grad_input, one_minus, out=grad_input)
+        self._out = None
+        return grad_input
 
 
 def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -243,6 +421,7 @@ class Softmax(Layer):
             raise RuntimeError("backward called before forward")
         s = self._out
         dot = (grad_output * s).sum(axis=-1, keepdims=True)
+        self._out = None
         return s * (grad_output - dot) / self.temperature
 
 
@@ -280,6 +459,7 @@ class GumbelSoftmax(Layer):
             raise RuntimeError("backward called before forward")
         s = self._out
         dot = (grad_output * s).sum(axis=-1, keepdims=True)
+        self._out = None
         return s * (grad_output - dot) / self.temperature
 
 
@@ -298,13 +478,36 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self.rng.uniform(size=x.shape) < keep) / keep
-        return x * self._mask
+        ws = self._ws
+        if ws is None:
+            self._mask = (self.rng.uniform(size=x.shape) < keep) / keep
+            return x * self._mask
+        # Same rng draw and elementwise ops as the reference, staged through
+        # recycled buffers.  ``Generator.random(out=...)`` consumes the
+        # stream identically to ``uniform(size=...)`` and returns the same
+        # bits, so the draw itself recycles a buffer too.
+        uniform = ws.buffer(self, "uniform", x.shape)
+        self.rng.random(out=uniform)
+        kept = ws.buffer(self, "kept", x.shape, dtype=bool)
+        np.less(uniform, keep, out=kept)
+        mask = ws.buffer(self, "mask", x.shape)
+        np.divide(kept, keep, out=mask)
+        self._mask = mask
+        out = ws.buffer(self, "fwd", x.shape)
+        np.multiply(x, mask, out=out)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad_output
-        return grad_output * self._mask
+        ws = self._ws
+        if ws is None:
+            grad_input = grad_output * self._mask
+        else:
+            grad_input = ws.buffer(self, "bwd", grad_output.shape)
+            np.multiply(grad_output, self._mask, out=grad_input)
+        self._mask = None
+        return grad_input
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dropout({self.rate})"
@@ -315,6 +518,8 @@ class BatchNorm(Layer):
 
     Keeps running statistics for inference, exactly like the standard
     formulation; the backward pass implements the full batch-norm gradient.
+    The running statistics are updated *in place* so they can live inside a
+    parameter arena as non-trainable buffer spans.
     """
 
     def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
@@ -329,44 +534,92 @@ class BatchNorm(Layer):
         self.grad_beta = np.zeros_like(self.beta)
         self.running_mean = np.zeros(num_features, dtype=np.float64)
         self.running_var = np.ones(num_features, dtype=np.float64)
-        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _update_running(self, buffer: np.ndarray, batch_stat: np.ndarray) -> None:
+        # In-place form of ``m * buffer + (1 - m) * stat``, same op order.
+        np.multiply(buffer, self.momentum, out=buffer)
+        np.add(buffer, (1 - self.momentum) * batch_stat, out=buffer)
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         if x.shape[1] != self.num_features:
-            raise ValueError(
-                f"BatchNorm expected {self.num_features} features, got {x.shape[1]}"
-            )
+            raise ValueError(f"BatchNorm expected {self.num_features} features, got {x.shape[1]}")
+        ws = self._ws
         if training:
-            mean = x.mean(axis=0)
-            var = x.var(axis=0)
-            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
-            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            if ws is None:
+                mean = x.mean(axis=0)
+                var = x.var(axis=0)
+            else:
+                # np.mean / np.var replayed through recycled buffers: both
+                # reduce with the same pairwise ``add.reduce`` and divide by
+                # the row count, so the values are bit-identical while the
+                # two full-batch temporaries ``x.var`` materialises are
+                # replaced by one persistent scratch buffer.
+                batch = x.shape[0]
+                mean = ws.buffer(self, "mean", (self.num_features,))
+                np.add.reduce(x, axis=0, out=mean)
+                np.divide(mean, batch, out=mean)
+                centered = ws.buffer(self, "center", x.shape)
+                np.subtract(x, mean, out=centered)
+                np.multiply(centered, centered, out=centered)
+                var = ws.buffer(self, "var", (self.num_features,))
+                np.add.reduce(centered, axis=0, out=var)
+                np.divide(var, batch, out=var)
+            self._update_running(self.running_mean, mean)
+            self._update_running(self.running_var, var)
         else:
             mean = self.running_mean
             var = self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std, x - mean)
-        return self.gamma * x_hat + self.beta
+        if ws is None:
+            x_hat = (x - mean) * inv_std
+            out = self.gamma * x_hat + self.beta
+        else:
+            x_hat = ws.buffer(self, "xhat", x.shape)
+            np.subtract(x, mean, out=x_hat)
+            np.multiply(x_hat, inv_std, out=x_hat)
+            out = ws.buffer(self, "fwd", x.shape)
+            np.multiply(self.gamma, x_hat, out=out)
+            np.add(out, self.beta, out=out)
+        self._cache = (x_hat, inv_std)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        x_hat, inv_std, _centered = self._cache
+        x_hat, inv_std = self._cache
         batch = grad_output.shape[0]
-        self.grad_gamma += (grad_output * x_hat).sum(axis=0)
-        self.grad_beta += grad_output.sum(axis=0)
-        dx_hat = grad_output * self.gamma
-        # Full batch-norm gradient with respect to the input.
-        grad_input = (
-            inv_std
-            / batch
-            * (
-                batch * dx_hat
-                - dx_hat.sum(axis=0)
-                - x_hat * (dx_hat * x_hat).sum(axis=0)
+        ws = self._ws
+        if ws is None:
+            self.grad_gamma += (grad_output * x_hat).sum(axis=0)
+            self.grad_beta += grad_output.sum(axis=0)
+            dx_hat = grad_output * self.gamma
+            # Full batch-norm gradient with respect to the input.
+            grad_input = (
+                inv_std
+                / batch
+                * (batch * dx_hat - dx_hat.sum(axis=0) - x_hat * (dx_hat * x_hat).sum(axis=0))
             )
-        )
+        else:
+            scratch = ws.buffer(self, "bwd_a", grad_output.shape)
+            np.multiply(grad_output, x_hat, out=scratch)
+            self.grad_gamma += scratch.sum(axis=0)
+            self.grad_beta += grad_output.sum(axis=0)
+            dx_hat = ws.buffer(self, "bwd_b", grad_output.shape)
+            np.multiply(grad_output, self.gamma, out=dx_hat)
+            # Same expression as above, evaluated into the two buffers in the
+            # original operand order.
+            scale = inv_std / batch
+            dx_hat_sum = dx_hat.sum(axis=0)
+            np.multiply(dx_hat, x_hat, out=scratch)
+            dot = scratch.sum(axis=0)
+            np.multiply(dx_hat, batch, out=dx_hat)
+            np.subtract(dx_hat, dx_hat_sum, out=dx_hat)
+            np.multiply(x_hat, dot, out=scratch)
+            np.subtract(dx_hat, scratch, out=dx_hat)
+            np.multiply(scale, dx_hat, out=dx_hat)
+            grad_input = dx_hat
+        self._cache = None
         return grad_input
 
     @property
@@ -376,6 +629,14 @@ class BatchNorm(Layer):
     @property
     def grads(self) -> list[np.ndarray]:
         return [self.grad_gamma, self.grad_beta]
+
+    def arena_entries(self) -> list[tuple[str, object, str, str | None]]:
+        return [
+            ("gamma", self, "gamma", "grad_gamma"),
+            ("beta", self, "beta", "grad_beta"),
+            ("running_mean", self, "running_mean", None),
+            ("running_var", self, "running_var", None),
+        ]
 
     def state_dict(self) -> dict[str, np.ndarray]:
         return {
@@ -408,7 +669,12 @@ class Residual(Layer):
         h = x
         for layer in self.inner:
             h = layer.forward(h, training=training)
-        return np.concatenate([x, h], axis=1)
+        ws = self._ws
+        if ws is None:
+            return np.concatenate([x, h], axis=1)
+        out = ws.buffer(self, "fwd", (x.shape[0], x.shape[1] + h.shape[1]))
+        np.concatenate([x, h], axis=1, out=out)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_dim is None:
@@ -417,7 +683,12 @@ class Residual(Layer):
         grad_h = grad_output[:, self._input_dim :]
         for layer in reversed(self.inner):
             grad_h = layer.backward(grad_h)
-        return grad_x + grad_h
+        ws = self._ws
+        if ws is None:
+            return grad_x + grad_h
+        grad_input = ws.buffer(self, "bwd", grad_x.shape)
+        np.add(grad_x, grad_h, out=grad_input)
+        return grad_input
 
     @property
     def params(self) -> list[np.ndarray]:
@@ -437,6 +708,22 @@ class Residual(Layer):
         for layer in self.inner:
             layer.zero_grad()
 
+    def bind_workspace(self, workspace) -> None:
+        self._ws = workspace
+        for layer in self.inner:
+            layer.bind_workspace(workspace)
+
+    def arena_entries(self) -> list[tuple[str, object, str, str | None]] | None:
+        entries: list[tuple[str, object, str, str | None]] = []
+        for i, layer in enumerate(self.inner):
+            sub = layer.arena_entries()
+            if sub is None:
+                return None
+            entries.extend(
+                (f"inner.{i}.{key}", owner, attr, grad_attr) for key, owner, attr, grad_attr in sub
+            )
+        return entries
+
     def state_dict(self) -> dict[str, np.ndarray]:
         state: dict[str, np.ndarray] = {}
         for i, layer in enumerate(self.inner):
@@ -448,9 +735,7 @@ class Residual(Layer):
         for i, layer in enumerate(self.inner):
             prefix = f"inner.{i}."
             sub = {
-                key[len(prefix) :]: value
-                for key, value in state.items()
-                if key.startswith(prefix)
+                key[len(prefix) :]: value for key, value in state.items() if key.startswith(prefix)
             }
             layer.load_state_dict(sub)
 

@@ -54,11 +54,27 @@ class BinaryCrossEntropy(Loss):
     log-sum-exp formulation is applied.  With ``from_logits=False`` the
     prediction is interpreted as a probability, which is what the KiNETGAN
     condition-vector penalty uses on the generator's softmax outputs.
+
+    The logits path recycles internal scratch buffers keyed by batch shape
+    (same elementwise ops via ``out=``, so values are bit-identical): this
+    loss runs three times per KiNETGAN step, and without reuse it is one of
+    the larger per-step allocators.  The returned gradient aliases such a
+    buffer and is only valid until the next ``backward`` call with the same
+    shape -- the trainer consumes it immediately.
     """
 
     def __init__(self, from_logits: bool = True) -> None:
         self.from_logits = from_logits
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._scratch: dict[tuple[str, tuple[int, ...]], np.ndarray] = {}
+
+    def _buffer(self, tag: str, shape: tuple[int, ...]) -> np.ndarray:
+        key = (tag, shape)
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=np.float64)
+            self._scratch[key] = buf
+        return buf
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
         prediction = np.asarray(prediction, dtype=np.float64)
@@ -69,10 +85,18 @@ class BinaryCrossEntropy(Loss):
             )
         self._cache = (prediction, target)
         if self.from_logits:
-            # log(1 + exp(-|x|)) + max(x, 0) - x*t  (stable BCE-with-logits)
-            loss = np.maximum(prediction, 0) - prediction * target + np.log1p(
-                np.exp(-np.abs(prediction))
-            )
+            # log(1 + exp(-|x|)) + max(x, 0) - x*t  (stable BCE-with-logits),
+            # evaluated term by term into two recycled buffers.
+            loss = self._buffer("loss", prediction.shape)
+            np.maximum(prediction, 0, out=loss)
+            term = self._buffer("term", prediction.shape)
+            np.multiply(prediction, target, out=term)
+            np.subtract(loss, term, out=loss)
+            np.abs(prediction, out=term)
+            np.negative(term, out=term)
+            np.exp(term, out=term)
+            np.log1p(term, out=term)
+            np.add(loss, term, out=loss)
         else:
             p = np.clip(prediction, _EPS, 1.0 - _EPS)
             loss = -(target * np.log(p) + (1.0 - target) * np.log(1.0 - p))
@@ -84,10 +108,19 @@ class BinaryCrossEntropy(Loss):
         prediction, target = self._cache
         n = prediction.size
         if self.from_logits:
-            grad = (_stable_sigmoid(prediction) - target) / n
+            # (stable_sigmoid(prediction) - target) / n via the shared buffer.
+            grad = self._buffer("grad", prediction.shape)
+            np.clip(prediction, -60.0, 60.0, out=grad)
+            np.negative(grad, out=grad)
+            np.exp(grad, out=grad)
+            np.add(grad, 1.0, out=grad)
+            np.divide(1.0, grad, out=grad)
+            np.subtract(grad, target, out=grad)
+            np.divide(grad, n, out=grad)
         else:
             p = np.clip(prediction, _EPS, 1.0 - _EPS)
             grad = (p - target) / (p * (1.0 - p)) / n
+        self._cache = None
         return grad
 
 

@@ -6,7 +6,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.neural.arena import ParamArena, consolidation_enabled
 from repro.neural.layers import Layer
+from repro.neural.workspace import Workspace
 
 __all__ = ["Sequential"]
 
@@ -17,7 +19,16 @@ class Sequential:
     The container exposes the same forward / backward / parameters contract
     as individual layers so that sub-networks (e.g. the inner function of an
     ODE block) can be nested.
+
+    Call :meth:`consolidate` once the layer list is final to move parameters
+    and gradients into a flat :class:`~repro.neural.arena.ParamArena` and
+    attach a shared step :class:`~repro.neural.workspace.Workspace` -- both
+    bit-identical fast paths for the training hot loop.
     """
+
+    #: Class-level defaults so legacy pickles and plain containers read None.
+    arena: ParamArena | None = None
+    workspace: Workspace | None = None
 
     def __init__(self, layers: list[Layer] | None = None) -> None:
         self.layers: list[Layer] = list(layers) if layers else []
@@ -27,9 +38,42 @@ class Sequential:
         self.layers.append(layer)
         return self
 
+    def consolidate(self) -> ParamArena | None:
+        """Re-house parameters in a flat arena and bind a step workspace.
+
+        Must be called after the layer list is final (layers added later stay
+        on per-tensor storage and break the arena's optimizer fast path, but
+        nothing else).  Safe to call repeatedly; a still-intact arena is
+        reused.  Returns the arena, or ``None`` when consolidation is
+        globally disabled or a layer opts out (the network then keeps the
+        ordinary per-tensor representation -- see
+        ``Layer.arena_entries``).  Optimizers must be constructed *after*
+        this call so they bind the arena views.
+        """
+        if not consolidation_enabled():
+            self.arena = None
+            self.workspace = None
+            return None
+        if self.arena is None or not self.arena.intact:
+            self.arena = ParamArena.build(self)
+        if self.workspace is None:
+            self.workspace = Workspace()
+        for layer in self.layers:
+            layer.bind_workspace(self.workspace)
+        return self.arena
+
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, training=training)
+        ws = self.workspace
+        if ws is not None and ws.owns(x):
+            # The output escapes the step (losses, samplers, attack scorers
+            # and predict paths may hold it across later forwards), so it
+            # must not alias a scratch buffer the next forward overwrites.
+            # Final outputs are the *small* arrays of the stack (logits,
+            # class scores), so this copy costs far less than the per-layer
+            # allocations the workspace removes.
+            x = x.copy()
         return x
 
     def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
@@ -49,6 +93,10 @@ class Sequential:
         return pairs
 
     def zero_grad(self) -> None:
+        arena = self.arena
+        if arena is not None and arena.intact:
+            arena.grads.fill(0.0)
+            return
         for layer in self.layers:
             layer.zero_grad()
 

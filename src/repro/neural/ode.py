@@ -78,6 +78,7 @@ class ODEBlock(Layer):
             grad_field_out = self.dt * grad_h
             grad_field_in = self.field.backward(grad_field_out)
             grad_h = grad_h + grad_field_in[:, : self.dim]
+        self._trajectory = None
         return grad_h
 
     @property
@@ -91,12 +92,33 @@ class ODEBlock(Layer):
     def zero_grad(self) -> None:
         self.field.zero_grad()
 
+    def bind_workspace(self, workspace) -> None:
+        self._ws = workspace
+        for layer in self.field.layers:
+            layer.bind_workspace(workspace)
+
+    def arena_entries(self) -> list[tuple[str, object, str, str | None]] | None:
+        entries: list[tuple[str, object, str, str | None]] = []
+        for i, layer in enumerate(self.field.layers):
+            sub = layer.arena_entries()
+            if sub is None:
+                return None
+            entries.extend(
+                (f"field.layers.{i}.{key}", owner, attr, grad_attr)
+                for key, owner, attr, grad_attr in sub
+            )
+        return entries
+
     def state_dict(self) -> dict[str, np.ndarray]:
         return {f"field.{key}": value for key, value in self.field.state_dict().items()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         self.field.load_state_dict(
-            {key[len("field.") :]: value for key, value in state.items() if key.startswith("field.")}
+            {
+                key[len("field.") :]: value
+                for key, value in state.items()
+                if key.startswith("field.")
+            }
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -4,11 +4,30 @@ An optimizer is bound to a list of ``(param, grad)`` array pairs (typically
 ``Sequential.parameters()``) and updates the parameter arrays *in place* on
 every :meth:`Optimizer.step`.  State (momentum buffers, Adam moments) is
 keyed by position, so the bound parameter list must not change between steps.
+
+When the bound parameters are exactly the views of one
+:class:`~repro.neural.arena.ParamArena` (i.e. the network was consolidated
+before the optimizer was built), ``step`` runs a *fused* kernel: one
+vectorized in-place pass over the flat parameter/gradient/moment buffers
+through preallocated scratch, so the update costs O(1) numpy dispatches and
+zero temporaries regardless of how many tensors the network has.  The fused
+kernels replay the per-tensor element ops in the same order and dtype, so
+results are bit-identical; the per-tensor loop remains for unbound
+optimizers and as the fallback whenever the arena views were detached (e.g.
+by pickling a resident federated site).
+
+Arena gap regions (non-trainable buffers such as BatchNorm running
+statistics) always carry zero gradients and zero moments, so full-buffer
+fused updates leave them bitwise unchanged -- except under weight decay,
+which would inject ``wd * buffer`` there; those configurations fall back to
+the per-tensor loop unless the arena has no gaps (``exact_cover``).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.neural.arena import find_arena
 
 __all__ = ["Optimizer", "SGD", "RMSprop", "Adam"]
 
@@ -24,14 +43,56 @@ class Optimizer:
         for param, grad in self.parameters:
             if param.shape != grad.shape:
                 raise ValueError("parameter and gradient shapes must match")
+        self._arena = find_arena(self.parameters)
+        self._scratch: tuple[np.ndarray, np.ndarray] | None = None
 
     def step(self) -> None:
         raise NotImplementedError
 
     def zero_grad(self) -> None:
         """Reset all bound gradient buffers to zero."""
+        if self._fused_ready():
+            self._arena.grads.fill(0.0)
+            return
         for _param, grad in self.parameters:
             grad.fill(0.0)
+
+    # ------------------------------------------------------------------ #
+    # Fused (arena) machinery
+    # ------------------------------------------------------------------ #
+    def _fused_ready(self) -> bool:
+        """Whether the fused flat-buffer kernels may run this step."""
+        arena = self._arena
+        if arena is None:
+            return False
+        if arena.intact:
+            return True
+        # Pickling detached the views from the arena buffers; the per-tensor
+        # path stays correct on the detached arrays, so drop the binding.
+        self._arena = None
+        return False
+
+    def _zeros_like_params(self) -> tuple[list[np.ndarray], np.ndarray | None]:
+        """Per-parameter zero buffers for optimizer state.
+
+        Arena-bound optimizers allocate one flat buffer and return views of
+        it (second element), so fused kernels can update all moments in one
+        pass while ``state_dict`` keeps its positional per-tensor layout.
+        """
+        arena = self._arena
+        if arena is not None:
+            flat = np.zeros(arena.size, dtype=np.float64)
+            return arena.views_into(flat), flat
+        return [np.zeros_like(p) for p, _ in self.parameters], None
+
+    def _scratch_buffers(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._scratch is None:
+            size = self._arena.size
+            self._scratch = (
+                np.empty(size, dtype=np.float64),
+                np.empty(size, dtype=np.float64),
+            )
+        return self._scratch
 
     # ------------------------------------------------------------------ #
     # Optimizer state is positionally keyed (like the buffers themselves),
@@ -80,12 +141,15 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p) for p, _ in self.parameters]
+        self._velocity, self._velocity_flat = self._zeros_like_params()
 
     def _state_buffers(self) -> dict[str, list[np.ndarray]]:
         return {"velocity": self._velocity}
 
     def step(self) -> None:
+        if self._fused_ready() and (not self.weight_decay or self._arena.exact_cover):
+            self._fused_step()
+            return
         for (param, grad), vel in zip(self.parameters, self._velocity):
             update = grad
             if self.weight_decay:
@@ -95,6 +159,23 @@ class SGD(Optimizer):
                 vel += update
                 update = vel
             param -= self.lr * update
+
+    def _fused_step(self) -> None:
+        arena = self._arena
+        param, grad = arena.data, arena.grads
+        scratch, _ = self._scratch_buffers()
+        update = grad
+        if self.weight_decay:
+            np.multiply(param, self.weight_decay, out=scratch)
+            np.add(grad, scratch, out=scratch)
+            update = scratch
+        if self.momentum:
+            vel = self._velocity_flat
+            np.multiply(vel, self.momentum, out=vel)
+            np.add(vel, update, out=vel)
+            update = vel
+        np.multiply(update, self.lr, out=scratch)
+        np.subtract(param, scratch, out=param)
 
 
 class RMSprop(Optimizer):
@@ -112,16 +193,34 @@ class RMSprop(Optimizer):
             raise ValueError("rho must be in (0, 1)")
         self.rho = rho
         self.eps = eps
-        self._square_avg = [np.zeros_like(p) for p, _ in self.parameters]
+        self._square_avg, self._square_avg_flat = self._zeros_like_params()
 
     def _state_buffers(self) -> dict[str, list[np.ndarray]]:
         return {"square_avg": self._square_avg}
 
     def step(self) -> None:
+        if self._fused_ready():
+            self._fused_step()
+            return
         for (param, grad), avg in zip(self.parameters, self._square_avg):
             avg *= self.rho
             avg += (1.0 - self.rho) * grad**2
             param -= self.lr * grad / (np.sqrt(avg) + self.eps)
+
+    def _fused_step(self) -> None:
+        arena = self._arena
+        param, grad = arena.data, arena.grads
+        s1, s2 = self._scratch_buffers()
+        avg = self._square_avg_flat
+        np.multiply(avg, self.rho, out=avg)
+        np.multiply(grad, grad, out=s1)
+        np.multiply(s1, 1.0 - self.rho, out=s1)
+        np.add(avg, s1, out=avg)
+        np.multiply(grad, self.lr, out=s1)
+        np.sqrt(avg, out=s2)
+        np.add(s2, self.eps, out=s2)
+        np.divide(s1, s2, out=s1)
+        np.subtract(param, s1, out=param)
 
 
 class Adam(Optimizer):
@@ -147,8 +246,8 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p) for p, _ in self.parameters]
-        self._v = [np.zeros_like(p) for p, _ in self.parameters]
+        self._m, self._m_flat = self._zeros_like_params()
+        self._v, self._v_flat = self._zeros_like_params()
         self._t = 0
 
     def _state_buffers(self) -> dict[str, list[np.ndarray]]:
@@ -169,6 +268,9 @@ class Adam(Optimizer):
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
+        if self._fused_ready() and (not self.weight_decay or self._arena.exact_cover):
+            self._fused_step(bias1, bias2)
+            return
         for (param, grad), m, v in zip(self.parameters, self._m, self._v):
             g = grad
             if self.weight_decay:
@@ -180,3 +282,28 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _fused_step(self, bias1: float, bias2: float) -> None:
+        arena = self._arena
+        param = arena.data
+        m, v = self._m_flat, self._v_flat
+        s1, s2 = self._scratch_buffers()
+        g = arena.grads
+        if self.weight_decay:
+            np.multiply(param, self.weight_decay, out=s1)
+            np.add(arena.grads, s1, out=s1)
+            g = s1
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(g, 1.0 - self.beta1, out=s2)
+        np.add(m, s2, out=m)
+        np.multiply(v, self.beta2, out=v)
+        np.multiply(g, g, out=s2)
+        np.multiply(s2, 1.0 - self.beta2, out=s2)
+        np.add(v, s2, out=v)
+        np.divide(m, bias1, out=s2)
+        np.multiply(s2, self.lr, out=s2)
+        np.divide(v, bias2, out=s1)
+        np.sqrt(s1, out=s1)
+        np.add(s1, self.eps, out=s1)
+        np.divide(s2, s1, out=s2)
+        np.subtract(param, s2, out=param)

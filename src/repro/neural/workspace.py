@@ -1,0 +1,92 @@
+"""Reusable step buffers for the neural hot path.
+
+A :class:`Workspace` is attached to every layer of a ``Sequential`` by
+``Sequential.consolidate()`` and caches full-batch scratch arrays keyed by
+``(layer, tag, shape)``.  Layers use it to run their forward/backward passes
+with ``out=`` ufunc calls into recycled buffers instead of allocating fresh
+batch-sized arrays on every step, which is where most of the training-loop
+allocation churn comes from.
+
+Rules for layers using a workspace buffer:
+
+* a buffer's contents are only valid between the ``forward`` that fills it
+  and the matching ``backward`` -- the next forward pass through the layer
+  reuses it;
+* arrays that escape the training step must not stay workspace-backed:
+  ``Sequential.forward`` copies a workspace-owned final output before
+  returning it (see :meth:`Workspace.owns`), so callers -- samplers, attack
+  scorers, predict paths -- always receive an array the next forward cannot
+  overwrite;
+* every buffered computation must replay the exact elementwise operations of
+  the allocating code path so results stay bit-identical.
+
+Buffers are keyed by batch shape, so a fit with a ragged final batch simply
+keeps one extra set of buffers for that shape.  Workspaces pickle empty:
+buffer contents are scratch and the ``id(layer)`` keys would be stale in the
+receiving process anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Cache of reusable scratch arrays keyed by ``(layer, tag, shape)``."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[int, str, tuple[int, ...], str], np.ndarray] = {}
+        self._buffer_ids: set[int] = set()
+
+    def buffer(
+        self,
+        owner: object,
+        tag: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """The cached buffer for ``(owner, tag, shape)``, allocated on first use.
+
+        Contents are undefined on return; callers must fully overwrite it.
+        """
+        # float64 is the only dtype on the training hot path; skip the
+        # np.dtype() construction for it (buffer() runs hundreds of times
+        # per step, so per-call overhead is the budget here).
+        char = "d" if dtype is np.float64 else np.dtype(dtype).char
+        key = (id(owner), tag, shape, char)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+            self._buffer_ids.add(id(buf))
+        return buf
+
+    def owns(self, array: np.ndarray) -> bool:
+        """Whether ``array`` is (a view of) one of this workspace's buffers.
+
+        ``Sequential.forward`` uses this to hand callers an owned copy of any
+        workspace-backed output: network outputs escape the step (samplers,
+        attack scorers and predict paths hold them across later forwards),
+        so they must never alias a buffer the next forward will overwrite.
+        """
+        return id(array) in self._buffer_ids or id(array.base) in self._buffer_ids
+
+    def clear(self) -> None:
+        """Drop every cached buffer."""
+        self._buffers.clear()
+        self._buffer_ids.clear()
+
+    def nbytes(self) -> int:
+        """Total bytes currently held (introspection / tests)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    # Scratch contents never travel: a pickled workspace arrives empty and
+    # refills on first use in the receiving process.
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self._buffers = {}
+        self._buffer_ids = set()

@@ -48,6 +48,7 @@ class MLPClassifier:
             width = hidden
         layers.append(Dense(width, self.n_classes, rng=rng, init="glorot"))
         self.network = Sequential(layers)
+        self.network.consolidate()
         optimizer = Adam(self.network.parameters(), lr=self.learning_rate)
         loss = CrossEntropy()
         for _ in range(self.epochs):

@@ -155,26 +155,76 @@ class BlockLayout:
         out[np.arange(rows)[:, None], flat] = 1.0
         return out
 
-    def softmax(self, gathered: np.ndarray, tau: float = 1.0) -> np.ndarray:
-        """Per-block temperature softmax over the gathered region."""
-        out = np.empty_like(gathered)
+    @staticmethod
+    def _scratch_buffer(
+        scratch: dict | None, key, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """A reusable float64 buffer from ``scratch``, or a fresh array.
+
+        ``scratch`` is a caller-owned dict (one per consumer, so sharing
+        follows the consumer's own thread story); ``None`` keeps the
+        allocate-per-call behaviour.
+        """
+        if scratch is None:
+            return np.empty(shape, dtype=np.float64)
+        buf = scratch.get(key)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=np.float64)
+            scratch[key] = buf
+        return buf
+
+    def softmax(
+        self, gathered: np.ndarray, tau: float = 1.0, scratch: dict | None = None
+    ) -> np.ndarray:
+        """Per-block temperature softmax over the gathered region.
+
+        With ``scratch``, every intermediate (including the returned region)
+        comes from reusable buffers; the elementwise op sequence is the same,
+        so results are bit-identical, and the return value is only valid
+        until the next call with the same ``scratch``.
+        """
+        out = self._scratch_buffer(scratch, "softmax_out", gathered.shape)
         rows = gathered.shape[0]
         for width, ids, gcols in self._groups:
-            sub = gathered[:, gcols].reshape(rows, len(ids), width)
-            exp = np.exp((sub - sub.max(axis=2, keepdims=True)) / tau)
-            exp /= exp.sum(axis=2, keepdims=True)
-            out[:, gcols] = exp.reshape(rows, -1)
+            flat = self._scratch_buffer(scratch, ("softmax_sub", width), (rows, len(ids) * width))
+            np.take(gathered, gcols, axis=1, out=flat)
+            sub = flat.reshape(rows, len(ids), width)
+            peak = self._scratch_buffer(scratch, ("softmax_peak", width), (rows, len(ids), 1))
+            sub.max(axis=2, keepdims=True, out=peak)
+            np.subtract(sub, peak, out=sub)
+            np.divide(sub, tau, out=sub)
+            np.exp(sub, out=sub)
+            sub.sum(axis=2, keepdims=True, out=peak)
+            sub /= peak
+            out[:, gcols] = flat
         return out
 
     def softmax_backward(
-        self, softmax_out: np.ndarray, grad_output: np.ndarray, tau: float = 1.0
+        self,
+        softmax_out: np.ndarray,
+        grad_output: np.ndarray,
+        tau: float = 1.0,
+        scratch: dict | None = None,
     ) -> np.ndarray:
-        """Gradient of a per-block softmax given its output and upstream grad."""
-        out = np.empty_like(grad_output)
+        """Gradient of a per-block softmax given its output and upstream grad.
+
+        ``scratch`` has the same contract as in :meth:`softmax`.
+        """
+        out = self._scratch_buffer(scratch, "bwd_out", grad_output.shape)
         rows = grad_output.shape[0]
         for width, ids, gcols in self._groups:
-            s = softmax_out[:, gcols].reshape(rows, len(ids), width)
-            g = grad_output[:, gcols].reshape(rows, len(ids), width)
-            dots = (g * s).sum(axis=2, keepdims=True)
-            out[:, gcols] = (s * (g - dots) / tau).reshape(rows, -1)
+            s_flat = self._scratch_buffer(scratch, ("bwd_s", width), (rows, len(ids) * width))
+            np.take(softmax_out, gcols, axis=1, out=s_flat)
+            g_flat = self._scratch_buffer(scratch, ("bwd_g", width), (rows, len(ids) * width))
+            np.take(grad_output, gcols, axis=1, out=g_flat)
+            s = s_flat.reshape(rows, len(ids), width)
+            g = g_flat.reshape(rows, len(ids), width)
+            prod = self._scratch_buffer(scratch, ("bwd_prod", width), (rows, len(ids) * width))
+            np.multiply(g, s, out=prod.reshape(rows, len(ids), width))
+            dots = self._scratch_buffer(scratch, ("bwd_dots", width), (rows, len(ids), 1))
+            prod.reshape(rows, len(ids), width).sum(axis=2, keepdims=True, out=dots)
+            np.subtract(g, dots, out=g)
+            np.multiply(s, g, out=g)
+            np.divide(g, tau, out=g)
+            out[:, gcols] = g_flat
         return out

@@ -70,13 +70,17 @@ class Table:
     def from_records(cls, schema: TableSchema, records: Iterable[dict]) -> "Table":
         """Build a table from an iterable of ``{column: value}`` dicts."""
         records = list(records)
-        columns: dict[str, list] = {name: [] for name in schema.names}
-        for record in records:
-            for name in schema.names:
-                if name not in record:
-                    raise KeyError(f"record missing column {name!r}")
-                columns[name].append(record[name])
-        return cls(schema, {name: np.asarray(vals, dtype=object) for name, vals in columns.items()})
+        columns: dict[str, np.ndarray] = {}
+        n = len(records)
+        for name in schema.names:
+            values = np.empty(n, dtype=object)
+            try:
+                for i, record in enumerate(records):
+                    values[i] = record[name]
+            except KeyError:
+                raise KeyError(f"record missing column {name!r}") from None
+            columns[name] = values
+        return cls(schema, columns)
 
     @classmethod
     def from_rows(cls, schema: TableSchema, rows: Sequence[Sequence]) -> "Table":

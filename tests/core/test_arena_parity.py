@@ -1,0 +1,107 @@
+"""Seeded-fit bit-parity: consolidated arenas vs per-tensor storage.
+
+Consolidation is on by default for every network in the repository, so these
+tests pin the load-bearing invariant: a seeded fit on the arena/workspace
+fast path must produce *bit-identical* weights, loss history, and samples to
+the same fit with consolidation disabled (the reference per-tensor path the
+seed repository shipped with).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import TVAE
+from repro.core import KiNETGAN
+from repro.neural.arena import disable_consolidation
+
+
+def _fit_kinetgan(fast_config, table, bundle=None):
+    model = KiNETGAN(fast_config)
+    if bundle is not None:
+        model.fit(
+            table,
+            catalog=bundle.catalog,
+            condition_columns=bundle.condition_columns,
+        )
+    else:
+        model.fit(table, condition_columns=["label"])
+    return model
+
+
+def _assert_states_bitwise_equal(state_a, state_b):
+    assert sorted(state_a) == sorted(state_b)
+    for key, value in state_a.items():
+        assert np.array_equal(value, state_b[key]), key
+
+
+class TestKiNETGANParity:
+    def test_fit_and_samples_bit_identical(self, fast_config, tiny_table):
+        arena_model = _fit_kinetgan(fast_config, tiny_table)
+        with disable_consolidation():
+            plain_model = _fit_kinetgan(fast_config, tiny_table)
+
+        assert arena_model.trainer.generator.network.arena is not None
+        assert plain_model.trainer.generator.network.arena is None
+
+        for attr in ("generator", "discriminator"):
+            _assert_states_bitwise_equal(
+                getattr(arena_model.trainer, attr).network.state_dict(),
+                getattr(plain_model.trainer, attr).network.state_dict(),
+            )
+        assert (
+            arena_model.trainer.history.generator_loss
+            == plain_model.trainer.history.generator_loss
+        )
+        assert (
+            arena_model.trainer.history.discriminator_loss
+            == plain_model.trainer.history.discriminator_loss
+        )
+
+        sample_arena = arena_model.sample(64, rng=np.random.default_rng(5))
+        sample_plain = plain_model.sample(64, rng=np.random.default_rng(5))
+        assert sample_arena.to_records() == sample_plain.to_records()
+
+    def test_fit_with_knowledge_graph_bit_identical(self, fast_config, lab_bundle_small):
+        table = lab_bundle_small.table.head(300)
+        arena_model = _fit_kinetgan(fast_config, table, bundle=lab_bundle_small)
+        with disable_consolidation():
+            plain_model = _fit_kinetgan(fast_config, table, bundle=lab_bundle_small)
+
+        for attr in ("generator", "discriminator"):
+            _assert_states_bitwise_equal(
+                getattr(arena_model.trainer, attr).network.state_dict(),
+                getattr(plain_model.trainer, attr).network.state_dict(),
+            )
+        assert (
+            arena_model.trainer.history.knowledge_loss
+            == plain_model.trainer.history.knowledge_loss
+        )
+
+
+class TestBaselineParity:
+    def test_tvae_fit_and_samples_bit_identical(self, tiny_table):
+        def fit():
+            model = TVAE()
+            model.config.epochs = 2
+            model.config.batch_size = 64
+            model.config.seed = 11
+            return model.fit(tiny_table)
+
+        arena_model = fit()
+        with disable_consolidation():
+            plain_model = fit()
+
+        assert arena_model.decoder.arena is not None
+        assert plain_model.decoder.arena is None
+        _assert_states_bitwise_equal(
+            arena_model.decoder.state_dict(), plain_model.decoder.state_dict()
+        )
+        _assert_states_bitwise_equal(
+            arena_model.encoder.state_dict(), plain_model.encoder.state_dict()
+        )
+        assert arena_model.loss_history == plain_model.loss_history
+
+        sample_arena = arena_model.sample(64, rng=np.random.default_rng(6))
+        sample_plain = plain_model.sample(64, rng=np.random.default_rng(6))
+        assert sample_arena.to_records() == sample_plain.to_records()

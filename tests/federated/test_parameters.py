@@ -238,3 +238,89 @@ class TestStateCodec:
         for key in states[0]:
             expected = sum(w * state[key] for w, state in zip(normalised, states))
             np.testing.assert_allclose(stacked[key], expected, rtol=1e-12, atol=1e-12)
+
+
+class TestArenaFlatFastPath:
+    """Single-copy encode/decode against arena-consolidated networks."""
+
+    def _network(self, seed: int = 0):
+        from repro.neural.layers import BatchNorm, Dense, ReLU
+        from repro.neural.network import Sequential
+
+        rng = np.random.default_rng(seed)
+        network = Sequential(
+            [Dense(4, 6, rng=rng), BatchNorm(6), ReLU(), Dense(6, 2, rng=rng)]
+        )
+        network.consolidate()
+        return network
+
+    def test_arena_state_is_detected_as_one_flat_view(self):
+        network = self._network()
+        codec = StateCodec(network.state_dict())
+        flat = codec._flat_view(network.state_dict())
+        assert flat is not None
+        assert flat.base is network.arena.data or flat is network.arena.data
+        assert np.array_equal(flat, network.arena.data)
+
+    def test_plain_state_takes_the_per_key_path(self):
+        codec = StateCodec(make_state())
+        assert codec._flat_view(make_state()) is None
+
+    def test_encode_matches_per_key_encoding(self):
+        network = self._network(seed=1)
+        state = network.state_dict()
+        codec = StateCodec(state)
+        fast = codec.encode(state)
+        per_key = codec.encode({key: value.copy() for key, value in state.items()})
+        assert np.array_equal(fast, per_key)
+
+    def test_decode_into_fills_live_arrays_in_place(self):
+        network = self._network(seed=2)
+        state = network.state_dict()
+        codec = StateCodec(state)
+        vector = np.arange(codec.dim, dtype=np.float64)
+        result = codec.decode_into(vector, state)
+        assert result is state
+        assert network.arena.intact
+        assert np.array_equal(network.arena.data, vector)
+        # Round trip: encode reads back exactly what decode_into wrote.
+        assert np.array_equal(codec.encode(network.state_dict()), vector)
+
+    def test_decode_into_per_key_path_matches_decode(self):
+        template = make_state(seed=3)
+        codec = StateCodec(template)
+        vector = np.random.default_rng(4).normal(size=codec.dim)
+        target = make_state(seed=5)
+        codec.decode_into(vector, target)
+        expected = codec.decode(vector)
+        for key, value in expected.items():
+            assert np.array_equal(target[key], value)
+
+    def test_decode_into_rejects_wrong_length(self):
+        codec = StateCodec(make_state())
+        with pytest.raises(ValueError):
+            codec.decode_into(np.zeros(codec.dim + 1), make_state())
+
+    def test_detached_views_fall_back_to_per_key(self):
+        import pickle
+
+        network = self._network(seed=6)
+        clone = pickle.loads(pickle.dumps(network))
+        codec = StateCodec(network.state_dict())
+        state = clone.state_dict()
+        assert codec._flat_view(state) is None  # unpickled views are standalone
+        assert np.array_equal(codec.encode(state), codec.encode(network.state_dict()))
+
+    def test_scrambled_key_order_is_not_mistaken_for_flat(self):
+        flat = np.arange(10, dtype=np.float64)
+        state = {"b": flat[4:10].reshape(2, 3), "a": flat[0:4].reshape(4,)}
+        codec = StateCodec(state)
+        assert codec._flat_view(state) is not None  # laid out in sorted order
+        swapped = {"a": flat[6:10].reshape(4,), "b": flat[0:6].reshape(2, 3)}
+        assert codec._flat_view(swapped) is None
+
+    def test_gapped_views_are_rejected(self):
+        flat = np.arange(12, dtype=np.float64)
+        state = {"a": flat[0:4], "b": flat[6:12].reshape(2, 3)}
+        codec = StateCodec(state)
+        assert codec._flat_view(state) is None

@@ -149,3 +149,39 @@ def test_load_state_dict_validates_keys_and_lengths():
         optimizer.load_state_dict({"m": [np.zeros(2)], "v": [np.zeros(2)]})
     with pytest.raises(ValueError):
         optimizer.load_state_dict({"m": [], "v": [], "t": 1})
+
+
+@pytest.mark.parametrize(
+    "factory, key",
+    [
+        (lambda params: SGD(params, lr=0.1, momentum=0.9), "velocity"),
+        (lambda params: RMSprop(params, lr=0.1), "square_avg"),
+    ],
+    ids=["sgd", "rmsprop"],
+)
+def test_sgd_rmsprop_state_errors(factory, key):
+    optimizer = factory([(np.zeros(2), np.zeros(2))])
+    with pytest.raises(KeyError):
+        optimizer.load_state_dict({})
+    with pytest.raises(ValueError):
+        optimizer.load_state_dict({key: [np.zeros(2), np.zeros(2)]})  # too many
+    with pytest.raises(ValueError):
+        optimizer.load_state_dict({key: []})  # too few
+    with pytest.raises(ValueError):
+        optimizer.load_state_dict({key: [np.zeros(3)]})  # wrong shape
+
+
+def test_adam_requires_step_counter():
+    optimizer = Adam([(np.zeros(2), np.zeros(2))], lr=0.1)
+    with pytest.raises(KeyError):
+        optimizer.load_state_dict({"m": [np.zeros(2)], "v": [np.zeros(2)]})
+
+
+def test_state_dict_snapshots_are_independent_of_optimizer_storage():
+    """Mutating a snapshot must not leak into the (possibly flat) buffers."""
+    w, grad = np.zeros(3), np.ones(3)
+    optimizer = RMSprop([(w, grad)], lr=0.1)
+    optimizer.step()
+    state = optimizer.state_dict()
+    state["square_avg"][0][...] = 123.0
+    assert not np.array_equal(optimizer._state_buffers()["square_avg"][0], state["square_avg"][0])

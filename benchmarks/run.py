@@ -21,7 +21,11 @@ and a multi-core CI runner legitimately disagree about pool speedups).
 The training trajectory (``BENCH_training.json``) is gated the same way:
 the arena-runtime epoch speedup over the in-process seed replica (with a
 longer-window retry) and the deterministic network-core allocation ratio.
-Smoke mode never rewrites the trajectory files.
+The fault-tolerance trajectory (``BENCH_faults.json``) gates its seeded
+entries *exactly* -- round-completion bookkeeping and replay determinism
+are pure functions of the seeds -- and its recovery-latency probes with a
+tolerance band plus an absolute slack.  Smoke mode never rewrites the
+trajectory files.
 """
 
 from __future__ import annotations
@@ -37,11 +41,16 @@ from benchmarks.bench_dataplane import (
     run_dataplane_bench,
     write_results,
 )
-from benchmarks import bench_runtime, bench_serving, bench_training
+from benchmarks import bench_faults, bench_runtime, bench_serving, bench_training
 from repro.runtime import default_worker_count
 
 SMOKE_MIN_SECONDS = 0.25
 SMOKE_RETRY_MIN_SECONDS = 1.0
+
+#: Absolute slack (seconds) on the recovery-latency gate: pool respawn and
+#: deadline abandonment are interpreter-spawn / scheduler bound, so a pure
+#: ratio band is too twitchy on shared runners.
+FAULT_LATENCY_SLACK_SECONDS = 1.0
 
 
 def _evaluate_smoke(
@@ -250,6 +259,95 @@ def _smoke_training(tolerance: float) -> tuple[list[dict], list[str]]:
     return comparison, failures
 
 
+def _smoke_faults(tolerance: float) -> tuple[list[dict], list[str]]:
+    """Re-check the fault-tolerance trajectory (``BENCH_faults.json``).
+
+    The deterministic entries gate exactly: the seeded ``round_completion``
+    bookkeeping must reproduce bit-for-bit (injector draws are pure in
+    ``(seed, task_id, attempt)``) and ``replay_determinism`` must still
+    recover bit-identically.  The timing-bound ``recovery_latency`` probes
+    gate against a tolerance band plus an absolute slack, with one retry,
+    like the other wall-clock gates.
+    """
+    if not bench_faults.RESULT_PATH.exists():
+        return [], [f"no faults baseline at {bench_faults.RESULT_PATH}"]
+    baseline = json.loads(bench_faults.RESULT_PATH.read_text())["metrics"]
+    rows: list[dict] = []
+    failures: list[str] = []
+
+    entry = baseline.get("round_completion")
+    if entry is not None:
+        measured = bench_faults.measure_round_completion()
+        checks = ("rounds_completed", "clients_dropped", "task_completion_rate",
+                  "dropped_per_round")
+        ok = all(measured[key] == entry[key] for key in checks)
+        rows.append(
+            {
+                "metric": "round_completion",
+                "baseline_rate": entry["task_completion_rate"],
+                "measured_rate": measured["task_completion_rate"],
+                "status": "ok" if ok else "REGRESSED",
+            }
+        )
+        if not ok:
+            failures.append(
+                "round_completion: seeded completion bookkeeping diverged from "
+                f"the committed trajectory (now {measured['clients_dropped']} "
+                f"drops / rate {measured['task_completion_rate']}, committed "
+                f"{entry['clients_dropped']} / {entry['task_completion_rate']})"
+            )
+
+    entry = baseline.get("replay_determinism")
+    if entry is not None:
+        measured = bench_faults.measure_replay_determinism()
+        ok = bool(measured["bit_identical"])
+        rows.append(
+            {
+                "metric": "replay_determinism",
+                "measured_max_abs_diff": measured["max_abs_diff"],
+                "status": "ok" if ok else "REGRESSED",
+            }
+        )
+        if not ok:
+            failures.append(
+                "replay_determinism: recovered run diverged from the fault-free "
+                f"baseline (max |diff| {measured['max_abs_diff']})"
+            )
+
+    entry = baseline.get("recovery_latency")
+    if entry is not None:
+        for kind in ("crash", "straggler"):
+            key = f"{kind}_recovery_overhead_seconds"
+            ceiling = entry[key] * (1.0 + tolerance) + FAULT_LATENCY_SLACK_SECONDS
+            best = float("inf")
+            measured = None
+            for _attempt in range(2):
+                measured = bench_faults.measure_recovery_latency()
+                best = min(best, measured[key])
+                if best <= ceiling:
+                    break
+            unrecovered = measured[f"{kind}_unrecovered_tasks"]
+            ok = best <= ceiling and unrecovered == 0
+            rows.append(
+                {
+                    "metric": f"recovery_latency_{kind}",
+                    "baseline_overhead_seconds": entry[key],
+                    "measured_overhead_seconds": best,
+                    "ceiling_seconds": round(ceiling, 3),
+                    "status": "ok" if ok else "REGRESSED",
+                }
+            )
+            if not ok:
+                failures.append(
+                    f"recovery_latency_{kind}: overhead {best:.3f}s > ceiling "
+                    f"{ceiling:.3f}s (baseline {entry[key]}s)"
+                    if unrecovered == 0
+                    else f"recovery_latency_{kind}: {unrecovered} task(s) stayed "
+                    "unrecovered after the replay budget"
+                )
+    return rows, failures
+
+
 def _run_smoke(tolerance: float, as_json: bool = False) -> int:
     """Re-measure the data plane and gate on the committed trajectory.
 
@@ -281,7 +379,8 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
 
     runtime_comparison, runtime_failures = _smoke_runtime(tolerance)
     training_comparison, training_failures = _smoke_training(tolerance)
-    failures = failures + runtime_failures + training_failures
+    faults_comparison, faults_failures = _smoke_faults(tolerance)
+    failures = failures + runtime_failures + training_failures + faults_failures
 
     document = {
         "benchmark": "bench-smoke",
@@ -291,6 +390,7 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
         "comparison": comparison,
         "runtime_comparison": runtime_comparison,
         "training_comparison": training_comparison,
+        "faults_comparison": faults_comparison,
         "failures": failures,
         "ok": not failures,
     }
@@ -326,6 +426,23 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
                 f"  now {row['measured_speedup']:>7.2f}x"
                 f"  (floor {row['floor']}x)  {row['status']}"
             )
+        print("[bench:smoke] fault-tolerance trajectory")
+        for row in faults_comparison:
+            if row["metric"] == "round_completion":
+                print(
+                    f"  {row['metric']:26s} completion {row['measured_rate']:.2%}"
+                    f"  (committed {row['baseline_rate']:.2%}, exact)  {row['status']}"
+                )
+            elif row["metric"] == "replay_determinism":
+                print(
+                    f"  {row['metric']:26s} max |diff| {row['measured_max_abs_diff']:.1e}"
+                    f"  (must be bit-identical)  {row['status']}"
+                )
+            else:
+                print(
+                    f"  {row['metric']:26s} overhead {row['measured_overhead_seconds']:.3f}s"
+                    f"  (ceiling {row['ceiling_seconds']}s)  {row['status']}"
+                )
         if failures:
             print("[bench:smoke] FAILED (after retry with longer windows):")
             for failure in failures:
@@ -342,7 +459,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="print the full benchmark document(s) as JSON")
     parser.add_argument("--suite",
-                        choices=("dataplane", "runtime", "serving", "training", "all"),
+                        choices=("dataplane", "runtime", "serving", "training",
+                                 "faults", "all"),
                         default="dataplane",
                         help="which benchmark suite to run (default %(default)s)")
     parser.add_argument("--rows", type=int, default=BENCH_ROWS,
@@ -383,6 +501,11 @@ def main(argv: list[str] | None = None) -> int:
         documents["training"] = document
         if not args.no_write:
             bench_training.write_results(document)
+    if args.suite in ("faults", "all"):
+        document = bench_faults.run_faults_bench()
+        documents["faults"] = document
+        if not args.no_write:
+            bench_faults.write_results(document)
 
     if args.json:
         payload = documents if len(documents) > 1 else next(iter(documents.values()))
@@ -402,6 +525,10 @@ def main(argv: list[str] | None = None) -> int:
                 print(bench_serving.format_results(document))
                 if not args.no_write:
                     print(f"[bench:serving] wrote {bench_serving.RESULT_PATH}")
+            elif name == "faults":
+                print(bench_faults.format_results(document))
+                if not args.no_write:
+                    print(f"[bench:faults] wrote {bench_faults.RESULT_PATH}")
             else:
                 print(bench_training.format_results(document))
                 if not args.no_write:

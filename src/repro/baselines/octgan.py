@@ -26,12 +26,19 @@ __all__ = ["OCTGAN"]
 class _ODEGenerator(ConditionalGenerator):
     """CTGAN-style generator with an ODE block before the output projection."""
 
-    def __init__(self, noise_dim, condition_dim, transformer, hidden_dims,
-                 gumbel_tau, ode_steps, rng) -> None:
+    def __init__(
+        self, noise_dim, condition_dim, transformer, hidden_dims, gumbel_tau, ode_steps, rng
+    ) -> None:
         # Build the base object first, then replace its network with the
         # ODE-augmented stack (same public interface).
-        super().__init__(noise_dim, condition_dim, transformer,
-                         hidden_dims=hidden_dims, gumbel_tau=gumbel_tau, rng=rng)
+        super().__init__(
+            noise_dim,
+            condition_dim,
+            transformer,
+            hidden_dims=hidden_dims,
+            gumbel_tau=gumbel_tau,
+            rng=rng,
+        )
         width = noise_dim + condition_dim
         hidden = hidden_dims[0] if hidden_dims else 128
         layers = [
@@ -50,8 +57,9 @@ class _ODEDiscriminator(DataDiscriminator):
     """Discriminator whose hidden representation is integrated through an ODE."""
 
     def __init__(self, data_dim, condition_dim, hidden_dims, dropout, ode_steps, rng) -> None:
-        super().__init__(data_dim, condition_dim, hidden_dims=hidden_dims,
-                         dropout=dropout, rng=rng)
+        super().__init__(
+            data_dim, condition_dim, hidden_dims=hidden_dims, dropout=dropout, rng=rng
+        )
         hidden = hidden_dims[0] if hidden_dims else 128
         layers = [
             Dense(data_dim + condition_dim, hidden, rng=rng, init="he"),

@@ -29,7 +29,7 @@ from repro.distributed.protocol import SyntheticShare
 from repro.nids.features import TabularFeaturizer
 from repro.nids.metrics import accuracy_score, f1_score
 from repro.nids.pipeline import make_classifier
-from repro.runtime import Executor, resolve_executor, spawn_seeds
+from repro.runtime import Executor, map_with_quorum, resolve_executor, spawn_seeds
 from repro.runtime.state import StateRef
 from repro.tabular.split import train_test_split
 from repro.tabular.table import Table
@@ -131,6 +131,9 @@ class SimulationResult:
     centralised_real_f1: float = float("nan")
     per_node_local: dict[str, float] = field(default_factory=dict)
     share_validity: dict[str, float | None] = field(default_factory=dict)
+    #: Nodes whose pipeline failed (after retries); the run continued over
+    #: the survivors and every aggregate above excludes the dead nodes.
+    failed_nodes: list[str] = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -158,6 +161,10 @@ class DistributedNIDSSimulation:
         seed: int = 0,
         executor: Executor | str | int | None = None,
         transport: str = "resident",
+        min_nodes: int = 1,
+        task_timeout: float | None = None,
+        task_retries: int = 0,
+        retry_backoff: float = 0.0,
     ) -> None:
         """Parameters
         ----------
@@ -184,9 +191,20 @@ class DistributedNIDSSimulation:
             ref-only tasks; ``"payload"`` re-pickles node + test table into
             every task (the pre-resident reference transport).  Seeded
             results are bit-identical on either transport.
+        min_nodes:
+            Quorum: how many node pipelines must survive (after
+            ``task_retries`` replays under the ``task_timeout`` deadline)
+            for the run to produce a result; dead nodes are marked in
+            ``SimulationResult.failed_nodes`` and excluded from every
+            aggregate, and fewer survivors than the quorum raise
+            :class:`~repro.runtime.QuorumError`.
         """
         if num_nodes < 2:
             raise ValueError("num_nodes must be at least 2")
+        if min_nodes < 1:
+            raise ValueError("min_nodes must be at least 1")
+        if task_retries < 0:
+            raise ValueError("task_retries must be non-negative")
         if transport not in ("resident", "payload"):
             raise ValueError(f"unknown transport {transport!r}; options: ('resident', 'payload')")
         if not 0.0 <= non_iid_skew < 1.0:
@@ -201,6 +219,10 @@ class DistributedNIDSSimulation:
         self.seed = seed
         self.executor = resolve_executor(executor)
         self.transport = transport
+        self.min_nodes = min_nodes
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.retry_backoff = retry_backoff
 
     def close(self) -> None:
         """Release the executor's worker pool (no-op for the serial one)."""
@@ -269,6 +291,7 @@ class DistributedNIDSSimulation:
         # resident transport installs the pipelines and the shared test
         # table once and ships ref-only tasks.
         share_seeds = spawn_seeds(self.seed, len(nodes))
+        node_ids = [node.node_id for node in nodes]
         if self.transport == "resident":
             node_refs = [self.executor.install(node) for node in nodes]
             test_ref = self.executor.install(test)
@@ -283,7 +306,9 @@ class DistributedNIDSSimulation:
                 for node_ref, share_seed in zip(node_refs, share_seeds)
             ]
             try:
-                results = self.executor.map(_run_resident_node_task, resident_tasks)
+                survivors, failed_nodes = self._dispatch(
+                    _run_resident_node_task, resident_tasks, node_ids
+                )
             finally:
                 for node_ref in node_refs:
                     self.executor.evict(node_ref)
@@ -299,9 +324,10 @@ class DistributedNIDSSimulation:
                 )
                 for node, share_seed in zip(nodes, share_seeds)
             ]
-            results = self.executor.map(_run_node_task, tasks)
+            survivors, failed_nodes = self._dispatch(_run_node_task, tasks, node_ids)
+        results = [result for _, result in survivors]
 
-        # Local-only baseline.
+        # Local-only baseline (dead nodes excluded from every aggregate).
         per_node_local: dict[str, float] = {}
         per_node_f1: list[float] = []
         for result in results:
@@ -338,6 +364,23 @@ class DistributedNIDSSimulation:
             centralised_real_f1=f1_score(y_test, central_predictions),
             per_node_local=per_node_local,
             share_validity=share_validity,
+            failed_nodes=failed_nodes,
+        )
+
+    def _dispatch(
+        self, fn, tasks: list, node_ids: list[str]
+    ) -> tuple[list[tuple[int, _NodeResult]], list[str]]:
+        """Fan the node pipelines out; mark dead nodes, enforce the quorum."""
+        return map_with_quorum(
+            self.executor,
+            fn,
+            tasks,
+            node_ids,
+            min_survivors=self.min_nodes,
+            timeout=self.task_timeout,
+            retries=self.task_retries,
+            backoff=self.retry_backoff,
+            unit="node",
         )
 
     def _usable_condition_columns(self, part: Table) -> list[str]:

@@ -18,7 +18,7 @@ condition sampler over its private table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.federated.parameters import (
 from repro.knowledge.builder import build_network_kg
 from repro.knowledge.catalog import DomainCatalog
 from repro.knowledge.reasoner import KGReasoner
-from repro.runtime import Executor, resolve_executor
+from repro.runtime import Executor, map_with_quorum, resolve_executor
 from repro.runtime.state import BufferRef, StateRef
 from repro.tabular.sampler import ConditionSampler
 from repro.tabular.table import Table
@@ -377,6 +377,10 @@ class FederatedKiNETGANRound:
     mean_generator_loss: float
     mean_discriminator_loss: float
     epsilon: float | None = None
+    #: Sites selected for the round whose local training failed (after
+    #: retries); the round aggregated over the surviving quorum only and
+    #: the dropped sites' authoritative parent state was left untouched.
+    dropped: list[str] = field(default_factory=list)
 
 
 class FederatedKiNETGAN:
@@ -407,6 +411,10 @@ class FederatedKiNETGAN:
         executor: Executor | str | int | None = None,
         client_fraction: float = 1.0,
         transport: str = "resident",
+        min_sites: int = 1,
+        task_timeout: float | None = None,
+        task_retries: int = 0,
+        retry_backoff: float = 0.0,
     ) -> None:
         """``client_fraction`` subsamples the participating sites per round
         (the knob the federated detector server already has): each round
@@ -420,11 +428,29 @@ class FederatedKiNETGAN:
         flattened weight buffers, shared-memory backed under the process
         executor); ``"site"`` re-ships the whole pickled site both ways
         every round (the pre-resident reference transport).  Seeded results
-        are bit-identical on either transport."""
+        are bit-identical on either transport.
+
+        ``min_sites`` / ``task_timeout`` / ``task_retries`` /
+        ``retry_backoff`` mirror the federated detector server's resilience
+        knobs: a site round that still fails after ``task_retries``
+        bit-identical replays is skipped (recorded in the round's
+        ``dropped``), its authoritative parent-site state is rolled back to
+        its pre-round snapshot, and the round aggregates over the
+        survivors; fewer than ``min_sites`` survivors raise
+        :class:`~repro.runtime.QuorumError` with the global state
+        untouched."""
         if not 0.0 < client_fraction <= 1.0:
             raise ValueError("client_fraction must be in (0, 1]")
         if transport not in ("resident", "site"):
             raise ValueError(f"unknown transport {transport!r}; options: ('resident', 'site')")
+        if min_sites < 1:
+            raise ValueError("min_sites must be at least 1")
+        if task_retries < 0:
+            raise ValueError("task_retries must be non-negative")
+        self.min_sites = min_sites
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.retry_backoff = retry_backoff
         self.config = config if config is not None else KiNETGANConfig()
         self.condition_columns = condition_columns
         self.client_fraction = client_fraction
@@ -543,7 +569,8 @@ class FederatedKiNETGAN:
         selected = self._select_sites()
         if self.transport == "resident":
             states = self._run_resident_round(selected, local_epochs)
-            generator_states, discriminator_states, weights, metrics_list = states
+            generator_states, discriminator_states, weights, metrics_list = states[:4]
+            survivor_indices, dropped = states[4], states[5]
         else:
             tasks = [
                 _SiteTask(
@@ -554,12 +581,17 @@ class FederatedKiNETGAN:
                 )
                 for index in selected
             ]
-            results = self.executor.map(_run_site_task, tasks)
+            survivors, dropped = self._dispatch(
+                _run_site_task, tasks, [self.sites[index].site_id for index in selected]
+            )
             generator_states = []
             discriminator_states = []
             weights = []
             metrics_list = []
-            for index, (site, metrics) in zip(selected, results):
+            survivor_indices = []
+            for slot, (site, metrics) in survivors:
+                index = selected[slot]
+                survivor_indices.append(index)
                 self.sites[index].absorb(site)
                 metrics_list.append(metrics)
                 generator_state, discriminator_state = site.get_state()
@@ -581,33 +613,56 @@ class FederatedKiNETGAN:
 
         epsilon = None
         if self.dp_generator is not None:
-            sample_rate = len(selected) / len(self.sites)
+            sample_rate = len(survivor_indices) / len(self.sites)
             self.dp_generator.record_round(sample_rate=sample_rate)
             self.dp_discriminator.record_round(sample_rate=sample_rate)
             epsilon = self.dp_generator.epsilon() + self.dp_discriminator.epsilon()
 
         round_info = FederatedKiNETGANRound(
             round_index=len(self.rounds),
-            participants=[self.sites[index].site_id for index in selected],
+            participants=[self.sites[index].site_id for index in survivor_indices],
             mean_generator_loss=safe_mean(generator_losses),
             mean_discriminator_loss=safe_mean(discriminator_losses),
             epsilon=epsilon,
+            dropped=dropped,
         )
         self.rounds.append(round_info)
         return round_info
 
+    def _dispatch(
+        self, fn, tasks: list, site_ids: list[str]
+    ) -> tuple[list[tuple[int, object]], list[str]]:
+        """Fan one round's site tasks out; keep survivors, enforce quorum."""
+        return map_with_quorum(
+            self.executor,
+            fn,
+            tasks,
+            site_ids,
+            min_survivors=self.min_sites,
+            timeout=self.task_timeout,
+            retries=self.task_retries,
+            backoff=self.retry_backoff,
+            unit="site",
+        )
+
     def _run_resident_round(
         self, selected: list[int], local_epochs: int
-    ) -> tuple[list[StateDict], list[StateDict], list[float], list[dict]]:
+    ) -> tuple[list[StateDict], list[StateDict], list[float], list[dict], list[int], list[str]]:
         """Dispatch one delta round over the resident transport.
 
-        Returns the per-site (generator state, discriminator state, weight,
-        metrics) the aggregation consumes, decoded out of the shared result
-        matrices.  The coordinator's own site objects are kept in lockstep
-        with their worker-resident twins: the returned trainer state and the
-        decoded weights are applied to them, so external site handles always
-        see the trained state, exactly as the legacy transport's ``absorb``
-        provided.
+        Returns the per-surviving-site (generator state, discriminator
+        state, weight, metrics) the aggregation consumes -- decoded out of
+        the shared result matrices -- plus the surviving site indices and
+        the dropped site ids.  The coordinator's own site objects are kept
+        in lockstep with their worker-resident twins: the returned trainer
+        state and the decoded weights are applied to them, so external site
+        handles always see the trained state, exactly as the legacy
+        transport's ``absorb`` provided.  A site whose round still failed
+        after every retry is rolled back to its pre-round snapshot (trainer
+        state, history, broadcast weights): under the in-process executors
+        the worker trains the parent's own site object, so a post-hoc
+        deadline miss would otherwise leave a half-round behind in the
+        authoritative state.
         """
         assert self._global_generator is not None and self._global_discriminator is not None
         if self._transport_state is None:
@@ -640,15 +695,20 @@ class FederatedKiNETGAN:
             )
             for slot, index in enumerate(selected)
         ]
-        results = self.executor.map(_run_site_round, tasks)
+        survivors, dropped = self._dispatch(
+            _run_site_round, tasks, [self.sites[index].site_id for index in selected]
+        )
 
         generator_states: list[StateDict] = []
         discriminator_states: list[StateDict] = []
         weights: list[float] = []
         metrics_list: list[dict] = []
-        for slot, (index, (trainer_state, history_tail, metrics)) in enumerate(
-            zip(selected, results)
-        ):
+        survivor_indices: list[int] = []
+        surviving_slots = set()
+        for slot, (trainer_state, history_tail, metrics) in survivors:
+            index = selected[slot]
+            surviving_slots.add(slot)
+            survivor_indices.append(index)
             site = self.sites[index]
             site.load_trainer_state(trainer_state)
             site.apply_history_tail(history_lengths[slot], history_tail)
@@ -664,7 +724,26 @@ class FederatedKiNETGAN:
             discriminator_states.append(discriminator_state)
             weights.append(float(site.n_records))
             metrics_list.append(metrics)
-        return generator_states, discriminator_states, weights, metrics_list
+        for slot, index in enumerate(selected):
+            if slot in surviving_slots:
+                continue
+            # Roll a dropped site back to its pre-round snapshot: the task
+            # still carries the trainer state captured before dispatch, the
+            # broadcast buffers still hold the round's global weights, and
+            # an empty tail truncates any half-round history entries an
+            # in-process attempt appended before failing.
+            site = self.sites[index]
+            site.load_trainer_state(tasks[slot].trainer_state)
+            site.apply_history_tail(
+                history_lengths[slot], {name: [] for name in site._HISTORY_FIELDS}
+            )
+            site.load_flat_state(
+                transport.generator_codec,
+                transport.global_generator.array,
+                transport.discriminator_codec,
+                transport.global_discriminator.array,
+            )
+        return generator_states, discriminator_states, weights, metrics_list, survivor_indices, dropped
 
     def _aggregate(
         self,

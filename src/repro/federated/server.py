@@ -31,7 +31,7 @@ from repro.federated.client import (
 from repro.federated.dp import DPFedAvgConfig, DPFedAvgMechanism
 from repro.federated.parameters import StateCodec, StateDict, copy_state, state_add, state_scale
 from repro.neural.network import Sequential
-from repro.runtime import Executor, resolve_executor
+from repro.runtime import Executor, map_with_quorum, resolve_executor
 
 __all__ = ["FederatedRound", "FederatedHistory", "FederatedServer"]
 
@@ -87,6 +87,10 @@ class FederatedRound:
     mean_client_accuracy: float
     global_accuracy: float | None = None
     epsilon: float | None = None
+    #: Clients selected for the round whose work units failed (crashed,
+    #: timed out, dropped) after exhausting their retries.  The round
+    #: aggregated over the surviving quorum only.
+    dropped: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -125,6 +129,10 @@ class FederatedServer:
         seed: int = 0,
         executor: Executor | str | int | None = None,
         transport: str = "resident",
+        min_clients: int = 1,
+        task_timeout: float | None = None,
+        task_retries: int = 0,
+        retry_backoff: float = 0.0,
     ) -> None:
         """Parameters
         ----------
@@ -158,6 +166,22 @@ class FederatedServer:
             :class:`~repro.federated.client.ClientPayload` every round
             (the pre-resident reference transport).  Seeded results are
             bit-identical on either transport.
+        min_clients:
+            Quorum: the minimum number of client rounds that must survive
+            (after retries) for a round to aggregate.  Fewer survivors
+            raise :class:`~repro.runtime.QuorumError` and leave the global
+            state untouched.  Dropped clients are recorded per round and
+            re-weighted away exactly like ``client_fraction``
+            non-participants.
+        task_timeout:
+            Per-client-round deadline in seconds (``None`` = unbounded).
+        task_retries:
+            How many times a failed client round is replayed before the
+            client is dropped from the round.  Replays re-run the same
+            payload with the same parent-spawned round seed, so a
+            recovered round is bit-identical to a fault-free one.
+        retry_backoff:
+            Base seconds of the exponential backoff between replays.
         """
         if not clients:
             raise ValueError("need at least one client")
@@ -169,6 +193,14 @@ class FederatedServer:
             raise ValueError("client_fraction must be in (0, 1]")
         if server_lr <= 0:
             raise ValueError("server_lr must be positive")
+        if min_clients < 1:
+            raise ValueError("min_clients must be at least 1")
+        if task_retries < 0:
+            raise ValueError("task_retries must be non-negative")
+        self.min_clients = min_clients
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.retry_backoff = retry_backoff
         self.model_fn = model_fn
         self.clients = list(clients)
         self.aggregator = aggregator
@@ -226,6 +258,32 @@ class FederatedServer:
             )
         return self._transport_state
 
+    def _dispatch(
+        self, fn: Callable, payloads: list, client_ids: list[str]
+    ) -> tuple[list[tuple[int, ClientUpdate]], list[str]]:
+        """Fan one round's work units out; keep survivors, enforce quorum.
+
+        Returns ``(survivors, dropped)`` where survivors are
+        ``(slot, update)`` pairs in submission order (the slot indexes the
+        round's shared update matrix) and ``dropped`` lists the client ids
+        whose tasks still failed after ``task_retries`` replays.  Raises
+        :class:`~repro.runtime.QuorumError` -- before any state is touched
+        -- when fewer than ``min_clients`` survive.  The fault-free fast
+        path is the plain :meth:`Executor.map` the pre-resilience server
+        used.
+        """
+        return map_with_quorum(
+            self.executor,
+            fn,
+            payloads,
+            client_ids,
+            min_survivors=self.min_clients,
+            timeout=self.task_timeout,
+            retries=self.task_retries,
+            backoff=self.retry_backoff,
+            unit="client",
+        )
+
     def run_round(
         self,
         eval_features: np.ndarray | None = None,
@@ -245,12 +303,15 @@ class FederatedServer:
         indices = self._select_indices()
         participants = [self.clients[i] for i in indices]
         if self.transport == "resident":
-            updates = self._run_resident_round(indices)
+            updates, dropped = self._run_resident_round(indices)
         else:
             payloads = [
                 client.make_payload(copy_state(self.global_state)) for client in participants
             ]
-            updates = self.executor.map(run_client_payload, payloads)
+            survivors, dropped = self._dispatch(
+                run_client_payload, payloads, [c.client_id for c in participants]
+            )
+            updates = [update for _, update in survivors]
 
         if self.dp_mechanism is not None:
             for update in updates:
@@ -280,11 +341,14 @@ class FederatedServer:
             ),
             global_accuracy=global_accuracy,
             epsilon=self.dp_mechanism.epsilon() if self.dp_mechanism else None,
+            dropped=dropped,
         )
         self.history.rounds.append(round_info)
         return round_info
 
-    def _run_resident_round(self, indices: list[int]) -> list[ClientUpdate]:
+    def _run_resident_round(
+        self, indices: list[int]
+    ) -> tuple[list[ClientUpdate], list[str]]:
         """Dispatch one round over the resident transport and rebuild updates.
 
         The workers leave their flattened updates in the shared
@@ -306,12 +370,16 @@ class FederatedServer:
             )
             for slot, index in enumerate(indices)
         ]
-        updates: list[ClientUpdate] = self.executor.map(run_client_round, tasks)
-        for slot, update in enumerate(updates):
+        survivors, dropped = self._dispatch(
+            run_client_round, tasks, [self.clients[i].client_id for i in indices]
+        )
+        updates: list[ClientUpdate] = []
+        for slot, update in survivors:
             update.update = codec.decode(
                 np.array(transport.update_buffer.array[slot], copy=True)
             )
-        return updates
+            updates.append(update)
+        return updates, dropped
 
     def run(
         self,

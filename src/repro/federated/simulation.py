@@ -27,7 +27,7 @@ from repro.neural.layers import Dense, ReLU
 from repro.neural.network import Sequential
 from repro.nids.features import TabularFeaturizer
 from repro.nids.metrics import accuracy_score, f1_score
-from repro.runtime import Executor, resolve_executor
+from repro.runtime import Executor, map_with_quorum, resolve_executor
 from repro.runtime.state import StateRef
 from repro.tabular.split import train_test_split
 
@@ -139,11 +139,17 @@ class FederatedNIDSSimulation:
         seed: int = 0,
         executor: Executor | str | int | None = None,
         transport: str = "resident",
+        min_clients: int = 1,
+        task_timeout: float | None = None,
+        task_retries: int = 0,
+        retry_backoff: float = 0.0,
     ) -> None:
         if num_rounds <= 0 or local_epochs <= 0:
             raise ValueError("num_rounds and local_epochs must be positive")
         if transport not in ("resident", "payload"):
             raise ValueError(f"unknown transport {transport!r}; options: ('resident', 'payload')")
+        if min_clients < 1:
+            raise ValueError("min_clients must be at least 1")
         self.bundle = bundle
         self.num_clients = num_clients
         self.skew = skew
@@ -160,6 +166,12 @@ class FederatedNIDSSimulation:
         #: Round transport forwarded to every FederatedServer this
         #: simulation builds ("resident" or "payload", see the server).
         self.transport = transport
+        #: Resilience knobs forwarded to the multi-client servers below
+        #: (quorum / per-round deadline / bounded replays, see the server).
+        self.min_clients = min_clients
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.retry_backoff = retry_backoff
 
     def close(self) -> None:
         """Release the executor's worker pool (no-op for the serial one)."""
@@ -253,7 +265,21 @@ class FederatedNIDSSimulation:
         per_client_local: dict[str, float] = {}
         local_f1: list[float] = []
         try:
-            for client_id, accuracy, f1 in self.executor.map(_run_solo_task, solo_tasks):
+            # The solo baseline degrades like a round: a client whose whole
+            # solo training fails (after retries) is simply left out of the
+            # local-only mean, subject to the same quorum.
+            survivors, _ = map_with_quorum(
+                self.executor,
+                _run_solo_task,
+                solo_tasks,
+                [client.client_id for client in clients],
+                min_survivors=self.min_clients,
+                timeout=self.task_timeout,
+                retries=self.task_retries,
+                backoff=self.retry_backoff,
+                unit="client",
+            )
+            for _, (client_id, accuracy, f1) in survivors:
                 per_client_local[client_id] = accuracy
                 local_f1.append(f1)
         finally:
@@ -271,6 +297,10 @@ class FederatedNIDSSimulation:
             seed=self.seed,
             executor=self.executor,
             transport=self.transport,
+            min_clients=self.min_clients,
+            task_timeout=self.task_timeout,
+            task_retries=self.task_retries,
+            retry_backoff=self.retry_backoff,
         )
         try:
             history = server.run(self.num_rounds, eval_features=X_test, eval_labels=y_test)
@@ -292,6 +322,10 @@ class FederatedNIDSSimulation:
                 seed=self.seed,
                 executor=self.executor,
                 transport=self.transport,
+                min_clients=self.min_clients,
+                task_timeout=self.task_timeout,
+                task_retries=self.task_retries,
+                retry_backoff=self.retry_backoff,
             )
             try:
                 dp_server.run(self.num_rounds)

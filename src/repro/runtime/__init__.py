@@ -51,7 +51,20 @@ from repro.runtime.executor import (
     SerialExecutor,
     ThreadExecutor,
     default_worker_count,
+    map_with_quorum,
     resolve_executor,
+)
+from repro.runtime.faults import (
+    FaultDecision,
+    FaultInjector,
+    InjectedFault,
+    QuorumError,
+    StragglerTimeout,
+    TaskDropped,
+    TaskFailure,
+    TaskPolicy,
+    TaskResult,
+    WorkerCrash,
 )
 from repro.runtime.seeding import spawn_seeds
 from repro.runtime.state import (
@@ -68,6 +81,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "default_worker_count",
+    "map_with_quorum",
     "resolve_executor",
     "spawn_seeds",
     "StateRef",
@@ -75,4 +89,14 @@ __all__ = [
     "SharedBuffer",
     "StateStore",
     "worker_store",
+    "FaultDecision",
+    "FaultInjector",
+    "InjectedFault",
+    "QuorumError",
+    "StragglerTimeout",
+    "TaskDropped",
+    "TaskFailure",
+    "TaskPolicy",
+    "TaskResult",
+    "WorkerCrash",
 ]

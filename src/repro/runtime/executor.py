@@ -1,18 +1,28 @@
 """Pluggable executors: serial, thread-pool and process-pool execution.
 
-Two contracts make up the execution plane:
+Three contracts make up the execution plane:
 
 * the stateless one -- :meth:`Executor.map` over picklable payloads with a
-  module-level function, returning results in submission order; and
+  module-level function, returning results in submission order;
 * the resident one -- :meth:`Executor.install` places a one-time
   :mod:`resident state <repro.runtime.state>` in the plane and returns a
   small ref, :meth:`Executor.shared_array` allocates a parameter buffer
   every worker can address, and per-round tasks carry only refs plus the
-  delta that actually changed.
+  delta that actually changed; and
+* the resilient one -- :meth:`Executor.map_tasks` runs the same payloads
+  under a :class:`~repro.runtime.faults.TaskPolicy` (per-task deadlines,
+  bounded retries with exponential backoff, seeded fault injection) and
+  returns structured :class:`~repro.runtime.faults.TaskResult` s instead of
+  raising.  :class:`ProcessExecutor` additionally survives worker crashes:
+  a broken pool is respawned, resident :class:`StateRef` s re-resolve
+  lazily in the fresh workers (the parent owns the shared-memory segments,
+  which outlive the pool), and only the failed seeded tasks are replayed --
+  payloads are pure functions of their parent-spawned seeds, so a
+  recovered round is bit-identical to a fault-free one.
 
-Both are deliberately tiny: they are exactly what the federated server, the
-federated/distributed simulations and the runtime benchmark need, and
-anything richer (futures, streaming completion) would make the
+All three are deliberately tiny: they are exactly what the federated
+server, the federated/distributed simulations and the runtime benchmark
+need, and anything richer (futures, streaming completion) would make the
 serial/parallel parity guarantee harder to reason about.
 """
 
@@ -22,8 +32,22 @@ import concurrent.futures
 import multiprocessing
 import os
 import pickle
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, TypeVar
 
+from repro.runtime.faults import (
+    NO_FAULT,
+    FaultDecision,
+    FaultInjector,
+    QuorumError,
+    StragglerTimeout,
+    TaskPolicy,
+    TaskResult,
+    _TaskState,
+    classify_failure,
+    execute_fault,
+)
 from repro.runtime.state import (
     DirectStateRef,
     LocalBuffer,
@@ -31,6 +55,7 @@ from repro.runtime.state import (
     SharedMemoryBuffer,
     SharedStateRef,
     StateRef,
+    worker_store,
 )
 
 __all__ = [
@@ -39,6 +64,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "resolve_executor",
+    "map_with_quorum",
 ]
 
 T = TypeVar("T")
@@ -64,6 +90,13 @@ class Executor:
 
     def __init__(self) -> None:
         self._closed = False
+        #: Executor-wide fault source consulted by :meth:`map_tasks` when
+        #: the policy does not carry its own (see :meth:`install_faults`).
+        self.fault_injector: FaultInjector | None = None
+        # Global dispatch counter: tasks are numbered in submission order
+        # across successive map_tasks calls, so a FaultInjector schedule
+        # addresses "round r, slot s" deterministically.
+        self._task_counter = 0
 
     @property
     def closed(self) -> bool:
@@ -76,6 +109,74 @@ class Executor:
 
     def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every payload and return results in input order."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Resilient execution (see repro.runtime.faults).
+    # ------------------------------------------------------------------ #
+    def install_faults(self, injector: FaultInjector | None) -> None:
+        """Install (or clear) the executor-wide seeded fault injector.
+
+        Every subsequent :meth:`map_tasks` call consults it per dispatch --
+        a pure function of ``(seed, task_id, attempt)`` -- unless the call's
+        policy carries its own injector.  ``None`` uninstalls.
+        """
+        self.fault_injector = injector
+
+    def map_tasks(
+        self,
+        fn: Callable[[T], R],
+        payloads: Iterable[T],
+        policy: TaskPolicy | None = None,
+    ) -> list[TaskResult]:
+        """Run every payload under ``policy`` and return structured results.
+
+        Unlike :meth:`map`, a failing task never raises: its
+        :class:`~repro.runtime.faults.TaskResult` carries a
+        :class:`~repro.runtime.faults.TaskFailure` (cause, attempts,
+        elapsed) and every other task still completes.  Failed tasks are
+        replayed up to ``policy.retries`` times with exponential backoff;
+        because payloads are pure functions of their parent-spawned seeds,
+        a successful replay is bit-identical to a fault-free first attempt.
+        Results come back in submission order, exactly like :meth:`map`.
+        """
+        self._check_open()
+        policy = policy if policy is not None else TaskPolicy()
+        injector = policy.injector if policy.injector is not None else self.fault_injector
+        entries: list[_TaskState] = []
+        for payload in payloads:
+            entries.append(_TaskState(task_id=self._task_counter, payload=payload))
+            self._task_counter += 1
+        pending = entries
+        replay = 0
+        while pending:
+            if replay > 0:
+                backoff = policy.backoff_seconds(replay)
+                if backoff > 0:
+                    time.sleep(backoff)
+            decisions = [
+                injector.decide(entry.task_id, entry.attempts)
+                if injector is not None
+                else NO_FAULT
+                for entry in pending
+            ]
+            self._attempt(fn, pending, decisions, policy)
+            pending = [
+                entry
+                for entry in pending
+                if not entry.done and entry.attempts <= policy.retries
+            ]
+            replay += 1
+        return [entry.to_result(policy) for entry in entries]
+
+    def _attempt(
+        self,
+        fn: Callable[[T], R],
+        entries: list[_TaskState],
+        decisions: list[FaultDecision],
+        policy: TaskPolicy,
+    ) -> None:
+        """Run one attempt of every entry, recording outcomes in place."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
@@ -111,6 +212,21 @@ class Executor:
         return f"{type(self).__name__}()"
 
 
+def _run_guarded(
+    fn: Callable[[T], R], payload: T, decision: FaultDecision, timeout: float | None
+) -> R:
+    """Worker body of an in-process attempt: apply the fault, then run.
+
+    Module-level so the thread pool can submit it; the injected fault runs
+    *before* the task body, so an abandoned straggler (injected delay >=
+    deadline) raises without ever touching resident state -- in-process
+    executors share it with the parent, and running an abandoned attempt
+    concurrently with its replay would race.
+    """
+    execute_fault(decision, timeout, in_process=True)
+    return fn(payload)
+
+
 class SerialExecutor(Executor):
     """In-process execution: a plain ordered loop over the payloads.
 
@@ -124,6 +240,35 @@ class SerialExecutor(Executor):
 
     def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
         return [fn(payload) for payload in payloads]
+
+    def _attempt(
+        self,
+        fn: Callable[[T], R],
+        entries: list[_TaskState],
+        decisions: list[FaultDecision],
+        policy: TaskPolicy,
+    ) -> None:
+        # Inline execution cannot be interrupted, so the deadline is
+        # enforced post-hoc: an overrunning task's result is discarded and
+        # the task replayed -- value-preserving, because payloads are pure
+        # functions of their seeds (the replay recomputes the same bits).
+        for entry, decision in zip(entries, decisions):
+            entry.attempts += 1
+            start = time.perf_counter()
+            try:
+                value = _run_guarded(fn, entry.payload, decision, policy.timeout)
+                elapsed = time.perf_counter() - start
+                if policy.timeout is not None and elapsed > policy.timeout:
+                    raise StragglerTimeout(
+                        f"task ran {elapsed:.3f}s past its {policy.timeout}s deadline"
+                    )
+                entry.value = value
+                entry.done = True
+            except Exception as error:
+                entry.last_cause = classify_failure(error)
+                entry.last_error = f"{type(error).__name__}: {error}"
+            finally:
+                entry.elapsed += time.perf_counter() - start
 
 
 class ThreadExecutor(Executor):
@@ -164,6 +309,25 @@ class ThreadExecutor(Executor):
         # complete out of order (tested in tests/runtime/test_executor.py).
         return list(self._ensure_pool().map(fn, payloads))
 
+    def _attempt(
+        self,
+        fn: Callable[[T], R],
+        entries: list[_TaskState],
+        decisions: list[FaultDecision],
+        policy: TaskPolicy,
+    ) -> None:
+        # A timed-out future cannot be interrupted, but injected stragglers
+        # raise StragglerTimeout in the worker before the body runs, so the
+        # abandoned attempt never mutates shared state; the replay is the
+        # only execution.  Genuinely hung (non-injected) work units should
+        # be idempotent: an abandoned attempt may still complete later.
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_guarded, fn, entry.payload, decision, policy.timeout)
+            for entry, decision in zip(entries, decisions)
+        ]
+        _collect_futures(entries, futures, policy)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -172,6 +336,77 @@ class ThreadExecutor(Executor):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadExecutor(max_workers={self.max_workers})"
+
+
+def _collect_futures(
+    entries: list[_TaskState],
+    futures: list["concurrent.futures.Future"],
+    policy: TaskPolicy,
+) -> bool:
+    """Harvest one attempt's futures in submission order; True if pool broke.
+
+    Each future gets the policy's full deadline measured from the moment
+    the parent starts waiting on it (earlier waits overlap later tasks'
+    execution, so the effective per-task budget is at least the deadline).
+    """
+    broken = False
+    for entry, future in zip(entries, futures):
+        entry.attempts += 1
+        start = time.perf_counter()
+        try:
+            entry.value = future.result(timeout=policy.timeout)
+            entry.done = True
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            entry.last_cause = "timeout"
+            entry.last_error = f"no result within the {policy.timeout}s deadline"
+        except concurrent.futures.BrokenExecutor as error:
+            broken = True
+            entry.last_cause = "crash"
+            entry.last_error = f"{type(error).__name__}: worker died mid-task"
+        except Exception as error:
+            future.cancel()
+            entry.last_cause = classify_failure(error)
+            entry.last_error = f"{type(error).__name__}: {error}"
+        finally:
+            entry.elapsed += time.perf_counter() - start
+    return broken
+
+
+@dataclass(frozen=True)
+class _WorkerItem:
+    """One process-pool dispatch: payload + fault decision + housekeeping.
+
+    ``evictions`` piggybacks the names of every shared-memory segment the
+    parent has evicted so far; the worker purges its process-local
+    :class:`~repro.runtime.state.StateStore` before running the task, so
+    long-lived pools actually release the memory of evicted resident
+    states instead of holding their materialised copies until pool close.
+    """
+
+    payload: Any
+    decision: FaultDecision
+    timeout: float | None
+    evictions: tuple[str, ...]
+
+
+def _apply_evictions(names: tuple[str, ...]) -> None:
+    """Purge evicted resident states from this worker's StateStore."""
+    if names:
+        worker_store().purge(names)
+
+
+def _run_worker_item(fn: Callable[[T], R], item: _WorkerItem) -> R:
+    """Module-level process-pool work unit: evict, inject, run."""
+    _apply_evictions(item.evictions)
+    execute_fault(item.decision, item.timeout, in_process=False)
+    return fn(item.payload)
+
+
+def _run_plain_item(fn: Callable[[T], R], evictions: tuple[str, ...], payload: T) -> R:
+    """Module-level wrapper for plain ``map`` with pending evictions."""
+    _apply_evictions(evictions)
+    return fn(payload)
 
 
 class ProcessExecutor(Executor):
@@ -202,6 +437,12 @@ class ProcessExecutor(Executor):
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._installed: dict[str, Any] = {}
         self._buffers: list[SharedMemoryBuffer] = []
+        #: Names of evicted shared-memory segments, broadcast to workers on
+        #: every subsequent dispatch (see _WorkerItem).  Cleared whenever
+        #: the pool is (re)created: fresh workers hold no stale copies.
+        self._evicted_names: list[str] = []
+        #: How many times a broken pool was respawned (observability).
+        self.respawns = 0
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         self._check_open()
@@ -212,11 +453,74 @@ class ProcessExecutor(Executor):
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.max_workers, mp_context=context
             )
+            self._evicted_names.clear()
         return self._pool
+
+    def _respawn_pool(self) -> None:
+        """Replace a broken pool; resident state survives in shared memory.
+
+        The parent owns every installed segment and shared buffer, so a
+        worker crash costs only the workers' process-local caches: fresh
+        workers re-resolve the same :class:`SharedStateRef` s lazily on
+        first use, and the caller replays just the failed seeded tasks.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            self.respawns += 1
 
     def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
         # ProcessPoolExecutor.map already yields results in submission order.
-        return list(self._ensure_pool().map(fn, payloads))
+        pool = self._ensure_pool()
+        evictions = tuple(self._evicted_names)
+        try:
+            if evictions:
+                payloads = list(payloads)
+                return list(
+                    pool.map(_run_plain_item, [fn] * len(payloads), [evictions] * len(payloads), payloads)
+                )
+            return list(pool.map(fn, payloads))
+        except concurrent.futures.BrokenExecutor:
+            # Surface the raw error (map has no retry semantics; use
+            # map_tasks for resilience) but leave the executor usable.
+            self._respawn_pool()
+            raise
+
+    def _attempt(
+        self,
+        fn: Callable[[T], R],
+        entries: list[_TaskState],
+        decisions: list[FaultDecision],
+        policy: TaskPolicy,
+    ) -> None:
+        pool = self._ensure_pool()
+        evictions = tuple(self._evicted_names)
+        try:
+            futures = [
+                pool.submit(
+                    _run_worker_item,
+                    fn,
+                    _WorkerItem(
+                        payload=entry.payload,
+                        decision=decision,
+                        timeout=policy.timeout,
+                        evictions=evictions,
+                    ),
+                )
+                for entry, decision in zip(entries, decisions)
+            ]
+        except concurrent.futures.BrokenExecutor as error:
+            # The pool broke before this attempt could submit (e.g. during
+            # an earlier plain map); count the attempt and let the retry
+            # loop replay against a fresh pool.
+            for entry in entries:
+                entry.attempts += 1
+                entry.last_cause = "crash"
+                entry.last_error = f"{type(error).__name__}: pool broken at submit"
+            self._respawn_pool()
+            return
+        if _collect_futures(entries, futures, policy):
+            self._respawn_pool()
 
     # ------------------------------------------------------------------ #
     def install(self, state: object) -> SharedStateRef:
@@ -239,6 +543,12 @@ class ProcessExecutor(Executor):
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already unlinked
                 pass
+            # Eviction broadcast: a live pool's workers have materialised
+            # copies in their process-local StateStores; every subsequent
+            # dispatch carries the evicted names so the workers purge them
+            # (a no-op for workers that never resolved the ref).
+            if self._pool is not None:
+                self._evicted_names.append(ref.name)
 
     def shared_array(self, shape: tuple[int, ...]) -> SharedMemoryBuffer:
         self._check_open()
@@ -261,10 +571,63 @@ class ProcessExecutor(Executor):
         for buffer in self._buffers:
             buffer.close()
         self._buffers.clear()
+        self._evicted_names.clear()
         self._closed = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+def map_with_quorum(
+    executor: Executor,
+    fn: Callable[[T], R],
+    payloads: list[T],
+    ids: list[str],
+    *,
+    min_survivors: int = 0,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    unit: str = "task",
+) -> tuple[list[tuple[int, R]], list[str]]:
+    """Fan a round out resiliently; keep the survivors, enforce a quorum.
+
+    The shared round-dispatch pattern of every degrading consumer (the
+    federated server, the KiNETGAN coordinator, the distributed
+    simulation): run ``payloads`` through :meth:`Executor.map_tasks` under
+    the given deadline/retry policy and return ``(survivors, dropped)``,
+    where survivors are ``(slot, value)`` pairs in submission order (the
+    slot indexes the round's shared result buffers) and ``dropped`` lists
+    the ids -- parallel to ``payloads`` -- whose tasks still failed after
+    every retry.  Raises :class:`~repro.runtime.faults.QuorumError` before
+    the caller touches any state when fewer than ``min_survivors`` remain.
+
+    When no resilience is requested (no deadline, no retries, no installed
+    fault injector) this degrades to a plain :meth:`Executor.map`: zero
+    overhead and an exception propagates raw, exactly like the
+    pre-resilience consumers.
+    """
+    if timeout is None and retries == 0 and executor.fault_injector is None:
+        if len(payloads) < min_survivors:
+            raise QuorumError(
+                f"round dispatches only {len(payloads)} {unit}(s); "
+                f"quorum requires {min_survivors}",
+                survivors=len(payloads),
+                required=min_survivors,
+            )
+        return list(enumerate(executor.map(fn, payloads))), []
+    policy = TaskPolicy(timeout=timeout, retries=retries, backoff=backoff)
+    results = executor.map_tasks(fn, payloads, policy)
+    survivors = [(slot, result.value) for slot, result in enumerate(results) if result.ok]
+    dropped = [ids[slot] for slot, result in enumerate(results) if not result.ok]
+    if len(survivors) < min_survivors:
+        raise QuorumError(
+            f"round finished with {len(survivors)} surviving {unit}(s); "
+            f"quorum requires {min_survivors}",
+            survivors=len(survivors),
+            required=min_survivors,
+        )
+    return survivors, dropped
 
 
 def _pool_spec(text: str, cls: type[Executor]) -> Executor:

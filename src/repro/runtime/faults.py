@@ -1,0 +1,371 @@
+"""Seeded fault injection and the structured task-failure vocabulary.
+
+The paper's deployment is distributed-by-construction: KiNETGAN clients are
+independent sites that crash, stall and drop mid-round.  This module gives
+the execution plane a way to *exercise* those failure paths
+deterministically and a typed vocabulary to report them:
+
+* :class:`FaultInjector` -- a pure function of ``(seed, task_id, attempt)``
+  deciding whether a dispatched task crashes its worker, raises, straggles
+  (sleeps) or drops its result.  Installable on any
+  :class:`~repro.runtime.Executor` (``executor.install_faults(...)``) or
+  passed per call through :class:`TaskPolicy`, so every failure scenario is
+  bit-reproducible in tests and benchmarks: the same seed and schedule
+  produce the same faults on serial, thread and process executors.
+* :class:`TaskPolicy` -- per-task deadline, bounded retries with exponential
+  backoff, and the injector to consult.
+* :class:`TaskResult` / :class:`TaskFailure` -- the structured outcome of
+  :meth:`Executor.map_tasks`: a value, or a failure carrying the cause
+  (``"crash"`` / ``"error"`` / ``"timeout"`` / ``"drop"``), the attempt
+  count and the elapsed seconds.
+* :class:`QuorumError` -- raised by round consumers (the federated server,
+  the KiNETGAN coordinator, the distributed simulation) when fewer work
+  units survive a round than their ``min_clients`` quorum requires.
+
+Determinism-under-replay invariant: a task payload is a pure function of
+its parent-spawned seed, so replaying a failed task (after a pool respawn,
+a timeout or an injected fault) produces a bit-identical result -- a
+recovered round equals a fault-free round.  The parity suite
+(``tests/runtime/test_parity.py``) enforces this end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultInjector",
+    "InjectedFault",
+    "WorkerCrash",
+    "TaskDropped",
+    "StragglerTimeout",
+    "QuorumError",
+    "TaskPolicy",
+    "TaskFailure",
+    "TaskResult",
+]
+
+#: Fault kinds an injector can decide (``"none"`` means run normally).
+FAULT_KINDS = ("none", "crash", "error", "delay", "drop")
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic exception injected into a work unit."""
+
+
+class WorkerCrash(RuntimeError):
+    """A worker died mid-task (simulated in-process for serial/thread)."""
+
+
+class TaskDropped(RuntimeError):
+    """A work unit's result was lost in transit (simulated network drop)."""
+
+
+class StragglerTimeout(RuntimeError):
+    """An injected straggler overran its deadline and abandoned the task.
+
+    Raised *in the worker* before the task body runs, so an abandoned
+    straggler never executes (and never mutates resident state) -- the
+    parent's retry is the only execution, which keeps in-process executors
+    race-free under straggler injection.
+    """
+
+
+class QuorumError(RuntimeError):
+    """A round finished with fewer surviving work units than its quorum."""
+
+    def __init__(self, message: str, survivors: int, required: int) -> None:
+        super().__init__(message)
+        self.survivors = survivors
+        self.required = required
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one ``(task_id, attempt)`` dispatch."""
+
+    kind: str = "none"
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; options: {FAULT_KINDS}")
+
+
+#: The no-fault decision (shared; decisions are immutable).
+NO_FAULT = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Seeded, schedule-able fault source: pure in ``(seed, task_id, attempt)``.
+
+    Two modes, combinable:
+
+    * **Schedule** -- ``schedule`` maps ``(task_id, attempt)`` to a fault
+      kind (or a :class:`FaultDecision`); anything not listed runs clean.
+      ``task_id`` is the executor's global dispatch counter: tasks are
+      numbered in submission order across successive ``map_tasks`` calls,
+      so ``(round r of k clients, slot s)`` is ``task_id = r * k + s`` and
+      a schedule pins a fault to an exact task of an exact round.
+    * **Rates** -- ``crash_rate`` / ``error_rate`` / ``delay_rate`` /
+      ``drop_rate`` are per-dispatch probabilities drawn from a stream that
+      depends only on ``(seed, task_id, attempt)``, never on which process
+      or thread runs the task or on wall-clock time.  The same seed
+      therefore produces the same fault pattern on every executor.
+
+    The injector is immutable and picklable; deciding allocates one tiny
+    ``Generator`` when rates are in play and nothing otherwise.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    error_rate: float = 0.0
+    delay_rate: float = 0.0
+    drop_rate: float = 0.0
+    delay_seconds: float = 0.05
+    schedule: Mapping[tuple[int, int], "str | FaultDecision"] | None = None
+
+    def __post_init__(self) -> None:
+        rates = (self.crash_rate, self.error_rate, self.delay_rate, self.drop_rate)
+        if any(rate < 0.0 or rate > 1.0 for rate in rates):
+            raise ValueError("fault rates must be in [0, 1]")
+        if sum(rates) > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if self.schedule is not None:
+            for key, value in self.schedule.items():
+                kind = value.kind if isinstance(value, FaultDecision) else value
+                if kind not in FAULT_KINDS:
+                    raise ValueError(f"unknown fault kind {kind!r} in schedule at {key}")
+
+    # ------------------------------------------------------------------ #
+    def decide(self, task_id: int, attempt: int) -> FaultDecision:
+        """The fault for dispatch ``(task_id, attempt)`` (pure, seeded)."""
+        if self.schedule is not None:
+            entry = self.schedule.get((task_id, attempt))
+            if entry is not None:
+                if isinstance(entry, FaultDecision):
+                    return entry
+                return FaultDecision(kind=entry, delay_seconds=self.delay_seconds)
+        if self.crash_rate or self.error_rate or self.delay_rate or self.drop_rate:
+            # One uniform draw from a stream keyed by (seed, task_id,
+            # attempt): bit-reproducible and independent of the executor.
+            draw = float(
+                np.random.default_rng(
+                    np.random.SeedSequence(entropy=(self.seed, task_id, attempt))
+                ).uniform()
+            )
+            threshold = self.crash_rate
+            if draw < threshold:
+                return FaultDecision(kind="crash")
+            threshold += self.error_rate
+            if draw < threshold:
+                return FaultDecision(kind="error")
+            threshold += self.delay_rate
+            if draw < threshold:
+                return FaultDecision(kind="delay", delay_seconds=self.delay_seconds)
+            threshold += self.drop_rate
+            if draw < threshold:
+                return FaultDecision(kind="drop")
+        return NO_FAULT
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def crash_once(cls, task_id: int, attempt: int = 0) -> "FaultInjector":
+        """A schedule that crashes exactly one dispatch (first attempt)."""
+        return cls(schedule={(task_id, attempt): "crash"})
+
+    @classmethod
+    def straggle_once(
+        cls, task_id: int, delay_seconds: float, attempt: int = 0
+    ) -> "FaultInjector":
+        """A schedule that delays exactly one dispatch by ``delay_seconds``."""
+        return cls(
+            schedule={(task_id, attempt): FaultDecision("delay", delay_seconds)}
+        )
+
+
+def execute_fault(
+    decision: FaultDecision, timeout: float | None, *, in_process: bool
+) -> None:
+    """Apply ``decision`` in the worker, before the task body runs.
+
+    * ``crash`` kills the worker process outright (``os._exit``) under a
+      process pool -- the realistic segfault/OOM-kill scenario that breaks
+      the pool -- and raises :class:`WorkerCrash` under in-process
+      executors, where killing the process would take the parent down too.
+    * ``error`` raises :class:`InjectedFault`.
+    * ``drop`` raises :class:`TaskDropped` (the result never arrives).
+    * ``delay`` sleeps ``delay_seconds``; if the injected delay already
+      exceeds the task deadline the worker raises
+      :class:`StragglerTimeout` *instead of running the body*, so a task
+      the parent has given up on is never executed twice concurrently
+      (in-process executors share the resident state with the parent).
+    """
+    if decision.kind == "none":
+        return
+    if decision.kind == "crash":
+        if in_process:
+            raise WorkerCrash("injected worker crash")
+        os._exit(17)  # noqa: SLF001 - deliberately not an exception
+    if decision.kind == "error":
+        raise InjectedFault("injected task exception")
+    if decision.kind == "drop":
+        raise TaskDropped("injected result drop")
+    if decision.kind == "delay":
+        time.sleep(decision.delay_seconds)
+        if timeout is not None and decision.delay_seconds >= timeout:
+            raise StragglerTimeout(
+                f"injected straggler delay {decision.delay_seconds}s "
+                f"exceeded the {timeout}s task deadline"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Policies and structured results
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TaskPolicy:
+    """Deadline / retry / injection policy of one ``map_tasks`` call.
+
+    * ``timeout`` -- per-task deadline in seconds (``None`` = unbounded).
+      The clock starts when the parent begins waiting on the task, so the
+      deadline covers queueing behind a busy pool; under the serial
+      executor (which cannot interrupt inline work) it is enforced
+      post-hoc: an overrunning task's result is discarded and the task is
+      retried, which is value-preserving because payloads are pure
+      functions of their seeds.
+    * ``retries`` -- how many times a failed task is replayed (0 = fail
+      fast).  Each replay re-runs the same payload with the same
+      parent-spawned seed, so a successful retry is bit-identical to a
+      fault-free first attempt.
+    * ``backoff`` / ``backoff_factor`` -- seconds slept before replay
+      attempt ``k`` is ``backoff * backoff_factor ** (k - 1)``.
+    * ``injector`` -- the fault source to consult for this call;
+      falls back to the executor's installed injector when ``None``.
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    injector: FaultInjector | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Backoff before replay ``attempt`` (1-based replay index)."""
+        if self.backoff <= 0 or attempt < 1:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class TaskFailure:
+    """Why a task ultimately failed after exhausting its retries."""
+
+    task_id: int
+    cause: str  # "crash" | "error" | "timeout" | "drop"
+    message: str
+    attempts: int
+    elapsed: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"task {self.task_id} failed ({self.cause}) after "
+            f"{self.attempts} attempt(s): {self.message}"
+        )
+
+
+@dataclass
+class TaskResult:
+    """Structured outcome of one task of a ``map_tasks`` call."""
+
+    task_id: int
+    value: object = None
+    failure: TaskFailure | None = None
+    attempts: int = 0
+    elapsed: float = 0.0
+    retried: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def unwrap(self):
+        """The value, or raise a ``RuntimeError`` describing the failure."""
+        if self.failure is not None:
+            raise RuntimeError(str(self.failure))
+        return self.value
+
+
+def classify_failure(error: BaseException) -> str:
+    """Map a raised exception onto a structured failure cause."""
+    if isinstance(error, WorkerCrash):
+        return "crash"
+    if isinstance(error, (StragglerTimeout, TimeoutError)):
+        return "timeout"
+    if isinstance(error, TaskDropped):
+        return "drop"
+    # concurrent.futures raises BrokenProcessPool (a BrokenExecutor) when a
+    # worker dies mid-task; imported lazily to keep this module light.
+    from concurrent.futures import BrokenExecutor
+
+    if isinstance(error, BrokenExecutor):
+        return "crash"
+    return "error"
+
+
+@dataclass
+class _TaskState:
+    """Parent-side bookkeeping of one task across attempts (internal)."""
+
+    task_id: int
+    payload: object
+    attempts: int = 0
+    started: float = 0.0
+    elapsed: float = 0.0
+    value: object = None
+    done: bool = False
+    last_error: str = ""
+    last_cause: str = ""
+
+    def to_result(self, policy: TaskPolicy) -> TaskResult:
+        if self.done:
+            return TaskResult(
+                task_id=self.task_id,
+                value=self.value,
+                attempts=self.attempts,
+                elapsed=self.elapsed,
+                retried=self.attempts > 1,
+            )
+        return TaskResult(
+            task_id=self.task_id,
+            failure=TaskFailure(
+                task_id=self.task_id,
+                cause=self.last_cause or "error",
+                message=self.last_error,
+                attempts=self.attempts,
+                elapsed=self.elapsed,
+            ),
+            attempts=self.attempts,
+            elapsed=self.elapsed,
+            retried=self.attempts > 1,
+        )

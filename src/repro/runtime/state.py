@@ -108,11 +108,27 @@ class StateStore:
         return self._objects[name]
 
     def forget(self, name: str) -> None:
-        """Drop a cached object/attachment (used by tests; workers just exit)."""
+        """Drop a cached object/attachment (idempotent)."""
         self._objects.pop(name, None)
         segment = self._segments.pop(name, None)
         if segment is not None:
             segment.close()
+
+    def contains(self, name: str) -> bool:
+        """True when a resolved copy of ``name`` is cached here."""
+        return name in self._objects
+
+    def purge(self, names) -> None:
+        """Drop every cached copy named in ``names`` (eviction broadcast).
+
+        Called by the process-pool work-unit wrapper before a task body
+        runs: the parent piggybacks the names of evicted shared-memory
+        segments on each dispatch, so a long-lived worker releases the
+        memory of resident states the parent has already unlinked instead
+        of holding them until the pool closes.
+        """
+        for name in names:
+            self.forget(name)
 
 
 #: The one store of the current process.  Workers populate it lazily the

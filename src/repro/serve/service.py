@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -208,15 +209,23 @@ class SamplingService:
         max_batch_rows: int = 8192,
         chunk_rows: int = 1024,
         max_pending: int = 64,
+        request_timeout: float | None = None,
     ) -> None:
         if max_batch_rows < 1 or chunk_rows < 1:
             raise ValueError("max_batch_rows and chunk_rows must be positive")
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
         self.registry = registry if registry is not None else ModelRegistry(capacity=capacity)
         self.max_batch_rows = max_batch_rows
         self.chunk_rows = chunk_rows
         self.max_pending = max_pending
+        #: Per-request deadline of the concurrent front-end: a submitted
+        #: request that waited longer than this in the queue fails with
+        #: ``TimeoutError`` on *its own* future when the batcher reaches it
+        #: (every other request of the batch is served normally).
+        self.request_timeout = request_timeout
         self.stats = ServiceStats()
         self._queue: queue.Queue = queue.Queue()
         self._worker: threading.Thread | None = None
@@ -364,11 +373,14 @@ class SamplingService:
         """Enqueue a request; the background batcher resolves the future.
 
         Concurrent submissions that are in the queue together are served as
-        one micro-batch through :meth:`sample_many`.
+        one micro-batch through :meth:`sample_many`.  Failure isolation: a
+        request that raises (bad conditions, missing artifact) or overruns
+        ``request_timeout`` fails only its *own* future -- the batcher
+        thread survives and every other request of the batch is served.
         """
         future: "Future[Table]" = Future()
         self._ensure_worker()
-        self._queue.put((request, future))
+        self._queue.put((request, future, time.monotonic()))
         return future
 
     def _ensure_worker(self) -> None:
@@ -401,16 +413,35 @@ class SamplingService:
         # False here and is dropped, and a claimed future can no longer be
         # cancelled, so the set_result/set_exception calls below cannot
         # raise InvalidStateError and kill the batcher thread.
-        live = [
-            (request, future) for request, future in batch if future.set_running_or_notify_cancel()
-        ]
+        live = []
+        for request, future, enqueued in batch:
+            if not future.set_running_or_notify_cancel():
+                continue
+            waited = time.monotonic() - enqueued
+            if self.request_timeout is not None and waited > self.request_timeout:
+                future.set_exception(
+                    TimeoutError(
+                        f"request queued {waited:.3f}s, past its "
+                        f"{self.request_timeout}s deadline"
+                    )
+                )
+                continue
+            live.append((request, future))
         if not live:
             return
         try:
             tables = self.sample_many([request for request, _future in live])
-        except Exception as error:
-            for _request, future in live:
-                future.set_exception(error)
+        except Exception:
+            # One poisoned request must not take the batch (or the batcher)
+            # down with it: re-serve each request individually so only the
+            # offending request's future carries the exception.
+            for request, future in live:
+                try:
+                    table = self.sample_many([request])[0]
+                except Exception as error:
+                    future.set_exception(error)
+                else:
+                    future.set_result(table)
             return
         for (_request, future), table in zip(live, tables):
             future.set_result(table)

@@ -1,0 +1,211 @@
+"""Quorum degradation: rounds that lose participants but not correctness.
+
+The contract under test (see ROADMAP, execution-plane fault tolerance):
+
+* a participant whose work unit still fails after its retries is *dropped* --
+  recorded in the round summary, excluded from aggregation, and re-weighted
+  away exactly like a ``client_fraction`` non-participant;
+* fewer survivors than the quorum (``min_clients`` / ``min_sites`` /
+  ``min_nodes``) raise a typed :class:`~repro.runtime.QuorumError` carrying
+  the survivor / required counts, before any global state is touched;
+* dropped participants' authoritative local state is left uncorrupted, so
+  later fault-free rounds proceed normally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import IndependentSampler
+from repro.core.config import KiNETGANConfig
+from repro.distributed.simulation import DistributedNIDSSimulation
+from repro.federated.client import FederatedClient
+from repro.federated.kinetgan import FederatedKiNETGAN
+from repro.federated.partition import label_skew_partition
+from repro.federated.server import FederatedServer
+from repro.federated.simulation import DetectorFactory
+from repro.runtime import FaultInjector, QuorumError, SerialExecutor
+
+
+def _failing(schedule: dict) -> SerialExecutor:
+    """A serial executor whose listed ``(task_id, attempt)`` entries fail."""
+    executor = SerialExecutor()
+    executor.install_faults(FaultInjector(seed=0, schedule=schedule))
+    return executor
+
+
+def _always_failing() -> SerialExecutor:
+    executor = SerialExecutor()
+    executor.install_faults(FaultInjector(seed=0, error_rate=1.0))
+    return executor
+
+
+def _make_clients(ids: list[str]) -> tuple[DetectorFactory, list[FederatedClient]]:
+    """Clients whose data and seeds depend only on their own id, so the same
+    id yields bit-identical clients in differently sized federations."""
+    model_fn = DetectorFactory(n_features=5, n_classes=2, hidden_dims=(8,), seed=0)
+    clients = []
+    for client_id in ids:
+        index = int(client_id[1:])
+        rng = np.random.default_rng(40 + index)
+        clients.append(
+            FederatedClient(
+                client_id=client_id,
+                features=rng.normal(size=(96, 5)),
+                labels=rng.integers(0, 2, size=96),
+                model_fn=model_fn,
+                learning_rate=0.05,
+                batch_size=32,
+                local_epochs=1,
+                seed=index,
+            )
+        )
+    return model_fn, clients
+
+
+class TestServerQuorum:
+    def test_dropped_client_recorded_and_reweighted_like_a_non_participant(self):
+        """A round that drops one of three clients must aggregate exactly as
+        a fault-free round over the two survivors alone: dropped ids land in
+        ``round.dropped``, survivors' fedavg weights are renormalised, and
+        the resulting global state is bit-identical."""
+        model_fn, clients = _make_clients(["c0", "c1", "c2"])
+        with FederatedServer(
+            model_fn, clients, seed=0, executor=_failing({(0, 0): "error"})
+        ) as degraded:
+            round_info = degraded.run_round()
+            degraded_state = degraded.global_state
+        assert round_info.dropped == ["c0"]
+        assert round_info.participants == ["c1", "c2"]
+
+        model_fn, survivors_only = _make_clients(["c1", "c2"])
+        with FederatedServer(model_fn, survivors_only, seed=0) as reference:
+            reference.run_round()
+            reference_state = reference.global_state
+        assert set(degraded_state) == set(reference_state)
+        for key in reference_state:
+            assert np.array_equal(reference_state[key], degraded_state[key]), key
+
+    def test_quorum_error_is_typed_and_leaves_global_state_untouched(self):
+        model_fn, clients = _make_clients(["c0", "c1", "c2"])
+        with FederatedServer(
+            model_fn,
+            clients,
+            seed=0,
+            executor=_always_failing(),
+            min_clients=2,
+            task_retries=1,
+        ) as server:
+            with pytest.raises(QuorumError) as excinfo:
+                server.run_round()
+            assert excinfo.value.survivors == 0
+            assert excinfo.value.required == 2
+            assert server.history.n_rounds == 0
+            initial = model_fn().state_dict()
+            for key, value in initial.items():
+                assert np.array_equal(value, server.global_state[key]), key
+
+    def test_quorum_checked_even_on_the_fault_free_fast_path(self):
+        model_fn, clients = _make_clients(["c0", "c1"])
+        with FederatedServer(model_fn, clients, seed=0, min_clients=3) as server:
+            with pytest.raises(QuorumError) as excinfo:
+                server.run_round()
+        assert excinfo.value.required == 3
+
+
+class TestKiNETGANQuorum:
+    CONFIG = KiNETGANConfig(
+        embedding_dim=8,
+        generator_dims=(16,),
+        discriminator_dims=(16,),
+        epochs=1,
+        batch_size=32,
+        knowledge_negatives_per_batch=8,
+        max_modes=3,
+        seed=0,
+    )
+
+    @classmethod
+    def _build(cls, bundle, executor, **kwargs) -> FederatedKiNETGAN:
+        table = bundle.table.head(300)
+        rng = np.random.default_rng(0)
+        parts = label_skew_partition(table, "label", 2, rng, skew=0.5, min_rows=20)
+        fed = FederatedKiNETGAN(
+            reference_table=table.head(150),
+            config=cls.CONFIG,
+            catalog=bundle.catalog,
+            condition_columns=bundle.condition_columns,
+            seed=0,
+            executor=executor,
+            **kwargs,
+        )
+        for i, part in enumerate(parts):
+            fed.add_site(f"site-{i}", part)
+        return fed
+
+    def test_dropped_site_skipped_without_corrupting_parent_state(
+        self, lab_bundle_small
+    ):
+        """Site 0 fails in round 1 (task id 0) and is dropped; its history
+        must not be extended and the next, fault-free round trains both
+        sites from a consistent state."""
+        with self._build(
+            lab_bundle_small, _failing({(0, 0): "error"})
+        ) as fed:
+            first = fed.run_round(local_epochs=1)
+            assert first.dropped == ["site-0"]
+            assert first.participants == ["site-1"]
+            assert fed.sites[0].trainer.history.epochs == 0
+            assert fed.sites[1].trainer.history.epochs == 1
+
+            second = fed.run_round(local_epochs=1)
+            assert second.dropped == []
+            assert second.participants == ["site-0", "site-1"]
+            assert fed.sites[0].trainer.history.epochs == 1
+            assert fed.sites[1].trainer.history.epochs == 2
+            # The degraded run still yields a usable global model.
+            assert fed.sample(40).n_rows == 40
+
+    def test_quorum_error_when_min_sites_unmet(self, lab_bundle_small):
+        with self._build(
+            lab_bundle_small, _failing({(0, 0): "error"}), min_sites=2
+        ) as fed:
+            with pytest.raises(QuorumError) as excinfo:
+                fed.run_round(local_epochs=1)
+            assert excinfo.value.survivors == 1
+            assert excinfo.value.required == 2
+            assert fed.rounds == []
+
+
+class TestDistributedQuorum:
+    @staticmethod
+    def _simulation(bundle, executor, **kwargs) -> DistributedNIDSSimulation:
+        return DistributedNIDSSimulation(
+            bundle,
+            num_nodes=3,
+            non_iid_skew=0.5,
+            synthesizer_factory=lambda seed: IndependentSampler(seed=seed),
+            seed=5,
+            executor=executor,
+            **kwargs,
+        )
+
+    def test_dead_node_marked_and_run_continues(self, lab_bundle_small):
+        with self._simulation(
+            lab_bundle_small, _failing({(0, 0): "error"})
+        ) as simulation:
+            result = simulation.run(share_size=120)
+        assert result.failed_nodes == ["node-0"]
+        assert set(result.per_node_local) == {"node-1", "node-2"}
+        assert set(result.share_validity) == {"node-1", "node-2"}
+        assert 0.0 <= result.synthetic_sharing <= 1.0
+
+    def test_quorum_error_when_min_nodes_unmet(self, lab_bundle_small):
+        with self._simulation(
+            lab_bundle_small, _always_failing(), min_nodes=1
+        ) as simulation:
+            with pytest.raises(QuorumError) as excinfo:
+                simulation.run(share_size=120)
+        assert excinfo.value.survivors == 0
+        assert excinfo.value.required == 1

@@ -28,7 +28,7 @@ from repro.federated.kinetgan import FederatedKiNETGAN
 from repro.federated.partition import label_skew_partition
 from repro.federated.server import FederatedServer
 from repro.federated.simulation import DetectorFactory, FederatedNIDSSimulation
-from repro.runtime import ProcessExecutor, ThreadExecutor
+from repro.runtime import FaultInjector, ProcessExecutor, ThreadExecutor
 
 #: (executor spec factory, transport) combinations compared to the
 #: serial+legacy baseline.  Legacy transports are named "payload" on the
@@ -39,6 +39,35 @@ MATRIX = [
     pytest.param(lambda: ProcessExecutor(max_workers=2), "resident", id="process-resident"),
     pytest.param(lambda: ThreadExecutor(max_workers=2), "legacy", id="thread-legacy"),
     pytest.param(lambda: ProcessExecutor(max_workers=2), "legacy", id="process-legacy"),
+]
+
+
+def _crashing_process(task_id: int):
+    """A 2-worker process pool whose worker crashes on one mid-run task."""
+    executor = ProcessExecutor(max_workers=2)
+    executor.install_faults(FaultInjector.crash_once(task_id=task_id))
+    return executor
+
+
+def _straggling_thread(task_id: int):
+    """A 2-worker thread pool with one injected mid-run straggler.
+
+    The injected delay (0.75s) exceeds the test policies' 0.25s deadline,
+    so the worker abandons the attempt before the task body runs and the
+    parent's replay is the only execution -- then recovery must be
+    bit-identical to a fault-free run.
+    """
+    executor = ThreadExecutor(max_workers=2)
+    executor.install_faults(FaultInjector.straggle_once(task_id=task_id, delay_seconds=0.75))
+    return executor
+
+
+#: Fault-injection entries of the recovery matrix: (executor factory,
+#: task_timeout) pairs.  Task ids address "round r of k work units, slot s"
+#: as r * k + s through the executor's global dispatch counter.
+FAULT_MATRIX = [
+    pytest.param(_crashing_process, None, id="process-crash-retry"),
+    pytest.param(_straggling_thread, 0.25, id="thread-straggler-delay"),
 ]
 
 
@@ -209,6 +238,94 @@ class TestFederatedKiNETGANParity:
     ):
         generator_state, discriminator_state, sample = self._run(
             lab_bundle_small, executor_factory(), transport
+        )
+        _assert_states_equal(baseline[0], generator_state)
+        _assert_states_equal(baseline[1], discriminator_state)
+        for name in baseline[2].schema.names:
+            assert list(baseline[2].column(name)) == list(sample.column(name)), name
+
+
+class TestServerFaultRecoveryParity:
+    """Recovery must be invisible: an injected mid-run worker crash (process
+    pool) or abandoned straggler (thread pool) is absorbed by the deadline /
+    retry machinery, and because the replay reuses the exact per-task
+    SeedSequence child, the recovered run is bit-identical to a fault-free
+    one -- same global state, same round history, nothing dropped."""
+
+    #: 3 clients x 3 rounds dispatch task ids 0..8 through the executor's
+    #: global counter; id 4 is round 2, slot 1 -- a mid-run fault.
+    MID_RUN_TASK = 4
+
+    @staticmethod
+    def _run(executor, task_timeout):
+        model_fn = DetectorFactory(n_features=5, n_classes=2, hidden_dims=(8,), seed=0)
+        with FederatedServer(
+            model_fn,
+            _make_clients(3, model_fn),
+            seed=0,
+            executor=executor,
+            transport="resident",
+            task_timeout=task_timeout,
+            task_retries=2,
+        ) as server:
+            server.run(3)
+            return server.global_state, server.history.rounds
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return self._run(None, None)
+
+    @pytest.mark.parametrize("executor_factory,task_timeout", FAULT_MATRIX)
+    def test_recovered_run_bit_identical(self, baseline, executor_factory, task_timeout):
+        state, rounds = self._run(executor_factory(self.MID_RUN_TASK), task_timeout)
+        assert [r.dropped for r in rounds] == [[], [], []]
+        _assert_states_equal(baseline[0], state)
+        assert baseline[1] == rounds
+
+
+class TestFederatedKiNETGANFaultRecovery:
+    """The acceptance gate of the fault-tolerant plane on the full model: a
+    seeded federated KiNETGAN run with an injected mid-round worker crash
+    (process executor) or straggler past the deadline (thread executor)
+    completes via retry / replay with final global weights and samples
+    bit-identical to the fault-free run."""
+
+    #: 2 sites x 2 rounds dispatch task ids 0..3; id 2 is round 2, slot 0.
+    MID_RUN_TASK = 2
+
+    @classmethod
+    def _run(cls, bundle, executor, task_timeout):
+        table = bundle.table.head(300)
+        rng = np.random.default_rng(0)
+        parts = label_skew_partition(table, "label", 2, rng, skew=0.5, min_rows=20)
+        with FederatedKiNETGAN(
+            reference_table=table.head(150),
+            config=TestFederatedKiNETGANParity.CONFIG,
+            catalog=bundle.catalog,
+            condition_columns=bundle.condition_columns,
+            seed=0,
+            executor=executor,
+            transport="resident",
+            task_timeout=task_timeout,
+            task_retries=2,
+        ) as fed:
+            for i, part in enumerate(parts):
+                fed.add_site(f"site-{i}", part)
+            rounds = fed.run(num_rounds=2, local_epochs=1)
+            assert [r.dropped for r in rounds] == [[], []]
+            generator_state, discriminator_state = fed.global_states()
+            return generator_state, discriminator_state, fed.sample(60)
+
+    @pytest.fixture(scope="class")
+    def baseline(self, lab_bundle_small):
+        return self._run(lab_bundle_small, None, None)
+
+    @pytest.mark.parametrize("executor_factory,task_timeout", FAULT_MATRIX)
+    def test_crash_and_straggler_recover_bit_identical(
+        self, baseline, lab_bundle_small, executor_factory, task_timeout
+    ):
+        generator_state, discriminator_state, sample = self._run(
+            lab_bundle_small, executor_factory(self.MID_RUN_TASK), task_timeout
         )
         _assert_states_equal(baseline[0], generator_state)
         _assert_states_equal(baseline[1], discriminator_state)

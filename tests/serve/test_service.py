@@ -7,6 +7,7 @@ with, the chunk size, or whether it went through the queue.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future
 
 import numpy as np
@@ -218,11 +219,50 @@ class TestConcurrentFrontend:
         kept: "Future" = Future()
         request = SampleRequest(str(artifacts["tvae_dir"]), n=10, seed=0)
         cancelled.cancel()
-        service._serve_batch([(request, cancelled), (request, kept)])
+        now = time.monotonic()
+        service._serve_batch([(request, cancelled, now), (request, kept, now)])
         assert kept.result(timeout=60).n_rows == 10
         with service:
             follow_up = service.submit(SampleRequest(str(artifacts["tvae_dir"]), n=5, seed=1))
             assert follow_up.result(timeout=60).n_rows == 5
+
+    def test_poisoned_request_fails_only_its_own_future(self, artifacts):
+        """Regression: one bad request in a batch used to fail every
+        co-batched future with its exception (and a batcher-thread death
+        would hang all later submissions).  The poisoned future must carry
+        the error alone; co-batched and follow-up requests are served."""
+        with SamplingService() as service:
+            poisoned = Future()
+            good = Future()
+            now = time.monotonic()
+            service._serve_batch(
+                [
+                    (SampleRequest("missing/artifact", n=5, seed=0), poisoned, now),
+                    (SampleRequest(str(artifacts["tvae_dir"]), n=10, seed=0), good, now),
+                ]
+            )
+            assert isinstance(poisoned.exception(timeout=60), Exception)
+            assert good.result(timeout=60).n_rows == 10
+            # The batcher thread is still alive: a poisoned submission
+            # followed by a good one resolves both appropriately.
+            bad_future = service.submit(SampleRequest("missing/artifact", n=5, seed=0))
+            good_future = service.submit(
+                SampleRequest(str(artifacts["tvae_dir"]), n=7, seed=1)
+            )
+            assert isinstance(bad_future.exception(timeout=60), Exception)
+            assert good_future.result(timeout=60).n_rows == 7
+
+    def test_request_timeout_fails_only_the_stale_request(self, artifacts):
+        """A request that overran ``request_timeout`` in the queue fails
+        with TimeoutError on its own future; fresh requests are served."""
+        service = SamplingService(request_timeout=0.05)
+        stale = Future()
+        fresh = Future()
+        request = SampleRequest(str(artifacts["tvae_dir"]), n=10, seed=0)
+        now = time.monotonic()
+        service._serve_batch([(request, stale, now - 1.0), (request, fresh, now)])
+        assert isinstance(stale.exception(timeout=60), TimeoutError)
+        assert fresh.result(timeout=60).n_rows == 10
 
     def test_close_is_idempotent_and_restartable(self, artifacts):
         service = SamplingService()

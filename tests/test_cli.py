@@ -184,6 +184,24 @@ class TestRuntimeCommands:
             with pytest.raises(SystemExit):
                 parser.parse_args(["federated", "--workers", bad])
 
+    def test_resilience_flags_parse_and_validate(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["federated", "--min-clients", "2", "--task-timeout", "1.5", "--retries", "3"]
+        )
+        assert (args.min_clients, args.task_timeout, args.retries) == (2, 1.5, 3)
+        args = parser.parse_args(["distributed", "--task-timeout", "0.5", "--retries", "1"])
+        assert (args.task_timeout, args.retries) == (0.5, 1)
+        defaults = parser.parse_args(["federated"])
+        assert (defaults.min_clients, defaults.task_timeout, defaults.retries) == (1, None, 0)
+        for bad in (
+            ["federated", "--min-clients", "0"],
+            ["federated", "--task-timeout", "0"],
+            ["distributed", "--retries", "-1"],
+        ):
+            with pytest.raises(SystemExit):
+                parser.parse_args(bad)
+
     def test_federated_command_runs_serial(self, capsys):
         exit_code = main(
             [

@@ -18,6 +18,12 @@ Interpreting the numbers:
   decode pipeline) versus the same burst served request-by-request; the
   ``speedup`` is what micro-batching buys.
 * ``artifact_round_trip`` -- ``save_model`` + ``load_model`` wall time.
+* ``latency_slo`` -- end-to-end request latency (p50/p99) of the HTTP
+  front-end under a sustained multi-client burst: several client threads
+  each firing seeded ``POST /sample`` requests back to back against a
+  running :class:`~repro.serve.SamplingHTTPServer`.  This is the
+  latency-SLO row the CI smoke gate checks; throughput alone hides queue
+  buildup, the p99 is what an operator provisions against.
 
 Run directly (``python -m benchmarks.bench_serving``) or through
 ``python -m benchmarks.run --suite serving``.
@@ -37,7 +43,15 @@ import numpy as np
 
 from repro.core import KiNETGAN, KiNETGANConfig
 from repro.datasets import load_lab_iot
-from repro.serve import SampleRequest, SamplingService, load_model, save_model
+from repro.serve import (
+    SampleRequest,
+    SamplingHTTPServer,
+    SamplingService,
+    ServingPool,
+    load_model,
+    request_samples,
+    save_model,
+)
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
@@ -46,6 +60,8 @@ BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_SERVE_EPOCHS", "8"))
 SAMPLE_ROWS = int(os.environ.get("REPRO_BENCH_SERVE_SAMPLE_ROWS", "20000"))
 BURST_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "64"))
 ROWS_PER_REQUEST = int(os.environ.get("REPRO_BENCH_SERVE_ROWS_PER_REQUEST", "64"))
+HTTP_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_HTTP_CLIENTS", "4"))
+HTTP_REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_BENCH_SERVE_HTTP_REQUESTS", "24"))
 
 
 def _train_model(rows: int, epochs: int) -> KiNETGAN:
@@ -77,6 +93,60 @@ def _best_rate(measure, repeats: int = 3) -> tuple[float, float]:
         elapsed = time.perf_counter() - start
         best_seconds = min(best_seconds, elapsed)
     return rows / best_seconds, best_seconds
+
+
+def measure_http_latency(
+    artifact: Path,
+    clients: int = HTTP_CLIENTS,
+    requests_per_client: int = HTTP_REQUESTS_PER_CLIENT,
+    rows_per_request: int = ROWS_PER_REQUEST,
+) -> dict:
+    """p50/p99 request latency of the HTTP front-end under a client burst.
+
+    ``clients`` threads each fire ``requests_per_client`` seeded ``/sample``
+    requests back to back against a thread-pool server on loopback; every
+    request's end-to-end wall time (connect -> parsed table) is recorded.
+    """
+    import threading
+
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    with ServingPool({"bench": artifact}, executor="thread:2") as pool:
+        with SamplingHTTPServer(
+            pool, port=0, queue_depth=clients * requests_per_client
+        ) as server:
+            url = server.url
+
+            def run_client(slot: int) -> None:
+                for i in range(requests_per_client):
+                    start = time.perf_counter()
+                    request_samples(
+                        url, "bench", rows_per_request, seed=slot * 10_000 + i
+                    )
+                    latencies[slot].append(time.perf_counter() - start)
+
+            threads = [
+                threading.Thread(target=run_client, args=(slot,)) for slot in range(clients)
+            ]
+            burst_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            burst_seconds = time.perf_counter() - burst_start
+            rejected = server.stats.snapshot()["rejected"]
+    flat = np.sort(np.concatenate([np.asarray(times) for times in latencies]))
+    total = int(flat.size)
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "rows_per_request": rows_per_request,
+        "requests": total,
+        "p50_ms": round(float(np.percentile(flat, 50)) * 1000, 2),
+        "p99_ms": round(float(np.percentile(flat, 99)) * 1000, 2),
+        "max_ms": round(float(flat[-1]) * 1000, 2),
+        "requests_per_sec": round(total / burst_seconds, 1),
+        "rejected": int(rejected),
+    }
 
 
 def run_serving_bench(
@@ -157,6 +227,8 @@ def run_serving_bench(
             "speedup": round(batched_rate / serial_rate, 2),
         }
 
+        metrics["latency_slo"] = measure_http_latency(artifact)
+
     return {
         "benchmark": "serving",
         "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
@@ -181,7 +253,12 @@ def run_serving_bench(
             "batched_requests.speedup is the micro-batching win: one "
             "coalesced generator/harden/decode pipeline for the whole burst "
             "instead of per-request passes (per-request results stay "
-            "bit-identical either way, see tests/serve)."
+            "bit-identical either way, see tests/serve). latency_slo is the "
+            "HTTP front-end under a sustained multi-client burst (loopback, "
+            "thread-pool workers, JSON wire format): p50 is the steady-state "
+            "request cost, p99 the queueing tail an operator provisions "
+            "against; the CI smoke gate fails if either regresses past its "
+            "tolerance band."
         ),
     }
 
@@ -209,6 +286,13 @@ def format_results(document: dict) -> str:
         f"  ({batched['speedup']}x over per-request, "
         f"{batched['batched_requests_per_sec']} req/s)",
     ]
+    slo = metrics.get("latency_slo")
+    if slo:
+        lines.append(
+            f"  latency_slo (HTTP)           p50 {slo['p50_ms']}ms  p99 {slo['p99_ms']}ms"
+            f"  ({slo['clients']} clients x {slo['requests_per_client']} reqs, "
+            f"{slo['requests_per_sec']} req/s, {slo['rejected']} rejected)"
+        )
     return "\n".join(lines)
 
 

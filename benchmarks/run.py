@@ -24,8 +24,11 @@ longer-window retry) and the deterministic network-core allocation ratio.
 The fault-tolerance trajectory (``BENCH_faults.json``) gates its seeded
 entries *exactly* -- round-completion bookkeeping and replay determinism
 are pure functions of the seeds -- and its recovery-latency probes with a
-tolerance band plus an absolute slack.  Smoke mode never rewrites the
-trajectory files.
+tolerance band plus an absolute slack.  The serving trajectory
+(``BENCH_serving.json``) gates its HTTP latency-SLO row the same way:
+p50/p99 under the committed multi-client burst shape must stay under a
+tolerance-plus-slack ceiling and the admission queue must absorb the burst
+without rejections.  Smoke mode never rewrites the trajectory files.
 """
 
 from __future__ import annotations
@@ -51,6 +54,19 @@ SMOKE_RETRY_MIN_SECONDS = 1.0
 #: deadline abandonment are interpreter-spawn / scheduler bound, so a pure
 #: ratio band is too twitchy on shared runners.
 FAULT_LATENCY_SLACK_SECONDS = 1.0
+
+#: Absolute slack (milliseconds) on the HTTP latency-SLO gate, added on top
+#: of the tolerance band: loopback HTTP latency on a shared runner carries
+#: scheduler jitter that a pure ratio ceiling would turn into flakes.
+SERVING_P50_SLACK_MS = 250.0
+SERVING_P99_SLACK_MS = 500.0
+
+#: The smoke pass serves a smaller model than the committed trajectory
+#: (fewer training rows/epochs keep the gate fast); request latency only
+#: gets easier with the smaller generator, so the committed ceiling stays a
+#: valid upper bound.
+SERVING_SMOKE_ROWS = 600
+SERVING_SMOKE_EPOCHS = 2
 
 
 def _evaluate_smoke(
@@ -348,6 +364,78 @@ def _smoke_faults(tolerance: float) -> tuple[list[dict], list[str]]:
     return rows, failures
 
 
+def _smoke_serving(tolerance: float) -> tuple[list[dict], list[str]]:
+    """Re-check the serving latency SLO (``BENCH_serving.json``).
+
+    Serves a (smaller) artifact over the HTTP front-end under the same
+    multi-client burst shape as the committed ``latency_slo`` entry and
+    gates p50/p99 against a tolerance band plus an absolute slack, with
+    one retry -- loopback HTTP latency is scheduler-bound, so the shape of
+    the gate mirrors the fault-recovery one.  A burst that sheds requests
+    (``rejected > 0``) fails outright: the queue must absorb it.
+    """
+    if not bench_serving.RESULT_PATH.exists():
+        return [], [f"no serving baseline at {bench_serving.RESULT_PATH}"]
+    baseline = json.loads(bench_serving.RESULT_PATH.read_text())["metrics"]
+    entry = baseline.get("latency_slo")
+    if entry is None:
+        return [], ["latency_slo missing from the committed BENCH_serving.json"]
+
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import save_model
+
+    rows: list[dict] = []
+    failures: list[str] = []
+    model = bench_serving._train_model(SERVING_SMOKE_ROWS, SERVING_SMOKE_EPOCHS)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        artifact = Path(tmp) / "kinetgan"
+        save_model(model, artifact, metadata={"benchmark": "serving-smoke"})
+        ceilings = {
+            "p50_ms": entry["p50_ms"] * (1.0 + tolerance) + SERVING_P50_SLACK_MS,
+            "p99_ms": entry["p99_ms"] * (1.0 + tolerance) + SERVING_P99_SLACK_MS,
+        }
+        best: dict | None = None
+        for _attempt in range(2):
+            measured = bench_serving.measure_http_latency(
+                artifact,
+                clients=entry["clients"],
+                requests_per_client=entry["requests_per_client"],
+                rows_per_request=entry["rows_per_request"],
+            )
+            if best is None or measured["p99_ms"] < best["p99_ms"]:
+                best = measured
+            if all(best[key] <= ceilings[key] for key in ceilings) and best["rejected"] == 0:
+                break
+    for key in ("p50_ms", "p99_ms"):
+        ok = best[key] <= ceilings[key]
+        rows.append(
+            {
+                "metric": f"latency_slo_{key.removesuffix('_ms')}",
+                "baseline_ms": entry[key],
+                "measured_ms": best[key],
+                "ceiling_ms": round(ceilings[key], 2),
+                "status": "ok" if ok else "REGRESSED",
+            }
+        )
+        if not ok:
+            failures.append(
+                f"latency_slo {key}: {best[key]}ms > ceiling {ceilings[key]:.1f}ms "
+                f"(committed {entry[key]}ms)"
+            )
+    if best["rejected"] != 0:
+        rows.append(
+            {"metric": "latency_slo_rejected", "measured": best["rejected"],
+             "status": "REGRESSED"}
+        )
+        failures.append(
+            f"latency_slo: {best['rejected']} request(s) rejected under the "
+            "burst; the admission queue must absorb the committed burst shape"
+        )
+    return rows, failures
+
+
 def _run_smoke(tolerance: float, as_json: bool = False) -> int:
     """Re-measure the data plane and gate on the committed trajectory.
 
@@ -380,7 +468,9 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
     runtime_comparison, runtime_failures = _smoke_runtime(tolerance)
     training_comparison, training_failures = _smoke_training(tolerance)
     faults_comparison, faults_failures = _smoke_faults(tolerance)
-    failures = failures + runtime_failures + training_failures + faults_failures
+    serving_comparison, serving_failures = _smoke_serving(tolerance)
+    failures = (failures + runtime_failures + training_failures + faults_failures
+                + serving_failures)
 
     document = {
         "benchmark": "bench-smoke",
@@ -391,6 +481,7 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
         "runtime_comparison": runtime_comparison,
         "training_comparison": training_comparison,
         "faults_comparison": faults_comparison,
+        "serving_comparison": serving_comparison,
         "failures": failures,
         "ok": not failures,
     }
@@ -443,6 +534,16 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
                     f"  {row['metric']:26s} overhead {row['measured_overhead_seconds']:.3f}s"
                     f"  (ceiling {row['ceiling_seconds']}s)  {row['status']}"
                 )
+        print("[bench:smoke] serving latency SLO (HTTP burst)")
+        for row in serving_comparison:
+            if "measured_ms" in row:
+                print(
+                    f"  {row['metric']:26s} {row['measured_ms']}ms"
+                    f"  (committed {row['baseline_ms']}ms, "
+                    f"ceiling {row['ceiling_ms']}ms)  {row['status']}"
+                )
+            else:
+                print(f"  {row['metric']:26s} {row.get('measured')}  {row['status']}")
         if failures:
             print("[bench:smoke] FAILED (after retry with longer windows):")
             for failure in failures:

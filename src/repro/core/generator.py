@@ -62,13 +62,24 @@ class TabularOutputActivation(Layer):
         # (keyed by shape inside BlockLayout._scratch_buffer).  The output
         # matrix itself stays freshly allocated: it escapes as the generated
         # batch and is held across the whole training step.
-        self._scratch: dict = {}
+        self._scratch: dict | None = {}
+
+    def bind_workspace(self, workspace) -> None:
+        # The scratch dict is single-stream, exactly like a step workspace:
+        # two concurrent forwards through it would overwrite each other's
+        # gather/softmax intermediates.  Unbinding (Sequential.
+        # unbind_workspace, used by the serving pool before sharing a model
+        # across sampler threads) therefore also disables scratch reuse;
+        # the allocating path is bit-identical.
+        self._ws = workspace
+        self._scratch = {} if workspace is not None else None
 
     def __getstate__(self) -> dict:
         # Scratch buffers are a pure cache; drop them from pickles so saved
-        # models do not carry the last batch's intermediates.
+        # models do not carry the last batch's intermediates (an unbound
+        # layer stays unbound on the other side).
         state = self.__dict__.copy()
-        state["_scratch"] = {}
+        state["_scratch"] = None if self._scratch is None else {}
         return state
 
     def _buffer(self, key: str, shape: tuple[int, ...]) -> np.ndarray:

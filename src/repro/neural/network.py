@@ -62,6 +62,21 @@ class Sequential:
             layer.bind_workspace(self.workspace)
         return self.arena
 
+    def unbind_workspace(self) -> None:
+        """Detach the shared step workspace from this network and its layers.
+
+        A bound :class:`~repro.neural.workspace.Workspace` is single-stream
+        scratch: two concurrent ``forward`` passes through the same network
+        would overwrite each other's buffers.  Unbinding drops every layer
+        back to the allocating code paths -- bit-identical by the workspace
+        contract, just without buffer reuse -- which makes a fitted network
+        safe to sample from multiple threads at once.  The parameter arena
+        is untouched; call :meth:`consolidate` to re-bind a workspace.
+        """
+        self.workspace = None
+        for layer in self.layers:
+            layer.bind_workspace(None)
+
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, training=training)

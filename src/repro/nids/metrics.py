@@ -31,7 +31,9 @@ def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     return float((y_true == y_pred).mean())
 
 
-def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
     """Confusion matrix with true classes as rows and predictions as columns."""
     y_true, y_pred = _validate(y_true, y_pred)
     if n_classes is None:

@@ -86,7 +86,11 @@ def _rdp_subsampled_gaussian_one(q: float, sigma: float, alpha: int) -> float:
     log_1mq = math.log1p(-q)
     for k in range(alpha + 1):
         log_term = (
-            float(special.gammaln(alpha + 1) - special.gammaln(k + 1) - special.gammaln(alpha - k + 1))
+            float(
+                special.gammaln(alpha + 1)
+                - special.gammaln(k + 1)
+                - special.gammaln(alpha - k + 1)
+            )
             + k * log_q
             + (alpha - k) * log_1mq
             + (k * (k - 1)) / (2.0 * sigma**2)

@@ -80,7 +80,10 @@ def laplace_mechanism(
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
     scale = sensitivity / epsilon
-    noise = rng.laplace(0.0, scale, size=np.shape(value)) if np.shape(value) else rng.laplace(0.0, scale)
+    if np.shape(value):
+        noise = rng.laplace(0.0, scale, size=np.shape(value))
+    else:
+        noise = rng.laplace(0.0, scale)
     return value + noise
 
 
@@ -102,7 +105,10 @@ def gaussian_mechanism(
 ) -> np.ndarray | float:
     """Add Gaussian noise satisfying (epsilon, delta)-DP."""
     sigma = gaussian_sigma(sensitivity, epsilon, delta)
-    noise = rng.normal(0.0, sigma, size=np.shape(value)) if np.shape(value) else rng.normal(0.0, sigma)
+    if np.shape(value):
+        noise = rng.normal(0.0, sigma, size=np.shape(value))
+    else:
+        noise = rng.normal(0.0, sigma)
     return value + noise
 
 

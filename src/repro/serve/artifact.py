@@ -6,14 +6,20 @@ A :class:`ModelArtifact` is a single directory:
   summary, fit metadata supplied by the caller, and the file inventory;
 * one ``<name>.npz`` per network (via the engine's checkpoint machinery,
   so the weight files are byte-compatible with training checkpoints);
-* ``state.pkl`` -- the model's :meth:`~repro.core.base.Synthesizer.
-  artifact_state` blob: transformer encoders, the condition sampler's
-  integer-code tables, and the knowledge-graph reasoner.
+* the model's :meth:`~repro.core.base.Synthesizer.artifact_state` blob:
+  transformer encoders, the condition sampler's integer-code tables, and
+  the knowledge-graph reasoner.  **Format v2** (the default) stores it as
+  a pickle-free ``state.npz`` (:mod:`repro.serve.codec`) that is safe to
+  load from untrusted peers; **format v1** stored a pickled ``state.pkl``
+  and remains loadable for artifacts written by older builds.
 
 The headline invariant (enforced by ``tests/serve/test_artifacts.py``,
-including across processes): for every registered model class,
-``load_model(save_model(m)).sample(n, seed)`` is bit-identical to
-``m.sample(n, seed)``.
+including across processes and for both formats): for every registered
+model class, ``load_model(save_model(m)).sample(n, seed)`` is bit-identical
+to ``m.sample(n, seed)``.
+
+The on-disk layout, the trust model, and the v1 -> v2 migration story are
+specified in ``docs/artifact-format.md``.
 """
 
 from __future__ import annotations
@@ -26,11 +32,14 @@ from pathlib import Path
 from repro._version import __version__
 from repro.core.base import Synthesizer
 from repro.engine.checkpoint import CheckpointError, load_networks, save_networks
+from repro.serve.codec import StateCodecError, load_state_npz, save_state_npz
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "MANIFEST_NAME",
     "STATE_NAME",
+    "STATE_NAME_V1",
     "ArtifactError",
     "ModelArtifact",
     "model_registry",
@@ -38,11 +47,24 @@ __all__ = [
     "load_model",
 ]
 
-#: Bumped when the on-disk artifact layout changes incompatibly.
-ARTIFACT_FORMAT_VERSION = 1
+#: The format written by :func:`save_model`.  Bumped when the on-disk
+#: artifact layout changes incompatibly.
+ARTIFACT_FORMAT_VERSION = 2
+
+#: Formats :func:`load_model` can read.  v1 (pickled ``state.pkl``) is
+#: kept readable so artifacts written by older builds keep working; new
+#: artifacts are always v2 (pickle-free ``state.npz``).
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
-STATE_NAME = "state.pkl"
+
+#: v2 state file: self-describing npz, loaded with ``allow_pickle=False``.
+STATE_NAME = "state.npz"
+
+#: v1 state file: a pickle.  Only ever *read*, never written.
+STATE_NAME_V1 = "state.pkl"
+
+_DEFAULT_STATE = {1: STATE_NAME_V1, 2: STATE_NAME}
 
 
 class ArtifactError(RuntimeError):
@@ -87,9 +109,20 @@ class ModelArtifact:
     def metadata(self) -> dict:
         return dict(self.manifest.get("metadata", {}))
 
+    @property
+    def state_path(self) -> Path:
+        """Path of the state blob (``state.npz`` for v2, ``state.pkl`` for v1)."""
+        default = _DEFAULT_STATE.get(self.format_version, STATE_NAME)
+        return self.directory / self.manifest.get("state_file", default)
+
     @classmethod
     def open(cls, directory: str | Path) -> "ModelArtifact":
-        """Parse and validate an artifact directory's manifest."""
+        """Parse and validate an artifact directory's manifest.
+
+        Accepts every format in :data:`SUPPORTED_FORMAT_VERSIONS`; rejects
+        unknown versions, missing manifests and missing state files with an
+        :class:`ArtifactError` naming the problem.
+        """
         directory = Path(directory)
         manifest_path = directory / MANIFEST_NAME
         if not manifest_path.exists():
@@ -99,40 +132,65 @@ class ModelArtifact:
         except json.JSONDecodeError as error:
             raise ArtifactError(f"unreadable artifact manifest {manifest_path}: {error}")
         version = manifest.get("format_version")
-        if version != ARTIFACT_FORMAT_VERSION:
+        if version not in SUPPORTED_FORMAT_VERSIONS:
             raise ArtifactError(
                 f"artifact at {directory} has format version {version!r}; this build "
-                f"supports version {ARTIFACT_FORMAT_VERSION}"
+                f"supports versions {list(SUPPORTED_FORMAT_VERSIONS)}"
             )
         if "model_class" not in manifest:
             raise ArtifactError(f"artifact manifest {manifest_path} names no model class")
-        if not (directory / manifest.get("state_file", STATE_NAME)).exists():
+        artifact = cls(directory=directory, manifest=manifest)
+        if not artifact.state_path.exists():
             raise ArtifactError(f"artifact at {directory} is missing its state file")
-        return cls(directory=directory, manifest=manifest)
+        return artifact
 
 
 def save_model(
-    model: Synthesizer, directory: str | Path, metadata: dict | None = None
+    model: Synthesizer,
+    directory: str | Path,
+    metadata: dict | None = None,
+    *,
+    format_version: int = ARTIFACT_FORMAT_VERSION,
 ) -> ModelArtifact:
     """Persist a fitted synthesizer as a versioned artifact directory.
+
+    Writes format v2 by default: network weights as per-network ``.npz``
+    checkpoints plus a pickle-free ``state.npz`` state blob.  Passing
+    ``format_version=1`` writes the legacy pickled ``state.pkl`` layout --
+    kept only so the compatibility tests can produce v1 artifacts; new
+    code should never ask for it.
 
     ``metadata`` is caller-supplied fit provenance (dataset name, row count,
     epochs, ...) recorded verbatim in the manifest; it must be
     JSON-serialisable.
     """
+    if format_version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ArtifactError(
+            f"cannot write artifact format version {format_version!r}; "
+            f"supported versions: {list(SUPPORTED_FORMAT_VERSIONS)}"
+        )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     networks = model.artifact_networks()
     save_networks(networks, directory)
     state = model.artifact_state()
-    (directory / STATE_NAME).write_bytes(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+    state_file = _DEFAULT_STATE[format_version]
+    if format_version == 1:
+        (directory / state_file).write_bytes(
+            pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+    else:
+        try:
+            save_state_npz(state, directory / state_file)
+        except StateCodecError as error:
+            raise ArtifactError(f"cannot encode {type(model).__name__} state: {error}")
     manifest = {
-        "format_version": ARTIFACT_FORMAT_VERSION,
+        "format_version": format_version,
         "model_class": type(model).__name__,
         "model_name": model.name,
         "repro_version": __version__,
         "networks": sorted(networks),
-        "state_file": STATE_NAME,
+        "state_file": state_file,
         "metadata": dict(metadata or {}),
     }
     (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
@@ -142,10 +200,15 @@ def save_model(
 def load_model(directory: str | Path) -> Synthesizer:
     """Load a fitted synthesizer from an artifact directory.
 
-    Validates the manifest (format version, known model class), restores the
-    non-network state through the model's ``restore_state``, then loads the
-    network weights through the checkpoint machinery, which reports missing
-    or mismatched networks with one clear error.
+    Validates the manifest (supported format version, known model class),
+    restores the non-network state through the model's ``restore_state``,
+    then loads the network weights through the checkpoint machinery, which
+    reports missing or mismatched networks with one clear error.
+
+    v2 state blobs are decoded with ``allow_pickle=False`` end to end (see
+    :mod:`repro.serve.codec`), so loading a v2 artifact received from an
+    untrusted peer can fail but never execute code.  v1 blobs are pickles:
+    only load them from directories you wrote yourself.
     """
     artifact = ModelArtifact.open(directory)
     registry = model_registry()
@@ -154,11 +217,17 @@ def load_model(directory: str | Path) -> Synthesizer:
             f"artifact at {artifact.directory} was saved by unknown model class "
             f"{artifact.model_class!r}; known classes: {sorted(registry)}"
         )
-    state_path = artifact.directory / artifact.manifest.get("state_file", STATE_NAME)
-    try:
-        state = pickle.loads(state_path.read_bytes())
-    except Exception as error:
-        raise ArtifactError(f"corrupt artifact state at {state_path}: {error}")
+    state_path = artifact.state_path
+    if artifact.format_version == 1:
+        try:
+            state = pickle.loads(state_path.read_bytes())
+        except Exception as error:
+            raise ArtifactError(f"corrupt artifact state at {state_path}: {error}")
+    else:
+        try:
+            state = load_state_npz(state_path)
+        except (StateCodecError, ValueError, OSError) as error:
+            raise ArtifactError(f"corrupt artifact state at {state_path}: {error}")
     model = registry[artifact.model_class]()
     model.restore_state(state)
     try:

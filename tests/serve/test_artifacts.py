@@ -134,7 +134,7 @@ class TestRestoredState:
     def test_manifest_records_model_and_networks(self, kinetgan_artifact):
         artifact = ModelArtifact.open(kinetgan_artifact)
         assert artifact.model_class == "KiNETGAN"
-        assert artifact.format_version == 1
+        assert artifact.format_version == 2
         assert set(artifact.networks) == {"generator", "discriminator", "kg_head"}
         assert artifact.metadata["dataset"] == "lab_iot"
 
@@ -210,6 +210,116 @@ class TestRejection:
         corrupted.mkdir()
         for path in Path(kinetgan_artifact).iterdir():
             (corrupted / path.name).write_bytes(path.read_bytes())
-        (corrupted / "state.pkl").write_bytes(b"not a pickle")
+        (corrupted / "state.npz").write_bytes(b"not an npz archive")
         with pytest.raises(ArtifactError, match="state"):
             load_model(corrupted)
+
+    def test_unwritable_format_version_rejected(self, fitted_kinetgan, tmp_path):
+        with pytest.raises(ArtifactError, match="format version"):
+            save_model(fitted_kinetgan, tmp_path / "v999", format_version=999)
+
+
+class TestFormatV2:
+    """The default format is pickle-free and safe to load untrusted."""
+
+    def test_state_is_npz_not_pickle(self, kinetgan_artifact):
+        directory = Path(kinetgan_artifact)
+        assert (directory / "state.npz").exists()
+        assert not (directory / "state.pkl").exists()
+        artifact = ModelArtifact.open(directory)
+        assert artifact.state_path.name == "state.npz"
+
+    def test_state_npz_loads_without_pickle(self, kinetgan_artifact):
+        """Every npz member is a plain-dtype array -- allow_pickle stays off."""
+        with np.load(Path(kinetgan_artifact) / "state.npz", allow_pickle=False) as data:
+            assert "__state_json__" in data.files
+            for member in data.files:
+                assert data[member].dtype != object
+
+    def test_no_pickle_opcodes_in_state_file(self, kinetgan_artifact):
+        """The state blob contains no pickled payloads at all."""
+        import io
+        import zipfile
+
+        raw = (Path(kinetgan_artifact) / "state.npz").read_bytes()
+        with zipfile.ZipFile(io.BytesIO(raw)) as archive:
+            for name in archive.namelist():
+                assert not archive.read(name).startswith(b"\x80"), name
+
+    def test_all_baselines_round_trip_v2(self, train_table, tmp_path):
+        from repro.baselines import PATEGAN
+
+        model = PATEGAN(small_config(), num_teachers=2).fit(train_table)
+        artifact = save_model(model, tmp_path / "pategan")
+        assert artifact.format_version == 2
+        loaded = load_model(tmp_path / "pategan")
+        assert_tables_identical(
+            model.sample(150, rng=sampling_rng(13)),
+            loaded.sample(150, rng=sampling_rng(13)),
+        )
+
+    def test_malicious_state_document_cannot_name_arbitrary_class(self, tmp_path):
+        """A hostile kind tag fails loudly instead of constructing objects."""
+        from repro.serve.codec import StateDecodeError, load_state_npz, save_state_npz
+
+        path = save_state_npz({"x": 1}, tmp_path / "state.npz")
+        import io
+        import json as json_module
+        import zipfile
+
+        raw = (tmp_path / "state.npz").read_bytes()
+        with zipfile.ZipFile(io.BytesIO(raw)) as archive:
+            doc = json_module.loads(archive.read("__state_json__.npy")[128:].rstrip(b"\x00"))
+        doc["evil"] = {"__kind__": "subprocess_popen", "cmd": "true"}
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            __state_json__=np.frombuffer(
+                json_module.dumps(doc).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+        (tmp_path / "evil.npz").write_bytes(buffer.getvalue())
+        with pytest.raises(StateDecodeError, match="unsupported node kind"):
+            load_state_npz(tmp_path / "evil.npz")
+        assert path.exists()
+
+
+class TestFormatV1Compat:
+    """Artifacts written by older builds (pickled state.pkl) still load."""
+
+    @pytest.fixture(scope="class")
+    def v1_artifact(self, fitted_kinetgan, tmp_path_factory) -> Path:
+        directory = tmp_path_factory.mktemp("v1") / "kinetgan"
+        save_model(fitted_kinetgan, directory, format_version=1)
+        return directory
+
+    def test_v1_layout_on_disk(self, v1_artifact):
+        assert (v1_artifact / "state.pkl").exists()
+        assert not (v1_artifact / "state.npz").exists()
+        artifact = ModelArtifact.open(v1_artifact)
+        assert artifact.format_version == 1
+        assert artifact.state_path.name == "state.pkl"
+
+    def test_v1_bit_parity(self, fitted_kinetgan, v1_artifact):
+        loaded = load_model(v1_artifact)
+        assert_tables_identical(
+            fitted_kinetgan.sample(200, rng=sampling_rng(21)),
+            loaded.sample(200, rng=sampling_rng(21)),
+        )
+
+    def test_v1_and_v2_load_identically(self, v1_artifact, kinetgan_artifact):
+        from_v1 = load_model(v1_artifact)
+        from_v2 = load_model(kinetgan_artifact)
+        assert_tables_identical(
+            from_v1.sample(100, rng=sampling_rng(33)),
+            from_v2.sample(100, rng=sampling_rng(33)),
+        )
+
+    def test_v1_independent_sampler_loads(self, train_table, tmp_path):
+        model = IndependentSampler(seed=5).fit(train_table)
+        save_model(model, tmp_path / "ind_v1", format_version=1)
+        loaded = load_model(tmp_path / "ind_v1")
+        assert_tables_identical(
+            model.sample(120, rng=sampling_rng(2)),
+            loaded.sample(120, rng=sampling_rng(2)),
+        )

@@ -46,12 +46,18 @@ class TestCommands:
         exit_code = main(
             [
                 "generate",
-                "--dataset", "lab_iot",
-                "--model", "independent",
-                "--records", "400",
-                "--epochs", "1",
-                "--samples", "120",
-                "--output", str(output),
+                "--dataset",
+                "lab_iot",
+                "--model",
+                "independent",
+                "--records",
+                "400",
+                "--epochs",
+                "1",
+                "--samples",
+                "120",
+                "--output",
+                str(output),
             ]
         )
         assert exit_code == 0
@@ -65,11 +71,16 @@ class TestCommands:
         exit_code = main(
             [
                 "evaluate",
-                "--dataset", "lab_iot",
-                "--model", "independent",
-                "--records", "400",
-                "--epochs", "1",
-                "--classifiers", "decision_tree",
+                "--dataset",
+                "lab_iot",
+                "--model",
+                "independent",
+                "--records",
+                "400",
+                "--epochs",
+                "1",
+                "--classifiers",
+                "decision_tree",
             ]
         )
         assert exit_code == 0
@@ -85,11 +96,16 @@ class TestServingCommands:
         assert main(
             [
                 "save",
-                "--dataset", "lab_iot",
-                "--model", "independent",
-                "--records", "400",
-                "--epochs", "1",
-                "--artifact-dir", str(artifact),
+                "--dataset",
+                "lab_iot",
+                "--model",
+                "independent",
+                "--records",
+                "400",
+                "--epochs",
+                "1",
+                "--artifact-dir",
+                str(artifact),
             ]
         ) == 0
         assert (artifact / "manifest.json").exists()
@@ -100,11 +116,16 @@ class TestServingCommands:
         assert main(
             [
                 "sample",
-                "--artifact", str(artifact),
-                "--samples", "80",
-                "--seed", "3",
-                "--chunk-rows", "32",
-                "--output", str(output),
+                "--artifact",
+                str(artifact),
+                "--samples",
+                "80",
+                "--seed",
+                "3",
+                "--chunk-rows",
+                "32",
+                "--output",
+                str(output),
             ]
         ) == 0
         lines = output.read_text().strip().splitlines()
@@ -114,9 +135,12 @@ class TestServingCommands:
         assert main(
             [
                 "serve",
-                "--artifact", str(artifact),
-                "--requests", "4",
-                "--request-rows", "20",
+                "--artifact",
+                str(artifact),
+                "--requests",
+                "4",
+                "--request-rows",
+                "20",
             ]
         ) == 0
         out = capsys.readouterr().out
@@ -127,11 +151,16 @@ class TestServingCommands:
         assert main(
             [
                 "save",
-                "--dataset", "lab_iot",
-                "--model", "kinetgan",
-                "--records", "400",
-                "--epochs", "1",
-                "--artifact-dir", str(artifact),
+                "--dataset",
+                "lab_iot",
+                "--model",
+                "kinetgan",
+                "--records",
+                "400",
+                "--epochs",
+                "1",
+                "--artifact-dir",
+                str(artifact),
             ]
         ) == 0
         capsys.readouterr()
@@ -139,10 +168,14 @@ class TestServingCommands:
         assert main(
             [
                 "sample",
-                "--artifact", str(artifact),
-                "--samples", "40",
-                "--condition", "event_type=traffic_flooding",
-                "--output", str(output),
+                "--artifact",
+                str(artifact),
+                "--samples",
+                "40",
+                "--condition",
+                "event_type=traffic_flooding",
+                "--output",
+                str(output),
             ]
         ) == 0
         rows = output.read_text().strip().splitlines()[1:]
@@ -155,10 +188,14 @@ class TestServingCommands:
             main(
                 [
                     "sample",
-                    "--artifact", str(artifact),
-                    "--samples", "5",
-                    "--condition", "event_type=not_a_real_event",
-                    "--output", str(tmp_path / "bad.csv"),
+                    "--artifact",
+                    str(artifact),
+                    "--samples",
+                    "5",
+                    "--condition",
+                    "event_type=not_a_real_event",
+                    "--output",
+                    str(tmp_path / "bad.csv"),
                 ]
             )
 
@@ -167,8 +204,111 @@ class TestServingCommands:
         args = parser.parse_args(["serve", "--artifact", "a", "--artifact", "b"])
         assert args.artifact == ["a", "b"]
         assert args.workers == "serial"
+        assert args.http is False
+        assert args.host == "127.0.0.1"
+        assert args.queue_depth == 64
+        assert args.artifact_concurrency == 8
+        assert args.request_deadline is None
         with pytest.raises(SystemExit):
             parser.parse_args(["serve"])  # --artifact is required
+
+    def test_serve_http_knob_validation(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "serve",
+                "--artifact",
+                "a",
+                "--http",
+                "--port",
+                "0",
+                "--queue-depth",
+                "4",
+                "--artifact-concurrency",
+                "2",
+                "--request-deadline",
+                "1.5",
+                "--retry-after",
+                "0.5",
+                "--retries",
+                "1",
+            ]
+        )
+        assert args.http and args.port == 0
+        assert (args.queue_depth, args.artifact_concurrency) == (4, 2)
+        assert (args.request_deadline, args.retry_after, args.retries) == (1.5, 0.5, 1)
+        for bad in (
+            ["serve", "--artifact", "a", "--queue-depth", "0"],
+            ["serve", "--artifact", "a", "--artifact-concurrency", "0"],
+            ["serve", "--artifact", "a", "--request-deadline", "0"],
+            ["serve", "--artifact", "a", "--port", "-1"],
+            ["serve", "--artifact", "a", "--retries", "-1"],
+            ["serve", "--artifact", "a", "--workers", "gpu"],
+        ):
+            with pytest.raises(SystemExit):
+                parser.parse_args(bad)
+
+    def test_serve_http_starts_answers_and_drains(self, tmp_path, capsys, monkeypatch):
+        """--http binds, answers a live request, and drains on Ctrl-C."""
+        artifact = tmp_path / "artifact"
+        assert main(
+            [
+                "save",
+                "--dataset",
+                "lab_iot",
+                "--model",
+                "independent",
+                "--records",
+                "400",
+                "--epochs",
+                "1",
+                "--artifact-dir",
+                str(artifact),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        import re
+        import time as time_module
+
+        from repro.serve import request_samples
+
+        served: dict = {}
+
+        def probe_then_interrupt(seconds):
+            out = capsys.readouterr().out
+            served["banner"] = out
+            url = re.search(r"on (http://[\d.]+:\d+)", out).group(1)
+            served["table"] = request_samples(url, str(artifact), 25, seed=4)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(time_module, "sleep", probe_then_interrupt)
+        assert main(
+            ["serve", "--artifact", str(artifact), "--http", "--port", "0"]
+        ) == 0
+        assert "Endpoints: POST /sample" in served["banner"]
+        assert served["table"].n_rows == 25
+        assert "Served 1 requests" in capsys.readouterr().out
+
+    def test_serve_rejects_nonexistent_artifact_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot serve"):
+            main(["serve", "--artifact", str(tmp_path / "missing")])
+
+    def test_serve_names_every_broken_artifact(self, tmp_path):
+        (tmp_path / "broken").mkdir()
+        (tmp_path / "broken" / "manifest.json").write_text("not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "serve",
+                    "--artifact",
+                    str(tmp_path / "missing"),
+                    "--artifact",
+                    str(tmp_path / "broken"),
+                ]
+            )
+        message = str(excinfo.value)
+        assert "missing" in message and "broken" in message
 
 
 class TestRuntimeCommands:
@@ -206,10 +346,14 @@ class TestRuntimeCommands:
         exit_code = main(
             [
                 "federated",
-                "--records", "400",
-                "--clients", "2",
-                "--rounds", "1",
-                "--local-epochs", "1",
+                "--records",
+                "400",
+                "--clients",
+                "2",
+                "--rounds",
+                "1",
+                "--local-epochs",
+                "1",
             ]
         )
         assert exit_code == 0
@@ -221,10 +365,14 @@ class TestRuntimeCommands:
         exit_code = main(
             [
                 "distributed",
-                "--records", "400",
-                "--nodes", "2",
-                "--epochs", "1",
-                "--share-size", "80",
+                "--records",
+                "400",
+                "--nodes",
+                "2",
+                "--epochs",
+                "1",
+                "--share-size",
+                "80",
             ]
         )
         assert exit_code == 0

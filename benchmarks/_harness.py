@@ -84,7 +84,10 @@ def split_bundle(bundle: DatasetBundle, seed: int = 0) -> tuple[Table, Table]:
 
 def write_table(name: str, header: list[str], rows: list[list], caption: str) -> str:
     """Format a result table, print it, and persist it under results/."""
-    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows)) for i in range(len(header))]
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
     lines = [caption, ""]
     lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
     lines.append("  ".join("-" * widths[i] for i in range(len(header))))

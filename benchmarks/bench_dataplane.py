@@ -179,7 +179,11 @@ def run_dataplane_bench(
     )
     record(
         "empirical_conditions",
-        _rate(lambda: _seed_empirical_conditions(sampler, SAMPLE_BATCH, rng), SAMPLE_BATCH, min_seconds),
+        _rate(
+            lambda: _seed_empirical_conditions(sampler, SAMPLE_BATCH, rng),
+            SAMPLE_BATCH,
+            min_seconds,
+        ),
         _rate(lambda: sampler.empirical_conditions(SAMPLE_BATCH, rng), SAMPLE_BATCH, min_seconds),
         batch_size=SAMPLE_BATCH,
     )

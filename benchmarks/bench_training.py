@@ -857,7 +857,8 @@ def format_results(document: dict) -> str:
             f" batch {alloc['batch_size']})"
         ),
         (
-            f"  ... at batch {alloc_large['batch_size']}        seed {alloc_large['seed_bytes']:,} B"
+            f"  ... at batch {alloc_large['batch_size']}        seed"
+            f" {alloc_large['seed_bytes']:,} B"
             f" -> now {alloc_large['now_bytes']:,} B  ({alloc_large['speedup']}x less)"
         ),
         (
@@ -869,7 +870,8 @@ def format_results(document: dict) -> str:
             f" -> now {full['now_bytes']:,} B  ({full['ratio']}x; not gated)"
         ),
         (
-            f"  codec_roundtrip          fast path {'on' if codec['single_copy_fast_path'] else 'OFF'};"
+            "  codec_roundtrip          fast path"
+            f" {'on' if codec['single_copy_fast_path'] else 'OFF'};"
             f" encode {codec['encode_per_key_us']:.0f} -> {codec['encode_us']:.0f} us,"
             f" decode {codec['decode_per_key_us']:.0f} -> {codec['decode_us']:.0f} us"
             f"  ({codec['speedup']}x, {codec['parameters']:,} params / {codec['keys']} keys)"

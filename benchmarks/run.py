@@ -28,7 +28,12 @@ tolerance band plus an absolute slack.  The serving trajectory
 (``BENCH_serving.json``) gates its HTTP latency-SLO row the same way:
 p50/p99 under the committed multi-client burst shape must stay under a
 tolerance-plus-slack ceiling and the admission queue must absorb the burst
-without rejections.  Smoke mode never rewrites the trajectory files.
+without rejections.  The observability trajectory (``BENCH_obs.json``)
+gates the disabled-path span overhead bound (re-measured, must stay under
+1% of a KiNETGAN epoch), the bit-identical-history guarantee under
+instrumentation, and checks the committed instrumented HTTP latency
+against the committed serving SLO ceilings.  Smoke mode never rewrites
+the trajectory files.
 """
 
 from __future__ import annotations
@@ -44,7 +49,7 @@ from benchmarks.bench_dataplane import (
     run_dataplane_bench,
     write_results,
 )
-from benchmarks import bench_faults, bench_runtime, bench_serving, bench_training
+from benchmarks import bench_faults, bench_obs, bench_runtime, bench_serving, bench_training
 from repro.runtime import default_worker_count
 
 SMOKE_MIN_SECONDS = 0.25
@@ -67,6 +72,13 @@ SERVING_P99_SLACK_MS = 500.0
 #: valid upper bound.
 SERVING_SMOKE_ROWS = 600
 SERVING_SMOKE_EPOCHS = 2
+
+#: The observability smoke gate re-measures the disabled-path overhead
+#: bound on a small training run; the bound is a ratio of nanoseconds to
+#: an epoch measured in milliseconds, so the small model is ample.
+OBS_SMOKE_ROWS = 400
+OBS_SMOKE_EPOCHS = 2
+OBS_OVERHEAD_CEILING_PCT = 1.0
 
 
 def _evaluate_smoke(
@@ -436,6 +448,89 @@ def _smoke_serving(tolerance: float) -> tuple[list[dict], list[str]]:
     return rows, failures
 
 
+def _smoke_obs(tolerance: float) -> tuple[list[dict], list[str]]:
+    """Re-check the observability trajectory (``BENCH_obs.json``).
+
+    Three gates:
+
+    * the disabled-path overhead bound -- no-op span cost x spans per
+      epoch over a freshly measured small KiNETGAN epoch -- must stay
+      under :data:`OBS_OVERHEAD_CEILING_PCT` (an absolute 1% ceiling,
+      not a tolerance band: the bound is architecture-enforced and sits
+      orders of magnitude below it);
+    * the instrumented run's loss history must be bit-identical to the
+      uninstrumented one (observability never touches an RNG stream);
+    * the *committed* instrumented HTTP latency must sit under the
+      *committed* serving SLO ceilings (tolerance band plus the serving
+      slacks) -- a static consistency check between the two trajectory
+      files; the live latency re-measure happens in ``_smoke_serving``,
+      whose request path is metrics-instrumented end to end.
+    """
+    if not bench_obs.RESULT_PATH.exists():
+        return [], [f"no observability baseline at {bench_obs.RESULT_PATH}"]
+    rows: list[dict] = []
+    failures: list[str] = []
+
+    measured = bench_obs.measure_epoch_overhead(rows=OBS_SMOKE_ROWS, epochs=OBS_SMOKE_EPOCHS)
+    ok = measured["disabled_overhead_pct"] < OBS_OVERHEAD_CEILING_PCT
+    rows.append(
+        {
+            "metric": "disabled_overhead_pct",
+            "measured_pct": measured["disabled_overhead_pct"],
+            "ceiling_pct": OBS_OVERHEAD_CEILING_PCT,
+            "noop_span_ns": measured["noop_span_ns"],
+            "status": "ok" if ok else "REGRESSED",
+        }
+    )
+    if not ok:
+        failures.append(
+            f"obs disabled_overhead_pct: {measured['disabled_overhead_pct']}% >= "
+            f"ceiling {OBS_OVERHEAD_CEILING_PCT}% of a KiNETGAN epoch"
+        )
+
+    identical = bool(measured["history_bit_identical"])
+    rows.append(
+        {
+            "metric": "history_bit_identical",
+            "measured": identical,
+            "status": "ok" if identical else "REGRESSED",
+        }
+    )
+    if not identical:
+        failures.append(
+            "obs history_bit_identical: the traced training run diverged from "
+            "the untraced one -- instrumentation touched an RNG stream"
+        )
+
+    if bench_serving.RESULT_PATH.exists():
+        serving_slo = json.loads(bench_serving.RESULT_PATH.read_text())["metrics"].get(
+            "latency_slo"
+        )
+        committed = json.loads(bench_obs.RESULT_PATH.read_text())["metrics"].get(
+            "latency_slo_instrumented"
+        )
+        if serving_slo and committed:
+            slacks = {"p50_ms": SERVING_P50_SLACK_MS, "p99_ms": SERVING_P99_SLACK_MS}
+            for key, slack in slacks.items():
+                ceiling = serving_slo[key] * (1.0 + tolerance) + slack
+                ok = committed[key] <= ceiling
+                rows.append(
+                    {
+                        "metric": f"instrumented_{key.removesuffix('_ms')}",
+                        "committed_ms": committed[key],
+                        "ceiling_ms": round(ceiling, 2),
+                        "status": "ok" if ok else "REGRESSED",
+                    }
+                )
+                if not ok:
+                    failures.append(
+                        f"obs instrumented {key}: committed {committed[key]}ms > "
+                        f"serving-SLO ceiling {ceiling:.1f}ms -- rerun "
+                        "`python -m benchmarks.run --suite obs`"
+                    )
+    return rows, failures
+
+
 def _run_smoke(tolerance: float, as_json: bool = False) -> int:
     """Re-measure the data plane and gate on the committed trajectory.
 
@@ -469,8 +564,9 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
     training_comparison, training_failures = _smoke_training(tolerance)
     faults_comparison, faults_failures = _smoke_faults(tolerance)
     serving_comparison, serving_failures = _smoke_serving(tolerance)
+    obs_comparison, obs_failures = _smoke_obs(tolerance)
     failures = (failures + runtime_failures + training_failures + faults_failures
-                + serving_failures)
+                + serving_failures + obs_failures)
 
     document = {
         "benchmark": "bench-smoke",
@@ -482,6 +578,7 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
         "training_comparison": training_comparison,
         "faults_comparison": faults_comparison,
         "serving_comparison": serving_comparison,
+        "obs_comparison": obs_comparison,
         "failures": failures,
         "ok": not failures,
     }
@@ -544,6 +641,24 @@ def _run_smoke(tolerance: float, as_json: bool = False) -> int:
                 )
             else:
                 print(f"  {row['metric']:26s} {row.get('measured')}  {row['status']}")
+        print("[bench:smoke] observability plane")
+        for row in obs_comparison:
+            if row["metric"] == "disabled_overhead_pct":
+                print(
+                    f"  {row['metric']:26s} {row['measured_pct']:.4f}%"
+                    f"  (ceiling {row['ceiling_pct']}%, "
+                    f"noop span {row['noop_span_ns']}ns)  {row['status']}"
+                )
+            elif row["metric"] == "history_bit_identical":
+                print(
+                    f"  {row['metric']:26s} {row['measured']}"
+                    f"  (traced vs untraced training)  {row['status']}"
+                )
+            else:
+                print(
+                    f"  {row['metric']:26s} {row['committed_ms']}ms"
+                    f"  (ceiling {row['ceiling_ms']}ms)  {row['status']}"
+                )
         if failures:
             print("[bench:smoke] FAILED (after retry with longer windows):")
             for failure in failures:
@@ -561,7 +676,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the full benchmark document(s) as JSON")
     parser.add_argument("--suite",
                         choices=("dataplane", "runtime", "serving", "training",
-                                 "faults", "all"),
+                                 "faults", "obs", "all"),
                         default="dataplane",
                         help="which benchmark suite to run (default %(default)s)")
     parser.add_argument("--rows", type=int, default=BENCH_ROWS,
@@ -607,6 +722,11 @@ def main(argv: list[str] | None = None) -> int:
         documents["faults"] = document
         if not args.no_write:
             bench_faults.write_results(document)
+    if args.suite in ("obs", "all"):
+        document = bench_obs.run_obs_bench()
+        documents["obs"] = document
+        if not args.no_write:
+            bench_obs.write_results(document)
 
     if args.json:
         payload = documents if len(documents) > 1 else next(iter(documents.values()))
@@ -630,6 +750,10 @@ def main(argv: list[str] | None = None) -> int:
                 print(bench_faults.format_results(document))
                 if not args.no_write:
                     print(f"[bench:faults] wrote {bench_faults.RESULT_PATH}")
+            elif name == "obs":
+                print(bench_obs.format_results(document))
+                if not args.no_write:
+                    print(f"[bench:obs] wrote {bench_obs.RESULT_PATH}")
             else:
                 print(bench_training.format_results(document))
                 if not args.no_write:

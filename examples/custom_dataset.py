@@ -179,7 +179,9 @@ def simulate_capture(catalog: DomainCatalog, schema: TableSchema, n: int, seed: 
                 "protocol": spec.protocols[rng.integers(0, len(spec.protocols))],
                 "src_ip": device_ip[spec.source_devices[rng.integers(0, len(spec.source_devices))]],
                 "dst_ip": destination_ips[rng.integers(0, len(destination_ips))],
-                "dst_port": int(spec.destination_ports[rng.integers(0, len(spec.destination_ports))]),
+                "dst_port": int(
+                    spec.destination_ports[rng.integers(0, len(spec.destination_ports))]
+                ),
                 "src_port": float(rng.integers(low, high + 1)),
                 "packet_count": packet_count,
                 "byte_count": float(

@@ -72,14 +72,21 @@ def main() -> None:
         executor=args.workers,
     ) as simulation:
         result = simulation.run()
-    print(f"local-only accuracy      : {result.local_only:.3f} (macro-F1 {result.local_only_f1:.3f})")
+    print(
+        f"local-only accuracy      : {result.local_only:.3f} "
+        f"(macro-F1 {result.local_only_f1:.3f})"
+    )
     print(f"federated accuracy       : {result.federated:.3f} (macro-F1 {result.federated_f1:.3f})")
     print(
         f"federated + DP accuracy  : {result.federated_dp:.3f} "
         f"(epsilon = {result.epsilon:.2f}, delta = 1e-5)"
     )
-    print(f"centralised accuracy     : {result.centralised:.3f} (macro-F1 {result.centralised_f1:.3f})")
-    print("per-device local accuracy:", {k: round(v, 3) for k, v in result.per_client_local.items()})
+    print(
+        f"centralised accuracy     : {result.centralised:.3f} "
+        f"(macro-F1 {result.centralised_f1:.3f})"
+    )
+    per_local = {k: round(v, 3) for k, v in result.per_client_local.items()}
+    print("per-device local accuracy:", per_local)
 
     # ------------------------------------------------------------------ #
     print("\n=== Federated KiNETGAN (weight averaging across two sites) ===")

@@ -32,6 +32,7 @@ from repro.engine.callbacks import (
     Checkpointer,
     EarlyStopping,
     History,
+    MetricsCallback,
     PeriodicLogger,
     RecordMetric,
     standard_callbacks,
@@ -53,6 +54,7 @@ __all__ = [
     "Checkpointer",
     "EarlyStopping",
     "History",
+    "MetricsCallback",
     "PeriodicLogger",
     "RecordMetric",
     "standard_callbacks",

@@ -8,12 +8,14 @@ periodic logging, loss-plateau early stopping and checkpointing.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
 from repro.engine.checkpoint import save_checkpoint
+from repro.obs import MetricsRegistry, default_registry, log_line
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import TrainingEngine
@@ -24,6 +26,7 @@ __all__ = [
     "History",
     "RecordMetric",
     "PeriodicLogger",
+    "MetricsCallback",
     "EarlyStopping",
     "Checkpointer",
     "standard_callbacks",
@@ -120,7 +123,7 @@ class PeriodicLogger(Callback):
         prefix: str = "",
         labels: dict[str, str] | None = None,
         extra: Callable[["TrainingEngine", int, dict[str, float]], dict[str, float]] | None = None,
-        printer: Callable[[str], None] = print,
+        printer: Callable[[str], None] | None = None,
     ) -> None:
         if log_every < 1:
             raise ValueError("log_every must be at least 1")
@@ -128,7 +131,10 @@ class PeriodicLogger(Callback):
         self.prefix = prefix
         self.labels = labels
         self.extra = extra
-        self.printer = printer
+        # None routes through the repro.obs log sink, whose default
+        # StreamSink writes to sys.stdout byte-for-byte like print() did;
+        # an explicit printer (tests pass list.append) bypasses the sink.
+        self.printer = printer if printer is not None else log_line
 
     def on_epoch_end(self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]) -> None:
         if (epoch + 1) % self.log_every != 0:
@@ -145,6 +151,55 @@ class PeriodicLogger(Callback):
         parts = [f"{name}={value:.3f}" for name, value in shown.items()]
         head = f"{self.prefix} " if self.prefix else ""
         self.printer(f"{head}epoch {epoch + 1}/{engine.epochs} " + " ".join(parts))
+
+
+class MetricsCallback(Callback):
+    """Publishes the engine's epoch loop into a :class:`MetricsRegistry`.
+
+    Per epoch it observes the wall-clock duration in the
+    ``repro_engine_epoch_seconds`` histogram, counts
+    ``repro_engine_epochs_total``, and mirrors every averaged epoch metric
+    into a ``repro_engine_metric`` gauge labelled by metric name -- so a
+    scrape of ``GET /metrics`` shows the live loss of a training run.
+    ``prefix`` becomes a ``loop`` label separating concurrent loops (e.g.
+    federated sites).  Reads the wall clock only: attaching it never
+    touches the engine's RNG stream, so seeded histories stay
+    bit-identical (asserted in tests/engine and benchmarks/bench_obs).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, prefix: str = "engine") -> None:
+        self.registry = registry
+        self.prefix = prefix
+        self._epoch_start: float | None = None
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else default_registry()
+
+    def on_epoch_begin(self, engine: "TrainingEngine", epoch: int) -> None:
+        self._epoch_start = time.perf_counter()
+
+    def on_epoch_end(self, engine: "TrainingEngine", epoch: int, metrics: dict[str, float]) -> None:
+        registry = self._registry()
+        labels = {"loop": self.prefix}
+        if self._epoch_start is not None:
+            registry.histogram(
+                "repro_engine_epoch_seconds",
+                help="Wall-clock duration of one training epoch.",
+                labels=labels,
+            ).observe(time.perf_counter() - self._epoch_start)
+            self._epoch_start = None
+        registry.counter(
+            "repro_engine_epochs_total",
+            help="Training epochs completed.",
+            labels=labels,
+        ).inc()
+        for name, value in metrics.items():
+            if np.isfinite(value):
+                registry.gauge(
+                    "repro_engine_metric",
+                    help="Most recent per-epoch training metric value.",
+                    labels={**labels, "metric": name},
+                ).set(float(value))
 
 
 class EarlyStopping(Callback):
@@ -228,18 +283,23 @@ def standard_callbacks(
     min_delta: float = 0.0,
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int = 0,
+    metrics: bool = False,
+    metrics_prefix: str = "engine",
 ) -> list[Callback]:
     """The callback stack every synthesizer derives from its config knobs.
 
     Logging is attached only when ``verbose``; early stopping only when
-    ``patience > 0``; checkpointing only when ``checkpoint_dir`` is set --
-    so the default configuration reproduces the historical loops exactly.
+    ``patience > 0``; checkpointing only when ``checkpoint_dir`` is set;
+    metrics publication only when ``metrics`` is requested -- so the
+    default configuration reproduces the historical loops exactly.
     """
     callbacks: list[Callback] = []
     if verbose:
         callbacks.append(
             PeriodicLogger(log_every=log_every, prefix=prefix, labels=labels, extra=extra)
         )
+    if metrics:
+        callbacks.append(MetricsCallback(prefix=metrics_prefix))
     if patience > 0:
         callbacks.append(EarlyStopping(monitor=monitor, patience=patience, min_delta=min_delta))
     if checkpoint_dir is not None:

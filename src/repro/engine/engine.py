@@ -9,6 +9,7 @@ import numpy as np
 from repro.engine.callbacks import Callback, CallbackList, History
 from repro.engine.seeding import seeded_rng
 from repro.engine.steps import TrainStep
+from repro.obs import span
 
 __all__ = ["TrainingEngine"]
 
@@ -76,19 +77,24 @@ class TrainingEngine:
         self.stop_reason = None
         self.epochs_run = 0
         self.callbacks.on_train_begin(self)
-        for epoch in range(self.epochs):
-            self.callbacks.on_epoch_begin(self, epoch)
-            declared = self.step.begin_epoch(self.rng, epoch)
-            n_steps = declared if declared is not None else self.default_steps_per_epoch
-            totals: dict[str, float] = {}
-            for batch_index in range(n_steps):
-                metrics = self.step.step(self.rng, batch_index)
-                for name, value in metrics.items():
-                    totals[name] = totals.get(name, 0.0) + float(value)
-            epoch_metrics = {name: value / n_steps for name, value in totals.items()}
-            self.epochs_run = epoch + 1
-            self.callbacks.on_epoch_end(self, epoch, epoch_metrics)
-            if self.stop_training:
-                break
+        # Spans are recorded at epoch granularity only: when tracing is
+        # disabled each span() call costs one branch, and the per-batch
+        # inner loop stays untouched either way.
+        with span("engine.run", epochs=self.epochs):
+            for epoch in range(self.epochs):
+                with span("engine.epoch", epoch=epoch):
+                    self.callbacks.on_epoch_begin(self, epoch)
+                    declared = self.step.begin_epoch(self.rng, epoch)
+                    n_steps = declared if declared is not None else self.default_steps_per_epoch
+                    totals: dict[str, float] = {}
+                    for batch_index in range(n_steps):
+                        metrics = self.step.step(self.rng, batch_index)
+                        for name, value in metrics.items():
+                            totals[name] = totals.get(name, 0.0) + float(value)
+                    epoch_metrics = {name: value / n_steps for name, value in totals.items()}
+                    self.epochs_run = epoch + 1
+                    self.callbacks.on_epoch_end(self, epoch, epoch_metrics)
+                if self.stop_training:
+                    break
         self.callbacks.on_train_end(self)
         return self.history

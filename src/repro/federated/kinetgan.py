@@ -38,6 +38,7 @@ from repro.federated.parameters import (
 from repro.knowledge.builder import build_network_kg
 from repro.knowledge.catalog import DomainCatalog
 from repro.knowledge.reasoner import KGReasoner
+from repro.obs import span
 from repro.runtime import Executor, map_with_quorum, resolve_executor
 from repro.runtime.state import BufferRef, StateRef
 from repro.tabular.sampler import ConditionSampler
@@ -260,10 +261,11 @@ class _SiteTask:
 
 def _run_site_task(task: _SiteTask) -> tuple[FederatedKiNETGANSite, dict[str, float]]:
     """Module-level worker: broadcast, train locally, return the site."""
-    site = task.site
-    site.set_state(task.generator_state, task.discriminator_state)
-    metrics = site.train_local(task.local_epochs)
-    return site, metrics
+    with span("federated.site_round", site=task.site.site_id, transport="site"):
+        site = task.site
+        site.set_state(task.generator_state, task.discriminator_state)
+        metrics = site.train_local(task.local_epochs)
+        return site, metrics
 
 
 @dataclass
@@ -291,25 +293,27 @@ class _SiteRoundTask:
 
 def _run_site_round(task: _SiteRoundTask) -> tuple[dict, dict[str, list[float]], dict[str, float]]:
     """Module-level worker for the resident transport: delta in, delta out."""
-    site: FederatedKiNETGANSite = task.site.resolve()
-    site.load_trainer_state(task.trainer_state)
-    generator_codec: StateCodec = task.generator_codec.resolve()
-    discriminator_codec: StateCodec = task.discriminator_codec.resolve()
-    # Broadcast buffers are only valid for the round; decode_into copies the
-    # shared vectors straight into the live network arrays (no intermediate
-    # state dict, and a single memcpy per network when arenas are intact).
-    site.load_flat_state(
-        generator_codec,
-        np.asarray(task.global_generator.resolve()),
-        discriminator_codec,
-        np.asarray(task.global_discriminator.resolve()),
-    )
-    lengths = site.history_lengths()
-    metrics = site.train_local(task.local_epochs)
-    generator_state, discriminator_state = site.get_state()
-    generator_codec.encode(generator_state, out=task.generator_out.resolve())
-    discriminator_codec.encode(discriminator_state, out=task.discriminator_out.resolve())
-    return site.trainer_state(), site.history_tail(lengths), metrics
+    with span("federated.site_round", transport="resident"):
+        site: FederatedKiNETGANSite = task.site.resolve()
+        site.load_trainer_state(task.trainer_state)
+        generator_codec: StateCodec = task.generator_codec.resolve()
+        discriminator_codec: StateCodec = task.discriminator_codec.resolve()
+        # Broadcast buffers are only valid for the round; decode_into copies
+        # the shared vectors straight into the live network arrays (no
+        # intermediate state dict, and a single memcpy per network when
+        # arenas are intact).
+        site.load_flat_state(
+            generator_codec,
+            np.asarray(task.global_generator.resolve()),
+            discriminator_codec,
+            np.asarray(task.global_discriminator.resolve()),
+        )
+        lengths = site.history_lengths()
+        metrics = site.train_local(task.local_epochs)
+        generator_state, discriminator_state = site.get_state()
+        generator_codec.encode(generator_state, out=task.generator_out.resolve())
+        discriminator_codec.encode(discriminator_state, out=task.discriminator_out.resolve())
+        return site.trainer_state(), site.history_tail(lengths), metrics
 
 
 class _SiteTransport:
@@ -561,7 +565,18 @@ class FederatedKiNETGAN:
         and the coordinator's site absorbs the returned copy.  Either way a
         round on a process or thread pool is bit-identical to a serial one
         and existing site handles keep pointing at the trained state.
+
+        When tracing is enabled the round runs inside a
+        ``federated.round`` span whose context rides the task envelope, so
+        every worker-side ``federated.site_round`` span -- even in a
+        process-pool worker -- parents to this round (see ``repro.obs``).
         """
+        with span(
+            "federated.round", round=len(self.rounds), transport=self.transport
+        ):
+            return self._run_round(local_epochs)
+
+    def _run_round(self, local_epochs: int) -> FederatedKiNETGANRound:
         self._require_sites()
         self._initialise_global()
         assert self._global_generator is not None and self._global_discriminator is not None
@@ -743,7 +758,14 @@ class FederatedKiNETGAN:
                 transport.discriminator_codec,
                 transport.global_discriminator.array,
             )
-        return generator_states, discriminator_states, weights, metrics_list, survivor_indices, dropped
+        return (
+            generator_states,
+            discriminator_states,
+            weights,
+            metrics_list,
+            survivor_indices,
+            dropped,
+        )
 
     def _aggregate(
         self,

@@ -1,0 +1,78 @@
+"""Unified observability plane: metrics, traces, and the log sink.
+
+``repro.obs`` is dependency-free (standard library only) and safe to
+import from every layer.  It provides:
+
+* :class:`MetricsRegistry` -- thread-safe counters / gauges / fixed-
+  bucket histograms with a Prometheus text exporter and a JSON snapshot;
+  :func:`default_registry` is the process-wide instance the engine,
+  runtime, and serving layers record into, and the one ``GET /metrics``
+  exports.
+* :func:`span` -- span-based tracing with a one-branch no-op fast path
+  when disabled, pluggable sinks (:class:`MemorySink`,
+  :class:`JsonlSink`), an injectable clock, and
+  :class:`TraceContext` / :func:`propagation_context` / :func:`activate`
+  for carrying a trace across executor (even process) boundaries.
+* :func:`log_line` -- the line sink behind
+  :class:`~repro.engine.callbacks.PeriodicLogger`.
+
+Nothing in this package ever consumes a random number: enabling any of
+it leaves every seeded parity suite bit-identical (see
+``docs/observability.md``).
+"""
+
+from repro.obs.logsink import CaptureSink, StreamSink, get_log_sink, log_line, set_log_sink
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    TraceContext,
+    Tracer,
+    activate,
+    configure_tracing,
+    current_span_id,
+    current_trace_id,
+    disable_tracing,
+    propagation_context,
+    read_jsonl,
+    span,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "CaptureSink",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "StreamSink",
+    "TraceContext",
+    "Tracer",
+    "activate",
+    "configure_tracing",
+    "current_span_id",
+    "current_trace_id",
+    "default_registry",
+    "disable_tracing",
+    "get_log_sink",
+    "log_line",
+    "propagation_context",
+    "read_jsonl",
+    "set_default_registry",
+    "set_log_sink",
+    "span",
+    "tracing",
+    "tracing_enabled",
+]

@@ -1,0 +1,62 @@
+"""Line-oriented log sink used by the engine's :class:`PeriodicLogger`.
+
+The default sink writes to ``sys.stdout`` exactly the way ``print``
+does -- the line followed by a single newline, looked up at emit time so
+``contextlib.redirect_stdout`` and pytest's capture keep working.  Tests
+or embedders can swap in :class:`CaptureSink` (or anything with an
+``emit(line)`` method) via :func:`set_log_sink` to route training logs
+somewhere other than the console without touching the callbacks.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import IO
+
+__all__ = ["CaptureSink", "StreamSink", "get_log_sink", "log_line", "set_log_sink"]
+
+
+class StreamSink:
+    """Writes each line + newline to a stream (``sys.stdout`` when None)."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream
+
+    def emit(self, line: str) -> None:
+        stream = self.stream if self.stream is not None else sys.stdout
+        stream.write(line + "\n")
+
+
+class CaptureSink:
+    """Collects emitted lines in a list; for tests."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.lines: list[str] = []
+
+    def emit(self, line: str) -> None:
+        with self._lock:
+            self.lines.append(line)
+
+
+_sink = StreamSink()
+_sink_lock = threading.Lock()
+
+
+def get_log_sink():
+    return _sink
+
+
+def set_log_sink(sink) -> object:
+    """Replace the process-wide log sink; returns the previous one."""
+    global _sink
+    with _sink_lock:
+        previous = _sink
+        _sink = sink
+    return previous
+
+
+def log_line(line: str) -> None:
+    """Emit one line through the active sink."""
+    _sink.emit(str(line))

@@ -1,0 +1,309 @@
+"""Span-based tracing with JSONL sinks and cross-executor propagation.
+
+Tracing is **off** by default and the disabled path costs one branch:
+``span(...)`` checks a module-level tracer slot and hands back a shared
+no-op context manager when nothing is configured.  When enabled (via
+:func:`configure_tracing` or the :func:`tracing` context manager) each
+closed span is written as one JSON object through a pluggable sink --
+:class:`MemorySink` for tests, :class:`JsonlSink` for files.  The clock
+and the id generator are injectable so tests see deterministic output.
+
+Propagation works by envelope, not by ambient magic: the executor layer
+calls :func:`propagation_context` before dispatch, ships the resulting
+:class:`TraceContext` (trace id, parent span id, and -- for process
+pools -- the JSONL sink path) alongside the task payload, and the worker
+re-enters it with :func:`activate`.  Worker-side spans then parent to
+the coordinator's span even across a pickle boundary, because both sides
+append to the same JSONL file.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "TraceContext",
+    "Tracer",
+    "activate",
+    "configure_tracing",
+    "current_span_id",
+    "current_trace_id",
+    "disable_tracing",
+    "propagation_context",
+    "span",
+    "tracing",
+    "tracing_enabled",
+]
+
+
+class MemorySink:
+    """Collects span events in a list; for tests and short-lived runs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: list[dict] = []
+
+    def write(self, event: dict) -> None:
+        with self._lock:
+            self.events.append(event)
+
+
+class JsonlSink:
+    """Appends one JSON object per span to a file.
+
+    Each write is a single ``O_APPEND`` write of one line, so multiple
+    processes (a coordinator and its pool workers) can share the file
+    without interleaving partial records.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def write(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse every span event in a JSONL trace file."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _default_ids() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Tracer:
+    """Writes closed spans to a sink using an injectable clock and ids."""
+
+    def __init__(
+        self,
+        sink: MemorySink | JsonlSink,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        ids: Callable[[], str] = _default_ids,
+    ) -> None:
+        self.sink = sink
+        self.clock = clock
+        self.ids = ids
+
+    @property
+    def sink_path(self) -> str | None:
+        path = getattr(self.sink, "path", None)
+        return str(path) if path is not None else None
+
+
+# Current span as (trace_id, span_id); context-local so thread workers and
+# nested spans each see their own parent chain.
+_CURRENT: contextvars.ContextVar[tuple[str, str] | None] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+# The one branch the disabled fast path pays: ``_TRACER is None``.
+_TRACER: Tracer | None = None
+_STATE_LOCK = threading.Lock()
+
+
+class _NoopSpan:
+    """Shared, reusable stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("tracer", "name", "attrs", "trace_id", "span_id", "parent_id", "_start", "_token")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        parent = _CURRENT.get()
+        if parent is None:
+            self.trace_id = tracer.ids()
+            self.parent_id = None
+        else:
+            self.trace_id, self.parent_id = parent
+        self.span_id = tracer.ids()
+        self._token = _CURRENT.set((self.trace_id, self.span_id))
+        self._start = tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = self.tracer.clock()
+        _CURRENT.reset(self._token)
+        event = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self._start,
+            "end": end,
+            "duration": end - self._start,
+            "pid": os.getpid(),
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        if exc_type is not None:
+            event["status"] = "error"
+            event["error"] = f"{exc_type.__name__}: {exc}"
+        else:
+            event["status"] = "ok"
+        self.tracer.sink.write(event)
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+
+def span(name: str, **attrs):
+    """A context manager recording one span, or a shared no-op when off."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NOOP_SPAN
+    return _Span(tracer, name, attrs)
+
+
+def configure_tracing(
+    sink: MemorySink | JsonlSink | str | Path,
+    *,
+    clock: Callable[[], float] = time.monotonic,
+    ids: Callable[[], str] = _default_ids,
+) -> Tracer:
+    """Enable tracing process-wide; a str/Path sink means a JSONL file."""
+    global _TRACER
+    if isinstance(sink, (str, Path)):
+        sink = JsonlSink(sink)
+    tracer = Tracer(sink, clock=clock, ids=ids)
+    with _STATE_LOCK:
+        _TRACER = tracer
+    return tracer
+
+
+def disable_tracing() -> None:
+    global _TRACER
+    with _STATE_LOCK:
+        _TRACER = None
+
+
+def tracing_enabled() -> bool:
+    return _TRACER is not None
+
+
+class tracing:
+    """``with tracing(sink):`` -- enable for a block, then restore."""
+
+    def __init__(self, sink, **kwargs) -> None:
+        self._sink = sink
+        self._kwargs = kwargs
+
+    def __enter__(self) -> Tracer:
+        self._previous = _TRACER
+        return configure_tracing(self._sink, **self._kwargs)
+
+    def __exit__(self, *exc_info) -> bool:
+        global _TRACER
+        with _STATE_LOCK:
+            _TRACER = self._previous
+        return False
+
+
+def current_trace_id() -> str | None:
+    current = _CURRENT.get()
+    return current[0] if current else None
+
+
+def current_span_id() -> str | None:
+    current = _CURRENT.get()
+    return current[1] if current else None
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable trace coordinates shipped alongside task payloads.
+
+    ``sink_path`` is set when the coordinator writes to a JSONL file, so
+    a process-pool worker (where tracing is otherwise disabled) can open
+    the same file and contribute its spans to the same trace.
+    """
+
+    trace_id: str
+    span_id: str
+    sink_path: str | None = None
+
+
+def propagation_context() -> TraceContext | None:
+    """The context tasks should carry, or ``None`` when there is nothing
+    to propagate (tracing disabled, or no span currently open)."""
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    current = _CURRENT.get()
+    if current is None:
+        return None
+    return TraceContext(current[0], current[1], tracer.sink_path)
+
+
+class activate:
+    """``with activate(ctx):`` -- adopt a propagated context on the worker.
+
+    In-process (serial executor, thread pool) the tracer already exists
+    and only the ambient parent needs setting.  In a process-pool worker
+    tracing is disabled, so when the context names a JSONL sink a
+    temporary tracer writing to that file is installed for the block.
+    """
+
+    def __init__(self, context: TraceContext) -> None:
+        self._context = context
+        self._installed = None
+
+    def __enter__(self) -> None:
+        global _TRACER
+        context = self._context
+        if _TRACER is None and context.sink_path is not None:
+            with _STATE_LOCK:
+                if _TRACER is None:
+                    self._installed = Tracer(JsonlSink(context.sink_path))
+                    _TRACER = self._installed
+        self._token = _CURRENT.set((context.trace_id, context.span_id))
+
+    def __exit__(self, *exc_info) -> bool:
+        global _TRACER
+        _CURRENT.reset(self._token)
+        if self._installed is not None:
+            with _STATE_LOCK:
+                if _TRACER is self._installed:
+                    _TRACER = None
+            self._installed = None
+        return False

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, TypeVar
 
+from repro.obs import TraceContext, activate, default_registry, propagation_context
 from repro.runtime.faults import (
     NO_FAULT,
     FaultDecision,
@@ -80,6 +81,72 @@ def default_worker_count() -> int:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class _TracedTask:
+    """Picklable envelope carrying the dispatching span's trace context.
+
+    Wrapping the mapped function (rather than the payloads) keeps every
+    payload bit-identical to the untraced run; the worker re-enters the
+    coordinator's context before the task body, so spans opened inside
+    the work unit parent to the dispatching span -- across thread pools
+    and, via the context's JSONL sink path, across process pools too.
+    """
+
+    fn: Callable[[Any], Any]
+    context: TraceContext
+
+    def __call__(self, payload: Any) -> Any:
+        with activate(self.context):
+            return self.fn(payload)
+
+
+def _traced(fn: Callable[[T], R]) -> Callable[[T], R]:
+    """Wrap ``fn`` with the current trace context; identity when inert."""
+    context = propagation_context()
+    if context is None:
+        return fn
+    return _TracedTask(fn, context)
+
+
+def _record_task_metrics(executor_name: str, results: list[TaskResult]) -> None:
+    """Fold one map_tasks round into the process-wide metrics registry."""
+    registry = default_registry()
+    labels = {"executor": executor_name}
+    registry.counter(
+        "repro_tasks_dispatched_total",
+        help="Tasks submitted through Executor.map_tasks.",
+        labels=labels,
+    ).inc(len(results))
+    completed = registry.counter(
+        "repro_tasks_completed_total",
+        help="Tasks that returned a value (possibly after retries).",
+        labels=labels,
+    )
+    elapsed = registry.histogram(
+        "repro_task_seconds",
+        help="Per-task elapsed seconds summed across attempts.",
+        labels=labels,
+    )
+    retries = 0
+    for result in results:
+        elapsed.observe(result.elapsed)
+        retries += max(0, result.attempts - 1)
+        if result.ok:
+            completed.inc()
+        else:
+            registry.counter(
+                "repro_tasks_failed_total",
+                help="Tasks that exhausted their retries, by failure cause.",
+                labels={**labels, "cause": result.failure.cause},
+            ).inc()
+    if retries:
+        registry.counter(
+            "repro_task_retries_total",
+            help="Extra attempts beyond the first, across all tasks.",
+            labels=labels,
+        ).inc(retries)
 
 
 class Executor:
@@ -141,6 +208,7 @@ class Executor:
         Results come back in submission order, exactly like :meth:`map`.
         """
         self._check_open()
+        fn = _traced(fn)
         policy = policy if policy is not None else TaskPolicy()
         injector = policy.injector if policy.injector is not None else self.fault_injector
         entries: list[_TaskState] = []
@@ -167,7 +235,9 @@ class Executor:
                 if not entry.done and entry.attempts <= policy.retries
             ]
             replay += 1
-        return [entry.to_result(policy) for entry in entries]
+        results = [entry.to_result(policy) for entry in entries]
+        _record_task_metrics(self.name, results)
+        return results
 
     def _attempt(
         self,
@@ -239,6 +309,7 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
+        fn = _traced(fn)
         return [fn(payload) for payload in payloads]
 
     def _attempt(
@@ -307,7 +378,7 @@ class ThreadExecutor(Executor):
     def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
         # Executor.map yields results in submission order even when tasks
         # complete out of order (tested in tests/runtime/test_executor.py).
-        return list(self._ensure_pool().map(fn, payloads))
+        return list(self._ensure_pool().map(_traced(fn), payloads))
 
     def _attempt(
         self,
@@ -468,16 +539,27 @@ class ProcessExecutor(Executor):
             self._pool.shutdown(wait=False)
             self._pool = None
             self.respawns += 1
+            default_registry().counter(
+                "repro_pool_respawns_total",
+                help="Broken process pools replaced with fresh workers.",
+                labels={"executor": self.name},
+            ).inc()
 
     def map(self, fn: Callable[[T], R], payloads: Iterable[T]) -> list[R]:
         # ProcessPoolExecutor.map already yields results in submission order.
         pool = self._ensure_pool()
+        fn = _traced(fn)
         evictions = tuple(self._evicted_names)
         try:
             if evictions:
                 payloads = list(payloads)
                 return list(
-                    pool.map(_run_plain_item, [fn] * len(payloads), [evictions] * len(payloads), payloads)
+                    pool.map(
+                        _run_plain_item,
+                        [fn] * len(payloads),
+                        [evictions] * len(payloads),
+                        payloads,
+                    )
                 )
             return list(pool.map(fn, payloads))
         except concurrent.futures.BrokenExecutor:
@@ -549,6 +631,11 @@ class ProcessExecutor(Executor):
             # (a no-op for workers that never resolved the ref).
             if self._pool is not None:
                 self._evicted_names.append(ref.name)
+            default_registry().counter(
+                "repro_state_evictions_total",
+                help="Resident states evicted from the execution plane.",
+                labels={"executor": self.name},
+            ).inc()
 
     def shared_array(self, shape: tuple[int, ...]) -> SharedMemoryBuffer:
         self._check_open()
@@ -609,6 +696,11 @@ def map_with_quorum(
     """
     if timeout is None and retries == 0 and executor.fault_injector is None:
         if len(payloads) < min_survivors:
+            default_registry().counter(
+                "repro_quorum_failures_total",
+                help="Rounds aborted because survivors fell below the quorum.",
+                labels={"unit": unit},
+            ).inc()
             raise QuorumError(
                 f"round dispatches only {len(payloads)} {unit}(s); "
                 f"quorum requires {min_survivors}",
@@ -620,7 +712,18 @@ def map_with_quorum(
     results = executor.map_tasks(fn, payloads, policy)
     survivors = [(slot, result.value) for slot, result in enumerate(results) if result.ok]
     dropped = [ids[slot] for slot, result in enumerate(results) if not result.ok]
+    if dropped:
+        default_registry().counter(
+            "repro_quorum_dropped_total",
+            help="Round participants dropped after exhausting retries.",
+            labels={"unit": unit},
+        ).inc(len(dropped))
     if len(survivors) < min_survivors:
+        default_registry().counter(
+            "repro_quorum_failures_total",
+            help="Rounds aborted because survivors fell below the quorum.",
+            labels={"unit": unit},
+        ).inc()
         raise QuorumError(
             f"round finished with {len(survivors)} surviving {unit}(s); "
             f"quorum requires {min_survivors}",

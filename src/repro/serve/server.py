@@ -48,6 +48,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.engine import sampling_rng
+from repro.obs import MetricsRegistry, default_registry
 from repro.runtime import Executor, TaskPolicy, resolve_executor
 from repro.serve.artifact import ArtifactError, ModelArtifact, load_model
 from repro.tabular.schema import TableSchema
@@ -262,18 +263,35 @@ class ServingPool:
 # The HTTP server
 # --------------------------------------------------------------------------- #
 class ServerStats:
-    """Monotonic request counters (thread-safe), surfaced by ``/health``."""
+    """Monotonic request counters (thread-safe), surfaced by ``/health``.
+
+    Each bump is mirrored into the ``repro_http_requests_total`` counter
+    family of ``registry`` (the process-wide default unless one is given),
+    so ``GET /metrics`` exposes the same outcomes Prometheus-style.  The
+    instance's own fields stay authoritative for ``/health``: they count
+    this server only, while the registry family accumulates process-wide.
+    """
 
     _FIELDS = ("admitted", "served", "rejected", "timeouts", "errors", "invalid")
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
         for name in self._FIELDS:
             setattr(self, name, 0)
+        registry = registry if registry is not None else default_registry()
+        self._counters = {
+            name: registry.counter(
+                "repro_http_requests_total",
+                help="HTTP requests by outcome (admitted/served/rejected/...).",
+                labels={"outcome": name},
+            )
+            for name in self._FIELDS
+        }
 
     def bump(self, name: str, by: int = 1) -> None:
         with self._lock:
             setattr(self, name, getattr(self, name) + by)
+        self._counters[name].inc(by)
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -314,7 +332,7 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _respond(self, status: int, document: dict, headers: dict | None = None) -> None:
+    def _respond(self, status: int, document: dict, headers: dict | None = None) -> int:
         body = json.dumps(document).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -323,28 +341,53 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        return status
 
-    def _fail(self, error: _HTTPError) -> None:
-        self._respond(error.status, {"error": str(error)}, error.headers)
+    def _fail(self, error: _HTTPError) -> int:
+        return self._respond(error.status, {"error": str(error)}, error.headers)
+
+    def _respond_metrics(self, query: str) -> int:
+        if query == "format=json":
+            return self._respond(200, self.server.metrics_snapshot())
+        body = self.server.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return 200
 
     # -- routes --------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802
-        if self.path == "/health":
-            self._respond(200, self.server.health())
-        elif self.path == "/artifacts":
-            self._respond(200, {"artifacts": self.server.pool.manifests})
-        else:
-            self._fail(_HTTPError(404, f"no route {self.path!r}"))
+        start = time.perf_counter()
+        path, _, query = self.path.partition("?")
+        status = 500
+        try:
+            if path == "/health":
+                status = self._respond(200, self.server.health())
+            elif path == "/artifacts":
+                status = self._respond(200, {"artifacts": self.server.pool.manifests})
+            elif path == "/metrics":
+                status = self._respond_metrics(query)
+            else:
+                status = self._fail(_HTTPError(404, f"no route {self.path!r}"))
+        finally:
+            self.server.observe_request(path, status, time.perf_counter() - start)
 
     def do_POST(self) -> None:  # noqa: N802
-        if self.path != "/sample":
-            self._fail(_HTTPError(404, f"no route {self.path!r}"))
-            return
+        start = time.perf_counter()
+        status = 500
         try:
-            admitted = self.server.admit(self._parse_sample_body())
-            self._respond(200, self.server.await_result(admitted))
-        except _HTTPError as error:
-            self._fail(error)
+            if self.path != "/sample":
+                status = self._fail(_HTTPError(404, f"no route {self.path!r}"))
+                return
+            try:
+                admitted = self.server.admit(self._parse_sample_body())
+                status = self._respond(200, self.server.await_result(admitted))
+            except _HTTPError as error:
+                status = self._fail(error)
+        finally:
+            self.server.observe_request(self.path, status, time.perf_counter() - start)
 
     def _parse_sample_body(self) -> dict:
         try:
@@ -397,6 +440,7 @@ class SamplingHTTPServer:
         max_rows: int = 1_000_000,
         retry_after: float = 1.0,
         verbose: bool = False,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be positive")
@@ -413,7 +457,12 @@ class SamplingHTTPServer:
         self.max_rows = max_rows
         self.retry_after = retry_after
         self.verbose = verbose
-        self.stats = ServerStats()
+        # The registry behind GET /metrics.  The process-wide default also
+        # receives the runtime's task/pool counters and any engine metrics
+        # published in this process, so one scrape covers all three layers;
+        # pass a private registry to isolate a server (tests do).
+        self.registry = registry if registry is not None else default_registry()
+        self.stats = ServerStats(self.registry)
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._draining = threading.Event()
         self._stopped = threading.Event()
@@ -427,6 +476,9 @@ class SamplingHTTPServer:
         self._httpd.await_result = self.await_result  # type: ignore[attr-defined]
         self._httpd.health = self.health  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.metrics_text = self.metrics_text  # type: ignore[attr-defined]
+        self._httpd.metrics_snapshot = self.metrics_snapshot  # type: ignore[attr-defined]
+        self._httpd.observe_request = self._observe_request  # type: ignore[attr-defined]
 
     # -- lifecycle ------------------------------------------------------ #
     @property
@@ -526,6 +578,7 @@ class SamplingHTTPServer:
                 headers={"Retry-After": f"{self.retry_after:g}"},
             )
         self.stats.bump("admitted")
+        self._queue_gauge().set(self._queue.qsize())
         return admitted
 
     def await_result(self, admitted: _Admitted) -> dict:
@@ -553,7 +606,65 @@ class SamplingHTTPServer:
             "workers": getattr(self.pool.executor, "workers", 1),
             "request_deadline": self.request_deadline,
             "stats": self.stats.snapshot(),
+            "runtime": self._runtime_health(),
         }
+
+    def _runtime_health(self) -> dict:
+        """Runtime-internal counters for ``/health``: respawns, task tallies.
+
+        Task counters live in the process-wide default registry (that is
+        where ``Executor.map_tasks`` records), labelled by executor kind;
+        they accumulate across every pool of that kind in the process, so
+        treat them as monotonic process totals, not per-server counts.
+        """
+        executor = self.pool.executor
+        registry = default_registry()
+        labels = {"executor": executor.name}
+
+        def count(metric: str, extra: dict | None = None) -> int:
+            value = registry.value(metric, {**labels, **(extra or {})})
+            return int(value) if value else 0
+
+        return {
+            "executor": executor.name,
+            "respawns": getattr(executor, "respawns", 0),
+            "tasks": {
+                "dispatched": count("repro_tasks_dispatched_total"),
+                "completed": count("repro_tasks_completed_total"),
+                "retries": count("repro_task_retries_total"),
+                "timeouts": count("repro_tasks_failed_total", {"cause": "timeout"}),
+                "crashes": count("repro_tasks_failed_total", {"cause": "crash"}),
+                "errors": count("repro_tasks_failed_total", {"cause": "error"}),
+            },
+        }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition."""
+        return self.registry.prometheus_text()
+
+    def metrics_snapshot(self) -> dict:
+        """The ``GET /metrics?format=json`` document."""
+        return self.registry.snapshot()
+
+    def _observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one HTTP request into the per-endpoint latency histogram."""
+        self.registry.histogram(
+            "repro_http_request_seconds",
+            help="End-to-end HTTP request latency by endpoint and status.",
+            labels={"endpoint": endpoint, "status": str(status)},
+        ).observe(seconds)
+
+    def _queue_gauge(self):
+        return self.registry.gauge(
+            "repro_http_queue_depth",
+            help="Requests waiting in the admission queue.",
+        )
+
+    def _inflight_gauge(self):
+        return self.registry.gauge(
+            "repro_http_inflight",
+            help="Requests currently executing on the serving pool.",
+        )
 
     # -- dispatch ------------------------------------------------------- #
     def _dispatch_loop(self) -> None:
@@ -613,12 +724,16 @@ class SamplingHTTPServer:
         if not live:
             return
         requests = [(item.artifact, item.n, item.conditions, item.seed) for item in live]
+        self._queue_gauge().set(self._queue.qsize())
+        self._inflight_gauge().inc(len(live))
         try:
             results = self.pool.sample_batch(requests, timeout=self.request_deadline)
         except Exception as error:
             for item in live:
                 item.future.set_exception(_HTTPError(500, f"dispatch failed: {error}"))
             return
+        finally:
+            self._inflight_gauge().dec(len(live))
         for item, result in zip(live, results):
             if result.failure is None:
                 self.stats.bump("served")

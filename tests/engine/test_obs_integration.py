@@ -1,0 +1,161 @@
+"""Engine-side observability: MetricsCallback, the log sink, RNG neutrality."""
+
+import contextlib
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import KiNETGAN, KiNETGANConfig
+from repro.engine import MetricsCallback, PeriodicLogger, TrainingEngine, standard_callbacks
+from repro.obs import CaptureSink, MemorySink, MetricsRegistry, set_log_sink, span, tracing
+
+
+class CountingStep:
+    """Deterministic TrainStep: loss decreases, one rng draw per step."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def begin_epoch(self, rng, epoch):
+        return 2
+
+    def step(self, rng, batch_index):
+        self.calls += 1
+        rng.random()
+        return {"loss": 1.0 / self.calls, "aux": float(self.calls)}
+
+    def checkpoint_targets(self):
+        return {}
+
+
+class TestMetricsCallback:
+    def test_publishes_epochs_durations_and_gauges(self):
+        registry = MetricsRegistry()
+        engine = TrainingEngine(
+            CountingStep(),
+            epochs=3,
+            callbacks=[MetricsCallback(registry=registry, prefix="unit")],
+        )
+        engine.run()
+        labels = {"loop": "unit"}
+        assert registry.value("repro_engine_epochs_total", labels) == 3
+        histogram = registry.histogram("repro_engine_epoch_seconds", labels=labels)
+        assert histogram.count == 3
+        # Gauges hold the *last* epoch's averaged metrics.
+        last_loss = engine.history.metrics["loss"][-1]
+        assert registry.value("repro_engine_metric", {**labels, "metric": "loss"}) == pytest.approx(
+            last_loss
+        )
+        assert registry.value("repro_engine_metric", {**labels, "metric": "aux"}) == pytest.approx(
+            engine.history.metrics["aux"][-1]
+        )
+
+    def test_standard_callbacks_metrics_knob(self):
+        stack = standard_callbacks(metrics=True, metrics_prefix="cfg")
+        assert any(isinstance(cb, MetricsCallback) for cb in stack)
+        assert not any(isinstance(cb, MetricsCallback) for cb in standard_callbacks())
+
+    def test_non_finite_metrics_are_skipped(self):
+        registry = MetricsRegistry()
+
+        class NanStep(CountingStep):
+            def step(self, rng, batch_index):
+                super().step(rng, batch_index)
+                return {"loss": float("nan")}
+
+        TrainingEngine(
+            NanStep(), epochs=1, callbacks=[MetricsCallback(registry=registry)]
+        ).run()
+        assert registry.value("repro_engine_metric", {"loop": "engine", "metric": "loss"}) is None
+
+
+class TestPeriodicLoggerSink:
+    def test_default_printer_routes_through_log_sink(self):
+        sink = CaptureSink()
+        previous = set_log_sink(sink)
+        try:
+            TrainingEngine(
+                CountingStep(), epochs=2, callbacks=[PeriodicLogger(prefix="[x]")]
+            ).run()
+        finally:
+            set_log_sink(previous)
+        assert len(sink.lines) == 2
+        assert sink.lines[0].startswith("[x] epoch 1/2 loss=")
+
+    def test_stdout_format_is_byte_identical_to_print(self):
+        # The sink default (StreamSink -> sys.stdout) must produce exactly
+        # what `printer=print` produced before the migration.
+        def run(logger: PeriodicLogger) -> str:
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                TrainingEngine(CountingStep(), epochs=2, callbacks=[logger]).run()
+            return buffer.getvalue()
+
+        via_sink = run(PeriodicLogger(prefix="[fmt]"))
+        via_print = run(PeriodicLogger(prefix="[fmt]", printer=print))
+        assert via_sink == via_print
+        assert via_sink.startswith("[fmt] epoch 1/2 loss=")
+
+    def test_explicit_printer_still_bypasses_the_sink(self):
+        lines: list[str] = []
+        sink = CaptureSink()
+        previous = set_log_sink(sink)
+        try:
+            TrainingEngine(
+                CountingStep(), epochs=1, callbacks=[PeriodicLogger(printer=lines.append)]
+            ).run()
+        finally:
+            set_log_sink(previous)
+        assert len(lines) == 1
+        assert sink.lines == []
+
+
+class TestRngNeutrality:
+    """Observability must never consume a random draw."""
+
+    def test_engine_history_bit_identical_with_instrumentation(self):
+        def run(instrumented: bool):
+            callbacks = [MetricsCallback(registry=MetricsRegistry())] if instrumented else []
+            engine = TrainingEngine(CountingStep(), epochs=3, seed=7, callbacks=callbacks)
+            if instrumented:
+                with tracing(MemorySink()):
+                    with span("outer"):
+                        engine.run()
+            else:
+                engine.run()
+            return engine.history.metrics
+
+        plain = run(False)
+        instrumented = run(True)
+        assert plain == instrumented
+
+    def test_kinetgan_history_bit_identical_with_tracing(self, lab_bundle_small):
+        config = KiNETGANConfig(
+            embedding_dim=8,
+            generator_dims=(16,),
+            discriminator_dims=(16,),
+            epochs=2,
+            batch_size=32,
+            knowledge_negatives_per_batch=8,
+            max_modes=3,
+            seed=0,
+        )
+        table = lab_bundle_small.table.head(300)
+
+        def fit():
+            model = KiNETGAN(config)
+            model.fit(
+                table,
+                catalog=lab_bundle_small.catalog,
+                condition_columns=lab_bundle_small.condition_columns,
+            )
+            return model.history
+
+        plain = fit()
+        with tracing(MemorySink()):
+            with span("outer"):
+                traced = fit()
+        np.testing.assert_array_equal(plain.generator_loss, traced.generator_loss)
+        np.testing.assert_array_equal(plain.discriminator_loss, traced.discriminator_loss)
+        np.testing.assert_array_equal(plain.knowledge_loss, traced.knowledge_loss)

@@ -1,0 +1,116 @@
+"""A federated KiNETGAN round under ``process:2`` yields a connected trace.
+
+The acceptance shape of the observability plane: the coordinator's
+``federated.round`` span and the worker-side ``federated.site_round``
+spans -- executed in pool worker processes -- land in one JSONL file as a
+single trace, with every site span parented to its round span.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import KiNETGANConfig
+from repro.datasets import load_lab_iot
+from repro.federated.kinetgan import FederatedKiNETGAN
+from repro.federated.partition import label_skew_partition
+from repro.obs import JsonlSink, read_jsonl, span, tracing
+
+CONFIG = KiNETGANConfig(
+    embedding_dim=8,
+    generator_dims=(16,),
+    discriminator_dims=(16,),
+    epochs=1,
+    batch_size=32,
+    knowledge_negatives_per_batch=8,
+    max_modes=3,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_lab_iot(n_records=900, seed=13)
+
+
+def _run_rounds(bundle, executor, trace_path, num_rounds=2):
+    table = bundle.table.head(300)
+    rng = np.random.default_rng(0)
+    parts = label_skew_partition(table, "label", 2, rng, skew=0.5, min_rows=20)
+    with tracing(JsonlSink(trace_path)):
+        with span("federated.fit"):
+            with FederatedKiNETGAN(
+                reference_table=table.head(150),
+                config=CONFIG,
+                catalog=bundle.catalog,
+                condition_columns=bundle.condition_columns,
+                seed=0,
+                executor=executor,
+            ) as fed:
+                for i, part in enumerate(parts):
+                    fed.add_site(f"site-{i}", part)
+                for _ in range(num_rounds):
+                    fed.run_round(local_epochs=1)
+                return fed.global_states()
+
+
+def test_process_round_produces_connected_trace(bundle, tmp_path):
+    path = tmp_path / "federated.jsonl"
+    _run_rounds(bundle, "process:2", path)
+    events = read_jsonl(path)
+
+    root = next(event for event in events if event["name"] == "federated.fit")
+    rounds = [event for event in events if event["name"] == "federated.round"]
+    sites = [event for event in events if event["name"] == "federated.site_round"]
+
+    # One trace end to end: every span shares the root's trace id.
+    assert {event["trace_id"] for event in events} == {root["trace_id"]}
+    assert len(rounds) == 2
+    assert all(event["parent_id"] == root["span_id"] for event in rounds)
+
+    # Two sites per round, each parented to its own round span ...
+    round_span_ids = {event["span_id"] for event in rounds}
+    assert len(sites) == 4
+    assert all(event["parent_id"] in round_span_ids for event in sites)
+    by_round = {span_id: 0 for span_id in round_span_ids}
+    for event in sites:
+        by_round[event["parent_id"]] += 1
+    assert sorted(by_round.values()) == [2, 2]
+
+    # ... and really executed in pool workers, not the coordinator.
+    assert all(event["pid"] != root["pid"] for event in sites)
+
+    # Engine epoch spans from inside the workers join the same trace too.
+    epochs = [event for event in events if event["name"] == "engine.epoch"]
+    assert epochs and all(event["trace_id"] == root["trace_id"] for event in epochs)
+
+
+def test_tracing_leaves_federated_round_bit_identical(bundle, tmp_path):
+    untraced_gen, untraced_disc = None, None
+
+    table = bundle.table.head(300)
+    rng = np.random.default_rng(0)
+    parts = label_skew_partition(table, "label", 2, rng, skew=0.5, min_rows=20)
+
+    def run(traced: bool):
+        with FederatedKiNETGAN(
+            reference_table=table.head(150),
+            config=CONFIG,
+            catalog=bundle.catalog,
+            condition_columns=bundle.condition_columns,
+            seed=0,
+            executor=None,
+        ) as fed:
+            for i, part in enumerate(parts):
+                fed.add_site(f"site-{i}", part)
+            fed.run(num_rounds=1, local_epochs=1)
+            return fed.global_states()
+
+    baseline_gen, baseline_disc = run(traced=False)
+    with tracing(JsonlSink(tmp_path / "t.jsonl")):
+        with span("outer"):
+            traced_gen, traced_disc = run(traced=True)
+
+    for name in baseline_gen:
+        np.testing.assert_array_equal(baseline_gen[name], traced_gen[name])
+    for name in baseline_disc:
+        np.testing.assert_array_equal(baseline_disc[name], traced_disc[name])

@@ -1,0 +1,102 @@
+"""Trace-context propagation across the serial / thread / process matrix.
+
+The contract: a span opened inside a work unit dispatched through
+``Executor.map`` or ``Executor.map_tasks`` while the coordinator holds an
+open span must join the coordinator's trace, parented to the dispatching
+span -- in-process or across a process pool (where the context and the
+JSONL sink path ride the pickled task envelope).
+"""
+
+import pytest
+
+from repro.obs import JsonlSink, MemorySink, read_jsonl, span, tracing
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    TaskPolicy,
+    ThreadExecutor,
+)
+
+MATRIX = [
+    pytest.param(SerialExecutor, id="serial"),
+    pytest.param(lambda: ThreadExecutor(max_workers=2), id="thread"),
+    pytest.param(lambda: ProcessExecutor(max_workers=2), id="process"),
+]
+
+
+def traced_work(payload: int) -> int:
+    """Module-level (picklable) work unit that opens its own span."""
+    with span("work", payload=payload):
+        return payload * 10
+
+
+def _events(executor_factory, tmp_path, use_map_tasks: bool):
+    path = tmp_path / "trace.jsonl"
+    with tracing(JsonlSink(path)):
+        with span("dispatch"):
+            with executor_factory() as executor:
+                if use_map_tasks:
+                    results = executor.map_tasks(traced_work, [1, 2, 3], TaskPolicy())
+                    values = [result.value for result in results]
+                else:
+                    values = executor.map(traced_work, [1, 2, 3])
+    assert values == [10, 20, 30]
+    return read_jsonl(path)
+
+
+@pytest.mark.parametrize("executor_factory", MATRIX)
+@pytest.mark.parametrize("use_map_tasks", [False, True], ids=["map", "map_tasks"])
+def test_worker_spans_parent_to_dispatching_span(executor_factory, tmp_path, use_map_tasks):
+    events = _events(executor_factory, tmp_path, use_map_tasks)
+    dispatch = next(event for event in events if event["name"] == "dispatch")
+    work = [event for event in events if event["name"] == "work"]
+    assert len(work) == 3
+    assert {event["trace_id"] for event in work} == {dispatch["trace_id"]}
+    assert all(event["parent_id"] == dispatch["span_id"] for event in work)
+    payloads = sorted(event["attrs"]["payload"] for event in work)
+    assert payloads == [1, 2, 3]
+
+
+def test_process_worker_spans_record_worker_pids(tmp_path):
+    events = _events(lambda: ProcessExecutor(max_workers=2), tmp_path, use_map_tasks=False)
+    dispatch = next(event for event in events if event["name"] == "dispatch")
+    work = [event for event in events if event["name"] == "work"]
+    # The spans really were written by pool workers, not the coordinator.
+    assert all(event["pid"] != dispatch["pid"] for event in work)
+
+
+def test_no_wrapping_when_tracing_disabled():
+    with SerialExecutor() as executor:
+        assert executor.map(traced_work, [1]) == [10]
+
+
+def test_no_wrapping_without_an_open_span():
+    # Tracing on but no current span: nothing to propagate, workers start
+    # fresh traces of their own.
+    sink = MemorySink()
+    with tracing(sink):
+        with SerialExecutor() as executor:
+            executor.map(traced_work, [1, 2])
+    roots = [event for event in sink.events if event["name"] == "work"]
+    assert len(roots) == 2
+    assert all(event["parent_id"] is None for event in roots)
+    assert roots[0]["trace_id"] != roots[1]["trace_id"]
+
+
+def test_map_tasks_retry_stays_in_trace(tmp_path):
+    from repro.runtime import FaultInjector
+
+    path = tmp_path / "trace.jsonl"
+    with tracing(JsonlSink(path)):
+        with span("dispatch"):
+            with SerialExecutor() as executor:
+                # Fail the first attempt of task 0 only; the retry runs clean.
+                executor.install_faults(FaultInjector(schedule={(0, 0): "error"}))
+                results = executor.map_tasks(
+                    traced_work, [5], TaskPolicy(retries=2)
+                )
+    assert results[0].ok and results[0].value == 50
+    events = read_jsonl(path)
+    dispatch = next(event for event in events if event["name"] == "dispatch")
+    work = [event for event in events if event["name"] == "work"]
+    assert work and all(event["parent_id"] == dispatch["span_id"] for event in work)

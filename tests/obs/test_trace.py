@@ -1,0 +1,180 @@
+"""Span tracing: determinism, nesting, sinks, and the disabled fast path."""
+
+import itertools
+import json
+import threading
+
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    TraceContext,
+    activate,
+    current_span_id,
+    current_trace_id,
+    propagation_context,
+    read_jsonl,
+    span,
+    tracing,
+    tracing_enabled,
+)
+
+
+def deterministic(prefix: str = "id"):
+    """(clock, ids) pair producing stable, readable trace output."""
+    ticks = itertools.count()
+    serial = itertools.count()
+    return (lambda: float(next(ticks))), (lambda: f"{prefix}{next(serial)}")
+
+
+class TestDisabledFastPath:
+    def test_span_is_a_shared_noop_when_disabled(self):
+        assert not tracing_enabled()
+        first = span("anything", attr=1)
+        second = span("else")
+        assert first is second  # one shared object: no per-call allocation
+        with first as handle:
+            handle.set_attr("ignored", True)
+        assert current_trace_id() is None
+
+    def test_propagation_context_is_none_when_disabled(self):
+        assert propagation_context() is None
+
+
+class TestSpans:
+    def test_parenting_and_deterministic_output(self):
+        sink = MemorySink()
+        clock, ids = deterministic()
+        with tracing(sink, clock=clock, ids=ids):
+            with span("root", kind="test"):
+                with span("child"):
+                    pass
+        child, root = sink.events
+        assert root["name"] == "root"
+        assert root["parent_id"] is None
+        assert root["trace_id"] == "id0"
+        assert root["attrs"] == {"kind": "test"}
+        assert child["trace_id"] == root["trace_id"]
+        assert child["parent_id"] == root["span_id"]
+        assert (root["start"], root["end"]) == (0.0, 3.0)
+        assert (child["start"], child["end"]) == (1.0, 2.0)
+        assert child["duration"] == 1.0
+
+    def test_siblings_share_a_parent(self):
+        sink = MemorySink()
+        with tracing(sink):
+            with span("root"):
+                with span("a"):
+                    pass
+                with span("b"):
+                    pass
+        by_name = {event["name"]: event for event in sink.events}
+        assert by_name["a"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["b"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["a"]["span_id"] != by_name["b"]["span_id"]
+
+    def test_error_status_recorded_and_exception_propagates(self):
+        sink = MemorySink()
+        try:
+            with tracing(sink):
+                with span("boom"):
+                    raise ValueError("bad")
+        except ValueError:
+            pass
+        else:  # pragma: no cover - the raise must escape
+            raise AssertionError("exception swallowed")
+        (event,) = sink.events
+        assert event["status"] == "error"
+        assert event["error"] == "ValueError: bad"
+
+    def test_set_attr_lands_in_the_event(self):
+        sink = MemorySink()
+        with tracing(sink):
+            with span("s") as handle:
+                handle.set_attr("rows", 42)
+        assert sink.events[0]["attrs"] == {"rows": 42}
+
+    def test_tracing_context_manager_restores_disabled_state(self):
+        assert not tracing_enabled()
+        with tracing(MemorySink()):
+            assert tracing_enabled()
+        assert not tracing_enabled()
+
+    def test_current_ids_visible_inside_span(self):
+        with tracing(MemorySink()):
+            assert current_trace_id() is None
+            with span("s"):
+                assert current_trace_id() is not None
+                assert current_span_id() is not None
+            assert current_trace_id() is None
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock, ids = deterministic()
+        with tracing(JsonlSink(path), clock=clock, ids=ids):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        events = read_jsonl(path)
+        assert [event["name"] for event in events] == ["inner", "outer"]
+        # Each line is one standalone JSON object (multiprocess-appendable).
+        lines = path.read_text().strip().splitlines()
+        assert all(json.loads(line)["trace_id"] == "id0" for line in lines)
+
+    def test_threads_each_get_their_own_parent_chain(self):
+        sink = MemorySink()
+        with tracing(sink):
+            with span("root"):
+                context = propagation_context()
+
+                def worker(slot):
+                    with activate(context):
+                        with span(f"worker-{slot}"):
+                            pass
+
+                threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        root = next(event for event in sink.events if event["name"] == "root")
+        workers = [event for event in sink.events if event["name"].startswith("worker-")]
+        assert len(workers) == 4
+        assert all(event["parent_id"] == root["span_id"] for event in workers)
+        assert all(event["trace_id"] == root["trace_id"] for event in workers)
+
+
+class TestPropagationPrimitives:
+    def test_context_carries_trace_span_and_sink_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing(JsonlSink(path)):
+            with span("root"):
+                context = propagation_context()
+        assert isinstance(context, TraceContext)
+        assert context.sink_path == str(path)
+
+    def test_memory_sink_context_has_no_path(self):
+        with tracing(MemorySink()):
+            with span("root"):
+                context = propagation_context()
+        assert context.sink_path is None
+
+    def test_activate_installs_temporary_tracer_when_disabled(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        context = TraceContext("trace-1", "span-1", str(path))
+        assert not tracing_enabled()
+        with activate(context):
+            assert tracing_enabled()
+            with span("adopted"):
+                pass
+        assert not tracing_enabled()
+        (event,) = read_jsonl(path)
+        assert event["trace_id"] == "trace-1"
+        assert event["parent_id"] == "span-1"
+
+    def test_context_is_picklable(self):
+        import pickle
+
+        context = TraceContext("t", "s", "/tmp/x.jsonl")
+        assert pickle.loads(pickle.dumps(context)) == context

@@ -27,6 +27,10 @@ Interpreting the numbers:
   rounds ship refs + seeds, parameters ride shared memory).  This is
   deterministic and core-count independent: the copy elimination is
   visible even on a 1-core container.
+* ``transport_bytes_float32`` -- shared-memory parameter bytes a resident
+  round rewrites with a float64 detector versus a float32 one.  The round
+  buffers are allocated in the model's dtype (``docs/precision.md``), so
+  this is deterministically ~2x and core-count independent.
 
 Run directly (``python -m benchmarks.bench_runtime``) or through
 ``python -m benchmarks.run --suite runtime``.
@@ -99,6 +103,7 @@ class _MeteredExecutor(Executor):
         self.payload_bytes = 0
         self.result_bytes = 0
         self.install_bytes = 0
+        self.shared_bytes = 0
 
     def reset(self) -> None:
         self.payload_bytes = 0
@@ -122,15 +127,21 @@ class _MeteredExecutor(Executor):
     def evict(self, ref):
         self.inner.evict(ref)
 
-    def shared_array(self, shape):
-        return self.inner.shared_array(shape)
+    def shared_array(self, shape, dtype=np.float64):
+        # Tally the mapped bytes: these are the parameter bytes every round
+        # rewrites through shared memory instead of the task pipe, so they
+        # shrink with the model's dtype (float32 maps half of float64).
+        self.shared_bytes += int(np.prod(shape)) * np.dtype(dtype).itemsize
+        return self.inner.shared_array(shape, dtype)
 
     def close(self):
         self.inner.close()
         self._closed = True
 
 
-def _make_clients(n_clients: int, rows_per_client: int, seed: int) -> tuple[list, DetectorFactory]:
+def _make_clients(
+    n_clients: int, rows_per_client: int, seed: int, dtype: str = "float64"
+) -> tuple[list, DetectorFactory]:
     """Evenly sized federated clients over a featurised lab-IoT capture."""
     bundle = load_lab_iot(n_records=n_clients * rows_per_client, seed=seed)
     featurizer = TabularFeaturizer(bundle.label_column).fit(bundle.table)
@@ -140,6 +151,7 @@ def _make_clients(n_clients: int, rows_per_client: int, seed: int) -> tuple[list
         n_classes=featurizer.n_classes,
         hidden_dims=(64, 32),
         seed=seed,
+        dtype=dtype,
     )
     clients = []
     feature_parts = np.array_split(features, n_clients)
@@ -264,6 +276,57 @@ def measure_transport_bytes(
     }
 
 
+def measure_dtype_transport(
+    n_clients: int = TRANSPORT_CLIENTS, rounds: int = TRANSPORT_ROUNDS
+) -> dict:
+    """Bytes a resident federated round moves at float64 vs float32.
+
+    Runs the same detector federation twice -- once with a float64
+    :class:`DetectorFactory`, once float32 -- over a metered process pool on
+    the resident transport.  The dominant per-round traffic is the broadcast
+    vector plus the ``(clients, dim)`` update matrix riding shared memory;
+    both are allocated in the model's dtype, so the float32 run maps (and
+    rewrites each round) half the parameter bytes.  Pipe bytes (refs, seeds,
+    metric floats) are dtype-independent and reported for completeness.
+    """
+
+    def run(dtype: str) -> dict[str, int]:
+        clients, model_fn = _make_clients(n_clients, ROWS_PER_CLIENT, seed=11, dtype=dtype)
+        meter = _MeteredExecutor(ProcessExecutor(max_workers=2))
+        server = FederatedServer(
+            model_fn, clients, seed=11, executor=meter, transport="resident"
+        )
+        try:
+            server.run_round()  # install + warm-up: allocates the round buffers
+            shared = meter.shared_bytes
+            meter.reset()
+            for _ in range(rounds):
+                server.run_round()
+            pipe = (meter.payload_bytes + meter.result_bytes) / rounds
+            return {"shared_param_bytes_per_round": int(shared), "pipe_bytes_per_round": int(pipe)}
+        finally:
+            server.close()
+
+    float64 = run("float64")
+    float32 = run("float32")
+    return {
+        "clients": n_clients,
+        "rows_per_client": ROWS_PER_CLIENT,
+        "rounds_measured": rounds,
+        "float64_param_bytes_per_round": float64["shared_param_bytes_per_round"],
+        "float32_param_bytes_per_round": float32["shared_param_bytes_per_round"],
+        "float64_pipe_bytes_per_round": float64["pipe_bytes_per_round"],
+        "float32_pipe_bytes_per_round": float32["pipe_bytes_per_round"],
+        "reduction": round(
+            float64["shared_param_bytes_per_round"]
+            / float32["shared_param_bytes_per_round"],
+            2,
+        ),
+        "transport": RESIDENT_TRANSPORT,
+        "cpu_count": default_worker_count(),
+    }
+
+
 def run_runtime_bench(
     client_counts: tuple[int, ...] = CLIENT_COUNTS, rounds: int = ROUNDS
 ) -> dict:
@@ -272,6 +335,7 @@ def run_runtime_bench(
     metrics = measure_round_throughput(client_counts, rounds)
     metrics["latency_overlap"] = measure_latency_overlap()
     metrics["transport_bytes_per_round"] = measure_transport_bytes()
+    metrics["transport_bytes_float32"] = measure_dtype_transport()
 
     return {
         "benchmark": "runtime",
@@ -329,6 +393,13 @@ def format_results(document: dict) -> str:
                 f"  {name:28s} serial {entry['serial_seconds']:.3f}s"
                 f" -> process {entry['process_seconds']:.3f}s"
                 f"  ({entry['speedup']}x, {entry['tasks']} blocked tasks)"
+            )
+        elif name == "transport_bytes_float32":
+            lines.append(
+                f"  {name:28s} float64 {entry['float64_param_bytes_per_round']:,} B/round"
+                f" -> float32 {entry['float32_param_bytes_per_round']:,} B/round"
+                f"  ({entry['reduction']}x less, {entry['clients']} clients,"
+                f" shared-memory params)"
             )
         else:
             lines.append(

@@ -18,6 +18,9 @@ Interpreting the numbers:
   decode pipeline) versus the same burst served request-by-request; the
   ``speedup`` is what micro-batching buys.
 * ``artifact_round_trip`` -- ``save_model`` + ``load_model`` wall time.
+* ``sample_rows_per_sec_float32`` -- the one-shot row again for a model
+  trained, saved and reloaded at ``dtype="float32"`` (half-size weight
+  files, dtype recorded in the manifest; see ``docs/precision.md``).
 * ``latency_slo`` -- end-to-end request latency (p50/p99) of the HTTP
   front-end under a sustained multi-client burst: several client threads
   each firing seeded ``POST /sample`` requests back to back against a
@@ -64,7 +67,7 @@ HTTP_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_HTTP_CLIENTS", "4"))
 HTTP_REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_BENCH_SERVE_HTTP_REQUESTS", "24"))
 
 
-def _train_model(rows: int, epochs: int) -> KiNETGAN:
+def _train_model(rows: int, epochs: int, dtype: str = "float64") -> KiNETGAN:
     bundle = load_lab_iot(n_records=rows, seed=0)
     config = KiNETGANConfig(
         embedding_dim=32,
@@ -73,6 +76,7 @@ def _train_model(rows: int, epochs: int) -> KiNETGAN:
         epochs=epochs,
         batch_size=128,
         seed=0,
+        dtype=dtype,
     )
     model = KiNETGAN(config)
     model.fit(
@@ -147,6 +151,35 @@ def measure_http_latency(
         "requests_per_sec": round(total / burst_seconds, 1),
         "rejected": int(rejected),
     }
+
+
+def measure_float32_sampling(rows: int, epochs: int, sample_rows: int) -> dict:
+    """One-shot sampling throughput of a float32 artifact vs the float64 row.
+
+    Trains the same small KiNETGAN with ``dtype="float32"`` (see
+    ``docs/precision.md``), round-trips it through ``save_model`` /
+    ``load_model`` -- the manifest records the dtype, the loaded networks
+    restore in it -- and times the same one-shot sampling path as
+    ``sample_rows_per_sec``.  Also records the artifact's on-disk bytes:
+    float32 weight files are half the float64 ones.
+    """
+    model = _train_model(rows, epochs, dtype="float32")
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-f32-") as tmp:
+        artifact = Path(tmp) / "kinetgan-f32"
+        written = save_model(model, artifact, metadata={"benchmark": "serving"})
+        loaded = load_model(artifact)
+        service = SamplingService(capacity=2)
+        service.registry.put(artifact, loaded)
+        rate, seconds = _best_rate(
+            lambda: service.sample(artifact, sample_rows, seed=1).n_rows
+        )
+        return {
+            "rows": sample_rows,
+            "rows_per_sec": int(rate),
+            "seconds": round(seconds, 4),
+            "artifact_bytes": sum(p.stat().st_size for p in artifact.iterdir()),
+            "manifest_dtype": written.dtype,
+        }
 
 
 def run_serving_bench(
@@ -229,6 +262,10 @@ def run_serving_bench(
 
         metrics["latency_slo"] = measure_http_latency(artifact)
 
+    metrics["sample_rows_per_sec_float32"] = measure_float32_sampling(
+        rows, epochs, sample_rows
+    )
+
     return {
         "benchmark": "serving",
         "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
@@ -292,6 +329,14 @@ def format_results(document: dict) -> str:
             f"  latency_slo (HTTP)           p50 {slo['p50_ms']}ms  p99 {slo['p99_ms']}ms"
             f"  ({slo['clients']} clients x {slo['requests_per_client']} reqs, "
             f"{slo['requests_per_sec']} req/s, {slo['rejected']} rejected)"
+        )
+    f32 = metrics.get("sample_rows_per_sec_float32")
+    if f32:
+        lines.append(
+            f"  sample_rows_per_sec_float32  {f32['rows_per_sec']:,}"
+            f" rows/s ({f32['rows']:,} rows one-shot,"
+            f" {f32['artifact_bytes']:,} artifact bytes,"
+            f" manifest dtype {f32['manifest_dtype']})"
         )
     return "\n".join(lines)
 

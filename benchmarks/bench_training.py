@@ -73,7 +73,7 @@ EPOCH_REPS = 5
 LARGE_BATCH = 1024
 
 
-def bench_config(epochs: int = 1, seed: int = 0) -> KiNETGANConfig:
+def bench_config(epochs: int = 1, seed: int = 0, dtype: str = "float64") -> KiNETGANConfig:
     """The configuration both variants train under.
 
     Batch 64 keeps the knowledge-discriminator share of the step close to
@@ -89,6 +89,7 @@ def bench_config(epochs: int = 1, seed: int = 0) -> KiNETGANConfig:
         batch_size=BENCH_BATCH,
         lambda_knowledge=2.0,
         seed=seed,
+        dtype=dtype,
     )
 
 
@@ -538,9 +539,9 @@ def seed_replica():
 # --------------------------------------------------------------------------- #
 # Measurement helpers
 # --------------------------------------------------------------------------- #
-def _build_step(bundle) -> KiNETGANStep:
+def _build_step(bundle, dtype: str = "float64") -> KiNETGANStep:
     """A ready-to-step trainer (one warm-up epoch fits all the machinery)."""
-    model = KiNETGAN(bench_config(epochs=1))
+    model = KiNETGAN(bench_config(epochs=1, dtype=dtype))
     model.fit(bundle.table, catalog=bundle.catalog, condition_columns=bundle.condition_columns)
     trainer = model.trainer
     real_matrix = trainer.transformer.transform(bundle.table, rng=seeded_rng(123))
@@ -599,8 +600,11 @@ def _network_step_peak(trainer, batch: int) -> int:
     net = trainer.discriminator.network
     rng = np.random.default_rng(5)
     dim = trainer.transformer.output_dim + trainer.generator.condition_dim
-    x = rng.normal(size=(batch, dim))
-    grad = np.full((batch, 1), 1.0 / batch)
+    # The bare Sequential expects inputs in its own dtype (the model
+    # wrappers cast at their boundary); a float64 network sees the same
+    # bits as before.
+    x = rng.normal(size=(batch, dim)).astype(net.dtype)
+    grad = np.full((batch, 1), 1.0 / batch, dtype=net.dtype)
 
     def once() -> None:
         net.forward(x, training=True)
@@ -727,6 +731,52 @@ def measure_step_allocations(rows: int = BENCH_ROWS, batch: int = BENCH_BATCH) -
     }
 
 
+def measure_precision(rows: int = BENCH_ROWS, groups: int = EPOCH_GROUPS,
+                      reps: int = EPOCH_REPS) -> dict[str, dict]:
+    """The float32 compute tier against the float64 default, interleaved.
+
+    Both engines run the *current* runtime (arena + fused optimizers); the
+    only difference is ``KiNETGANConfig.dtype``, so the comparison isolates
+    what halving the element width buys on this machine: narrower BLAS
+    kernels, half the memory traffic through the workspace buffers, and
+    half the bytes in the network-core step's surviving temporaries.
+    """
+    bundle = load_lab_iot(n_records=rows, seed=0)
+    step_f64 = _build_step(bundle)
+    step_f32 = _build_step(bundle, dtype="float32")
+    f64_times: list[float] = []
+    f32_times: list[float] = []
+    for _ in range(groups):  # interleave so load spikes hit both variants
+        f64_times.append(_time_epochs(step_f64, rows, reps))
+        f32_times.append(_time_epochs(step_f32, rows, reps))
+    f64_s, f32_s = min(f64_times), min(f32_times)
+    steps_per_epoch = max(rows // BENCH_BATCH, 1)
+    alloc_f64 = _network_step_peak(step_f64.trainer, LARGE_BATCH)
+    alloc_f32 = _network_step_peak(step_f32.trainer, LARGE_BATCH)
+    return {
+        "float32_epoch": {
+            "rows": rows,
+            "batch_size": BENCH_BATCH,
+            "steps_per_epoch": steps_per_epoch,
+            "float64_seconds": round(f64_s, 4),
+            "float32_seconds": round(f32_s, 4),
+            "speedup": round(f64_s / f32_s, 2),
+        },
+        "float32_step_latency": {
+            "batch_size": BENCH_BATCH,
+            "float64_ms": round(f64_s / steps_per_epoch * 1000, 3),
+            "float32_ms": round(f32_s / steps_per_epoch * 1000, 3),
+            "speedup": round(f64_s / f32_s, 2),
+        },
+        "float32_step_allocations": {
+            "batch_size": LARGE_BATCH,
+            "float64_bytes": alloc_f64,
+            "float32_bytes": alloc_f32,
+            "speedup": round(alloc_f64 / alloc_f32, 2),
+        },
+    }
+
+
 def measure_codec(rows: int = BENCH_ROWS) -> dict:
     """StateCodec round-trip on an arena-backed network state.
 
@@ -789,6 +839,7 @@ def run_training_bench(rows: int = BENCH_ROWS, groups: int = EPOCH_GROUPS,
         "speedup": epoch["speedup"],
     }
     metrics.update(measure_allocations(rows))
+    metrics.update(measure_precision(rows, groups, reps))
     metrics["codec_roundtrip"] = measure_codec(rows)
     return {
         "benchmark": "training",
@@ -840,6 +891,8 @@ def format_results(document: dict) -> str:
     neural = metrics["neural_step_allocations"]
     full = metrics["full_step_allocations"]
     codec = metrics["codec_roundtrip"]
+    f32_epoch = metrics["float32_epoch"]
+    f32_alloc = metrics["float32_step_allocations"]
     lines = [
         f"[bench:training] lab-IoT KiNETGAN, {epoch['rows']} rows, batch {epoch['batch_size']}",
         (
@@ -868,6 +921,15 @@ def format_results(document: dict) -> str:
         (
             f"  full_step_allocations    seed {full['seed_bytes']:,} B"
             f" -> now {full['now_bytes']:,} B  ({full['ratio']}x; not gated)"
+        ),
+        (
+            f"  float32_epoch            f64 {f32_epoch['float64_seconds']:.3f}s"
+            f" -> f32 {f32_epoch['float32_seconds']:.3f}s  ({f32_epoch['speedup']}x)"
+        ),
+        (
+            f"  float32_step_allocations f64 {f32_alloc['float64_bytes']:,} B"
+            f" -> f32 {f32_alloc['float32_bytes']:,} B  ({f32_alloc['speedup']}x less,"
+            f" batch {f32_alloc['batch_size']})"
         ),
         (
             "  codec_roundtrip          fast path"

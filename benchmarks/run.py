@@ -20,7 +20,10 @@ differs from the one recorded in the committed entry (a 1-core container
 and a multi-core CI runner legitimately disagree about pool speedups).
 The training trajectory (``BENCH_training.json``) is gated the same way:
 the arena-runtime epoch speedup over the in-process seed replica (with a
-longer-window retry) and the deterministic network-core allocation ratio.
+longer-window retry), the deterministic network-core allocation ratio, and
+the mixed-precision rows -- the committed float32 epoch-or-step-latency
+speedup must hold >= 1.2x and re-measure within tolerance, and the float32
+allocation ratio is re-checked alongside.
 The fault-tolerance trajectory (``BENCH_faults.json``) gates its seeded
 entries *exactly* -- round-completion bookkeeping and replay determinism
 are pure functions of the seeds -- and its recovery-latency probes with a
@@ -122,6 +125,10 @@ def _smoke_runtime(tolerance: float) -> tuple[list[dict], list[str]]:
     * ``transport_bytes_per_round`` -- the resident transport must still
       beat the payload transport, and its byte reduction must stay within
       tolerance of the committed one;
+    * ``transport_bytes_float32`` -- a float32 federated round must keep
+      mapping ~half the shared-memory parameter bytes of a float64 one
+      (buffer sizes are a pure function of the model dtype, so the floor
+      never goes below 1.5x);
     * ``latency_overlap`` -- scheduling overlap of blocked work units
       (re-measured twice on failure, like the data-plane gate).
 
@@ -158,6 +165,26 @@ def _smoke_runtime(tolerance: float) -> tuple[list[dict], list[str]]:
         if not ok:
             failures.append(
                 f"transport_bytes_per_round: reduction {measured['reduction']}x < "
+                f"allowed floor {floor:.2f}x (baseline {entry['reduction']}x)"
+            )
+
+    entry = baseline.get("transport_bytes_float32")
+    if entry is not None:
+        measured = bench_runtime.measure_dtype_transport(rounds=1)
+        floor = max(entry["reduction"] * (1.0 - tolerance), 1.5)
+        ok = measured["reduction"] >= floor
+        rows.append(
+            {
+                "metric": "transport_bytes_float32",
+                "baseline_reduction": entry["reduction"],
+                "measured_reduction": measured["reduction"],
+                "floor": round(floor, 2),
+                "status": "ok" if ok else "REGRESSED",
+            }
+        )
+        if not ok:
+            failures.append(
+                f"transport_bytes_float32: reduction {measured['reduction']}x < "
                 f"allowed floor {floor:.2f}x (baseline {entry['reduction']}x)"
             )
 
@@ -233,6 +260,12 @@ def _smoke_training(tolerance: float) -> tuple[list[dict], list[str]]:
       full windows (best-of-both compared against the floor).
     * ``step_allocations`` -- the network-core tracemalloc peak ratio,
       which is deterministic and therefore compared in a single pass.
+    * ``float32_*`` -- the mixed-precision rows: the committed trajectory
+      must keep a >= 1.2x float32 epoch *or* step-latency speedup (the
+      acceptance bar of the precision tier), the speedup is re-measured on
+      this runner against a tolerance-banded floor (with a longer-window
+      retry), and the float32 step-allocation ratio -- deterministic, the
+      arena simply holds half the bytes -- is re-checked in the same pass.
     """
     if not bench_training.RESULT_PATH.exists():
         return [], [f"no training baseline at {bench_training.RESULT_PATH}"]
@@ -284,6 +317,77 @@ def _smoke_training(tolerance: float) -> tuple[list[dict], list[str]]:
                 f"step_allocations: ratio {measured['speedup']}x < allowed floor "
                 f"{floor:.2f}x (baseline {entry['speedup']}x)"
             )
+
+    entry_epoch = baseline.get("float32_epoch")
+    entry_latency = baseline.get("float32_step_latency")
+    entry_alloc = baseline.get("float32_step_allocations")
+    if entry_epoch is not None or entry_latency is not None:
+        committed = max(
+            entry_epoch["speedup"] if entry_epoch else 0.0,
+            entry_latency["speedup"] if entry_latency else 0.0,
+        )
+        ok = committed >= 1.2
+        comparison.append(
+            {
+                "metric": "float32_committed",
+                "baseline_speedup": committed,
+                "measured_speedup": committed,
+                "floor": 1.2,
+                "status": "ok" if ok else "REGRESSED",
+            }
+        )
+        if not ok:
+            failures.append(
+                f"float32 committed speedup {committed}x < 1.2x -- rerun "
+                "`python -m benchmarks.run --suite training` on a quiet machine"
+            )
+        speed_floor = max(committed * (1.0 - tolerance), 1.0)
+        alloc_floor = (
+            max(entry_alloc["speedup"] * (1.0 - tolerance), 1.0) if entry_alloc else None
+        )
+        best_speed = 0.0
+        best_alloc = 0.0
+        for groups, reps in ((2, 2), (bench_training.EPOCH_GROUPS, bench_training.EPOCH_REPS)):
+            measured = bench_training.measure_precision(rows, groups, reps)
+            best_speed = max(
+                best_speed,
+                measured["float32_epoch"]["speedup"],
+                measured["float32_step_latency"]["speedup"],
+            )
+            best_alloc = max(best_alloc, measured["float32_step_allocations"]["speedup"])
+            if best_speed >= speed_floor and (alloc_floor is None or best_alloc >= alloc_floor):
+                break
+        ok = best_speed >= speed_floor
+        comparison.append(
+            {
+                "metric": "float32_speedup",
+                "baseline_speedup": committed,
+                "measured_speedup": best_speed,
+                "floor": round(speed_floor, 2),
+                "status": "ok" if ok else "REGRESSED",
+            }
+        )
+        if not ok:
+            failures.append(
+                f"float32 speedup: {best_speed}x < allowed floor {speed_floor:.2f}x "
+                f"(committed {committed}x)"
+            )
+        if alloc_floor is not None:
+            ok = best_alloc >= alloc_floor
+            comparison.append(
+                {
+                    "metric": "float32_step_allocations",
+                    "baseline_speedup": entry_alloc["speedup"],
+                    "measured_speedup": best_alloc,
+                    "floor": round(alloc_floor, 2),
+                    "status": "ok" if ok else "REGRESSED",
+                }
+            )
+            if not ok:
+                failures.append(
+                    f"float32_step_allocations: ratio {best_alloc}x < allowed floor "
+                    f"{alloc_floor:.2f}x (baseline {entry_alloc['speedup']}x)"
+                )
     return comparison, failures
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["KiNETGANConfig"]
 
 
@@ -56,6 +58,11 @@ class KiNETGANConfig:
         Maximum number of Gaussian-mixture modes per continuous column.
     continuous_encoding:
         ``"mode"`` (CTGAN-style mode-specific normalisation) or ``"minmax"``.
+    dtype:
+        Floating dtype of the networks and the training hot path:
+        ``"float64"`` (the default, bit-compatible with every existing
+        seeded history) or ``"float32"`` (half the memory bandwidth,
+        transport bytes and artifact size -- see ``docs/precision.md``).
     dropout:
         Discriminator dropout rate.
     seed:
@@ -78,6 +85,12 @@ class KiNETGANConfig:
     checkpoint_every:
         Epoch period of intermediate checkpoints; 0 writes only the final
         checkpoint.
+    metrics:
+        When true the engine publishes epoch counters/durations and the
+        live loss gauges into the process metrics registry
+        (:class:`~repro.engine.MetricsCallback`); attaching it never
+        touches an RNG stream.  The CLI enables it automatically when
+        ``--metrics-dump`` is passed.
     """
 
     embedding_dim: int = 64
@@ -98,6 +111,7 @@ class KiNETGANConfig:
     gumbel_tau: float = 0.2
     max_modes: int = 10
     continuous_encoding: str = "mode"
+    dtype: str = "float64"
     dropout: float = 0.25
     seed: int = 0
     verbose: bool = False
@@ -106,6 +120,7 @@ class KiNETGANConfig:
     min_delta: float = 0.0
     checkpoint_dir: str | None = None
     checkpoint_every: int = 0
+    metrics: bool = False
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -121,12 +136,19 @@ class KiNETGANConfig:
             raise ValueError("loss weights must be non-negative")
         if self.continuous_encoding not in ("mode", "minmax"):
             raise ValueError("continuous_encoding must be 'mode' or 'minmax'")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError("dtype must be 'float64' or 'float32'")
         if self.log_every < 1:
             raise ValueError("log_every must be at least 1")
         if self.patience < 0 or self.checkpoint_every < 0:
             raise ValueError("patience and checkpoint_every must be non-negative")
         if self.min_delta < 0:
             raise ValueError("min_delta must be non-negative")
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The configured dtype as a numpy dtype object."""
+        return np.dtype(self.dtype)
 
     def engine_callbacks(self, **overrides) -> list:
         """The standard engine callback stack implied by this config.
@@ -145,6 +167,7 @@ class KiNETGANConfig:
             min_delta=self.min_delta,
             checkpoint_dir=self.checkpoint_dir,
             checkpoint_every=self.checkpoint_every,
+            metrics=self.metrics,
         )
         options.update(overrides)
         return standard_callbacks(**options)

@@ -24,6 +24,7 @@ class DataDiscriminator:
         hidden_dims: tuple[int, ...] = (128, 128),
         dropout: float = 0.25,
         rng: np.random.Generator | None = None,
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         if data_dim <= 0:
             raise ValueError("data_dim must be positive")
@@ -36,12 +37,12 @@ class DataDiscriminator:
         layers: list[Layer] = []
         width = data_dim + condition_dim
         for hidden in hidden_dims:
-            layers.append(Dense(width, hidden, rng=rng, init="he"))
+            layers.append(Dense(width, hidden, rng=rng, init="he", dtype=dtype))
             layers.append(LeakyReLU(0.2))
             if dropout > 0:
                 layers.append(Dropout(dropout, rng=rng))
             width = hidden
-        layers.append(Dense(width, 1, rng=rng, init="glorot"))
+        layers.append(Dense(width, 1, rng=rng, init="glorot", dtype=dtype))
         self.network = Sequential(layers)
         self.network.consolidate()
 
@@ -49,15 +50,19 @@ class DataDiscriminator:
         self, data: np.ndarray, condition: np.ndarray | None, training: bool = True
     ) -> np.ndarray:
         """Return real/fake logits of shape ``(batch, 1)``."""
+        dtype = self.network.dtype
         if condition is None:
-            condition = np.zeros((data.shape[0], self.condition_dim))
+            condition = np.zeros((data.shape[0], self.condition_dim), dtype=dtype)
         if data.shape[1] != self.data_dim:
             raise ValueError(f"expected data of width {self.data_dim}, got {data.shape[1]}")
         if condition.shape[1] != self.condition_dim:
             raise ValueError(
                 f"expected condition of width {self.condition_dim}, got {condition.shape[1]}"
             )
-        return self.network.forward(np.concatenate([data, condition], axis=1), training=training)
+        x = np.concatenate([data, condition], axis=1)
+        if x.dtype != dtype:
+            x = x.astype(dtype)
+        return self.network.forward(x, training=training)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Back-propagate; returns the gradient w.r.t. the data block only.

@@ -82,8 +82,10 @@ class TabularOutputActivation(Layer):
         state["_scratch"] = None if self._scratch is None else {}
         return state
 
-    def _buffer(self, key: str, shape: tuple[int, ...]) -> np.ndarray:
-        return BlockLayout._scratch_buffer(self._scratch, key, shape)
+    def _buffer(
+        self, key: str, shape: tuple[int, ...], dtype: np.dtype | type = np.float64
+    ) -> np.ndarray:
+        return BlockLayout._scratch_buffer(self._scratch, key, shape, dtype)
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         out = np.empty_like(x)
@@ -91,22 +93,23 @@ class TabularOutputActivation(Layer):
         if tanh_cols.size:
             # take -> tanh-in-place replays ``np.tanh(x[:, tanh_cols])``
             # without the two per-call temporaries.
-            span = self._buffer("tanh", (x.shape[0], tanh_cols.size))
+            span = self._buffer("tanh", (x.shape[0], tanh_cols.size), x.dtype)
             np.take(x, tanh_cols, axis=1, out=span)
             np.tanh(span, out=span)
             out[:, tanh_cols] = span
         layout = self._layout
         if layout.n_blocks:
-            gathered = self._buffer("gather", (x.shape[0], layout.total))
+            gathered = self._buffer("gather", (x.shape[0], layout.total), x.dtype)
             np.take(x, layout.columns, axis=1, out=gathered)
             if training:
                 # ``gathered - log(-log(u)) * tau`` staged in place through
                 # a recycled buffer: ``random(out=...)`` consumes the stream
-                # identically to ``uniform(lo, hi, size=...)``, and
+                # identically to ``uniform(lo, hi, size=...)`` (float64) and
+                # to ``random(size=..., dtype=float32)`` (float32), and
                 # ``u * (hi - lo) + lo`` in place returns the same bits.
                 lo, hi = 1e-12, 1.0 - 1e-12
-                uniform = self._buffer("gumbel", gathered.shape)
-                self.rng.random(out=uniform)
+                uniform = self._buffer("gumbel", gathered.shape, x.dtype)
+                self.rng.random(out=uniform, dtype=uniform.dtype)
                 np.multiply(uniform, hi - lo, out=uniform)
                 np.add(uniform, lo, out=uniform)
                 np.log(uniform, out=uniform)
@@ -132,19 +135,23 @@ class TabularOutputActivation(Layer):
             # Replays ``grad_output[:, cols] * (1.0 - out[:, cols] ** 2)``
             # through two reused spans (power(, 2) hits the same squared
             # special case as ``**``), writing the product into the first.
-            span = self._buffer("tanh_bwd", (grad_output.shape[0], tanh_cols.size))
+            span = self._buffer("tanh_bwd", (grad_output.shape[0], tanh_cols.size), grad_output.dtype)
             np.take(out, tanh_cols, axis=1, out=span)
             np.power(span, 2, out=span)
             np.subtract(1.0, span, out=span)
-            gspan = self._buffer("tanh_bwd_g", (grad_output.shape[0], tanh_cols.size))
+            gspan = self._buffer(
+                "tanh_bwd_g", (grad_output.shape[0], tanh_cols.size), grad_output.dtype
+            )
             np.take(grad_output, tanh_cols, axis=1, out=gspan)
             np.multiply(gspan, span, out=span)
             grad_input[:, tanh_cols] = span
         layout = self._layout
         if layout.n_blocks:
-            region = self._buffer("bwd_region_out", (out.shape[0], layout.total))
+            region = self._buffer("bwd_region_out", (out.shape[0], layout.total), grad_output.dtype)
             np.take(out, layout.columns, axis=1, out=region)
-            gregion = self._buffer("bwd_region_grad", (out.shape[0], layout.total))
+            gregion = self._buffer(
+                "bwd_region_grad", (out.shape[0], layout.total), grad_output.dtype
+            )
             np.take(grad_output, layout.columns, axis=1, out=gregion)
             grad_soft = layout.softmax_backward(
                 region, gregion, tau=self.tau, scratch=self._scratch
@@ -165,6 +172,7 @@ class ConditionalGenerator:
         hidden_dims: tuple[int, ...] = (128, 128),
         gumbel_tau: float = 0.2,
         rng: np.random.Generator | None = None,
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         if noise_dim <= 0:
             raise ValueError("noise_dim must be positive")
@@ -180,10 +188,16 @@ class ConditionalGenerator:
         width = noise_dim + condition_dim
         for hidden in hidden_dims:
             layers.append(
-                Residual([Dense(width, hidden, rng=rng, init="he"), BatchNorm(hidden), ReLU()])
+                Residual(
+                    [
+                        Dense(width, hidden, rng=rng, init="he", dtype=dtype),
+                        BatchNorm(hidden, dtype=dtype),
+                        ReLU(),
+                    ]
+                )
             )
             width += hidden  # residual blocks concatenate
-        layers.append(Dense(width, self.output_dim, rng=rng, init="glorot"))
+        layers.append(Dense(width, self.output_dim, rng=rng, init="glorot", dtype=dtype))
         self.activation = TabularOutputActivation(
             transformer.activation_spans(), tau=gumbel_tau, rng=rng
         )
@@ -196,15 +210,20 @@ class ConditionalGenerator:
         self, noise: np.ndarray, condition: np.ndarray | None, training: bool = True
     ) -> np.ndarray:
         """Generate a batch of transformed rows from noise and conditions."""
+        dtype = self.network.dtype
         if condition is None:
-            condition = np.zeros((noise.shape[0], self.condition_dim))
+            condition = np.zeros((noise.shape[0], self.condition_dim), dtype=dtype)
         if noise.shape[1] != self.noise_dim:
             raise ValueError(f"expected noise of width {self.noise_dim}, got {noise.shape[1]}")
         if condition.shape[1] != self.condition_dim:
             raise ValueError(
                 f"expected condition of width {self.condition_dim}, got {condition.shape[1]}"
             )
-        return self.network.forward(np.concatenate([noise, condition], axis=1), training=training)
+        x = np.concatenate([noise, condition], axis=1)
+        if x.dtype != dtype:
+            # Float64 inputs to a float32 network round once at the boundary.
+            x = x.astype(dtype)
+        return self.network.forward(x, training=training)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Back-propagate into the generator; returns grad w.r.t. [z, C]."""

@@ -52,6 +52,7 @@ class KnowledgeGuidedDiscriminator:
         learning_rate: float = 2e-3,
         learned_head: bool = True,
         rng: np.random.Generator | None = None,
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         self.reasoner = reasoner
         self.validator = BatchValidator(reasoner)
@@ -92,10 +93,10 @@ class KnowledgeGuidedDiscriminator:
             layers = []
             width = self.input_dim
             for hidden in hidden_dims:
-                layers.append(Dense(width, hidden, rng=self.rng, init="he"))
+                layers.append(Dense(width, hidden, rng=self.rng, init="he", dtype=dtype))
                 layers.append(LeakyReLU(0.2))
                 width = hidden
-            layers.append(Dense(width, 1, rng=self.rng, init="glorot"))
+            layers.append(Dense(width, 1, rng=self.rng, init="glorot", dtype=dtype))
             self.head = Sequential(layers)
             self.head.consolidate()
             self._optimizer = Adam(self.head.parameters(), lr=learning_rate, betas=(0.5, 0.9))
@@ -473,10 +474,15 @@ class KnowledgeGuidedDiscriminator:
     # Learned refinement head
     # ------------------------------------------------------------------ #
     def _extract(self, matrix: np.ndarray) -> np.ndarray:
-        return np.concatenate([matrix[:, s] for s in self._slices], axis=1)
+        out = np.concatenate([matrix[:, s] for s in self._slices], axis=1)
+        if self.head is not None and out.dtype != self.head.dtype:
+            # Real rows stay float64 in the transformer; a float32 head
+            # rounds them once at its input boundary.
+            out = out.astype(self.head.dtype)
+        return out
 
     def _scatter(self, grad_kg: np.ndarray, width: int) -> np.ndarray:
-        grad = np.zeros((grad_kg.shape[0], width), dtype=np.float64)
+        grad = np.zeros((grad_kg.shape[0], width), dtype=grad_kg.dtype)
         cursor = 0
         for s in self._slices:
             size = s.stop - s.start
@@ -720,7 +726,7 @@ class KnowledgeGuidedDiscriminator:
                 # per-column buffer replaces the fancy ``+=`` on the full
                 # gradient (read-modify-write of a zero is the same write).
                 if gblock is None:
-                    gblock = np.zeros((fake_matrix.shape[0], end - start))
+                    gblock = np.zeros((fake_matrix.shape[0], end - start), dtype=fake_matrix.dtype)
                 gblock[rows[:, None], (idx - start)[None, :]] = -1.0 / mass[:, None]
                 np.log(mass, out=mass)
                 total_loss += float(-mass.sum())

@@ -48,6 +48,9 @@ def condition_penalty(
     """
     if fake.shape[0] != condition.shape[0]:
         raise ValueError("fake and condition batches differ in size")
+    # The penalty runs in the generator's dtype; float64 condition vectors
+    # against a float32 fake batch round once here (no-op for float64).
+    condition = np.asarray(condition, dtype=fake.dtype)
     grad = np.zeros_like(fake)
     total_loss = 0.0
     total_terms = 0

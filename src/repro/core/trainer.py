@@ -193,6 +193,7 @@ class KiNETGANTrainer:
                 hidden_dims=config.generator_dims,
                 gumbel_tau=config.gumbel_tau,
                 rng=self.rng,
+                dtype=config.np_dtype,
             )
         self.generator = generator
         if discriminator is None:
@@ -202,6 +203,7 @@ class KiNETGANTrainer:
                 hidden_dims=config.discriminator_dims,
                 dropout=config.dropout,
                 rng=self.rng,
+                dtype=config.np_dtype,
             )
         self.discriminator = discriminator
         self.kg_discriminator: KnowledgeGuidedDiscriminator | None = None
@@ -213,6 +215,7 @@ class KiNETGANTrainer:
                 learning_rate=config.discriminator_lr,
                 learned_head=True,
                 rng=self.rng,
+                dtype=config.np_dtype,
             )
 
         self._opt_g = Adam(self.generator.parameters(), lr=config.generator_lr, betas=(0.5, 0.9))
@@ -264,10 +267,15 @@ class KiNETGANTrainer:
 
     # ------------------------------------------------------------------ #
     def _targets(self, shape: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
-        """Cached ``(ones, zeros)`` BCE target arrays for ``shape``."""
+        """Cached ``(ones, zeros)`` BCE target arrays for ``shape``.
+
+        Built in the discriminator's dtype so the BCE loss (which follows
+        its prediction's dtype) never re-casts them per step.
+        """
         cached = self._bce_targets.get(shape)
         if cached is None:
-            cached = (np.ones(shape), np.zeros(shape))
+            dtype = self.discriminator.network.dtype
+            cached = (np.ones(shape, dtype=dtype), np.zeros(shape, dtype=dtype))
             self._bce_targets[shape] = cached
         return cached
 

@@ -176,7 +176,7 @@ class FederatedClient:
             model=model,
             loss_fn=CrossEntropy(),
             optimizer=SGD(model.parameters(), lr=self.learning_rate),
-            features=self.features,
+            features=self._features_for(model),
             labels=self.labels,
             batch_size=self.batch_size,
             grad_hook=grad_hook,
@@ -206,10 +206,22 @@ class FederatedClient:
         """Accuracy of the given parameters on an arbitrary labelled set."""
         model = self.model_fn()
         model.load_state_dict(copy_state(state))
-        predictions = model.forward(np.asarray(features, dtype=np.float64), training=False)
+        features = np.asarray(features, dtype=getattr(model, "dtype", np.float64))
+        predictions = model.forward(features, training=False)
         return float((predictions.argmax(axis=1) == np.asarray(labels, dtype=int)).mean())
 
     # ------------------------------------------------------------------ #
+    def _features_for(self, model: Sequential) -> np.ndarray:
+        """The local feature matrix in the model's dtype.
+
+        Features are stored float64 (the featuriser's output); a float32
+        detector rounds them once at this boundary, per round, so the
+        stored partition stays exact.
+        """
+        dtype = getattr(model, "dtype", None)
+        if dtype is None or self.features.dtype == dtype:
+            return self.features
+        return self.features.astype(dtype)
     def _add_proximal_gradient(
         self, model: Sequential, reference_params: list[np.ndarray]
     ) -> None:
@@ -226,7 +238,8 @@ class FederatedClient:
             grad += self.proximal_mu * (param - reference)
 
     def _local_accuracy(self, model: Sequential) -> float:
-        predictions = model.forward(self.features, training=False).argmax(axis=1)
+        features = self._features_for(model)
+        predictions = model.forward(features, training=False).argmax(axis=1)
         return float((predictions == self.labels).mean())
 
 

@@ -83,8 +83,13 @@ class DPFedAvgMechanism:
         if self.config.noise_multiplier == 0:
             return average
         std = self.config.noise_multiplier * self.config.clip_norm / n_clients
+        # Noise is drawn in float64 (one seeded stream regardless of model
+        # dtype) and the sum rounds back to the update's own dtype, so a
+        # float32 model's noised average stays float32.
         return {
-            key: value + self.rng.normal(0.0, std, size=value.shape)
+            key: (value + self.rng.normal(0.0, std, size=value.shape)).astype(
+                value.dtype, copy=False
+            )
             for key, value in average.items()
         }
 

@@ -334,8 +334,14 @@ class _SiteTransport:
         self.generator_codec_ref = executor.install(self.generator_codec)
         self.discriminator_codec_ref = executor.install(self.discriminator_codec)
         self.site_refs: dict[str, StateRef] = {}
-        self.global_generator = executor.shared_array((self.generator_codec.dim,))
-        self.global_discriminator = executor.shared_array((self.discriminator_codec.dim,))
+        # Broadcast/result buffers run in the codecs' transport dtype, so a
+        # float32 model's rounds move half the bytes of a float64 model's.
+        self.global_generator = executor.shared_array(
+            (self.generator_codec.dim,), dtype=self.generator_codec.dtype
+        )
+        self.global_discriminator = executor.shared_array(
+            (self.discriminator_codec.dim,), dtype=self.discriminator_codec.dtype
+        )
         self.generator_out = None
         self.discriminator_out = None
         self._capacity = 0
@@ -350,10 +356,11 @@ class _SiteTransport:
                     buffer.close()
             self._capacity = len(sites)
             self.generator_out = self.executor.shared_array(
-                (self._capacity, self.generator_codec.dim)
+                (self._capacity, self.generator_codec.dim), dtype=self.generator_codec.dtype
             )
             self.discriminator_out = self.executor.shared_array(
-                (self._capacity, self.discriminator_codec.dim)
+                (self._capacity, self.discriminator_codec.dim),
+                dtype=self.discriminator_codec.dtype,
             )
 
     def close(self) -> None:

@@ -4,11 +4,14 @@ Federated averaging operates on model *state dictionaries* (the
 ``name -> ndarray`` mapping produced by
 :meth:`repro.neural.network.Sequential.state_dict`).  The workhorse here is
 :class:`StateCodec`, a fixed flattened-buffer layout derived from a template
-state: it encodes any compatible state into one contiguous ``float64``
-vector (and a batch of states into a ``(clients, total_params)`` matrix), so
-aggregation rules become single stacked array operations instead of
-per-tensor Python loops.  The historical helpers (``flatten_state``,
-``weighted_average``, ...) are kept as thin wrappers over the codec.
+state: it encodes any compatible state into one contiguous vector (and a
+batch of states into a ``(clients, total_params)`` matrix), so aggregation
+rules become single stacked array operations instead of per-tensor Python
+loops.  The transport dtype follows the template: an all-float32 state
+encodes into float32 vectors -- half the bytes per federated round -- while
+anything else keeps the historical float64 layout.  The historical helpers
+(``flatten_state``, ``weighted_average``, ...) are kept as thin wrappers
+over the codec.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ Layout = list[tuple[str, tuple[int, ...]]]
 
 
 class StateCodec:
-    """Fixed layout between state dictionaries and flat ``float64`` buffers.
+    """Fixed layout between state dictionaries and flat vectors.
 
     The layout is taken from a template state with keys sorted, so two
     states with the same keys and shapes always encode to the same vector
@@ -46,6 +49,10 @@ class StateCodec:
     aggregation masking rely on.  ``encode_many`` packs a whole round of
     client states into one ``(clients, total_params)`` matrix; aggregation
     then reduces over axis 0 in a single pass.
+
+    The transport dtype (:attr:`dtype`) is float32 when every floating
+    entry of the template is float32, float64 otherwise -- so float32
+    models ship float32 vectors end to end.
     """
 
     def __init__(self, template: StateDict) -> None:
@@ -62,6 +69,10 @@ class StateCodec:
             self._spans[key] = (cursor, cursor + size)
             cursor += size
         self.dim = cursor
+        floating = {dt for dt in self.dtypes.values() if np.issubdtype(dt, np.floating)}
+        self.dtype: np.dtype = (
+            np.dtype(np.float32) if floating == {np.dtype(np.float32)} else np.dtype(np.float64)
+        )
         # Last verified flat view: the exact arrays of an arena-backed state
         # plus the contiguous view covering them.  Holding the arrays pins
         # their identities, so an all-``is`` match on a later call proves the
@@ -96,9 +107,10 @@ class StateCodec:
         """One contiguous view covering ``state`` in layout order, or ``None``.
 
         The states of arena-consolidated networks (see
-        :mod:`repro.neural.arena`) are float64 views laid out back-to-back in
-        this codec's sorted-key order inside one flat buffer; detecting that
-        turns :meth:`encode` / :meth:`decode_into` into a single ``memcpy``.
+        :mod:`repro.neural.arena`) are views in the codec's transport dtype
+        laid out back-to-back in sorted-key order inside one flat buffer;
+        detecting that turns :meth:`encode` / :meth:`decode_into` into a
+        single ``memcpy``.
         The check walks the entries once (O(keys) pointer arithmetic) and
         caches its verdict against the exact array objects, so the steady
         state -- a resident site encoding the same live network every round
@@ -117,7 +129,8 @@ class StateCodec:
         first = state.get(self.keys[0])
         if not isinstance(first, np.ndarray):
             return None
-        itemsize = np.dtype(np.float64).itemsize
+        dtype = self.dtype
+        itemsize = dtype.itemsize
         expected = first.__array_interface__["data"][0]
         begin = expected
         root = first
@@ -125,13 +138,13 @@ class StateCodec:
             root = root.base
         # A remaining non-None base means foreign memory (memoryview, mmap,
         # pickle buffer); offset arithmetic against it is not worth trusting.
-        if root.base is not None or root.dtype != np.float64 or not root.flags.c_contiguous:
+        if root.base is not None or root.dtype != dtype or not root.flags.c_contiguous:
             return None
         for key in self.keys:
             value = state.get(key)
             if (
                 not isinstance(value, np.ndarray)
-                or value.dtype != np.float64
+                or value.dtype != dtype
                 or not value.flags.c_contiguous
                 or value.shape != self.shapes[key]
             ):
@@ -150,12 +163,12 @@ class StateCodec:
         return view
 
     def encode(self, state: StateDict, out: np.ndarray | None = None) -> np.ndarray:
-        """Flatten ``state`` into a ``(dim,)`` float64 vector.
+        """Flatten ``state`` into a ``(dim,)`` vector in the transport dtype.
 
-        Arena-backed states (contiguous float64 views in layout order) are
-        encoded with one ``np.copyto``; anything else takes the per-key path.
+        Arena-backed states (contiguous views in layout order) are encoded
+        with one ``np.copyto``; anything else takes the per-key path.
         """
-        vector = out if out is not None else np.empty(self.dim, dtype=np.float64)
+        vector = out if out is not None else np.empty(self.dim, dtype=self.dtype)
         flat = self._flat_view(state)
         if flat is not None:
             np.copyto(vector, flat)
@@ -163,14 +176,14 @@ class StateCodec:
         self._validate(state)
         for key in self.keys:
             start, end = self._spans[key]
-            vector[start:end] = np.asarray(state[key], dtype=np.float64).ravel()
+            vector[start:end] = np.asarray(state[key], dtype=self.dtype).ravel()
         return vector
 
     def encode_many(self, states: list[StateDict]) -> np.ndarray:
-        """Pack ``states`` into a ``(len(states), dim)`` float64 matrix."""
+        """Pack ``states`` into a ``(len(states), dim)`` transport-dtype matrix."""
         if not states:
             raise ValueError("need at least one state to encode")
-        matrix = np.empty((len(states), self.dim), dtype=np.float64)
+        matrix = np.empty((len(states), self.dim), dtype=self.dtype)
         for row, state in enumerate(states):
             self.encode(state, out=matrix[row])
         return matrix
@@ -179,11 +192,11 @@ class StateCodec:
         """Inverse of :meth:`encode`.
 
         Floating template dtypes are restored; any non-float entry stays
-        ``float64``, because decoded vectors are usually *aggregates*
-        (means, medians, masked sums) and casting those back to an integer
-        dtype would silently truncate them.
+        in the transport dtype, because decoded vectors are usually
+        *aggregates* (means, medians, masked sums) and casting those back
+        to an integer dtype would silently truncate them.
         """
-        vector = np.asarray(vector, dtype=np.float64)
+        vector = np.asarray(vector, dtype=self.dtype)
         if vector.shape != (self.dim,):
             raise ValueError(f"expected a ({self.dim},) vector, got shape {vector.shape}")
         state: StateDict = {}
@@ -204,7 +217,7 @@ class StateCodec:
         arrays of an already-built model -- the broadcast path of a resident
         federated site.  Arena-backed states take a single ``np.copyto``.
         """
-        vector = np.asarray(vector, dtype=np.float64)
+        vector = np.asarray(vector, dtype=self.dtype)
         if vector.shape != (self.dim,):
             raise ValueError(f"expected a ({self.dim},) vector, got shape {vector.shape}")
         flat = self._flat_view(state)
@@ -311,8 +324,10 @@ def flatten_state(state: StateDict) -> tuple[np.ndarray, Layout]:
 
 
 def unflatten_state(vector: np.ndarray, layout: Layout) -> StateDict:
-    """Inverse of :func:`flatten_state`."""
-    vector = np.asarray(vector, dtype=np.float64)
+    """Inverse of :func:`flatten_state` (the vector's floating dtype is kept)."""
+    vector = np.asarray(vector)
+    if not np.issubdtype(vector.dtype, np.floating):
+        vector = vector.astype(np.float64)
     state: StateDict = {}
     cursor = 0
     for key, shape in layout:

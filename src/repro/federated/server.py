@@ -65,8 +65,12 @@ class _ResidentTransport:
         self.codec = StateCodec(template)
         self.codec_ref = executor.install(self.codec)
         self.client_refs = [executor.install(client) for client in clients]
-        self.global_buffer = executor.shared_array((self.codec.dim,))
-        self.update_buffer = executor.shared_array((len(clients), self.codec.dim))
+        # Buffers inherit the codec's transport dtype: float32 models ship
+        # (and shared-memory map) half the bytes per round.
+        self.global_buffer = executor.shared_array((self.codec.dim,), dtype=self.codec.dtype)
+        self.update_buffer = executor.shared_array(
+            (len(clients), self.codec.dim), dtype=self.codec.dtype
+        )
 
     def close(self) -> None:
         for ref in self.client_refs:

@@ -42,22 +42,30 @@ class DetectorFactory:
     factory every client carries must survive pickling -- a plain dataclass
     of hyper-parameters does, where the closure the simulation previously
     built did not.
+
+    ``dtype`` selects the detector's parameter precision (see
+    ``docs/precision.md``): float32 detectors halve the parameter bytes each
+    federated round moves, and initialisation draws in float64 before the
+    one rounding cast, so a float32 detector's init is the float64 init
+    rounded once.
     """
 
     n_features: int
     n_classes: int
     hidden_dims: tuple[int, ...]
     seed: int
+    dtype: str = "float64"
 
     def __call__(self) -> Sequential:
         rng = np.random.default_rng(self.seed)
+        dtype = np.dtype(self.dtype)
         layers: list = []
         width = self.n_features
         for hidden in self.hidden_dims:
-            layers.append(Dense(width, hidden, rng=rng, init="he"))
+            layers.append(Dense(width, hidden, rng=rng, init="he", dtype=dtype))
             layers.append(ReLU())
             width = hidden
-        layers.append(Dense(width, self.n_classes, rng=rng, init="glorot"))
+        layers.append(Dense(width, self.n_classes, rng=rng, init="glorot", dtype=dtype))
         network = Sequential(layers)
         network.consolidate()
         return network

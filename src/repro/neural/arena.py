@@ -1,9 +1,10 @@
 """Contiguous parameter/gradient arenas for :class:`~repro.neural.network.Sequential`.
 
 A :class:`ParamArena` re-houses every parameter *and* persistent buffer of a
-network in one flat ``float64`` buffer (``data``) with an aligned flat
-gradient buffer (``grads``).  Layer attributes (``weight``, ``grad_weight``,
-...) are rebound to views into those buffers, so
+network in one flat buffer (``data``) with an aligned flat gradient buffer
+(``grads``), both in the network's floating dtype (float64 by default,
+float32 for a float32-built network).  Layer attributes (``weight``,
+``grad_weight``, ...) are rebound to views into those buffers, so
 
 * optimizers can update the whole network with a handful of vectorized
   in-place passes over ``data``/``grads`` instead of a Python loop over
@@ -30,9 +31,11 @@ Opting out
 A layer participates by implementing ``Layer.arena_entries()`` (see
 :mod:`repro.neural.layers`).  Returning ``None`` is the documented opt-out
 for layers whose parameters cannot be view-rebound (e.g. parameters that are
-themselves views, non-float64 state, or storage shared with another object);
-one opted-out layer disables consolidation for the whole network, which then
-keeps the ordinary per-tensor representation.
+themselves views, non-floating or mixed-dtype state, or storage shared with
+another object); one opted-out layer disables consolidation for the whole
+network, which then keeps the ordinary per-tensor representation.  All
+entries must share one floating dtype (float32 or float64): a mixed-dtype
+network cannot be packed into a single flat buffer and stays per-tensor.
 
 Pickling
 --------
@@ -134,8 +137,8 @@ class ParamArena:
         """Consolidate ``network`` (a ``Sequential``) into a fresh arena.
 
         Returns ``None`` -- leaving the network untouched -- when any layer
-        opts out, exposes non-float64 state, or reports entries inconsistent
-        with its ``params``/``state_dict`` contract.
+        opts out, exposes non-floating or mixed-dtype state, or reports
+        entries inconsistent with its ``params``/``state_dict`` contract.
         """
         entries: list[tuple[str, object, str, str | None]] = []
         for i, layer in enumerate(network.layers):
@@ -150,10 +153,18 @@ class ParamArena:
             return None
 
         values: dict[str, np.ndarray] = {}
+        dtype: np.dtype | None = None
         for key, owner, attr, _grad_attr in entries:
             value = getattr(owner, attr)
-            if not isinstance(value, np.ndarray) or value.dtype != np.float64:
+            if not isinstance(value, np.ndarray) or value.dtype not in (
+                np.float64,
+                np.float32,
+            ):
                 return None
+            if dtype is None:
+                dtype = value.dtype
+            elif value.dtype != dtype:
+                return None  # mixed dtypes cannot share one flat buffer
             values[key] = value
         state = network.state_dict()
         if sorted(values) != sorted(state):
@@ -169,8 +180,8 @@ class ParamArena:
 
         entries.sort(key=lambda entry: entry[0])  # StateCodec's sorted-key order
         total = sum(values[key].size for key, _owner, _attr, _grad_attr in entries)
-        data = np.empty(total, dtype=np.float64)
-        grads = np.zeros(total, dtype=np.float64)
+        data = np.empty(total, dtype=dtype)
+        grads = np.zeros(total, dtype=dtype)
         spans: dict[str, tuple[int, int, tuple[int, ...], bool]] = {}
         span_by_param: dict[int, tuple[int, int, tuple[int, ...]]] = {}
         cursor = 0
@@ -193,6 +204,11 @@ class ParamArena:
         return cls(data, grads, spans, pairs, pair_spans)
 
     # ------------------------------------------------------------------ #
+    @property
+    def dtype(self) -> np.dtype:
+        """The shared floating dtype of ``data``/``grads``."""
+        return self.data.dtype
+
     @property
     def intact(self) -> bool:
         """Whether the rebound views still alias this arena's buffers.

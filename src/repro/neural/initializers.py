@@ -3,6 +3,12 @@
 All initialisers take an explicit :class:`numpy.random.Generator` so that
 model construction is reproducible end to end; no global random state is
 touched anywhere in :mod:`repro.neural`.
+
+Every initialiser draws in float64 and rounds to the requested ``dtype``
+at the end.  Drawing at full precision keeps the rng stream identical
+across dtypes, so a float32 model's initial weights are exactly the
+float64 model's weights rounded once -- the per-dtype determinism
+contract (``docs/precision.md``) starts here.
 """
 
 from __future__ import annotations
@@ -12,7 +18,12 @@ import numpy as np
 __all__ = ["glorot_uniform", "he_normal", "normal_init", "zeros_init"]
 
 
-def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def glorot_uniform(
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
     """Glorot / Xavier uniform initialisation.
 
     Samples from ``U(-limit, limit)`` with ``limit = sqrt(6 / (fan_in + fan_out))``.
@@ -22,19 +33,28 @@ def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.nd
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(np.float64)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(dtype)
 
 
-def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def he_normal(
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
     """He normal initialisation, suited to ReLU-family activations."""
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
     std = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=(fan_in, fan_out)).astype(np.float64)
+    return rng.normal(0.0, std, size=(fan_in, fan_out)).astype(dtype)
 
 
 def normal_init(
-    fan_in: int, fan_out: int, rng: np.random.Generator, std: float = 0.02
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    std: float = 0.02,
+    dtype: np.dtype | type = np.float64,
 ) -> np.ndarray:
     """Plain Gaussian initialisation with a small standard deviation.
 
@@ -42,9 +62,9 @@ def normal_init(
     """
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
-    return rng.normal(0.0, std, size=(fan_in, fan_out)).astype(np.float64)
+    return rng.normal(0.0, std, size=(fan_in, fan_out)).astype(dtype)
 
 
-def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+def zeros_init(shape: tuple[int, ...], dtype: np.dtype | type = np.float64) -> np.ndarray:
     """All-zero initialisation (biases, batch-norm shift)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=dtype)

@@ -56,6 +56,9 @@ _INITIALIZERS = {
 #: mask the bit-select activation backward passes use.
 _U64_ALL = np.uint64(0xFFFFFFFFFFFFFFFF)
 
+#: The float32 analogue for float32 networks.
+_U32_ALL = np.uint32(0xFFFFFFFF)
+
 
 class Layer:
     """Base class for all layers."""
@@ -132,6 +135,7 @@ class Dense(Layer):
         rng: np.random.Generator | None = None,
         init: str = "glorot",
         bias: bool = True,
+        dtype: np.dtype | type = np.float64,
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("in_features and out_features must be positive")
@@ -141,8 +145,8 @@ class Dense(Layer):
         self.in_features = in_features
         self.out_features = out_features
         self.use_bias = bias
-        self.weight = _INITIALIZERS[init](in_features, out_features, rng)
-        self.bias = zeros_init((out_features,)) if bias else None
+        self.weight = _INITIALIZERS[init](in_features, out_features, rng, dtype=dtype)
+        self.bias = zeros_init((out_features,), dtype=dtype) if bias else None
         self.grad_weight = np.zeros_like(self.weight)
         self.grad_bias = np.zeros_like(self.bias) if bias else None
         self._cache_input: np.ndarray | None = None
@@ -302,24 +306,33 @@ class LeakyReLU(Layer):
             raise RuntimeError("backward called before forward")
         ws = self._ws
         if ws is None:
-            grad_input = grad_output * np.where(self._mask, 1.0, self.negative_slope)
+            # Typed scalars keep the select in the input dtype: python
+            # floats would build a float64 factor and upcast float32 grads.
+            one = grad_output.dtype.type(1.0)
+            slope = grad_output.dtype.type(self.negative_slope)
+            grad_input = grad_output * np.where(self._mask, one, slope)
         else:
             grad_input = ws.buffer(self, "bwd", grad_output.shape)
             np.multiply(grad_output, self.negative_slope, out=grad_input)
-            if grad_output.flags.c_contiguous:
+            if grad_output.flags.c_contiguous and grad_output.dtype.itemsize in (4, 8):
                 # IEEE bit-select ``out = b ^ ((a ^ b) & m)`` replaying
                 # ``where(mask, grad, slope * grad)`` exactly: ``1.0 * g``
                 # is bitwise ``g``, so selecting grad's bits over the
                 # positive positions matches the reference for every value
                 # (signed zeros and NaN included), while the vectorized
                 # integer ops replace copyto's masked scalar loop, which is
-                # ~5x slower on this hot path.
-                m64 = ws.buffer(self, "m64", grad_output.shape, dtype=np.uint64)
-                np.multiply(self._mask, _U64_ALL, out=m64)
-                sel = ws.buffer(self, "sel", grad_output.shape, dtype=np.uint64)
-                bits = grad_input.view(np.uint64)
-                np.bitwise_xor(grad_output.view(np.uint64), bits, out=sel)
-                sel &= m64
+                # ~5x slower on this hot path.  Word width follows the
+                # floating dtype: uint64 lanes for float64, uint32 for
+                # float32.
+                wide = grad_output.dtype.itemsize == 8
+                utype = np.uint64 if wide else np.uint32
+                m_all = _U64_ALL if wide else _U32_ALL
+                mbits = ws.buffer(self, "mbits", grad_output.shape, dtype=utype)
+                np.multiply(self._mask, m_all, out=mbits)
+                sel = ws.buffer(self, "sel", grad_output.shape, dtype=utype)
+                bits = grad_input.view(utype)
+                np.bitwise_xor(grad_output.view(utype), bits, out=sel)
+                sel &= mbits
                 bits ^= sel
             else:
                 np.copyto(grad_input, grad_output, where=self._mask)
@@ -448,6 +461,10 @@ class GumbelSoftmax(Layer):
         if training:
             uniform = self.rng.uniform(1e-12, 1.0 - 1e-12, size=x.shape)
             gumbel = -np.log(-np.log(uniform))
+            if x.dtype != np.float64:
+                # The noise draw stays float64 (one shared rng stream), then
+                # rounds once so the logits keep the network dtype.
+                gumbel = gumbel.astype(x.dtype)
             logits = (x + gumbel) / self.temperature
         else:
             logits = x / self.temperature
@@ -477,23 +494,35 @@ class Dropout(Layer):
         if not training or self.rate == 0.0:
             self._mask = None
             return x
-        keep = 1.0 - self.rate
+        # The typed ``keep`` scalar keeps the threshold comparison and the
+        # inverted-mask division in the input dtype: a python float would
+        # promote ``bool / keep`` to float64 and upcast float32 batches.
+        # For float64 inputs it is bit-identical to the python-float form.
+        keep = x.dtype.type(1.0 - self.rate)
         ws = self._ws
         if ws is None:
-            self._mask = (self.rng.uniform(size=x.shape) < keep) / keep
+            if x.dtype == np.float64:
+                uniform = self.rng.uniform(size=x.shape)
+            else:
+                # Per-dtype stream: float32 draws consume the rng stream
+                # differently from float64 ones, so each dtype has its own
+                # (internally consistent) seeded history.
+                uniform = self.rng.random(size=x.shape, dtype=x.dtype)
+            self._mask = (uniform < keep) / keep
             return x * self._mask
         # Same rng draw and elementwise ops as the reference, staged through
         # recycled buffers.  ``Generator.random(out=...)`` consumes the
-        # stream identically to ``uniform(size=...)`` and returns the same
-        # bits, so the draw itself recycles a buffer too.
-        uniform = ws.buffer(self, "uniform", x.shape)
-        self.rng.random(out=uniform)
+        # stream identically to ``uniform(size=...)`` (float64) and to
+        # ``random(size=..., dtype=float32)`` (float32) and returns the
+        # same bits, so the draw itself recycles a buffer too.
+        uniform = ws.buffer(self, "uniform", x.shape, dtype=x.dtype)
+        self.rng.random(out=uniform, dtype=uniform.dtype)
         kept = ws.buffer(self, "kept", x.shape, dtype=bool)
         np.less(uniform, keep, out=kept)
-        mask = ws.buffer(self, "mask", x.shape)
+        mask = ws.buffer(self, "mask", x.shape, dtype=x.dtype)
         np.divide(kept, keep, out=mask)
         self._mask = mask
-        out = ws.buffer(self, "fwd", x.shape)
+        out = ws.buffer(self, "fwd", x.shape, dtype=x.dtype)
         np.multiply(x, mask, out=out)
         return out
 
@@ -522,18 +551,24 @@ class BatchNorm(Layer):
     parameter arena as non-trainable buffer spans.
     """
 
-    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
         if num_features <= 0:
             raise ValueError("num_features must be positive")
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = np.ones(num_features, dtype=np.float64)
-        self.beta = np.zeros(num_features, dtype=np.float64)
+        self.gamma = np.ones(num_features, dtype=dtype)
+        self.beta = np.zeros(num_features, dtype=dtype)
         self.grad_gamma = np.zeros_like(self.gamma)
         self.grad_beta = np.zeros_like(self.beta)
-        self.running_mean = np.zeros(num_features, dtype=np.float64)
-        self.running_var = np.ones(num_features, dtype=np.float64)
+        self.running_mean = np.zeros(num_features, dtype=dtype)
+        self.running_var = np.ones(num_features, dtype=dtype)
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
 
     def _update_running(self, buffer: np.ndarray, batch_stat: np.ndarray) -> None:

@@ -66,19 +66,24 @@ class BinaryCrossEntropy(Loss):
     def __init__(self, from_logits: bool = True) -> None:
         self.from_logits = from_logits
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
-        self._scratch: dict[tuple[str, tuple[int, ...]], np.ndarray] = {}
+        self._scratch: dict[tuple[str, tuple[int, ...], str], np.ndarray] = {}
 
-    def _buffer(self, tag: str, shape: tuple[int, ...]) -> np.ndarray:
-        key = (tag, shape)
+    def _buffer(self, tag: str, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        key = (tag, shape, dtype.char)
         buf = self._scratch.get(key)
         if buf is None:
-            buf = np.empty(shape, dtype=np.float64)
+            buf = np.empty(shape, dtype=dtype)
             self._scratch[key] = buf
         return buf
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
-        prediction = np.asarray(prediction, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        # The loss follows the network dtype so its gradient feeds straight
+        # back into a float32 backward pass without an upcast; anything that
+        # is not a supported floating dtype is coerced to float64 as before.
+        prediction = np.asarray(prediction)
+        if prediction.dtype not in (np.float64, np.float32):
+            prediction = prediction.astype(np.float64)
+        target = np.asarray(target, dtype=prediction.dtype)
         if prediction.shape != target.shape:
             raise ValueError(
                 f"prediction shape {prediction.shape} != target shape {target.shape}"
@@ -87,9 +92,9 @@ class BinaryCrossEntropy(Loss):
         if self.from_logits:
             # log(1 + exp(-|x|)) + max(x, 0) - x*t  (stable BCE-with-logits),
             # evaluated term by term into two recycled buffers.
-            loss = self._buffer("loss", prediction.shape)
+            loss = self._buffer("loss", prediction.shape, prediction.dtype)
             np.maximum(prediction, 0, out=loss)
-            term = self._buffer("term", prediction.shape)
+            term = self._buffer("term", prediction.shape, prediction.dtype)
             np.multiply(prediction, target, out=term)
             np.subtract(loss, term, out=loss)
             np.abs(prediction, out=term)
@@ -109,7 +114,7 @@ class BinaryCrossEntropy(Loss):
         n = prediction.size
         if self.from_logits:
             # (stable_sigmoid(prediction) - target) / n via the shared buffer.
-            grad = self._buffer("grad", prediction.shape)
+            grad = self._buffer("grad", prediction.shape, prediction.dtype)
             np.clip(prediction, -60.0, 60.0, out=grad)
             np.negative(grad, out=grad)
             np.exp(grad, out=grad)
@@ -125,12 +130,23 @@ class BinaryCrossEntropy(Loss):
 
 
 class CrossEntropy(Loss):
-    """Softmax cross entropy over logits with integer or one-hot targets."""
+    """Softmax cross entropy over logits with integer or one-hot targets.
+
+    The log-sum-exp runs in float64 regardless of the logits' dtype (the
+    scalar loss is an accuracy-sensitive reduction); the gradient is handed
+    back in the logits' own dtype so float32 networks keep a float32
+    backward pass.
+    """
 
     def __init__(self) -> None:
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._grad_dtype: np.dtype = np.dtype(np.float64)
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        logits_dtype = np.asarray(prediction).dtype
+        self._grad_dtype = (
+            logits_dtype if logits_dtype.kind == "f" else np.dtype(np.float64)
+        )
         prediction = np.asarray(prediction, dtype=np.float64)
         if prediction.ndim != 2:
             raise ValueError("CrossEntropy expects (batch, classes) logits")
@@ -151,7 +167,7 @@ class CrossEntropy(Loss):
             raise RuntimeError("backward called before forward")
         probs, target = self._cache
         batch = probs.shape[0]
-        return (probs - target) / batch
+        return ((probs - target) / batch).astype(self._grad_dtype, copy=False)
 
 
 class MeanSquaredError(Loss):

@@ -57,10 +57,26 @@ class Sequential:
         if self.arena is None or not self.arena.intact:
             self.arena = ParamArena.build(self)
         if self.workspace is None:
-            self.workspace = Workspace()
+            self.workspace = Workspace(default_dtype=self.dtype)
         for layer in self.layers:
             layer.bind_workspace(self.workspace)
         return self.arena
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The network's floating dtype.
+
+        Derived from the arena when one is intact, otherwise from the first
+        parameter; a parameter-less stack (pure activations) reports
+        float64, the package default.
+        """
+        arena = self.arena
+        if arena is not None and arena.intact:
+            return arena.dtype
+        for layer in self.layers:
+            for param in layer.params:
+                return param.dtype
+        return np.dtype(np.float64)
 
     def unbind_workspace(self) -> None:
         """Detach the shared step workspace from this network and its layers.

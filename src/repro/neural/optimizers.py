@@ -81,16 +81,17 @@ class Optimizer:
         """
         arena = self._arena
         if arena is not None:
-            flat = np.zeros(arena.size, dtype=np.float64)
+            flat = np.zeros(arena.size, dtype=arena.data.dtype)
             return arena.views_into(flat), flat
         return [np.zeros_like(p) for p, _ in self.parameters], None
 
     def _scratch_buffers(self) -> tuple[np.ndarray, np.ndarray]:
         if self._scratch is None:
             size = self._arena.size
+            dtype = self._arena.data.dtype
             self._scratch = (
-                np.empty(size, dtype=np.float64),
-                np.empty(size, dtype=np.float64),
+                np.empty(size, dtype=dtype),
+                np.empty(size, dtype=dtype),
             )
         return self._scratch
 

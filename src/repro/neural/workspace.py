@@ -34,27 +34,39 @@ __all__ = ["Workspace"]
 
 
 class Workspace:
-    """Cache of reusable scratch arrays keyed by ``(layer, tag, shape)``."""
+    """Cache of reusable scratch arrays keyed by ``(layer, tag, shape)``.
 
-    def __init__(self) -> None:
+    ``default_dtype`` is the dtype a layer gets when it asks for a buffer
+    without one -- ``Sequential.consolidate()`` sets it to the network's
+    parameter dtype, so float32 networks get float32 scratch without each
+    layer having to thread a dtype through every ``buffer()`` call.
+    Explicit dtypes (bool masks, uint64 bit-select scratch) still win.
+    """
+
+    def __init__(self, default_dtype: np.dtype | type = np.float64) -> None:
         self._buffers: dict[tuple[int, str, tuple[int, ...], str], np.ndarray] = {}
         self._buffer_ids: set[int] = set()
+        self.default_dtype = np.dtype(default_dtype)
 
     def buffer(
         self,
         owner: object,
         tag: str,
         shape: tuple[int, ...],
-        dtype: np.dtype | type = np.float64,
+        dtype: np.dtype | type | None = None,
     ) -> np.ndarray:
         """The cached buffer for ``(owner, tag, shape)``, allocated on first use.
 
         Contents are undefined on return; callers must fully overwrite it.
         """
-        # float64 is the only dtype on the training hot path; skip the
+        # The network dtype dominates the training hot path; skip the
         # np.dtype() construction for it (buffer() runs hundreds of times
         # per step, so per-call overhead is the budget here).
-        char = "d" if dtype is np.float64 else np.dtype(dtype).char
+        if dtype is None:
+            dtype = self.default_dtype
+            char = dtype.char
+        else:
+            char = "d" if dtype is np.float64 else np.dtype(dtype).char
         key = (id(owner), tag, shape, char)
         buf = self._buffers.get(key)
         if buf is None:
@@ -85,8 +97,9 @@ class Workspace:
     # Scratch contents never travel: a pickled workspace arrives empty and
     # refills on first use in the receiving process.
     def __getstate__(self) -> dict:
-        return {}
+        return {"default_dtype": self.default_dtype.str}
 
     def __setstate__(self, state: dict) -> None:
         self._buffers = {}
         self._buffer_ids = set()
+        self.default_dtype = np.dtype(state.get("default_dtype", np.float64))

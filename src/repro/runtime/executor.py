@@ -36,6 +36,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, TypeVar
 
+import numpy as np
+
 from repro.obs import TraceContext, activate, default_registry, propagation_context
 from repro.runtime.faults import (
     NO_FAULT,
@@ -263,10 +265,16 @@ class Executor:
     def evict(self, ref: StateRef) -> None:
         """Release an installed resident state (idempotent)."""
 
-    def shared_array(self, shape: tuple[int, ...]) -> SharedBuffer:
-        """Allocate a float64 parameter buffer addressable from every worker."""
+    def shared_array(
+        self, shape: tuple[int, ...], dtype: np.dtype | type = np.float64
+    ) -> SharedBuffer:
+        """Allocate a parameter buffer in ``dtype`` addressable from every worker.
+
+        ``dtype`` defaults to float64; float32 models pass their own dtype so
+        the transport carries (and shared-memory maps) half the bytes.
+        """
         self._check_open()
-        return LocalBuffer(shape)
+        return LocalBuffer(shape, dtype)
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
@@ -492,9 +500,9 @@ class ProcessExecutor(Executor):
     Resident state uses the shared-memory transport of
     :mod:`repro.runtime.state`: :meth:`install` pickles the state *once*
     into a segment that every worker attaches and caches on first use, and
-    :meth:`shared_array` maps a float64 buffer all processes address
-    directly, so steady-state rounds ship refs and deltas only.  Segments
-    are unlinked by :meth:`evict` / :meth:`close`.
+    :meth:`shared_array` maps a buffer of the caller's dtype that all
+    processes address directly, so steady-state rounds ship refs and deltas
+    only.  Segments are unlinked by :meth:`evict` / :meth:`close`.
     """
 
     name = "process"
@@ -637,9 +645,11 @@ class ProcessExecutor(Executor):
                 labels={"executor": self.name},
             ).inc()
 
-    def shared_array(self, shape: tuple[int, ...]) -> SharedMemoryBuffer:
+    def shared_array(
+        self, shape: tuple[int, ...], dtype: np.dtype | type = np.float64
+    ) -> SharedMemoryBuffer:
         self._check_open()
-        buffer = SharedMemoryBuffer(shape)
+        buffer = SharedMemoryBuffer(shape, np.dtype(dtype).name)
         self._buffers.append(buffer)
         return buffer
 

@@ -24,11 +24,14 @@ carries refs, the worker function calls ``ref.resolve()``.
   hands out :class:`SharedStateRef`.  Every worker process unpickles the
   segment the first time it resolves the ref and caches the object in its
   process-local :class:`StateStore`, so successive rounds ship only the ref
-  (a name and a byte count).  :class:`SharedBuffer` maps a ``float64`` array
-  (for example the ``(clients, total_params)`` round matrices of
-  :mod:`repro.federated.parameters`) into shared memory: the parent writes
-  parameters in place, workers read -- or write their result rows -- without
-  any bytes crossing the task pipe.
+  (a name and a byte count).  :class:`SharedBuffer` maps a numeric array of
+  a caller-chosen dtype -- float64 by default, float32 for float32 models,
+  which halves the mapped bytes (for example the ``(clients, total_params)``
+  round matrices of :mod:`repro.federated.parameters`) -- into shared
+  memory: the parent writes parameters in place, workers read -- or write
+  their result rows -- without any bytes crossing the task pipe.  Writes
+  through :meth:`SharedBuffer.write` are dtype-checked and raise
+  :class:`BufferDtypeError` on mismatch instead of silently casting.
 
 Synchronisation contract: rounds are synchronous (``Executor.map`` returns
 only after every task finished), so the parent may rewrite a shared buffer
@@ -51,6 +54,7 @@ __all__ = [
     "DirectStateRef",
     "SharedStateRef",
     "BufferRef",
+    "BufferDtypeError",
     "DirectBufferRef",
     "SharedBufferRef",
     "SharedBuffer",
@@ -58,6 +62,15 @@ __all__ = [
     "SharedMemoryBuffer",
     "worker_store",
 ]
+
+
+class BufferDtypeError(TypeError):
+    """A value's dtype does not match the shared buffer it is written into.
+
+    Raised instead of silently casting: a float64 write into a float32
+    transport buffer (or vice versa) would change bits mid-flight and break
+    the bit-exact broadcast/update contract of the federated runtime.
+    """
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -177,7 +190,11 @@ class SharedStateRef(StateRef):
 # Shared parameter buffers
 # --------------------------------------------------------------------------- #
 class BufferRef:
-    """Picklable address of (a row of) a shared ``float64`` buffer."""
+    """Picklable address of (a row of) a shared numeric buffer.
+
+    The buffer's dtype travels with the ref, so a worker resolving it maps
+    the segment with the exact dtype the parent allocated.
+    """
 
     def resolve(self) -> np.ndarray:
         """The addressed array (a view -- copy anything kept past the task)."""
@@ -197,24 +214,29 @@ class DirectBufferRef(BufferRef):
 
 @dataclass(frozen=True)
 class SharedBufferRef(BufferRef):
-    """Cross-process ref: maps the segment and returns an ndarray view."""
+    """Cross-process ref: maps the segment and returns an ndarray view.
+
+    ``dtype`` is carried as a dtype name string so the frozen dataclass
+    stays hashable and cheaply picklable.
+    """
 
     name: str
     shape: tuple[int, ...]
     row: int | None = None
+    dtype: str = "float64"
 
     def resolve(self) -> np.ndarray:
         segment = _STORE.attach(self.name)
-        array: np.ndarray = np.ndarray(self.shape, dtype=np.float64, buffer=segment.buf)
+        array: np.ndarray = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=segment.buf)
         return array if self.row is None else array[self.row]
 
 
 class SharedBuffer:
-    """Parent-side handle to a ``float64`` array every worker can address.
+    """Parent-side handle to a numeric array every worker can address.
 
-    Created with :meth:`repro.runtime.Executor.shared_array`; ``array`` is
-    the parent's read/write view and ``ref(row)`` produces the picklable
-    address a task carries.
+    Created with :meth:`repro.runtime.Executor.shared_array` in a caller-
+    chosen dtype (float64 by default); ``array`` is the parent's read/write
+    view and ``ref(row)`` produces the picklable address a task carries.
     """
 
     @property
@@ -224,6 +246,21 @@ class SharedBuffer:
     def ref(self, row: int | None = None) -> BufferRef:
         raise NotImplementedError
 
+    def write(self, value: np.ndarray, row: int | None = None) -> None:
+        """Copy ``value`` into the buffer (or into one row), dtype-checked.
+
+        Raises :class:`BufferDtypeError` when ``value``'s dtype differs
+        from the buffer's: transport buffers carry bit-exact parameter
+        vectors, so a silent cast here would corrupt them mid-flight.
+        """
+        value = np.asarray(value)
+        target = self.array if row is None else self.array[row]
+        if value.dtype != target.dtype:
+            raise BufferDtypeError(
+                f"cannot write {value.dtype} data into a {target.dtype} shared buffer"
+            )
+        np.copyto(target, value)
+
     def close(self) -> None:
         """Release the buffer (idempotent)."""
 
@@ -231,8 +268,8 @@ class SharedBuffer:
 class LocalBuffer(SharedBuffer):
     """Plain in-process array: shared trivially by serial/thread executors."""
 
-    def __init__(self, shape: tuple[int, ...]) -> None:
-        self._array = np.zeros(shape, dtype=np.float64)
+    def __init__(self, shape: tuple[int, ...], dtype: np.dtype | type = np.float64) -> None:
+        self._array = np.zeros(shape, dtype=dtype)
 
     @property
     def array(self) -> np.ndarray:
@@ -247,13 +284,16 @@ class SharedMemoryBuffer(SharedBuffer):
     """Shared-memory array: one mapping, zero per-round transport bytes."""
 
     shape: tuple[int, ...]
+    dtype: str = "float64"
     _segment: shared_memory.SharedMemory = field(init=False)
     _view: np.ndarray | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
-        nbytes = int(np.prod(self.shape)) * np.dtype(np.float64).itemsize
+        dt = np.dtype(self.dtype)
+        self.dtype = dt.name  # normalise np.float32 / dtype objects to the name
+        nbytes = int(np.prod(self.shape)) * dt.itemsize
         self._segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
-        self._view = np.ndarray(self.shape, dtype=np.float64, buffer=self._segment.buf)
+        self._view = np.ndarray(self.shape, dtype=dt, buffer=self._segment.buf)
         self._view.fill(0.0)
 
     @property
@@ -267,7 +307,7 @@ class SharedMemoryBuffer(SharedBuffer):
         return self._view
 
     def ref(self, row: int | None = None) -> SharedBufferRef:
-        return SharedBufferRef(self.name, self.shape, row)
+        return SharedBufferRef(self.name, self.shape, row, dtype=self.dtype)
 
     def close(self) -> None:
         if self._view is None:

@@ -29,6 +29,8 @@ import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
 from repro._version import __version__
 from repro.core.base import Synthesizer
 from repro.engine.checkpoint import CheckpointError, load_networks, save_networks
@@ -110,6 +112,16 @@ class ModelArtifact:
         return dict(self.manifest.get("metadata", {}))
 
     @property
+    def dtype(self) -> str | None:
+        """The networks' parameter dtype name, or None for older artifacts.
+
+        Artifacts written before the mixed-precision tier carry no
+        ``dtype`` key; they are all float64 and load unchanged.
+        """
+        value = self.manifest.get("dtype")
+        return None if value is None else str(value)
+
+    @property
     def state_path(self) -> Path:
         """Path of the state blob (``state.npz`` for v2, ``state.pkl`` for v1)."""
         default = _DEFAULT_STATE.get(self.format_version, STATE_NAME)
@@ -143,6 +155,15 @@ class ModelArtifact:
         if not artifact.state_path.exists():
             raise ArtifactError(f"artifact at {directory} is missing its state file")
         return artifact
+
+
+def _network_dtypes(networks: dict) -> set[str]:
+    """Dtype names of every network that reports one (normally exactly one)."""
+    return {
+        np.dtype(network.dtype).name
+        for network in networks.values()
+        if getattr(network, "dtype", None) is not None
+    }
 
 
 def save_model(
@@ -193,6 +214,9 @@ def save_model(
         "state_file": state_file,
         "metadata": dict(metadata or {}),
     }
+    dtypes = _network_dtypes(networks)
+    if len(dtypes) == 1:
+        manifest["dtype"] = next(iter(dtypes))
     (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
     return ModelArtifact(directory=directory, manifest=manifest)
 
@@ -230,8 +254,18 @@ def load_model(directory: str | Path) -> Synthesizer:
             raise ArtifactError(f"corrupt artifact state at {state_path}: {error}")
     model = registry[artifact.model_class]()
     model.restore_state(state)
+    networks = model.artifact_networks()
     try:
-        load_networks(model.artifact_networks(), artifact.directory)
+        load_networks(networks, artifact.directory)
     except CheckpointError as error:
         raise ArtifactError(str(error))
+    declared = artifact.dtype
+    if declared is not None:
+        restored = _network_dtypes(networks)
+        if restored and restored != {declared}:
+            raise ArtifactError(
+                f"artifact at {artifact.directory} declares dtype {declared!r} but its "
+                f"restored networks run in {sorted(restored)}; the manifest and the "
+                "saved configuration disagree"
+            )
     return model

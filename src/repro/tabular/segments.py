@@ -157,19 +157,22 @@ class BlockLayout:
 
     @staticmethod
     def _scratch_buffer(
-        scratch: dict | None, key, shape: tuple[int, ...]
+        scratch: dict | None,
+        key,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
     ) -> np.ndarray:
-        """A reusable float64 buffer from ``scratch``, or a fresh array.
+        """A reusable ``dtype`` buffer from ``scratch``, or a fresh array.
 
         ``scratch`` is a caller-owned dict (one per consumer, so sharing
         follows the consumer's own thread story); ``None`` keeps the
         allocate-per-call behaviour.
         """
         if scratch is None:
-            return np.empty(shape, dtype=np.float64)
+            return np.empty(shape, dtype=dtype)
         buf = scratch.get(key)
-        if buf is None or buf.shape != shape:
-            buf = np.empty(shape, dtype=np.float64)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
             scratch[key] = buf
         return buf
 
@@ -183,13 +186,16 @@ class BlockLayout:
         so results are bit-identical, and the return value is only valid
         until the next call with the same ``scratch``.
         """
-        out = self._scratch_buffer(scratch, "softmax_out", gathered.shape)
+        dtype = gathered.dtype
+        out = self._scratch_buffer(scratch, "softmax_out", gathered.shape, dtype)
         rows = gathered.shape[0]
         for width, ids, gcols in self._groups:
-            flat = self._scratch_buffer(scratch, ("softmax_sub", width), (rows, len(ids) * width))
+            flat = self._scratch_buffer(
+                scratch, ("softmax_sub", width), (rows, len(ids) * width), dtype
+            )
             np.take(gathered, gcols, axis=1, out=flat)
             sub = flat.reshape(rows, len(ids), width)
-            peak = self._scratch_buffer(scratch, ("softmax_peak", width), (rows, len(ids), 1))
+            peak = self._scratch_buffer(scratch, ("softmax_peak", width), (rows, len(ids), 1), dtype)
             sub.max(axis=2, keepdims=True, out=peak)
             np.subtract(sub, peak, out=sub)
             np.divide(sub, tau, out=sub)
@@ -210,18 +216,21 @@ class BlockLayout:
 
         ``scratch`` has the same contract as in :meth:`softmax`.
         """
-        out = self._scratch_buffer(scratch, "bwd_out", grad_output.shape)
+        dtype = grad_output.dtype
+        out = self._scratch_buffer(scratch, "bwd_out", grad_output.shape, dtype)
         rows = grad_output.shape[0]
         for width, ids, gcols in self._groups:
-            s_flat = self._scratch_buffer(scratch, ("bwd_s", width), (rows, len(ids) * width))
+            s_flat = self._scratch_buffer(scratch, ("bwd_s", width), (rows, len(ids) * width), dtype)
             np.take(softmax_out, gcols, axis=1, out=s_flat)
-            g_flat = self._scratch_buffer(scratch, ("bwd_g", width), (rows, len(ids) * width))
+            g_flat = self._scratch_buffer(scratch, ("bwd_g", width), (rows, len(ids) * width), dtype)
             np.take(grad_output, gcols, axis=1, out=g_flat)
             s = s_flat.reshape(rows, len(ids), width)
             g = g_flat.reshape(rows, len(ids), width)
-            prod = self._scratch_buffer(scratch, ("bwd_prod", width), (rows, len(ids) * width))
+            prod = self._scratch_buffer(
+                scratch, ("bwd_prod", width), (rows, len(ids) * width), dtype
+            )
             np.multiply(g, s, out=prod.reshape(rows, len(ids), width))
-            dots = self._scratch_buffer(scratch, ("bwd_dots", width), (rows, len(ids), 1))
+            dots = self._scratch_buffer(scratch, ("bwd_dots", width), (rows, len(ids), 1), dtype)
             prod.reshape(rows, len(ids), width).sum(axis=2, keepdims=True, out=dots)
             np.subtract(g, dots, out=g)
             np.multiply(s, g, out=g)

@@ -13,9 +13,17 @@ bit for bit -- across
 The baseline of each matrix is the serial run on the legacy transport (the
 pre-resident reference semantics); every other combination is compared
 against it.
+
+The contract is *per dtype* (``docs/precision.md``): the ``*Float32``
+classes rerun the matrix with float32 engines against their own float32
+serial baseline -- float32 runs are not expected to match float64 ones,
+but within a dtype every executor/transport combination must agree bit
+for bit.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -155,6 +163,34 @@ class TestFederatedSimulationParity:
         assert baseline.per_client_local == result.per_client_local
 
 
+class TestServerParityFloat32(TestServerParity):
+    """The dtype axis of the parity contract (``docs/precision.md``).
+
+    A float32 detector federation must be bit-identical across every
+    executor/transport combination against its *own* float32 serial+legacy
+    baseline: the per-dtype RNG streams, the float32 codec transport and
+    the float32 shared buffers all have to agree for this to hold.
+    """
+
+    @staticmethod
+    def _run(executor, transport: str):
+        model_fn = DetectorFactory(
+            n_features=5, n_classes=2, hidden_dims=(8,), seed=0, dtype="float32"
+        )
+        transport = "payload" if transport == "legacy" else transport
+        with FederatedServer(
+            model_fn, _make_clients(3, model_fn), seed=0, executor=executor, transport=transport
+        ) as server:
+            server.run(3)
+            return server.global_state, server.history.rounds
+
+    def test_global_state_is_float32(self, baseline):
+        state, _rounds = baseline
+        assert {np.asarray(value).dtype for value in state.values()} == {
+            np.dtype(np.float32)
+        }
+
+
 class TestDistributedSimulationParity:
     @staticmethod
     def _run(bundle, executor, transport: str):
@@ -243,6 +279,22 @@ class TestFederatedKiNETGANParity:
         _assert_states_equal(baseline[1], discriminator_state)
         for name in baseline[2].schema.names:
             assert list(baseline[2].column(name)) == list(sample.column(name)), name
+
+
+class TestFederatedKiNETGANParityFloat32(TestFederatedKiNETGANParity):
+    """The dtype axis on the full model: a float32 federated KiNETGAN fit
+    must stay bit-identical across executors and transports against its own
+    float32 serial baseline, and its global states must actually be
+    float32 end to end (codec, shared buffers, aggregation)."""
+
+    CONFIG = dataclasses.replace(TestFederatedKiNETGANParity.CONFIG, dtype="float32")
+
+    def test_global_states_are_float32(self, baseline):
+        generator_state, discriminator_state, _sample = baseline
+        for state in (generator_state, discriminator_state):
+            assert {np.asarray(value).dtype for value in state.values()} == {
+                np.dtype(np.float32)
+            }
 
 
 class TestServerFaultRecoveryParity:

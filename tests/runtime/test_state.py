@@ -137,3 +137,61 @@ class TestProcessSharedBuffers:
         for segment in (ref.name, name):
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=segment)
+
+
+def _read_dtype(ref) -> str:
+    return str(ref.resolve().dtype)
+
+
+class TestBufferDtype:
+    """Dtype-parametrised shared buffers (the mixed-precision transport)."""
+
+    def test_local_buffer_defaults_to_float64(self):
+        with SerialExecutor() as executor:
+            assert executor.shared_array((2, 2)).array.dtype == np.float64
+
+    def test_local_buffer_takes_dtype(self):
+        with SerialExecutor() as executor:
+            buffer = executor.shared_array((4,), dtype=np.float32)
+            assert buffer.array.dtype == np.float32
+            assert buffer.ref().resolve().dtype == np.float32
+
+    def test_shared_memory_buffer_maps_requested_dtype(self):
+        with ProcessExecutor(max_workers=1) as executor:
+            buffer = executor.shared_array((3, 2), dtype=np.float32)
+            try:
+                assert buffer.array.dtype == np.float32
+                assert buffer.array.nbytes == 3 * 2 * 4
+                # The ref carries the dtype, so a worker maps float32 too.
+                assert executor.map(_read_dtype, [buffer.ref()]) == ["float32"]
+            finally:
+                buffer.close()
+
+    def test_shared_ref_pickles_with_dtype(self):
+        ref = SharedBufferRef("segment", (2, 2), dtype="float32")
+        assert pickle.loads(pickle.dumps(ref)).dtype == "float32"
+
+    def test_shared_ref_defaults_to_float64(self):
+        # Refs pickled by older builds carry no dtype field.
+        assert SharedBufferRef("segment", (2, 2)).dtype == "float64"
+
+    def test_mismatched_write_raises_typed_error(self):
+        from repro.runtime.state import BufferDtypeError
+
+        with SerialExecutor() as executor:
+            buffer = executor.shared_array((2, 2), dtype=np.float32)
+            with pytest.raises(BufferDtypeError, match="float64 data into a float32"):
+                buffer.write(np.ones((2, 2), dtype=np.float64))
+            buffer.write(np.ones((2, 2), dtype=np.float32))
+            assert (buffer.array == 1.0).all()
+
+    def test_mismatched_row_write_raises(self):
+        from repro.runtime.state import BufferDtypeError
+
+        with ProcessExecutor(max_workers=1) as executor:
+            buffer = executor.shared_array((2, 3), dtype=np.float64)
+            try:
+                with pytest.raises(BufferDtypeError):
+                    buffer.write(np.ones(3, dtype=np.float32), row=0)
+            finally:
+                buffer.close()

@@ -24,7 +24,7 @@ from repro.serve import ArtifactError, ModelArtifact, load_model, save_model
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
-def small_config(seed: int = 0) -> KiNETGANConfig:
+def small_config(seed: int = 0, dtype: str = "float64") -> KiNETGANConfig:
     return KiNETGANConfig(
         embedding_dim=16,
         generator_dims=(32,),
@@ -34,6 +34,7 @@ def small_config(seed: int = 0) -> KiNETGANConfig:
         knowledge_negatives_per_batch=16,
         max_modes=4,
         seed=seed,
+        dtype=dtype,
     )
 
 
@@ -323,3 +324,114 @@ class TestFormatV1Compat:
             model.sample(120, rng=sampling_rng(2)),
             loaded.sample(120, rng=sampling_rng(2)),
         )
+
+
+class TestArtifactDtype:
+    """The mixed-precision artifact contract (``docs/precision.md``).
+
+    A float32 model must round-trip through ``save_model`` / ``load_model``
+    with its dtype recorded in the manifest, its networks restored in
+    float32, and its samples bit-identical -- in-process, across a fresh
+    interpreter, and on both state formats.  A manifest whose declared
+    dtype disagrees with the restored networks must be rejected.
+    """
+
+    @pytest.fixture(scope="class")
+    def fitted_float32(self, lab_bundle_small, train_table):
+        model = KiNETGAN(small_config(dtype="float32"))
+        model.fit(
+            train_table,
+            catalog=lab_bundle_small.catalog,
+            condition_columns=lab_bundle_small.condition_columns,
+        )
+        return model
+
+    @pytest.fixture(scope="class")
+    def float32_artifact(self, fitted_float32, tmp_path_factory) -> Path:
+        directory = tmp_path_factory.mktemp("artifacts-f32") / "kinetgan-f32"
+        save_model(fitted_float32, directory, metadata={"dataset": "lab_iot"})
+        return directory
+
+    def test_manifest_records_float32(self, float32_artifact):
+        artifact = ModelArtifact.open(float32_artifact)
+        assert artifact.dtype == "float32"
+        assert json.loads((float32_artifact / "manifest.json").read_text())["dtype"] == "float32"
+
+    def test_manifest_records_float64_default(self, kinetgan_artifact):
+        assert ModelArtifact.open(kinetgan_artifact).dtype == "float64"
+
+    def test_float32_round_trip_bit_identical(self, fitted_float32, float32_artifact):
+        loaded = load_model(float32_artifact)
+        assert_tables_identical(
+            fitted_float32.sample(300, rng=sampling_rng(42)),
+            loaded.sample(300, rng=sampling_rng(42)),
+        )
+
+    def test_restored_networks_are_float32(self, float32_artifact):
+        loaded = load_model(float32_artifact)
+        for name, network in loaded.artifact_networks().items():
+            assert np.dtype(network.dtype) == np.float32, name
+
+    def test_weight_files_halve(self, kinetgan_artifact, float32_artifact):
+        """Same architecture, half the parameter bytes on disk."""
+        f64 = sum(p.stat().st_size for p in Path(kinetgan_artifact).glob("*.npz"))
+        f32 = sum(p.stat().st_size for p in Path(float32_artifact).glob("*.npz"))
+        assert f32 < 0.75 * f64
+
+    def test_v1_format_preserves_float32(self, fitted_float32, tmp_path):
+        save_model(fitted_float32, tmp_path / "f32_v1", format_version=1)
+        loaded = load_model(tmp_path / "f32_v1")
+        for name, network in loaded.artifact_networks().items():
+            assert np.dtype(network.dtype) == np.float32, name
+        assert_tables_identical(
+            fitted_float32.sample(150, rng=sampling_rng(8)),
+            loaded.sample(150, rng=sampling_rng(8)),
+        )
+
+    def test_missing_dtype_key_accepted(self, float32_artifact, tmp_path):
+        """Artifacts from before the precision tier carry no dtype key."""
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        for path in Path(float32_artifact).iterdir():
+            (legacy / path.name).write_bytes(path.read_bytes())
+        manifest = json.loads((legacy / "manifest.json").read_text())
+        del manifest["dtype"]
+        (legacy / "manifest.json").write_text(json.dumps(manifest))
+        assert ModelArtifact.open(legacy).dtype is None
+        load_model(legacy)  # loads fine; the config still restores float32
+
+    def test_mismatched_manifest_dtype_rejected(self, float32_artifact, tmp_path):
+        tampered = tmp_path / "tampered"
+        tampered.mkdir()
+        for path in Path(float32_artifact).iterdir():
+            (tampered / path.name).write_bytes(path.read_bytes())
+        manifest = json.loads((tampered / "manifest.json").read_text())
+        manifest["dtype"] = "float64"
+        (tampered / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="declares dtype"):
+            load_model(tampered)
+
+    def test_subprocess_load_samples_identically(
+        self, fitted_float32, float32_artifact, tmp_path
+    ):
+        """A fresh interpreter reproduces the float32 artifact's samples."""
+        out_csv = tmp_path / "subprocess_f32.csv"
+        script = (
+            "import sys\n"
+            "from repro.serve import load_model\n"
+            "from repro.engine import sampling_rng\n"
+            "model = load_model(sys.argv[1])\n"
+            "model.sample(120, rng=sampling_rng(2024)).to_csv(sys.argv[2])\n"
+        )
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(
+            [sys.executable, "-c", script, str(float32_artifact), str(out_csv)],
+            check=True,
+            env=env,
+            cwd=str(tmp_path),
+        )
+        expected = tmp_path / "expected_f32.csv"
+        fitted_float32.sample(120, rng=sampling_rng(2024)).to_csv(expected)
+        assert out_csv.read_text() == expected.read_text()

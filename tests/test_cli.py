@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import MODEL_CHOICES, build_parser, main
@@ -379,3 +381,76 @@ class TestRuntimeCommands:
         out = capsys.readouterr().out
         assert "local accuracy" in out
         assert "synthetic-sharing" in out
+
+
+class TestObservabilityDumps:
+    """--metrics-dump / --trace-dump write snapshots at command exit."""
+
+    def test_generate_writes_metrics_and_trace_dumps(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "spans.jsonl"
+        exit_code = main(
+            [
+                "generate",
+                "--dataset", "lab_iot",
+                "--model", "independent",
+                "--records", "300",
+                "--epochs", "1",
+                "--samples", "50",
+                "--output", str(tmp_path / "rows.csv"),
+                "--metrics-dump", str(metrics_path),
+                "--trace-dump", str(trace_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert f"Wrote metrics snapshot to {metrics_path}" in out
+        assert f"Wrote trace spans to {trace_path}" in out
+        snapshot = json.loads(metrics_path.read_text())
+        assert isinstance(snapshot, dict)
+        assert trace_path.exists()
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)  # every span line is standalone JSON
+
+    def test_metrics_dump_enables_engine_metrics(self, tmp_path, capsys):
+        """--metrics-dump turns on the engine's MetricsCallback, so a fit
+        through the training engine leaves its epoch counters behind."""
+        metrics_path = tmp_path / "metrics.json"
+        exit_code = main(
+            [
+                "generate",
+                "--dataset", "lab_iot",
+                "--model", "kinetgan",
+                "--records", "300",
+                "--epochs", "1",
+                "--samples", "50",
+                "--output", str(tmp_path / "rows.csv"),
+                "--metrics-dump", str(metrics_path),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        snapshot = json.loads(metrics_path.read_text())
+        assert "repro_engine_epochs_total" in snapshot
+
+    def test_dtype_knob_flows_to_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "artifact"
+        exit_code = main(
+            [
+                "save",
+                "--dataset", "lab_iot",
+                "--model", "kinetgan",
+                "--records", "300",
+                "--epochs", "1",
+                "--dtype", "float32",
+                "--artifact", str(artifact),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        manifest = json.loads((artifact / "manifest.json").read_text())
+        assert manifest["dtype"] == "float32"
+
+    def test_dtype_choices_validated(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "lab_iot", "--dtype", "float16"])
